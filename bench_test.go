@@ -1,0 +1,258 @@
+// Benchmarks regenerating the paper's figures and quantitative claims, one
+// per experiment id of DESIGN.md, plus micro-benchmarks of the protocol
+// primitives. Run with:
+//
+//	go test -bench=. -benchmem
+package uncheatgrid
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// benchWorkload is the standard 64-bit-output synthetic function.
+func benchWorkload(seed uint64) Workload {
+	return NewSyntheticWorkload(seed, 1, 64)
+}
+
+func mustProver(b *testing.B, n int, f Workload, opts ...ProtocolOption) *Prover {
+	b.Helper()
+	p, err := NewProver(n, func(i uint64) []byte { return f.Eval(i) }, opts...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return p
+}
+
+// BenchmarkFig1ProveVerify measures the Figure 1 unit of work: one proof
+// plus one verification on a 16-leaf tree.
+func BenchmarkFig1ProveVerify(b *testing.B) {
+	f := benchWorkload(1)
+	prover := mustProver(b, 16, f)
+	verifier, err := NewVerifier(prover.Commitment(), WithRand(rand.New(rand.NewSource(1))))
+	if err != nil {
+		b.Fatal(err)
+	}
+	check := RecomputeCheck(func(i uint64) []byte { return f.Eval(i) })
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := prover.Respond([]uint64{2})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := verifier.Verify(Challenge{Indices: []uint64{2}}, resp, check); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig2SampleSize measures the Eq. 3 sample-size computation across
+// the Figure 2 sweep.
+func BenchmarkFig2SampleSize(b *testing.B) {
+	ratios := []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, r := range ratios {
+			if _, err := RequiredSamples(1e-4, r, 0); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := RequiredSamples(1e-4, r, 0.5); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkFig3PartialProve measures the Section 3.3 storage-bounded proof
+// across subtree heights: the cost dial the rco formula predicts.
+func BenchmarkFig3PartialProve(b *testing.B) {
+	f := benchWorkload(3)
+	const n = 1 << 12
+	for _, ell := range []int{0, 4, 8} {
+		b.Run(fmt.Sprintf("ell=%d", ell), func(b *testing.B) {
+			prover := mustProver(b, n, f, WithSubtreeHeight(ell))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := prover.Respond([]uint64{uint64(i) % n}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkEq2MonteCarlo measures one full protocol round against a
+// semi-honest cheater — the unit of the Eq. 2 Monte-Carlo experiment.
+func BenchmarkEq2MonteCarlo(b *testing.B) {
+	f := benchWorkload(4)
+	check := RecomputeCheck(func(i uint64) []byte { return f.Eval(i) })
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		producer, err := NewSemiHonest(f, 0.5, uint64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		prover, err := NewProver(256, producer.Claim)
+		if err != nil {
+			b.Fatal(err)
+		}
+		verifier, err := NewVerifier(prover.Commitment(),
+			WithRand(rand.New(rand.NewSource(int64(i)))))
+		if err != nil {
+			b.Fatal(err)
+		}
+		ch, err := verifier.Challenge(14)
+		if err != nil {
+			b.Fatal(err)
+		}
+		resp, err := prover.Respond(ch.Indices)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = verifier.Verify(ch, resp, check) // rejection expected: that is the experiment
+	}
+}
+
+// BenchmarkCommCBS and BenchmarkCommNaive measure the end-to-end task
+// exchange whose byte counts the comm experiment reports.
+func BenchmarkCommCBS(b *testing.B) {
+	benchScheme(b, SchemeSpec{Kind: SchemeCBS, M: 50})
+}
+
+// BenchmarkCommNaive is the O(n)-upload counterpart of BenchmarkCommCBS.
+func BenchmarkCommNaive(b *testing.B) {
+	benchScheme(b, SchemeSpec{Kind: SchemeNaive, M: 50})
+}
+
+// BenchmarkCommNICBS measures the non-interactive variant.
+func BenchmarkCommNICBS(b *testing.B) {
+	benchScheme(b, SchemeSpec{Kind: SchemeNICBS, M: 50, ChainIters: 1})
+}
+
+func benchScheme(b *testing.B, spec SchemeSpec) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		report, err := RunSim(SimConfig{
+			Spec:     spec,
+			Workload: "synthetic",
+			Seed:     uint64(i),
+			TaskSize: 1 << 12,
+			Tasks:    1,
+			Honest:   1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(report.SupervisorBytesRecv), "upload-B")
+	}
+}
+
+// BenchmarkEq5Reroll measures the Section 4.2 re-rolling attack at r=0.5,
+// m=4 (expected 16 tree rebuilds per success).
+func BenchmarkEq5Reroll(b *testing.B) {
+	chain, err := NewHashChain(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		result, err := Reroll(RerollConfig{
+			F:           benchWorkload(uint64(i)),
+			N:           64,
+			Ratio:       0.5,
+			M:           4,
+			Chain:       chain,
+			MaxAttempts: 1 << 20,
+			Seed:        uint64(i),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(result.Attempts), "attempts")
+	}
+}
+
+// BenchmarkSchemesPopulation measures a full mixed-population simulation —
+// the schemes comparison row generator.
+func BenchmarkSchemesPopulation(b *testing.B) {
+	for _, kind := range []SchemeKind{SchemeCBS, SchemeNICBS, SchemeNaive} {
+		b.Run(kind.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_, err := RunSim(SimConfig{
+					Spec:         SchemeSpec{Kind: kind, M: 33, ChainIters: 1},
+					Workload:     "synthetic",
+					Seed:         uint64(i),
+					TaskSize:     1 << 10,
+					Tasks:        4,
+					Honest:       2,
+					SemiHonest:   2,
+					HonestyRatio: 0.5,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkVerifyVsRecompute times the factoring workload's two sides of
+// the Step 4 check: computing f versus verifying a claimed output.
+func BenchmarkVerifyVsRecompute(b *testing.B) {
+	f := NewFactorWorkload(2004)
+	outputs := make([][]byte, 64)
+	for x := range outputs {
+		outputs[x] = f.Eval(uint64(x))
+	}
+	b.Run("recompute", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			f.Eval(uint64(i % 64))
+		}
+	})
+	b.Run("verify", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if !f.VerifyOutput(uint64(i%64), outputs[i%64]) {
+				b.Fatal("verification rejected a true output")
+			}
+		}
+	})
+}
+
+// BenchmarkTreeBuild measures commitment construction — the participant's
+// fixed overhead per task.
+func BenchmarkTreeBuild(b *testing.B) {
+	f := benchWorkload(5)
+	for _, n := range []int{1 << 10, 1 << 14} {
+		values := make([][]byte, n)
+		for i := range values {
+			values[i] = f.Eval(uint64(i))
+		}
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := BuildMerkleTree(values); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkHashChain measures the NI-CBS sample derivation as the Eq. 5
+// cost dial k grows.
+func BenchmarkHashChain(b *testing.B) {
+	root := []byte("a 32-byte-ish commitment root...")
+	for _, k := range []int{1, 16, 256} {
+		chain, err := NewHashChain(k)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := chain.SampleIndices(root, 10, 1<<20); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,93 @@
+// Command figures regenerates every figure and quantitative claim of
+// "Uncheatable Grid Computing" (Du et al., ICDCS 2004) from the library in
+// this repository. Each experiment prints an aligned text table; see
+// EXPERIMENTS.md for the paper-vs-measured record.
+//
+// Usage:
+//
+//	figures            # run every experiment
+//	figures -exp fig2  # run one experiment
+//	figures -list      # list experiment ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// experiment is one reproducible artifact of the paper.
+type experiment struct {
+	id    string
+	title string
+	run   func(w io.Writer) error
+}
+
+// experiments lists every artifact in presentation order.
+func experiments() []experiment {
+	return []experiment{
+		{id: "fig1", title: "Figure 1: Merkle tree commitment and verification path", run: runFig1},
+		{id: "fig2", title: "Figure 2: required sample size vs honesty ratio (ε=1e-4)", run: runFig2},
+		{id: "fig3", title: "Figure 3 / §3.3: storage vs recomputation tradeoff", run: runFig3},
+		{id: "eq2", title: "Eq. 2: cheat-success probability, analytic vs simulated", run: runEq2},
+		{id: "comm", title: "§1/§3: communication cost per participant", run: runComm},
+		{id: "eq5", title: "§4.2 / Eq. 5: NI-CBS re-rolling attack economics", run: runEq5},
+		{id: "schemes", title: "§1.1/§5: scheme comparison on a mixed population", run: runSchemes},
+		{id: "verify", title: "§3.1 Step 4: verification cheaper than recomputation", run: runVerify},
+	}
+}
+
+func main() {
+	if err := run(os.Stdout, os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "figures:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, args []string) error {
+	fs := flag.NewFlagSet("figures", flag.ContinueOnError)
+	expID := fs.String("exp", "", "experiment id to run (default: all)")
+	list := fs.Bool("list", false, "list experiment ids and exit")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	all := experiments()
+	if *list {
+		ids := make([]string, 0, len(all))
+		for _, e := range all {
+			ids = append(ids, e.id)
+		}
+		sort.Strings(ids)
+		for _, id := range ids {
+			fmt.Fprintln(w, id)
+		}
+		return nil
+	}
+
+	for _, e := range all {
+		if *expID != "" && e.id != *expID {
+			continue
+		}
+		fmt.Fprintf(w, "==== %s — %s ====\n", e.id, e.title)
+		if err := e.run(w); err != nil {
+			return fmt.Errorf("%s: %w", e.id, err)
+		}
+		fmt.Fprintln(w)
+	}
+	if *expID != "" && !hasExperiment(all, *expID) {
+		return fmt.Errorf("unknown experiment %q (use -list)", *expID)
+	}
+	return nil
+}
+
+func hasExperiment(all []experiment, id string) bool {
+	for _, e := range all {
+		if e.id == id {
+			return true
+		}
+	}
+	return false
+}

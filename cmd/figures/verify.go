@@ -1,0 +1,50 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"uncheatgrid/internal/workload"
+)
+
+// runVerify reproduces the Step 4 remark of Section 3.1: "there are many
+// computations whose verification is much less expensive than the
+// computations themselves. For example, factoring large numbers is an
+// expensive computation, but verifying the factoring results is trivial."
+// We time the factoring workload's Eval (trial division) against its
+// VerifyOutput (two multiplications plus 16-bit primality checks).
+func runVerify(w io.Writer) error {
+	f := workload.NewFactor(2004)
+	verifier, ok := workload.AsOutputVerifier(f)
+	if !ok {
+		return fmt.Errorf("factor workload lost its verifier")
+	}
+
+	const inputs = 512
+	outputs := make([][]byte, inputs)
+
+	evalStart := time.Now()
+	for x := uint64(0); x < inputs; x++ {
+		outputs[x] = f.Eval(x)
+	}
+	evalTime := time.Since(evalStart)
+
+	verifyStart := time.Now()
+	for x := uint64(0); x < inputs; x++ {
+		if !verifier.VerifyOutput(x, outputs[x]) {
+			return fmt.Errorf("verification rejected Eval's own output at %d", x)
+		}
+	}
+	verifyTime := time.Since(verifyStart)
+
+	fmt.Fprintf(w, "factor workload over %d semiprimes (16-bit prime factors):\n", inputs)
+	fmt.Fprintf(w, "  compute (trial division): %12v  (%8.2f µs/input)\n",
+		evalTime, float64(evalTime.Microseconds())/inputs)
+	fmt.Fprintf(w, "  verify  (multiply+check): %12v  (%8.2f µs/input)\n",
+		verifyTime, float64(verifyTime.Microseconds())/inputs)
+	ratio := float64(evalTime) / float64(verifyTime)
+	fmt.Fprintf(w, "  compute/verify ratio: %.0fx\n", ratio)
+	fmt.Fprintln(w, "\nthe supervisor's per-sample check (Step 4 case 1) need not recompute f.")
+	return nil
+}

@@ -1,0 +1,131 @@
+// Command gridsim runs a configurable grid-computing simulation: a
+// supervisor distributing tasks over a mixed population of honest and
+// cheating participants, verified with any of the implemented schemes
+// (cbs, ni-cbs, naive, double-check, ringer), and prints a run report.
+//
+// Example:
+//
+//	gridsim -scheme cbs -workload password -tasks 16 -tasksize 4096 \
+//	        -honest 4 -semihonest 4 -ratio 0.5 -m 33
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"text/tabwriter"
+
+	"uncheatgrid/internal/analysis"
+	"uncheatgrid/internal/grid"
+	"uncheatgrid/internal/workload"
+)
+
+func main() {
+	if err := run(os.Stdout, os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "gridsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, args []string) error {
+	fs := flag.NewFlagSet("gridsim", flag.ContinueOnError)
+	var (
+		schemeName = fs.String("scheme", "cbs", "verification scheme: cbs|ni-cbs|naive|double-check|ringer")
+		wlName     = fs.String("workload", "synthetic", fmt.Sprintf("workload: %v", workload.Names()))
+		seed       = fs.Uint64("seed", 1, "workload and scheduling seed")
+		tasks      = fs.Int("tasks", 8, "number of tasks to assign")
+		taskSize   = fs.Int("tasksize", 1024, "inputs per task (|D|)")
+		honest     = fs.Int("honest", 3, "honest participants")
+		semiHonest = fs.Int("semihonest", 2, "semi-honest cheaters")
+		malicious  = fs.Int("malicious", 0, "malicious (report-corrupting) participants")
+		ratio      = fs.Float64("ratio", 0.5, "honesty ratio r of the semi-honest cheaters")
+		corrupt    = fs.Float64("corrupt", 0.5, "report-corruption probability of malicious participants")
+		m          = fs.Int("m", 0, "sample count (0 = derive from -epsilon via Eq. 3)")
+		epsilon    = fs.Float64("epsilon", 1e-4, "target cheat-success bound when deriving m")
+		chainIters = fs.Int("chainiters", 4, "hash iterations in g (NI-CBS)")
+		subtree    = fs.Int("subtree", 0, "storage-bounded prover subtree height ℓ (CBS/NI-CBS)")
+		replicas   = fs.Int("replicas", 3, "double-check group size")
+		blacklist  = fs.Bool("blacklist", false, "stop assigning to participants after a rejection")
+		crossCheck = fs.Bool("crosscheck", true, "cross-check screener reports on sampled inputs")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	kind, err := grid.ParseScheme(*schemeName)
+	if err != nil {
+		return err
+	}
+	samples := *m
+	if samples == 0 {
+		// Eq. 3 with the workload's own guessing probability q.
+		f, err := workload.New(*wlName, *seed)
+		if err != nil {
+			return err
+		}
+		samples, err = analysis.RequiredSamples(*epsilon, *ratio, f.GuessProb())
+		if err != nil {
+			return fmt.Errorf("derive m from ε: %w", err)
+		}
+		fmt.Fprintf(w, "m = %d derived from Eq. 3 (ε=%g, r=%g, q=%g)\n",
+			samples, *epsilon, *ratio, f.GuessProb())
+	}
+
+	report, err := grid.RunSim(grid.SimConfig{
+		Spec: grid.SchemeSpec{
+			Kind:          kind,
+			M:             samples,
+			ChainIters:    *chainIters,
+			SubtreeHeight: *subtree,
+		},
+		Workload:          *wlName,
+		Seed:              *seed,
+		TaskSize:          *taskSize,
+		Tasks:             *tasks,
+		Honest:            *honest,
+		SemiHonest:        *semiHonest,
+		Malicious:         *malicious,
+		HonestyRatio:      *ratio,
+		CorruptProb:       *corrupt,
+		Replicas:          *replicas,
+		Blacklist:         *blacklist,
+		CrossCheckReports: *crossCheck,
+	})
+	if err != nil {
+		return err
+	}
+	printReport(w, report)
+	return nil
+}
+
+func printReport(w io.Writer, report *grid.SimReport) {
+	fmt.Fprintf(w, "scheme=%s tasks=%d detection=%d/%d honest-accused=%d\n",
+		report.Scheme, report.TasksAssigned,
+		report.CheatersDetected, report.CheatersTotal, report.HonestAccused)
+	fmt.Fprintf(w, "supervisor: sent=%dB recv=%dB verify-evals=%d\n",
+		report.SupervisorBytesSent, report.SupervisorBytesRecv, report.SupervisorEvals)
+
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "participant\tbehavior\ttasks\taccepted\trejected\tf-evals\tsentB\trecvB\tblacklisted")
+	for _, p := range report.Participants {
+		fmt.Fprintf(tw, "%s\t%s\t%d\t%d\t%d\t%d\t%d\t%d\t%v\n",
+			p.ID, p.Behavior, p.Tasks, p.Accepted, p.Rejected,
+			p.FEvals, p.BytesSent, p.BytesRecv, p.Blacklisted)
+	}
+	_ = tw.Flush()
+
+	if len(report.Reports) > 0 {
+		fmt.Fprintf(w, "screened results (%d):\n", len(report.Reports))
+		limit := len(report.Reports)
+		if limit > 10 {
+			limit = 10
+		}
+		for _, rep := range report.Reports[:limit] {
+			fmt.Fprintf(w, "  x=%d: %s\n", rep.X, rep.S)
+		}
+		if len(report.Reports) > limit {
+			fmt.Fprintf(w, "  … and %d more\n", len(report.Reports)-limit)
+		}
+	}
+}

@@ -1,0 +1,79 @@
+// Setisearch runs the SETI@home-style spectral search with the Section 3.3
+// storage-bounded prover: the participant keeps only the top levels of its
+// Merkle tree and recomputes one 2^ℓ-leaf subtree per audited sample,
+// trading a measured, bounded amount of recomputation (rco = 2m/S) for a
+// 2^ℓ-fold smaller commitment store.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"uncheatgrid"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	signal := uncheatgrid.NewSignalWorkload(1977, 64)
+	const (
+		n = 1 << 14 // 16384 signal chunks per task
+		m = 14      // Eq. 3 at ε=1e-4, r=0.5, q≈0
+	)
+
+	check := uncheatgrid.RecomputeCheck(func(i uint64) []byte { return signal.Eval(i) })
+	fmt.Printf("spectral search over %d chunks of %d samples; m = %d audits\n\n",
+		n, signal.ChunkLen(), m)
+	fmt.Printf("%4s %14s %16s %14s %14s\n", "ℓ", "stored slots", "rebuilt f-evals", "measured rco", "analytic 2m/S")
+
+	for _, ell := range []int{0, 4, 8, 12} {
+		prover, err := uncheatgrid.NewProver(n,
+			func(i uint64) []byte { return signal.Eval(i) },
+			uncheatgrid.WithSubtreeHeight(ell))
+		if err != nil {
+			return err
+		}
+		verifier, err := uncheatgrid.NewVerifier(prover.Commitment())
+		if err != nil {
+			return err
+		}
+		challenge, err := verifier.Challenge(m)
+		if err != nil {
+			return err
+		}
+		response, err := prover.Respond(challenge.Indices)
+		if err != nil {
+			return err
+		}
+		if err := verifier.Verify(challenge, response, check); err != nil {
+			return fmt.Errorf("honest prover rejected at ℓ=%d: %w", ell, err)
+		}
+		measured := float64(prover.RebuiltLeaves()) / float64(n)
+		analytic, err := uncheatgrid.RCO(m, prover.StoredNodes())
+		if err != nil {
+			return err
+		}
+		if ell == 0 {
+			analytic = 0
+		}
+		fmt.Printf("%4d %14d %16d %14.6f %14.6f\n",
+			ell, prover.StoredNodes(), prover.RebuiltLeaves(), measured, analytic)
+	}
+
+	// Scan one window for candidate signals, the screener's job.
+	screener := signal.Screener()
+	found := 0
+	for x := uint64(0); x < 4096 && found < 3; x++ {
+		if s, ok := screener.Screen(x, signal.Eval(x)); ok {
+			fmt.Printf("\n%s", s)
+			found++
+		}
+	}
+	fmt.Printf("\n\nat ℓ=12 the tree store shrinks 4096-fold while the audit recomputes")
+	fmt.Printf("\nonly rco·|D| chunks — the paper's 4GB-disk-for-2^40-inputs tradeoff.\n")
+	return nil
+}

@@ -1,0 +1,96 @@
+// Package baseline implements the verification schemes the paper compares
+// CBS against: double-checking by redundant assignment, naive sampling over
+// a full result upload (both Section 1), and the ringer scheme of Golle and
+// Mironov (Section 1.1, reference [8]).
+//
+// Each baseline exposes the participant- and supervisor-side mechanics; the
+// grid layer wires them over a transport so their communication cost can be
+// measured next to CBS.
+package baseline
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+)
+
+// Errors reported by this package.
+var (
+	// ErrBadSampleCount is returned for non-positive sample counts.
+	ErrBadSampleCount = errors.New("baseline: sample count must be >= 1")
+	// ErrBadDomain is returned for empty domains.
+	ErrBadDomain = errors.New("baseline: domain size must be >= 1")
+	// ErrWrongResult indicates a sampled result failed the supervisor's
+	// correctness check.
+	ErrWrongResult = errors.New("baseline: sampled result is incorrect")
+	// ErrNoConsensus indicates redundant replicas disagree with no
+	// majority, so the double-check scheme cannot produce a verdict.
+	ErrNoConsensus = errors.New("baseline: replicas disagree with no majority")
+	// ErrResultCountMismatch indicates a participant returned the wrong
+	// number of results.
+	ErrResultCountMismatch = errors.New("baseline: result count does not match domain size")
+)
+
+// CheckFunc validates a claimed output for a domain index; nil means
+// correct. It mirrors core.CheckFunc so supervisors can share adapters.
+type CheckFunc func(index uint64, output []byte) error
+
+// SampleError reports which sampled index convicted the participant.
+type SampleError struct {
+	// Index is the domain index of the failing sample.
+	Index uint64
+	// Err describes the failure (wraps ErrWrongResult).
+	Err error
+}
+
+// Error implements error.
+func (e *SampleError) Error() string {
+	return fmt.Sprintf("baseline: sample %d failed: %v", e.Index, e.Err)
+}
+
+// Unwrap exposes the failure class.
+func (e *SampleError) Unwrap() error { return e.Err }
+
+// NaiveSampling is the improved strawman of Section 1: the participant
+// uploads all n results, the supervisor re-checks m uniform samples. Its
+// detection probability matches CBS (Theorem 3) but its communication is
+// O(n) — the cost CBS eliminates.
+type NaiveSampling struct {
+	m   int
+	rng *rand.Rand
+}
+
+// NewNaiveSampling creates a supervisor-side sampler re-checking m results.
+func NewNaiveSampling(m int, rng *rand.Rand) (*NaiveSampling, error) {
+	if m < 1 {
+		return nil, fmt.Errorf("%w: got %d", ErrBadSampleCount, m)
+	}
+	if rng == nil {
+		rng = rand.New(rand.NewSource(rand.Int63()))
+	}
+	return &NaiveSampling{m: m, rng: rng}, nil
+}
+
+// M reports the sample count.
+func (s *NaiveSampling) M() int { return s.m }
+
+// Verify audits a full result upload of n entries: it draws m uniform
+// indices (with replacement) and applies the correctness check to each.
+func (s *NaiveSampling) Verify(n int, results [][]byte, check CheckFunc) error {
+	if n < 1 {
+		return fmt.Errorf("%w: got %d", ErrBadDomain, n)
+	}
+	if len(results) != n {
+		return fmt.Errorf("%w: got %d results for n=%d", ErrResultCountMismatch, len(results), n)
+	}
+	if check == nil {
+		return errors.New("baseline: nil check function")
+	}
+	for k := 0; k < s.m; k++ {
+		idx := uint64(s.rng.Int63n(int64(n)))
+		if err := check(idx, results[idx]); err != nil {
+			return &SampleError{Index: idx, Err: fmt.Errorf("%w: %v", ErrWrongResult, err)}
+		}
+	}
+	return nil
+}

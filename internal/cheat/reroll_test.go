@@ -1,0 +1,161 @@
+package cheat
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"uncheatgrid/internal/hashchain"
+	"uncheatgrid/internal/merkle"
+	"uncheatgrid/internal/workload"
+)
+
+func testChain(t *testing.T) *hashchain.Chain {
+	t.Helper()
+	chain, err := hashchain.New(1)
+	if err != nil {
+		t.Fatalf("hashchain.New: %v", err)
+	}
+	return chain
+}
+
+func TestRerollForgesPassingCommitment(t *testing.T) {
+	chain := testChain(t)
+	cfg := RerollConfig{
+		F:           workload.NewSynthetic(1, 1, 64),
+		N:           64,
+		Ratio:       0.5,
+		M:           4, // expected attempts: 2^4 = 16
+		Chain:       chain,
+		MaxAttempts: 100000,
+		Seed:        1,
+	}
+	result, err := Reroll(cfg)
+	if err != nil {
+		t.Fatalf("Reroll: %v", err)
+	}
+	if result.Attempts < 1 {
+		t.Fatal("attack succeeded with zero attempts")
+	}
+	// The forged commitment must actually pass NI-CBS verification: every
+	// derived sample has a consistent proof with a correct-looking... no —
+	// a *correct* value only on D'. Check that all derived samples are in
+	// D' and that the proofs verify against the forged root.
+	indices, err := chain.SampleIndices(result.Root, cfg.M, uint64(cfg.N))
+	if err != nil {
+		t.Fatalf("SampleIndices: %v", err)
+	}
+	honest := int(cfg.Ratio * float64(cfg.N))
+	tree, err := merkle.Build(result.Claims)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	for _, idx := range indices {
+		if idx >= uint64(honest) {
+			t.Fatalf("derived sample %d outside D' [0,%d)", idx, honest)
+		}
+		proof, err := tree.Prove(int(idx))
+		if err != nil {
+			t.Fatalf("Prove: %v", err)
+		}
+		if err := merkle.Verify(result.Root, proof); err != nil {
+			t.Fatalf("forged proof does not verify: %v", err)
+		}
+	}
+	if result.HonestEvaluations != honest {
+		t.Fatalf("HonestEvaluations = %d, want %d", result.HonestEvaluations, honest)
+	}
+	if result.ChainEvaluations != result.Attempts*cfg.M {
+		t.Fatalf("ChainEvaluations = %d, want attempts×m = %d",
+			result.ChainEvaluations, result.Attempts*cfg.M)
+	}
+}
+
+func TestRerollAttemptsTrackExpectation(t *testing.T) {
+	// Section 4.2: the expected number of attempts is r^-m. Average over
+	// seeds and compare within a loose factor — enough to pin the shape.
+	chain := testChain(t)
+	const (
+		r     = 0.5
+		m     = 3
+		seeds = 60
+	)
+	want := math.Pow(r, -m) // 8
+	total := 0
+	for seed := uint64(0); seed < seeds; seed++ {
+		result, err := Reroll(RerollConfig{
+			F:           workload.NewSynthetic(seed, 1, 64),
+			N:           32,
+			Ratio:       r,
+			M:           m,
+			Chain:       chain,
+			MaxAttempts: 1 << 16,
+			Seed:        seed,
+		})
+		if err != nil {
+			t.Fatalf("Reroll(seed=%d): %v", seed, err)
+		}
+		total += result.Attempts
+	}
+	got := float64(total) / seeds
+	if got < want/2 || got > want*2 {
+		t.Fatalf("mean attempts = %v, want within [%v, %v] of r^-m = %v",
+			got, want/2, want*2, want)
+	}
+}
+
+func TestRerollHonestParticipantSucceedsImmediately(t *testing.T) {
+	// r = 1 degenerates to an honest run: the first tree passes.
+	result, err := Reroll(RerollConfig{
+		F:     workload.NewSynthetic(2, 1, 64),
+		N:     16,
+		Ratio: 1,
+		M:     8,
+		Chain: testChain(t),
+		Seed:  5,
+	})
+	if err != nil {
+		t.Fatalf("Reroll: %v", err)
+	}
+	if result.Attempts != 1 {
+		t.Fatalf("Attempts = %d, want 1 for r=1", result.Attempts)
+	}
+}
+
+func TestRerollBudgetExhaustion(t *testing.T) {
+	// r = 0.25, m = 8 → expected 65536 attempts; a budget of 3 must fail.
+	_, err := Reroll(RerollConfig{
+		F:           workload.NewSynthetic(3, 1, 64),
+		N:           64,
+		Ratio:       0.25,
+		M:           8,
+		Chain:       testChain(t),
+		MaxAttempts: 3,
+		Seed:        5,
+	})
+	if !errors.Is(err, ErrAttackBudget) {
+		t.Fatalf("err = %v, want ErrAttackBudget", err)
+	}
+}
+
+func TestRerollValidation(t *testing.T) {
+	chain := testChain(t)
+	f := workload.NewSynthetic(1, 1, 64)
+	tests := []struct {
+		name string
+		cfg  RerollConfig
+	}{
+		{name: "nil F", cfg: RerollConfig{Chain: chain, N: 8, Ratio: 0.5, M: 2}},
+		{name: "nil chain", cfg: RerollConfig{F: f, N: 8, Ratio: 0.5, M: 2}},
+		{name: "bad n", cfg: RerollConfig{F: f, Chain: chain, N: 0, Ratio: 0.5, M: 2}},
+		{name: "bad ratio", cfg: RerollConfig{F: f, Chain: chain, N: 8, Ratio: 1.5, M: 2}},
+		{name: "bad m", cfg: RerollConfig{F: f, Chain: chain, N: 8, Ratio: 0.5, M: 0}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := Reroll(tt.cfg); err == nil {
+				t.Fatal("Reroll accepted an invalid config")
+			}
+		})
+	}
+}

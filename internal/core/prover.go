@@ -1,0 +1,127 @@
+package core
+
+import (
+	"fmt"
+
+	"uncheatgrid/internal/hashchain"
+	"uncheatgrid/internal/merkle"
+)
+
+// proofSource abstracts the full and partial Merkle trees behind the prover.
+type proofSource interface {
+	Root() []byte
+	Prove(i int) (*merkle.Proof, error)
+}
+
+// Prover is the participant side of CBS. It owns the committed Merkle tree
+// and answers sample challenges. Construct one per assigned task; safe for
+// concurrent Respond calls.
+type Prover struct {
+	n       int
+	source  proofSource
+	partial *merkle.PartialTree // nil in full-tree mode
+}
+
+// NewProver builds the participant's Merkle tree over n claimed results
+// (Step 1 of Section 3.1). claim(i) must return the value the participant
+// stands behind for domain index i; for an honest participant that is
+// f(x_i). With WithSubtreeHeight(ℓ > 0), claim must be deterministic since
+// audited subtrees are recomputed on demand.
+func NewProver(n int, claim func(i uint64) []byte, opts ...Option) (*Prover, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("%w: got %d", ErrBadDomain, n)
+	}
+	if claim == nil {
+		return nil, fmt.Errorf("%w: nil claim function", ErrProtocol)
+	}
+	cfg := buildConfig(opts)
+
+	p := &Prover{n: n}
+	if cfg.subtreeHeight > 0 {
+		partial, err := merkle.NewPartial(n, cfg.subtreeHeight,
+			func(i int) []byte { return claim(uint64(i)) }, cfg.treeOptions...)
+		if err != nil {
+			return nil, fmt.Errorf("core: build partial tree: %w", err)
+		}
+		p.source = partial
+		p.partial = partial
+		return p, nil
+	}
+	tree, err := merkle.BuildFunc(n, func(i int) []byte { return claim(uint64(i)) }, cfg.treeOptions...)
+	if err != nil {
+		return nil, fmt.Errorf("core: build tree: %w", err)
+	}
+	p.source = tree
+	return p, nil
+}
+
+// N reports the domain size n.
+func (p *Prover) N() int { return p.n }
+
+// Commitment returns the message of Step 1: the root Φ(R) and the domain
+// size.
+func (p *Prover) Commitment() Commitment {
+	return Commitment{Root: p.source.Root(), N: uint64(p.n)}
+}
+
+// Respond produces the participant's proof of honesty (Step 3) for the
+// challenged sample indices: for each index, the claimed f(x) plus the
+// sibling Φ values along the leaf-to-root path.
+func (p *Prover) Respond(indices []uint64) (*Response, error) {
+	if len(indices) == 0 {
+		return nil, fmt.Errorf("%w: empty challenge", ErrProtocol)
+	}
+	proofs := make([]*merkle.Proof, len(indices))
+	for k, idx := range indices {
+		if idx >= uint64(p.n) {
+			return nil, fmt.Errorf("%w: challenged index %d outside domain [0,%d)",
+				ErrProtocol, idx, p.n)
+		}
+		proof, err := p.source.Prove(int(idx))
+		if err != nil {
+			return nil, fmt.Errorf("core: prove index %d: %w", idx, err)
+		}
+		proofs[k] = proof
+	}
+	return &Response{Proofs: proofs}, nil
+}
+
+// RespondNonInteractive runs Steps 2-3 of the NI-CBS scheme (Section 4.1):
+// the participant derives its own m sample indices from the commitment via
+// the hash chain g (Eq. 4) and returns the proofs. No supervisor round trip
+// is needed; the verifier re-derives the same indices from the root.
+func (p *Prover) RespondNonInteractive(chain *hashchain.Chain, m int) (*Response, error) {
+	if chain == nil {
+		return nil, fmt.Errorf("%w: nil hash chain", ErrProtocol)
+	}
+	if m < 1 {
+		return nil, fmt.Errorf("%w: got %d", ErrBadSampleCount, m)
+	}
+	indices, err := chain.SampleIndices(p.source.Root(), m, uint64(p.n))
+	if err != nil {
+		return nil, fmt.Errorf("core: derive samples: %w", err)
+	}
+	return p.Respond(indices)
+}
+
+// RebuiltLeaves reports how many leaf recomputations the Section 3.3 mode
+// has performed to serve proofs; 0 in full-tree mode.
+func (p *Prover) RebuiltLeaves() int64 {
+	if p.partial == nil {
+		return 0
+	}
+	return p.partial.RebuiltLeaves()
+}
+
+// StoredNodes reports the prover's tree-storage footprint in node slots
+// (S of Section 3.3). Full-tree mode stores 2·nextPow2(n) slots.
+func (p *Prover) StoredNodes() int {
+	if p.partial != nil {
+		return p.partial.StoredNodes()
+	}
+	capacity := 1
+	for capacity < p.n {
+		capacity *= 2
+	}
+	return 2 * capacity
+}

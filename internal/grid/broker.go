@@ -1,0 +1,83 @@
+package grid
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+
+	"uncheatgrid/internal/transport"
+)
+
+// Broker models the Grid Resource Broker of the GRACE architecture
+// (Section 4): a mediator that sits between supervisor and participant and
+// forwards protocol traffic in both directions. The supervisor never talks
+// to the participant directly — the deployment constraint that motivates
+// the non-interactive CBS scheme.
+//
+// The broker is deliberately oblivious: it copies frames without
+// interpreting them. The interactive CBS scheme still *works* through it
+// (frames flow both ways), but each challenge costs an extra mediated round
+// trip; NI-CBS completes with zero supervisor→participant messages after
+// the assignment, which is what the experiments demonstrate.
+type Broker struct {
+	relayedMsgs  atomic.Int64
+	relayedBytes atomic.Int64
+}
+
+// NewBroker creates a relay.
+func NewBroker() *Broker {
+	return &Broker{}
+}
+
+// RelayedMessages reports how many frames the broker has forwarded in
+// total (both directions).
+func (b *Broker) RelayedMessages() int64 { return b.relayedMsgs.Load() }
+
+// RelayedBytes reports the forwarded traffic volume, frame headers
+// included.
+func (b *Broker) RelayedBytes() int64 { return b.relayedBytes.Load() }
+
+// Relay copies messages between the supervisor-facing and the
+// participant-facing connections until both directions reach EOF. It
+// returns the first unexpected error, or nil on clean shutdown. Relay
+// blocks; run it in its own goroutine.
+func (b *Broker) Relay(supervisorSide, participantSide transport.Conn) error {
+	var wg sync.WaitGroup
+	errs := make(chan error, 2)
+	copyDir := func(src, dst transport.Conn) {
+		defer wg.Done()
+		for {
+			msg, err := src.Recv()
+			if errors.Is(err, io.EOF) || errors.Is(err, transport.ErrClosed) {
+				// One side hung up: close the other so its reader drains.
+				_ = dst.Close()
+				return
+			}
+			if err != nil {
+				errs <- fmt.Errorf("grid: broker recv: %w", err)
+				_ = dst.Close()
+				return
+			}
+			if err := dst.Send(msg); err != nil {
+				if !errors.Is(err, transport.ErrClosed) {
+					errs <- fmt.Errorf("grid: broker send: %w", err)
+				}
+				return
+			}
+			b.relayedMsgs.Add(1)
+			b.relayedBytes.Add(msg.FrameSize())
+		}
+	}
+	wg.Add(2)
+	go copyDir(supervisorSide, participantSide)
+	go copyDir(participantSide, supervisorSide)
+	wg.Wait()
+	select {
+	case err := <-errs:
+		return err
+	default:
+		return nil
+	}
+}

@@ -1,0 +1,314 @@
+package grid
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+
+	"uncheatgrid/internal/cheat"
+	"uncheatgrid/internal/core"
+	"uncheatgrid/internal/hashchain"
+	"uncheatgrid/internal/transport"
+	"uncheatgrid/internal/workload"
+)
+
+// ProducerFactory builds a participant behaviour around the (counted)
+// workload of an assigned task. The grid layer supplies the factory so one
+// Participant can execute many tasks with a consistent persona.
+type ProducerFactory func(f workload.Function) (cheat.Producer, error)
+
+// HonestFactory returns the fully honest behaviour.
+func HonestFactory(f workload.Function) (cheat.Producer, error) {
+	return cheat.NewHonest(f), nil
+}
+
+// SemiHonestFactory returns a factory producing cheaters with honesty ratio
+// r seeded by seed.
+func SemiHonestFactory(r float64, seed uint64) ProducerFactory {
+	return func(f workload.Function) (cheat.Producer, error) {
+		return cheat.NewSemiHonest(f, r, seed)
+	}
+}
+
+// MaliciousFactory returns a factory producing report saboteurs.
+func MaliciousFactory(corruptProb float64, seed uint64) ProducerFactory {
+	return func(f workload.Function) (cheat.Producer, error) {
+		return cheat.NewMalicious(f, corruptProb, seed)
+	}
+}
+
+// Participant is a grid worker: it receives task assignments over a
+// connection, evaluates its (possibly cheating) results, and speaks the
+// verification protocol named in each assignment.
+type Participant struct {
+	id      string
+	factory ProducerFactory
+
+	mu       sync.Mutex
+	evals    int64
+	tasks    int
+	accepted int
+	rejected int
+	behavior string
+}
+
+// NewParticipant creates a worker. id labels it in reports; factory decides
+// its honesty.
+func NewParticipant(id string, factory ProducerFactory) (*Participant, error) {
+	if id == "" {
+		return nil, fmt.Errorf("%w: empty participant id", ErrBadConfig)
+	}
+	if factory == nil {
+		return nil, fmt.Errorf("%w: nil producer factory", ErrBadConfig)
+	}
+	return &Participant{id: id, factory: factory}, nil
+}
+
+// ID reports the participant's label.
+func (p *Participant) ID() string { return p.id }
+
+// Totals summarizes a participant's lifetime activity.
+type Totals struct {
+	// Behavior is the persona name from the last executed task.
+	Behavior string
+	// Tasks counts completed task executions.
+	Tasks int
+	// Accepted and Rejected count supervisor verdicts.
+	Accepted, Rejected int
+	// FEvals counts evaluations of f across all tasks.
+	FEvals int64
+}
+
+// Totals returns a snapshot of the participant's counters.
+func (p *Participant) Totals() Totals {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return Totals{
+		Behavior: p.behavior,
+		Tasks:    p.tasks,
+		Accepted: p.accepted,
+		Rejected: p.rejected,
+		FEvals:   p.evals,
+	}
+}
+
+// Serve processes assignments from conn until the peer closes (io.EOF). Any
+// other transport or protocol error is returned.
+func (p *Participant) Serve(conn transport.Conn) error {
+	for {
+		msg, err := conn.Recv()
+		if errors.Is(err, io.EOF) {
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("grid: participant %s recv: %w", p.id, err)
+		}
+		if msg.Type != msgAssign {
+			return fmt.Errorf("%w: participant %s got type %d, want assignment",
+				ErrUnexpectedMessage, p.id, msg.Type)
+		}
+		a, err := decodeAssignment(msg.Payload)
+		if err != nil {
+			return fmt.Errorf("grid: participant %s: %w", p.id, err)
+		}
+		if err := p.executeTask(conn, a); err != nil {
+			return fmt.Errorf("grid: participant %s task %d: %w", p.id, a.Task.ID, err)
+		}
+	}
+}
+
+// executeTask runs one assignment end to end, including the verification
+// dialogue the scheme requires.
+func (p *Participant) executeTask(conn transport.Conn, a assignment) error {
+	if err := a.Task.validate(); err != nil {
+		return err
+	}
+	if err := a.Spec.validate(); err != nil {
+		return err
+	}
+	base, err := workload.New(a.Task.Workload, a.Task.Seed)
+	if err != nil {
+		return err
+	}
+	counted := workload.Count(base)
+	producer, err := p.factory(counted)
+	if err != nil {
+		return err
+	}
+	screener := base.Screener()
+
+	exec := &taskExecution{
+		task:     a.Task,
+		spec:     a.Spec,
+		producer: producer,
+		screener: screener,
+	}
+	switch a.Spec.Kind {
+	case SchemeCBS:
+		err = exec.runCBS(conn, false, nil)
+	case SchemeNICBS:
+		chain, chainErr := hashchain.New(a.Spec.ChainIters)
+		if chainErr != nil {
+			return chainErr
+		}
+		err = exec.runCBS(conn, true, chain)
+	case SchemeNaive, SchemeDoubleCheck:
+		err = exec.runUpload(conn)
+	case SchemeRinger:
+		err = exec.runRinger(conn, a.RingerImages)
+	default:
+		return fmt.Errorf("%w: scheme %v", ErrBadConfig, a.Spec.Kind)
+	}
+	if err != nil {
+		return err
+	}
+
+	verdict, err := recvVerdict(conn)
+	if err != nil {
+		return err
+	}
+	p.mu.Lock()
+	p.behavior = producer.Name()
+	p.tasks++
+	if verdict.Accepted {
+		p.accepted++
+	} else {
+		p.rejected++
+	}
+	p.evals += counted.Evals()
+	p.mu.Unlock()
+	return nil
+}
+
+// taskExecution carries the state of one assignment.
+type taskExecution struct {
+	task     Task
+	spec     SchemeSpec
+	producer cheat.Producer
+	screener workload.Screener
+}
+
+// claimAndScreen evaluates the participant's claimed value for domain index
+// i, feeding the screener and the behaviour's report filter.
+func (e *taskExecution) claimAndScreen(i uint64, reports *[]Report) []byte {
+	x := e.task.Start + i
+	value := e.producer.Claim(x)
+	s, interesting := e.screener.Screen(x, value)
+	s, interesting = e.producer.Report(x, s, interesting)
+	if interesting {
+		*reports = append(*reports, Report{X: x, S: s})
+	}
+	return value
+}
+
+// runCBS executes Steps 1-3 of (NI-)CBS: build the tree over claimed values
+// while screening, send commitment and reports, then answer the challenge
+// (interactive) or self-derive it (non-interactive).
+func (e *taskExecution) runCBS(conn transport.Conn, nonInteractive bool, chain *hashchain.Chain) error {
+	var reports []Report
+	// Screening happens once per input on the first (tree-building) pass.
+	screened := make(map[uint64]bool, e.task.N)
+	claim := func(i uint64) []byte {
+		if !screened[i] {
+			screened[i] = true
+			return e.claimAndScreen(i, &reports)
+		}
+		return e.producer.Claim(e.task.Start + i)
+	}
+
+	var opts []core.Option
+	if e.spec.SubtreeHeight > 0 {
+		opts = append(opts, core.WithSubtreeHeight(e.spec.SubtreeHeight))
+	}
+	prover, err := core.NewProver(int(e.task.N), claim, opts...)
+	if err != nil {
+		return err
+	}
+	commitPayload, err := prover.Commitment().MarshalBinary()
+	if err != nil {
+		return err
+	}
+	if err := conn.Send(transport.Message{Type: msgCommit, Payload: commitPayload}); err != nil {
+		return err
+	}
+	if err := conn.Send(transport.Message{Type: msgReports, Payload: encodeReports(reports)}); err != nil {
+		return err
+	}
+
+	var resp *core.Response
+	if nonInteractive {
+		resp, err = prover.RespondNonInteractive(chain, e.spec.M)
+		if err != nil {
+			return err
+		}
+	} else {
+		msg, err := conn.Recv()
+		if err != nil {
+			return err
+		}
+		if msg.Type != msgChallenge {
+			return fmt.Errorf("%w: got type %d, want challenge", ErrUnexpectedMessage, msg.Type)
+		}
+		var ch core.Challenge
+		if err := ch.UnmarshalBinary(msg.Payload); err != nil {
+			return fmt.Errorf("%w: challenge: %v", ErrBadPayload, err)
+		}
+		resp, err = prover.Respond(ch.Indices)
+		if err != nil {
+			return err
+		}
+	}
+	respPayload, err := resp.MarshalBinary()
+	if err != nil {
+		return err
+	}
+	return conn.Send(transport.Message{Type: msgProofs, Payload: respPayload})
+}
+
+// runUpload executes the naive-sampling / double-check participant side:
+// compute (or fabricate) everything and upload the full result vector.
+func (e *taskExecution) runUpload(conn transport.Conn) error {
+	var reports []Report
+	results := make([][]byte, e.task.N)
+	for i := uint64(0); i < e.task.N; i++ {
+		results[i] = e.claimAndScreen(i, &reports)
+	}
+	if err := conn.Send(transport.Message{Type: msgResults, Payload: encodeResults(results)}); err != nil {
+		return err
+	}
+	return conn.Send(transport.Message{Type: msgReports, Payload: encodeReports(reports)})
+}
+
+// runRinger executes the Golle-Mironov participant side: scan the domain,
+// reporting both screened results and inputs whose value matches a planted
+// image.
+func (e *taskExecution) runRinger(conn transport.Conn, images [][]byte) error {
+	imageSet := make(map[string]struct{}, len(images))
+	for _, img := range images {
+		imageSet[string(img)] = struct{}{}
+	}
+	var reports []Report
+	var hits []uint64
+	for i := uint64(0); i < e.task.N; i++ {
+		value := e.claimAndScreen(i, &reports)
+		if _, ok := imageSet[string(value)]; ok {
+			hits = append(hits, e.task.Start+i)
+		}
+	}
+	if err := conn.Send(transport.Message{Type: msgRingerHits, Payload: encodeIndices(hits)}); err != nil {
+		return err
+	}
+	return conn.Send(transport.Message{Type: msgReports, Payload: encodeReports(reports)})
+}
+
+func recvVerdict(conn transport.Conn) (Verdict, error) {
+	msg, err := conn.Recv()
+	if err != nil {
+		return Verdict{}, err
+	}
+	if msg.Type != msgVerdict {
+		return Verdict{}, fmt.Errorf("%w: got type %d, want verdict", ErrUnexpectedMessage, msg.Type)
+	}
+	return decodeVerdict(msg.Payload)
+}

@@ -1,0 +1,334 @@
+package grid
+
+import (
+	"fmt"
+
+	"uncheatgrid/internal/transport"
+)
+
+// SimConfig describes a population run: a supervisor distributing tasks
+// over a mixed honest/cheating participant pool, verified with one scheme.
+type SimConfig struct {
+	// Spec selects the verification scheme.
+	Spec SchemeSpec
+	// Workload names the registered function f; Seed instantiates it.
+	Workload string
+	Seed     uint64
+	// TaskSize is |D| per task; Tasks is how many windows to assign.
+	TaskSize int
+	Tasks    int
+	// Honest, SemiHonest, and Malicious size the participant pool.
+	Honest     int
+	SemiHonest int
+	Malicious  int
+	// HonestyRatio is r for the semi-honest participants.
+	HonestyRatio float64
+	// CorruptProb is the report-corruption probability for malicious
+	// participants.
+	CorruptProb float64
+	// Replicas is the double-check group size (default 2). With 2
+	// replicas a disagreement cannot be attributed, so both sides are
+	// rejected; 3 or more lets the majority convict the dissenter.
+	Replicas int
+	// Blacklist removes a participant from scheduling after its first
+	// rejected task — the supervisor's natural response to detection.
+	Blacklist bool
+	// CrossCheckReports enables the sampled-index screener cross-check.
+	CrossCheckReports bool
+}
+
+func (c SimConfig) participants() int { return c.Honest + c.SemiHonest + c.Malicious }
+
+func (c SimConfig) validate() error {
+	if err := c.Spec.validate(); err != nil {
+		return err
+	}
+	if c.Workload == "" {
+		return fmt.Errorf("%w: no workload", ErrBadConfig)
+	}
+	if c.TaskSize < 1 || c.Tasks < 1 {
+		return fmt.Errorf("%w: need TaskSize >= 1 and Tasks >= 1", ErrBadConfig)
+	}
+	if c.participants() < 1 {
+		return fmt.Errorf("%w: empty participant pool", ErrBadConfig)
+	}
+	if c.Spec.Kind == SchemeDoubleCheck {
+		if c.Replicas != 0 && c.Replicas < 2 {
+			return fmt.Errorf("%w: double-check needs >= 2 replicas", ErrBadConfig)
+		}
+		if c.participants() < c.replicaCount() {
+			return fmt.Errorf("%w: double-check needs >= %d participants", ErrBadConfig, c.replicaCount())
+		}
+	}
+	return nil
+}
+
+// replicaCount returns the effective double-check group size.
+func (c SimConfig) replicaCount() int {
+	if c.Replicas < 2 {
+		return 2
+	}
+	return c.Replicas
+}
+
+// ParticipantSummary is one pool member's line in the simulation report.
+type ParticipantSummary struct {
+	// ID labels the participant; Behavior names its persona.
+	ID       string
+	Behavior string
+	// Cheater records ground truth (semi-honest or malicious).
+	Cheater bool
+	// Tasks, Accepted, Rejected count assignments and verdicts.
+	Tasks, Accepted, Rejected int
+	// FEvals counts the participant's evaluations of f.
+	FEvals int64
+	// BytesSent and BytesRecv are measured at the participant endpoint.
+	BytesSent, BytesRecv int64
+	// Blacklisted reports whether scheduling dropped this participant.
+	Blacklisted bool
+}
+
+// SimReport aggregates a simulation run.
+type SimReport struct {
+	// Scheme names the verification scheme used.
+	Scheme string
+	// Participants summarizes each pool member.
+	Participants []ParticipantSummary
+	// Reports collects every screened result received by the supervisor.
+	Reports []Report
+	// TasksAssigned counts task executions (replicas count individually).
+	TasksAssigned int
+	// CheatersDetected counts cheating participants with >= 1 rejection;
+	// CheatersTotal counts cheating participants in the pool.
+	CheatersDetected, CheatersTotal int
+	// HonestAccused counts honest participants with >= 1 rejection —
+	// the false positives.
+	HonestAccused int
+	// SupervisorBytesSent/Recv total the supervisor-side traffic.
+	SupervisorBytesSent, SupervisorBytesRecv int64
+	// SupervisorEvals counts supervisor-side f evaluations spent verifying.
+	SupervisorEvals int64
+}
+
+// DetectionRate is CheatersDetected / CheatersTotal (1 when no cheaters).
+func (r *SimReport) DetectionRate() float64 {
+	if r.CheatersTotal == 0 {
+		return 1
+	}
+	return float64(r.CheatersDetected) / float64(r.CheatersTotal)
+}
+
+// simWorker pairs a participant with its connection endpoints.
+type simWorker struct {
+	participant *Participant
+	supConn     transport.Conn // supervisor-side endpoint
+	partConn    transport.Conn // participant-side endpoint
+	serveErr    chan error
+	cheater     bool
+	rejections  int
+	blacklisted bool
+}
+
+// RunSim executes the configured population run over in-memory pipes and
+// returns the aggregated report. The supervisor assigns tasks round-robin
+// over the (non-blacklisted) pool; double-check groups consecutive workers.
+func RunSim(cfg SimConfig) (*SimReport, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	supervisor, err := NewSupervisor(SupervisorConfig{
+		Spec:              cfg.Spec,
+		Seed:              int64(cfg.Seed) ^ 0x5c4ed,
+		CrossCheckReports: cfg.CrossCheckReports,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	workers, err := buildPool(cfg)
+	if err != nil {
+		return nil, err
+	}
+	for _, w := range workers {
+		w := w
+		go func() { w.serveErr <- w.participant.Serve(w.partConn) }()
+	}
+
+	report := &SimReport{Scheme: cfg.Spec.Kind.String()}
+	if err := scheduleTasks(cfg, supervisor, workers, report); err != nil {
+		shutdownPool(workers)
+		return nil, err
+	}
+	if err := shutdownPool(workers); err != nil {
+		return nil, err
+	}
+
+	for _, w := range workers {
+		totals := w.participant.Totals()
+		summary := ParticipantSummary{
+			ID:          w.participant.ID(),
+			Behavior:    totals.Behavior,
+			Cheater:     w.cheater,
+			Tasks:       totals.Tasks,
+			Accepted:    totals.Accepted,
+			Rejected:    totals.Rejected,
+			FEvals:      totals.FEvals,
+			BytesSent:   w.partConn.Stats().BytesSent(),
+			BytesRecv:   w.partConn.Stats().BytesRecv(),
+			Blacklisted: w.blacklisted,
+		}
+		report.Participants = append(report.Participants, summary)
+		if w.cheater {
+			report.CheatersTotal++
+			if totals.Rejected > 0 {
+				report.CheatersDetected++
+			}
+		} else if totals.Rejected > 0 {
+			report.HonestAccused++
+		}
+		report.SupervisorBytesSent += w.supConn.Stats().BytesSent()
+		report.SupervisorBytesRecv += w.supConn.Stats().BytesRecv()
+	}
+	report.SupervisorEvals = supervisor.VerifyEvals()
+	return report, nil
+}
+
+// buildPool constructs the participant pool: semi-honest cheaters first,
+// then malicious, then honest workers.
+func buildPool(cfg SimConfig) ([]*simWorker, error) {
+	var workers []*simWorker
+	add := func(id string, factory ProducerFactory, cheater bool) error {
+		p, err := NewParticipant(id, factory)
+		if err != nil {
+			return err
+		}
+		supConn, partConn := transport.Pipe(transport.WithBuffer(8))
+		workers = append(workers, &simWorker{
+			participant: p,
+			supConn:     supConn,
+			partConn:    partConn,
+			serveErr:    make(chan error, 1),
+			cheater:     cheater,
+		})
+		return nil
+	}
+	for i := 0; i < cfg.SemiHonest; i++ {
+		seed := cfg.Seed*1000 + uint64(i)
+		if err := add(fmt.Sprintf("semihonest-%d", i),
+			SemiHonestFactory(cfg.HonestyRatio, seed), true); err != nil {
+			return nil, err
+		}
+	}
+	for i := 0; i < cfg.Malicious; i++ {
+		seed := cfg.Seed*2000 + uint64(i)
+		if err := add(fmt.Sprintf("malicious-%d", i),
+			MaliciousFactory(cfg.CorruptProb, seed), true); err != nil {
+			return nil, err
+		}
+	}
+	for i := 0; i < cfg.Honest; i++ {
+		if err := add(fmt.Sprintf("honest-%d", i), HonestFactory, false); err != nil {
+			return nil, err
+		}
+	}
+	return workers, nil
+}
+
+// scheduleTasks drives the supervisor across the task list.
+func scheduleTasks(cfg SimConfig, supervisor *Supervisor, workers []*simWorker, report *SimReport) error {
+	next := 0
+	pick := func() *simWorker {
+		for tries := 0; tries < len(workers); tries++ {
+			w := workers[next%len(workers)]
+			next++
+			if !w.blacklisted {
+				return w
+			}
+		}
+		return nil
+	}
+
+	for taskNum := 0; taskNum < cfg.Tasks; taskNum++ {
+		task := Task{
+			ID:       uint64(taskNum),
+			Start:    uint64(taskNum) * uint64(cfg.TaskSize),
+			N:        uint64(cfg.TaskSize),
+			Workload: cfg.Workload,
+			Seed:     cfg.Seed,
+		}
+		if cfg.Spec.Kind == SchemeDoubleCheck {
+			k := cfg.replicaCount()
+			group := make([]*simWorker, 0, k)
+			conns := make([]transport.Conn, 0, k)
+			for tries := 0; len(group) < k && tries < 2*len(workers); tries++ {
+				w := pick()
+				if w == nil {
+					return nil // everyone blacklisted
+				}
+				if containsWorker(group, w) {
+					continue
+				}
+				group = append(group, w)
+				conns = append(conns, w.supConn)
+			}
+			if len(group) < k {
+				return nil // pool too small for distinct replicas; stop cleanly
+			}
+			outcomes, err := supervisor.RunReplicated(conns, task)
+			if err != nil {
+				return err
+			}
+			report.TasksAssigned += len(outcomes)
+			for i, outcome := range outcomes {
+				recordOutcome(cfg, group[i], outcome, report)
+			}
+			continue
+		}
+
+		w := pick()
+		if w == nil {
+			return nil // everyone blacklisted
+		}
+		outcome, err := supervisor.RunTask(w.supConn, task)
+		if err != nil {
+			return err
+		}
+		report.TasksAssigned++
+		recordOutcome(cfg, w, outcome, report)
+	}
+	return nil
+}
+
+func recordOutcome(cfg SimConfig, w *simWorker, outcome *TaskOutcome, report *SimReport) {
+	report.Reports = append(report.Reports, outcome.Reports...)
+	if !outcome.Verdict.Accepted {
+		w.rejections++
+		if cfg.Blacklist {
+			w.blacklisted = true
+		}
+	}
+}
+
+func containsWorker(group []*simWorker, w *simWorker) bool {
+	for _, g := range group {
+		if g == w {
+			return true
+		}
+	}
+	return false
+}
+
+// shutdownPool closes all supervisor-side connections and waits for every
+// participant goroutine to exit, returning the first serve error.
+func shutdownPool(workers []*simWorker) error {
+	for _, w := range workers {
+		_ = w.supConn.Close()
+	}
+	var firstErr error
+	for _, w := range workers {
+		if err := <-w.serveErr; err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}

@@ -1,0 +1,440 @@
+package grid
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"uncheatgrid/internal/baseline"
+	"uncheatgrid/internal/core"
+	"uncheatgrid/internal/hashchain"
+	"uncheatgrid/internal/transport"
+	"uncheatgrid/internal/workload"
+)
+
+// SupervisorConfig configures a supervisor.
+type SupervisorConfig struct {
+	// Spec selects and parameterizes the verification scheme.
+	Spec SchemeSpec
+	// Seed drives challenge and ringer randomness; runs with equal seeds
+	// and inputs are reproducible.
+	Seed int64
+	// CrossCheckReports enables the screener cross-check on sampled
+	// indices, which catches malicious (report-corrupting) participants in
+	// the schemes that audit samples.
+	CrossCheckReports bool
+}
+
+// Supervisor organizes the computation (Section 2.1): it assigns tasks,
+// collects screened results, and verifies participants with the configured
+// scheme. Not safe for concurrent RunTask calls; use one Supervisor per
+// driving goroutine.
+type Supervisor struct {
+	cfg SupervisorConfig
+	rng *rand.Rand
+
+	// evals counts supervisor-side evaluations of f spent on verification.
+	evals int64
+}
+
+// NewSupervisor validates the configuration and creates a supervisor.
+func NewSupervisor(cfg SupervisorConfig) (*Supervisor, error) {
+	if err := cfg.Spec.validate(); err != nil {
+		return nil, err
+	}
+	return &Supervisor{
+		cfg: cfg,
+		rng: rand.New(rand.NewSource(cfg.Seed)),
+	}, nil
+}
+
+// VerifyEvals reports how many f evaluations the supervisor has spent
+// verifying results since construction.
+func (s *Supervisor) VerifyEvals() int64 { return s.evals }
+
+// TaskOutcome summarizes one verified task execution.
+type TaskOutcome struct {
+	// Task is the assignment.
+	Task Task
+	// Verdict is the ruling sent to the participant.
+	Verdict Verdict
+	// Reports are the screened results received.
+	Reports []Report
+	// BytesSent and BytesRecv are the supervisor-side traffic for this
+	// task, frame headers included.
+	BytesSent, BytesRecv int64
+	// VerifyEvals counts supervisor-side f evaluations for this task.
+	VerifyEvals int64
+	// CheatIndex is the convicting sample when Verdict rejects due to a
+	// detected cheat; -1 otherwise.
+	CheatIndex int64
+}
+
+// RunTask assigns the task over conn and runs the configured verification
+// scheme to completion (assignment through verdict). Protocol and transport
+// failures are returned as errors; a detected cheat is not an error — it is
+// recorded in the outcome's Verdict.
+func (s *Supervisor) RunTask(conn transport.Conn, task Task) (*TaskOutcome, error) {
+	if s.cfg.Spec.Kind == SchemeDoubleCheck {
+		return nil, fmt.Errorf("%w: double-check requires RunReplicated", ErrBadConfig)
+	}
+	outcomes, err := s.run(conn, task, nil)
+	if err != nil {
+		return nil, err
+	}
+	return outcomes, nil
+}
+
+// run executes one supervisor-side task exchange. replicaResults, when
+// non-nil, receives the full upload for double-check aggregation.
+func (s *Supervisor) run(conn transport.Conn, task Task, replicaResults *[][]byte) (*TaskOutcome, error) {
+	if err := task.validate(); err != nil {
+		return nil, err
+	}
+	f, err := workload.New(task.Workload, task.Seed)
+	if err != nil {
+		return nil, err
+	}
+
+	outcome := &TaskOutcome{Task: task, CheatIndex: -1}
+	startSent := conn.Stats().BytesSent()
+	startRecv := conn.Stats().BytesRecv()
+	startEvals := s.evals
+	defer func() {
+		outcome.BytesSent = conn.Stats().BytesSent() - startSent
+		outcome.BytesRecv = conn.Stats().BytesRecv() - startRecv
+		outcome.VerifyEvals = s.evals - startEvals
+	}()
+
+	a := assignment{Task: task, Spec: s.cfg.Spec}
+	var ringers *baseline.RingerSet
+	if s.cfg.Spec.Kind == SchemeRinger {
+		// Secrets are domain-relative; f is evaluated at absolute inputs.
+		ringers, err = baseline.PlantRingers(
+			func(x uint64) []byte { s.evals++; return f.Eval(task.Start + x) },
+			task.N, s.cfg.Spec.M, s.rng)
+		if err != nil {
+			return nil, err
+		}
+		a.RingerImages = ringers.Images
+	}
+	if err := conn.Send(transport.Message{Type: msgAssign, Payload: encodeAssignment(a)}); err != nil {
+		return nil, err
+	}
+
+	switch s.cfg.Spec.Kind {
+	case SchemeCBS:
+		err = s.verifyCBS(conn, task, f, false, outcome)
+	case SchemeNICBS:
+		err = s.verifyCBS(conn, task, f, true, outcome)
+	case SchemeNaive, SchemeDoubleCheck:
+		err = s.verifyUpload(conn, task, f, replicaResults, outcome)
+	case SchemeRinger:
+		err = s.verifyRinger(conn, task, ringers, outcome)
+	default:
+		return nil, fmt.Errorf("%w: scheme %v", ErrBadConfig, s.cfg.Spec.Kind)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	// Double-check defers its verdict until all replicas have reported.
+	if s.cfg.Spec.Kind != SchemeDoubleCheck {
+		if err := s.sendVerdict(conn, outcome); err != nil {
+			return nil, err
+		}
+	}
+	return outcome, nil
+}
+
+func (s *Supervisor) sendVerdict(conn transport.Conn, outcome *TaskOutcome) error {
+	return conn.Send(transport.Message{Type: msgVerdict, Payload: encodeVerdict(outcome.Verdict)})
+}
+
+// checkFuncFor builds the Step 4 output check: a cheap verifier when the
+// workload supports one, otherwise recomputation. Evaluations are charged
+// to the supervisor's verification budget.
+func (s *Supervisor) checkFuncFor(task Task, f workload.Function) core.CheckFunc {
+	if verifier, ok := workload.AsOutputVerifier(f); ok {
+		return func(index uint64, output []byte) error {
+			if !verifier.VerifyOutput(task.Start+index, output) {
+				return core.ErrWrongOutput
+			}
+			return nil
+		}
+	}
+	return core.RecomputeCheck(func(index uint64) []byte {
+		s.evals++
+		return f.Eval(task.Start + index)
+	})
+}
+
+// verifyCBS receives commitment, reports, and proofs, and runs the Step 4
+// verification (interactive challenge or NI re-derivation).
+func (s *Supervisor) verifyCBS(conn transport.Conn, task Task, f workload.Function, nonInteractive bool, outcome *TaskOutcome) error {
+	commitMsg, err := expectMsg(conn, msgCommit)
+	if err != nil {
+		return err
+	}
+	var commitment core.Commitment
+	if err := commitment.UnmarshalBinary(commitMsg.Payload); err != nil {
+		return fmt.Errorf("%w: commitment: %v", ErrBadPayload, err)
+	}
+	reportsMsg, err := expectMsg(conn, msgReports)
+	if err != nil {
+		return err
+	}
+	outcome.Reports, err = decodeReports(reportsMsg.Payload)
+	if err != nil {
+		return err
+	}
+	if commitment.N != task.N {
+		outcome.Verdict = Verdict{Reason: fmt.Sprintf("committed %d leaves for a task of %d", commitment.N, task.N)}
+		return nil
+	}
+
+	verifier, err := core.NewVerifier(commitment, core.WithRand(s.rng))
+	if err != nil {
+		return err
+	}
+
+	var challenge core.Challenge
+	if nonInteractive {
+		chain, err := hashchain.New(s.cfg.Spec.ChainIters)
+		if err != nil {
+			return err
+		}
+		challenge.Indices, err = chain.SampleIndices(commitment.Root, s.cfg.Spec.M, commitment.N)
+		if err != nil {
+			return err
+		}
+	} else {
+		challenge, err = verifier.Challenge(s.cfg.Spec.M)
+		if err != nil {
+			return err
+		}
+		payload, err := challenge.MarshalBinary()
+		if err != nil {
+			return err
+		}
+		if err := conn.Send(transport.Message{Type: msgChallenge, Payload: payload}); err != nil {
+			return err
+		}
+	}
+
+	proofsMsg, err := expectMsg(conn, msgProofs)
+	if err != nil {
+		return err
+	}
+	var resp core.Response
+	if err := resp.UnmarshalBinary(proofsMsg.Payload); err != nil {
+		outcome.Verdict = Verdict{Reason: fmt.Sprintf("undecodable proofs: %v", err)}
+		return nil
+	}
+
+	verifyErr := verifier.Verify(challenge, &resp, s.checkFuncFor(task, f))
+	var cheatErr *core.CheatError
+	switch {
+	case verifyErr == nil:
+		outcome.Verdict = Verdict{Accepted: true}
+	case errors.As(verifyErr, &cheatErr):
+		outcome.Verdict = Verdict{Reason: verifyErr.Error()}
+		outcome.CheatIndex = int64(cheatErr.Index)
+		return nil
+	default:
+		outcome.Verdict = Verdict{Reason: fmt.Sprintf("protocol violation: %v", verifyErr)}
+		return nil
+	}
+
+	if s.cfg.CrossCheckReports {
+		if reason := s.crossCheckReports(task, f, challenge.Indices, outcome.Reports); reason != "" {
+			outcome.Verdict = Verdict{Reason: reason}
+		}
+	}
+	return nil
+}
+
+// crossCheckReports recomputes the screener on the sampled inputs and
+// confirms the participant's report list agrees — the sampled-index defense
+// against the malicious model of Section 2.2.
+func (s *Supervisor) crossCheckReports(task Task, f workload.Function, indices []uint64, reports []Report) string {
+	screener := f.Screener()
+	reported := make(map[uint64]string, len(reports))
+	for _, rep := range reports {
+		reported[rep.X] = rep.S
+	}
+	for _, idx := range indices {
+		x := task.Start + idx
+		s.evals++
+		value := f.Eval(x)
+		wantS, interesting := screener.Screen(x, value)
+		gotS, gotReported := reported[x]
+		if interesting && (!gotReported || gotS != wantS) {
+			return fmt.Sprintf("screener report missing or wrong for sampled input %d", x)
+		}
+		if !interesting && gotReported {
+			return fmt.Sprintf("fabricated report for sampled input %d", x)
+		}
+	}
+	return ""
+}
+
+// verifyUpload receives a full result vector and either samples it (naive)
+// or stashes it for replica comparison (double-check).
+func (s *Supervisor) verifyUpload(conn transport.Conn, task Task, f workload.Function, replicaResults *[][]byte, outcome *TaskOutcome) error {
+	resultsMsg, err := expectMsg(conn, msgResults)
+	if err != nil {
+		return err
+	}
+	results, err := decodeResults(resultsMsg.Payload)
+	if err != nil {
+		return err
+	}
+	reportsMsg, err := expectMsg(conn, msgReports)
+	if err != nil {
+		return err
+	}
+	outcome.Reports, err = decodeReports(reportsMsg.Payload)
+	if err != nil {
+		return err
+	}
+
+	if replicaResults != nil {
+		*replicaResults = results
+		return nil // verdict decided by RunReplicated
+	}
+
+	sampler, err := baseline.NewNaiveSampling(s.cfg.Spec.M, s.rng)
+	if err != nil {
+		return err
+	}
+	check := s.checkFuncFor(task, f)
+	verifyErr := sampler.Verify(int(task.N), results, func(index uint64, output []byte) error {
+		return check(index, output)
+	})
+	var sampleErr *baseline.SampleError
+	switch {
+	case verifyErr == nil:
+		outcome.Verdict = Verdict{Accepted: true}
+	case errors.As(verifyErr, &sampleErr):
+		outcome.Verdict = Verdict{Reason: verifyErr.Error()}
+		outcome.CheatIndex = int64(sampleErr.Index)
+	default:
+		outcome.Verdict = Verdict{Reason: fmt.Sprintf("protocol violation: %v", verifyErr)}
+	}
+	return nil
+}
+
+// verifyRinger receives the participant's ringer hits and checks every
+// planted secret was found.
+func (s *Supervisor) verifyRinger(conn transport.Conn, task Task, ringers *baseline.RingerSet, outcome *TaskOutcome) error {
+	hitsMsg, err := expectMsg(conn, msgRingerHits)
+	if err != nil {
+		return err
+	}
+	hits, err := decodeIndices(hitsMsg.Payload)
+	if err != nil {
+		return err
+	}
+	reportsMsg, err := expectMsg(conn, msgReports)
+	if err != nil {
+		return err
+	}
+	outcome.Reports, err = decodeReports(reportsMsg.Payload)
+	if err != nil {
+		return err
+	}
+
+	// Hits arrive as absolute inputs; secrets are domain-relative.
+	relative := make([]uint64, 0, len(hits))
+	for _, x := range hits {
+		if x >= task.Start {
+			relative = append(relative, x-task.Start)
+		}
+	}
+	verifyErr := ringers.Verify(relative)
+	var sampleErr *baseline.SampleError
+	switch {
+	case verifyErr == nil:
+		outcome.Verdict = Verdict{Accepted: true}
+	case errors.As(verifyErr, &sampleErr):
+		outcome.Verdict = Verdict{Reason: verifyErr.Error()}
+		outcome.CheatIndex = int64(sampleErr.Index)
+	default:
+		outcome.Verdict = Verdict{Reason: fmt.Sprintf("protocol violation: %v", verifyErr)}
+	}
+	return nil
+}
+
+// RunReplicated assigns the same task to every connection and compares the
+// uploads index-wise (the double-check baseline). The i-th outcome carries
+// the verdict for the i-th replica. An ErrNoConsensus comparison rejects
+// every replica.
+func (s *Supervisor) RunReplicated(conns []transport.Conn, task Task) ([]*TaskOutcome, error) {
+	if s.cfg.Spec.Kind != SchemeDoubleCheck {
+		return nil, fmt.Errorf("%w: RunReplicated requires the double-check scheme", ErrBadConfig)
+	}
+	if len(conns) < 2 {
+		return nil, fmt.Errorf("%w: double-check needs >= 2 replicas, got %d", ErrBadConfig, len(conns))
+	}
+
+	outcomes := make([]*TaskOutcome, len(conns))
+	uploads := make([][][]byte, len(conns))
+	for i, conn := range conns {
+		var results [][]byte
+		outcome, err := s.run(conn, task, &results)
+		if err != nil {
+			return nil, fmt.Errorf("grid: replica %d: %w", i, err)
+		}
+		outcomes[i] = outcome
+		uploads[i] = results
+	}
+
+	comparator, err := baseline.NewDoubleCheck(len(conns))
+	if err != nil {
+		return nil, err
+	}
+	verdict, cmpErr := comparator.Compare(uploads)
+	switch {
+	case cmpErr == nil:
+		dissent := make(map[int]bool, len(verdict.Dissenters))
+		for _, r := range verdict.Dissenters {
+			dissent[r] = true
+		}
+		for i := range outcomes {
+			if dissent[i] {
+				outcomes[i].Verdict = Verdict{Reason: "disagrees with replica majority"}
+			} else {
+				outcomes[i].Verdict = Verdict{Accepted: true}
+			}
+		}
+	case errors.Is(cmpErr, baseline.ErrNoConsensus):
+		for i := range outcomes {
+			outcomes[i].Verdict = Verdict{Reason: cmpErr.Error()}
+		}
+	default:
+		return nil, cmpErr
+	}
+
+	for i, conn := range conns {
+		before := conn.Stats().BytesSent()
+		if err := s.sendVerdict(conn, outcomes[i]); err != nil {
+			return nil, fmt.Errorf("grid: replica %d verdict: %w", i, err)
+		}
+		outcomes[i].BytesSent += conn.Stats().BytesSent() - before
+	}
+	return outcomes, nil
+}
+
+// expectMsg receives the next message and checks its type.
+func expectMsg(conn transport.Conn, wantType uint8) (transport.Message, error) {
+	msg, err := conn.Recv()
+	if err != nil {
+		return transport.Message{}, err
+	}
+	if msg.Type != wantType {
+		return transport.Message{}, fmt.Errorf("%w: got type %d, want %d",
+			ErrUnexpectedMessage, msg.Type, wantType)
+	}
+	return msg, nil
+}

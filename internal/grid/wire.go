@@ -1,0 +1,287 @@
+package grid
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+)
+
+// Message kinds on the supervisor↔participant wire. One byte each, carried
+// in transport.Message.Type.
+const (
+	// msgAssign carries a Task, a SchemeSpec, and (ringer scheme only) the
+	// planted images. Supervisor → participant.
+	msgAssign uint8 = iota + 1
+	// msgCommit carries the core.Commitment. Participant → supervisor.
+	msgCommit
+	// msgChallenge carries the core.Challenge. Supervisor → participant.
+	msgChallenge
+	// msgProofs carries the core.Response. Participant → supervisor.
+	msgProofs
+	// msgReports carries the screened results. Participant → supervisor.
+	msgReports
+	// msgResults carries a full result upload (naive and double-check
+	// schemes). Participant → supervisor.
+	msgResults
+	// msgRingerHits carries the inputs matching planted ringer images.
+	// Participant → supervisor.
+	msgRingerHits
+	// msgVerdict carries the supervisor's ruling. Supervisor → participant.
+	msgVerdict
+)
+
+// assignment is the decoded msgAssign payload.
+type assignment struct {
+	Task         Task
+	Spec         SchemeSpec
+	RingerImages [][]byte
+}
+
+func encodeAssignment(a assignment) []byte {
+	var buf bytes.Buffer
+	putUvarint(&buf, a.Task.ID)
+	putUvarint(&buf, a.Task.Start)
+	putUvarint(&buf, a.Task.N)
+	putString(&buf, a.Task.Workload)
+	putUvarint(&buf, a.Task.Seed)
+	buf.WriteByte(byte(a.Spec.Kind))
+	putUvarint(&buf, uint64(a.Spec.M))
+	putUvarint(&buf, uint64(a.Spec.ChainIters))
+	putUvarint(&buf, uint64(a.Spec.SubtreeHeight))
+	putUvarint(&buf, uint64(len(a.RingerImages)))
+	for _, img := range a.RingerImages {
+		putBytes(&buf, img)
+	}
+	return buf.Bytes()
+}
+
+func decodeAssignment(payload []byte) (assignment, error) {
+	var a assignment
+	r := bytes.NewReader(payload)
+	var err error
+	if a.Task.ID, err = binary.ReadUvarint(r); err != nil {
+		return a, fmt.Errorf("%w: task id: %v", ErrBadPayload, err)
+	}
+	if a.Task.Start, err = binary.ReadUvarint(r); err != nil {
+		return a, fmt.Errorf("%w: task start: %v", ErrBadPayload, err)
+	}
+	if a.Task.N, err = binary.ReadUvarint(r); err != nil {
+		return a, fmt.Errorf("%w: task n: %v", ErrBadPayload, err)
+	}
+	if a.Task.Workload, err = getString(r); err != nil {
+		return a, fmt.Errorf("%w: workload: %v", ErrBadPayload, err)
+	}
+	if a.Task.Seed, err = binary.ReadUvarint(r); err != nil {
+		return a, fmt.Errorf("%w: seed: %v", ErrBadPayload, err)
+	}
+	kind, err := r.ReadByte()
+	if err != nil {
+		return a, fmt.Errorf("%w: scheme kind: %v", ErrBadPayload, err)
+	}
+	a.Spec.Kind = SchemeKind(kind)
+	m, err := binary.ReadUvarint(r)
+	if err != nil {
+		return a, fmt.Errorf("%w: m: %v", ErrBadPayload, err)
+	}
+	a.Spec.M = int(m)
+	iters, err := binary.ReadUvarint(r)
+	if err != nil {
+		return a, fmt.Errorf("%w: chain iters: %v", ErrBadPayload, err)
+	}
+	a.Spec.ChainIters = int(iters)
+	ell, err := binary.ReadUvarint(r)
+	if err != nil {
+		return a, fmt.Errorf("%w: subtree height: %v", ErrBadPayload, err)
+	}
+	a.Spec.SubtreeHeight = int(ell)
+	count, err := binary.ReadUvarint(r)
+	if err != nil {
+		return a, fmt.Errorf("%w: ringer count: %v", ErrBadPayload, err)
+	}
+	if count > 1<<20 {
+		return a, fmt.Errorf("%w: %d ringer images", ErrBadPayload, count)
+	}
+	for i := uint64(0); i < count; i++ {
+		img, err := getBytes(r)
+		if err != nil {
+			return a, fmt.Errorf("%w: ringer image %d: %v", ErrBadPayload, i, err)
+		}
+		a.RingerImages = append(a.RingerImages, img)
+	}
+	if r.Len() != 0 {
+		return a, fmt.Errorf("%w: %d trailing bytes", ErrBadPayload, r.Len())
+	}
+	return a, nil
+}
+
+func encodeReports(reports []Report) []byte {
+	var buf bytes.Buffer
+	putUvarint(&buf, uint64(len(reports)))
+	for _, rep := range reports {
+		putUvarint(&buf, rep.X)
+		putString(&buf, rep.S)
+	}
+	return buf.Bytes()
+}
+
+func decodeReports(payload []byte) ([]Report, error) {
+	r := bytes.NewReader(payload)
+	count, err := binary.ReadUvarint(r)
+	if err != nil {
+		return nil, fmt.Errorf("%w: report count: %v", ErrBadPayload, err)
+	}
+	if count > 1<<24 {
+		return nil, fmt.Errorf("%w: %d reports", ErrBadPayload, count)
+	}
+	reports := make([]Report, 0, count)
+	for i := uint64(0); i < count; i++ {
+		x, err := binary.ReadUvarint(r)
+		if err != nil {
+			return nil, fmt.Errorf("%w: report %d input: %v", ErrBadPayload, i, err)
+		}
+		s, err := getString(r)
+		if err != nil {
+			return nil, fmt.Errorf("%w: report %d string: %v", ErrBadPayload, i, err)
+		}
+		reports = append(reports, Report{X: x, S: s})
+	}
+	if r.Len() != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrBadPayload, r.Len())
+	}
+	return reports, nil
+}
+
+func encodeResults(results [][]byte) []byte {
+	var buf bytes.Buffer
+	putUvarint(&buf, uint64(len(results)))
+	for _, v := range results {
+		putBytes(&buf, v)
+	}
+	return buf.Bytes()
+}
+
+func decodeResults(payload []byte) ([][]byte, error) {
+	r := bytes.NewReader(payload)
+	count, err := binary.ReadUvarint(r)
+	if err != nil {
+		return nil, fmt.Errorf("%w: result count: %v", ErrBadPayload, err)
+	}
+	if count > maxTaskSize {
+		return nil, fmt.Errorf("%w: %d results", ErrBadPayload, count)
+	}
+	results := make([][]byte, 0, count)
+	for i := uint64(0); i < count; i++ {
+		v, err := getBytes(r)
+		if err != nil {
+			return nil, fmt.Errorf("%w: result %d: %v", ErrBadPayload, i, err)
+		}
+		results = append(results, v)
+	}
+	if r.Len() != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrBadPayload, r.Len())
+	}
+	return results, nil
+}
+
+func encodeIndices(indices []uint64) []byte {
+	var buf bytes.Buffer
+	putUvarint(&buf, uint64(len(indices)))
+	for _, idx := range indices {
+		putUvarint(&buf, idx)
+	}
+	return buf.Bytes()
+}
+
+func decodeIndices(payload []byte) ([]uint64, error) {
+	r := bytes.NewReader(payload)
+	count, err := binary.ReadUvarint(r)
+	if err != nil {
+		return nil, fmt.Errorf("%w: index count: %v", ErrBadPayload, err)
+	}
+	if count > maxTaskSize {
+		return nil, fmt.Errorf("%w: %d indices", ErrBadPayload, count)
+	}
+	indices := make([]uint64, 0, count)
+	for i := uint64(0); i < count; i++ {
+		idx, err := binary.ReadUvarint(r)
+		if err != nil {
+			return nil, fmt.Errorf("%w: index %d: %v", ErrBadPayload, i, err)
+		}
+		indices = append(indices, idx)
+	}
+	if r.Len() != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrBadPayload, r.Len())
+	}
+	return indices, nil
+}
+
+func encodeVerdict(v Verdict) []byte {
+	var buf bytes.Buffer
+	if v.Accepted {
+		buf.WriteByte(1)
+	} else {
+		buf.WriteByte(0)
+	}
+	putString(&buf, v.Reason)
+	return buf.Bytes()
+}
+
+func decodeVerdict(payload []byte) (Verdict, error) {
+	r := bytes.NewReader(payload)
+	flag, err := r.ReadByte()
+	if err != nil {
+		return Verdict{}, fmt.Errorf("%w: verdict flag: %v", ErrBadPayload, err)
+	}
+	reason, err := getString(r)
+	if err != nil {
+		return Verdict{}, fmt.Errorf("%w: verdict reason: %v", ErrBadPayload, err)
+	}
+	if r.Len() != 0 {
+		return Verdict{}, fmt.Errorf("%w: %d trailing bytes", ErrBadPayload, r.Len())
+	}
+	return Verdict{Accepted: flag == 1, Reason: reason}, nil
+}
+
+func putUvarint(buf *bytes.Buffer, v uint64) {
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], v)
+	buf.Write(tmp[:n])
+}
+
+func putBytes(buf *bytes.Buffer, b []byte) {
+	putUvarint(buf, uint64(len(b)))
+	buf.Write(b)
+}
+
+func putString(buf *bytes.Buffer, s string) {
+	putUvarint(buf, uint64(len(s)))
+	buf.WriteString(s)
+}
+
+func getBytes(r *bytes.Reader) ([]byte, error) {
+	n, err := binary.ReadUvarint(r)
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(r.Len()) {
+		return nil, fmt.Errorf("declared %d bytes, %d remain", n, r.Len())
+	}
+	out := make([]byte, n)
+	if n == 0 {
+		// bytes.Reader reports io.EOF for empty reads at the end of the
+		// buffer; a zero-length field is valid wherever it appears.
+		return out, nil
+	}
+	if _, err := r.Read(out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func getString(r *bytes.Reader) (string, error) {
+	b, err := getBytes(r)
+	if err != nil {
+		return "", err
+	}
+	return string(b), nil
+}

@@ -1,0 +1,178 @@
+package merkle
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// ErrBadSubtreeHeight is returned when the requested subtree height ℓ is
+// negative or exceeds the tree height H.
+var ErrBadSubtreeHeight = errors.New("merkle: subtree height out of range")
+
+// PartialTree implements the storage-usage improvement of Section 3.3 of the
+// paper: instead of storing the whole Merkle tree, it stores only the levels
+// from the root down to level H-ℓ, and rebuilds the missing bottom-ℓ-level
+// subtree (recomputing f on its 2^ℓ leaves) whenever a proof is requested.
+//
+// Storage is S = 2^(H-ℓ+1) node slots; each proof costs 2^ℓ leaf
+// recomputations, giving the paper's relative computation overhead
+// rco = m·2^ℓ/|D| = 2m/S for m samples.
+type PartialTree struct {
+	n         int
+	cap       int
+	ell       int // ℓ: height of the discarded subtrees
+	blockSize int // 2^ℓ leaves per rebuilt subtree
+	// top is a heap-layout tree over the 2^(H-ℓ) subtree roots; top[1] is
+	// the overall root.
+	top    [][]byte
+	leafAt func(i int) []byte
+	hs     hashers
+
+	// rebuiltLeaves counts leaf recomputations performed to serve proofs;
+	// the experiments use it to measure rco.
+	rebuiltLeaves atomic.Int64
+
+	mu sync.Mutex // serializes the scratch buffer below
+	// scratch is a reusable buffer for subtree rebuilds (2*blockSize slots).
+	scratch [][]byte
+}
+
+// NewPartial builds a partial tree over n leaves whose values are produced
+// by leafAt. leafAt must be deterministic: it is called once per leaf during
+// construction and again for every leaf of a rebuilt subtree during Prove.
+// ℓ = 0 stores the full tree; ℓ = H stores only the root.
+func NewPartial(n, ell int, leafAt func(i int) []byte, opts ...Option) (*PartialTree, error) {
+	if n <= 0 {
+		return nil, ErrEmptyTree
+	}
+	if leafAt == nil {
+		return nil, fmt.Errorf("%w: nil leafAt", ErrNilLeaf)
+	}
+	capacity := nextPow2(n)
+	height := log2(capacity)
+	if ell < 0 || ell > height {
+		return nil, fmt.Errorf("%w: ℓ=%d, height=%d", ErrBadSubtreeHeight, ell, height)
+	}
+	hs := newHashers(buildOptions(opts))
+	blockSize := 1 << ell
+	numBlocks := capacity / blockSize
+
+	p := &PartialTree{
+		n:         n,
+		cap:       capacity,
+		ell:       ell,
+		blockSize: blockSize,
+		top:       make([][]byte, 2*numBlocks),
+		leafAt:    leafAt,
+		hs:        hs,
+		scratch:   make([][]byte, 2*blockSize),
+	}
+	for b := 0; b < numBlocks; b++ {
+		p.top[numBlocks+b] = p.subtreeRoot(b, false)
+	}
+	for i := numBlocks - 1; i >= 1; i-- {
+		p.top[i] = hs.combine(p.top[2*i], p.top[2*i+1])
+	}
+	return p, nil
+}
+
+// N reports the number of real leaves.
+func (p *PartialTree) N() int { return p.n }
+
+// Height reports the full tree height H (edges from leaf to root).
+func (p *PartialTree) Height() int { return log2(p.cap) }
+
+// SubtreeHeight reports ℓ, the height of the discarded subtrees.
+func (p *PartialTree) SubtreeHeight() int { return p.ell }
+
+// StoredNodes reports S, the number of node slots kept in memory. It equals
+// the paper's S = 2^(H-ℓ+1).
+func (p *PartialTree) StoredNodes() int { return len(p.top) }
+
+// RebuiltLeaves reports how many leaf values have been recomputed so far to
+// serve proofs. It is safe for concurrent use.
+func (p *PartialTree) RebuiltLeaves() int64 { return p.rebuiltLeaves.Load() }
+
+// ResetCounters zeroes the rebuild accounting.
+func (p *PartialTree) ResetCounters() { p.rebuiltLeaves.Store(0) }
+
+// Root returns the commitment Φ(R).
+func (p *PartialTree) Root() []byte {
+	return cloneBytes(p.top[1])
+}
+
+// Prove produces the audit path for leaf i, rebuilding the containing
+// subtree (recomputing f for its 2^ℓ leaves) and then continuing through the
+// stored top levels. The resulting proof is byte-identical to the one a full
+// Tree would produce.
+func (p *PartialTree) Prove(i int) (*Proof, error) {
+	if i < 0 || i >= p.n {
+		return nil, fmt.Errorf("%w: %d not in [0, %d)", ErrIndexOutOfRange, i, p.n)
+	}
+	block := i / p.blockSize
+
+	p.mu.Lock()
+	defer p.mu.Unlock()
+
+	siblings := make([][]byte, 0, p.Height())
+	var value []byte
+	if p.ell > 0 {
+		sub := p.rebuildSubtree(block)
+		local := i % p.blockSize
+		value = cloneBytes(sub[p.blockSize+local])
+		for pos := p.blockSize + local; pos > 1; pos /= 2 {
+			siblings = append(siblings, cloneBytes(sub[pos^1]))
+		}
+	} else {
+		value = cloneBytes(p.top[len(p.top)/2+block])
+	}
+	numBlocks := len(p.top) / 2
+	for pos := numBlocks + block; pos > 1; pos /= 2 {
+		siblings = append(siblings, cloneBytes(p.top[pos^1]))
+	}
+	return &Proof{Index: i, N: p.n, Value: value, Siblings: siblings}, nil
+}
+
+// subtreeRoot computes the root of block b. When counted is true the leaf
+// evaluations are added to the rebuild accounting.
+func (p *PartialTree) subtreeRoot(b int, counted bool) []byte {
+	sub := p.fillSubtree(b, counted)
+	return sub[1]
+}
+
+// rebuildSubtree recomputes the full node set of block b into the scratch
+// buffer and returns it. Callers must hold p.mu.
+func (p *PartialTree) rebuildSubtree(b int) [][]byte {
+	return p.fillSubtree(b, true)
+}
+
+// fillSubtree populates the scratch buffer with the heap-layout subtree of
+// block b. Leaves beyond n take the pad digest. Callers must hold p.mu (or
+// be the constructor, which runs before the tree is shared).
+func (p *PartialTree) fillSubtree(b int, counted bool) [][]byte {
+	sub := p.scratch
+	base := b * p.blockSize
+	for j := 0; j < p.blockSize; j++ {
+		idx := base + j
+		if idx < p.n {
+			sub[p.blockSize+j] = p.leafAt(idx)
+			if counted {
+				p.rebuiltLeaves.Add(1)
+			}
+		} else {
+			sub[p.blockSize+j] = p.hs.pad
+		}
+	}
+	for i := p.blockSize - 1; i >= 1; i-- {
+		sub[i] = p.hs.combine(sub[2*i], sub[2*i+1])
+	}
+	return sub
+}
+
+func cloneBytes(b []byte) []byte {
+	out := make([]byte, len(b))
+	copy(out, b)
+	return out
+}

@@ -1,0 +1,203 @@
+package merkle
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func leafFunc(n int) func(i int) []byte {
+	values := leafValues(n)
+	return func(i int) []byte { return values[i] }
+}
+
+func TestPartialMatchesFullTree(t *testing.T) {
+	for _, n := range []int{1, 2, 5, 8, 16, 33, 64, 100} {
+		full := mustBuild(t, leafValues(n))
+		height := full.Height()
+		for ell := 0; ell <= height; ell++ {
+			t.Run(fmt.Sprintf("n=%d/ell=%d", n, ell), func(t *testing.T) {
+				partial, err := NewPartial(n, ell, leafFunc(n))
+				if err != nil {
+					t.Fatalf("NewPartial: %v", err)
+				}
+				if !bytes.Equal(partial.Root(), full.Root()) {
+					t.Fatal("partial root differs from full root")
+				}
+				for i := 0; i < n; i++ {
+					wantProof, err := full.Prove(i)
+					if err != nil {
+						t.Fatalf("full Prove(%d): %v", i, err)
+					}
+					gotProof, err := partial.Prove(i)
+					if err != nil {
+						t.Fatalf("partial Prove(%d): %v", i, err)
+					}
+					if !proofsEqual(gotProof, wantProof) {
+						t.Fatalf("proof mismatch at leaf %d", i)
+					}
+					if err := Verify(full.Root(), gotProof); err != nil {
+						t.Fatalf("Verify(%d): %v", i, err)
+					}
+				}
+			})
+		}
+	}
+}
+
+func proofsEqual(a, b *Proof) bool {
+	if a.Index != b.Index || a.N != b.N || !bytes.Equal(a.Value, b.Value) {
+		return false
+	}
+	if len(a.Siblings) != len(b.Siblings) {
+		return false
+	}
+	for i := range a.Siblings {
+		if !bytes.Equal(a.Siblings[i], b.Siblings[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestPartialStorageMatchesPaperFormula(t *testing.T) {
+	// Section 3.3: storing the tree up to level H-ℓ keeps S = 2^(H-ℓ+1)
+	// node slots and each proof rebuilds one subtree of 2^ℓ leaves.
+	const n = 256 // H = 8
+	for ell := 0; ell <= 8; ell++ {
+		partial, err := NewPartial(n, ell, leafFunc(n))
+		if err != nil {
+			t.Fatalf("NewPartial(ell=%d): %v", ell, err)
+		}
+		wantStored := 1 << (8 - ell + 1)
+		if got := partial.StoredNodes(); got != wantStored {
+			t.Errorf("ell=%d: StoredNodes() = %d, want %d", ell, got, wantStored)
+		}
+
+		partial.ResetCounters()
+		if _, err := partial.Prove(n / 3); err != nil {
+			t.Fatalf("Prove: %v", err)
+		}
+		wantEvals := int64(1 << ell)
+		if ell == 0 {
+			wantEvals = 0 // full tree stored: nothing to rebuild
+		}
+		if got := partial.RebuiltLeaves(); got != wantEvals {
+			t.Errorf("ell=%d: RebuiltLeaves() = %d, want %d", ell, got, wantEvals)
+		}
+	}
+}
+
+func TestPartialRCOIndependentOfDomainSize(t *testing.T) {
+	// The paper's key observation: rco = 2m/S depends only on the sample
+	// count and the stored size, not on |D|.
+	const m = 8
+	const storedTarget = 64 // S = 64 slots → H-ℓ+1 = 6 → ℓ = H-5
+	for _, n := range []int{256, 1024, 4096} {
+		height := log2(nextPow2(n))
+		ell := height - 5
+		partial, err := NewPartial(n, ell, leafFunc(n))
+		if err != nil {
+			t.Fatalf("NewPartial(n=%d): %v", n, err)
+		}
+		if got := partial.StoredNodes(); got != storedTarget {
+			t.Fatalf("n=%d: StoredNodes() = %d, want %d", n, got, storedTarget)
+		}
+		partial.ResetCounters()
+		for s := 0; s < m; s++ {
+			if _, err := partial.Prove((s * n) / m); err != nil {
+				t.Fatalf("Prove: %v", err)
+			}
+		}
+		gotRCO := float64(partial.RebuiltLeaves()) / float64(n)
+		wantRCO := 2.0 * float64(m) / float64(storedTarget)
+		if diff := gotRCO - wantRCO; diff > 1e-12 || diff < -1e-12 {
+			t.Errorf("n=%d: rco = %v, want %v", n, gotRCO, wantRCO)
+		}
+	}
+}
+
+func TestPartialRejectsInvalidInput(t *testing.T) {
+	if _, err := NewPartial(0, 0, leafFunc(1)); !errors.Is(err, ErrEmptyTree) {
+		t.Errorf("n=0: err = %v, want ErrEmptyTree", err)
+	}
+	if _, err := NewPartial(8, -1, leafFunc(8)); !errors.Is(err, ErrBadSubtreeHeight) {
+		t.Errorf("ell=-1: err = %v, want ErrBadSubtreeHeight", err)
+	}
+	if _, err := NewPartial(8, 4, leafFunc(8)); !errors.Is(err, ErrBadSubtreeHeight) {
+		t.Errorf("ell>H: err = %v, want ErrBadSubtreeHeight", err)
+	}
+	if _, err := NewPartial(8, 1, nil); !errors.Is(err, ErrNilLeaf) {
+		t.Errorf("nil leafAt: err = %v, want ErrNilLeaf", err)
+	}
+	partial, err := NewPartial(8, 2, leafFunc(8))
+	if err != nil {
+		t.Fatalf("NewPartial: %v", err)
+	}
+	if _, err := partial.Prove(8); !errors.Is(err, ErrIndexOutOfRange) {
+		t.Errorf("Prove(8): err = %v, want ErrIndexOutOfRange", err)
+	}
+}
+
+func TestPartialConcurrentProofs(t *testing.T) {
+	const n = 128
+	full := mustBuild(t, leafValues(n))
+	partial, err := NewPartial(n, 3, leafFunc(n))
+	if err != nil {
+		t.Fatalf("NewPartial: %v", err)
+	}
+	root := full.Root()
+	done := make(chan error)
+	for g := 0; g < 4; g++ {
+		go func(offset int) {
+			for i := offset; i < n; i += 4 {
+				proof, err := partial.Prove(i)
+				if err != nil {
+					done <- fmt.Errorf("Prove(%d): %w", i, err)
+					return
+				}
+				if err := Verify(root, proof); err != nil {
+					done <- fmt.Errorf("Verify(%d): %w", i, err)
+					return
+				}
+			}
+			done <- nil
+		}(g)
+	}
+	for g := 0; g < 4; g++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestPartialQuickEquivalence(t *testing.T) {
+	f := func(nSeed, iSeed uint16, ellSeed uint8) bool {
+		n := int(nSeed%200) + 1
+		i := int(iSeed) % n
+		height := log2(nextPow2(n))
+		ell := int(ellSeed) % (height + 1)
+		full, err := Build(leafValues(n))
+		if err != nil {
+			return false
+		}
+		partial, err := NewPartial(n, ell, leafFunc(n))
+		if err != nil {
+			return false
+		}
+		want, err := full.Prove(i)
+		if err != nil {
+			return false
+		}
+		got, err := partial.Prove(i)
+		if err != nil {
+			return false
+		}
+		return proofsEqual(got, want) && Verify(full.Root(), got) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

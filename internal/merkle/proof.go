@@ -1,0 +1,204 @@
+package merkle
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Proof verification errors. ErrRootMismatch is the signal that a participant
+// is cheating (Theorem 2 of the paper); the malformed-proof errors indicate a
+// protocol violation rather than a detected lie.
+var (
+	// ErrRootMismatch is returned when the root reconstructed from the proof
+	// differs from the committed root.
+	ErrRootMismatch = errors.New("merkle: reconstructed root does not match commitment")
+	// ErrMalformedProof is returned when a proof is structurally invalid.
+	ErrMalformedProof = errors.New("merkle: malformed proof")
+)
+
+// Proof is the participant's evidence for a single sample x: the claimed
+// f(x) value plus the sibling Φ values λ1..λH along the path from the leaf to
+// the root. The supervisor reconstructs Φ(R') = Λ(f(x), λ1..λH) and compares
+// it against the commitment (Step 4, Section 3.1).
+type Proof struct {
+	// Index is the zero-based leaf index of the sample within the domain.
+	Index int
+	// N is the number of real leaves in the tree the proof was drawn from.
+	N int
+	// Value is the claimed leaf value, Φ(L) = f(x).
+	Value []byte
+	// Siblings holds the Φ values of the sibling of each node on the
+	// leaf-to-root path, ordered bottom-up.
+	Siblings [][]byte
+}
+
+// RootFromProof reconstructs the Merkle root implied by the proof. This is
+// the Λ(Φ(L), λ1..λH) computation of Section 3.2.
+func RootFromProof(p *Proof, opts ...Option) ([]byte, error) {
+	if err := validateProof(p); err != nil {
+		return nil, err
+	}
+	hs := newHashers(buildOptions(opts))
+	cur := p.Value
+	pos := nextPow2(p.N) + p.Index
+	for _, sib := range p.Siblings {
+		if pos&1 == 0 {
+			cur = hs.combine(cur, sib)
+		} else {
+			cur = hs.combine(sib, cur)
+		}
+		pos /= 2
+	}
+	return cur, nil
+}
+
+// Verify checks the proof against the committed root. It returns nil when
+// the proof is consistent with the commitment, ErrRootMismatch when the
+// participant's claimed value was not the one committed (a caught cheat),
+// and ErrMalformedProof for structurally invalid proofs.
+func Verify(root []byte, p *Proof, opts ...Option) error {
+	got, err := RootFromProof(p, opts...)
+	if err != nil {
+		return err
+	}
+	if !bytes.Equal(got, root) {
+		return ErrRootMismatch
+	}
+	return nil
+}
+
+func validateProof(p *Proof) error {
+	if p == nil {
+		return fmt.Errorf("%w: nil proof", ErrMalformedProof)
+	}
+	if p.N <= 0 {
+		return fmt.Errorf("%w: non-positive leaf count %d", ErrMalformedProof, p.N)
+	}
+	if p.Index < 0 || p.Index >= p.N {
+		return fmt.Errorf("%w: index %d not in [0, %d)", ErrMalformedProof, p.Index, p.N)
+	}
+	if p.Value == nil {
+		return fmt.Errorf("%w: nil leaf value", ErrMalformedProof)
+	}
+	if want := log2(nextPow2(p.N)); len(p.Siblings) != want {
+		return fmt.Errorf("%w: %d siblings, want %d for n=%d",
+			ErrMalformedProof, len(p.Siblings), want, p.N)
+	}
+	for i, s := range p.Siblings {
+		if s == nil {
+			return fmt.Errorf("%w: nil sibling at level %d", ErrMalformedProof, i)
+		}
+	}
+	return nil
+}
+
+// MarshalBinary encodes the proof with a compact length-prefixed layout:
+// uvarint(index) || uvarint(n) || uvarint(len(value)) || value ||
+// uvarint(len(siblings)) || (uvarint(len(s)) || s)*.
+func (p *Proof) MarshalBinary() ([]byte, error) {
+	if err := validateProof(p); err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	var tmp [binary.MaxVarintLen64]byte
+	putUvarint := func(v uint64) {
+		n := binary.PutUvarint(tmp[:], v)
+		buf.Write(tmp[:n])
+	}
+	putUvarint(uint64(p.Index))
+	putUvarint(uint64(p.N))
+	putUvarint(uint64(len(p.Value)))
+	buf.Write(p.Value)
+	putUvarint(uint64(len(p.Siblings)))
+	for _, s := range p.Siblings {
+		putUvarint(uint64(len(s)))
+		buf.Write(s)
+	}
+	return buf.Bytes(), nil
+}
+
+// UnmarshalBinary decodes a proof produced by MarshalBinary.
+func (p *Proof) UnmarshalBinary(data []byte) error {
+	r := bytes.NewReader(data)
+	index, err := binary.ReadUvarint(r)
+	if err != nil {
+		return fmt.Errorf("%w: index: %v", ErrMalformedProof, err)
+	}
+	n, err := binary.ReadUvarint(r)
+	if err != nil {
+		return fmt.Errorf("%w: leaf count: %v", ErrMalformedProof, err)
+	}
+	value, err := readBytes(r)
+	if err != nil {
+		return fmt.Errorf("%w: value: %v", ErrMalformedProof, err)
+	}
+	count, err := binary.ReadUvarint(r)
+	if err != nil {
+		return fmt.Errorf("%w: sibling count: %v", ErrMalformedProof, err)
+	}
+	const maxSiblings = 64 // a complete binary tree cannot be deeper on 64-bit indices
+	if count > maxSiblings {
+		return fmt.Errorf("%w: sibling count %d exceeds %d", ErrMalformedProof, count, maxSiblings)
+	}
+	siblings := make([][]byte, 0, count)
+	for i := uint64(0); i < count; i++ {
+		s, err := readBytes(r)
+		if err != nil {
+			return fmt.Errorf("%w: sibling %d: %v", ErrMalformedProof, i, err)
+		}
+		siblings = append(siblings, s)
+	}
+	if r.Len() != 0 {
+		return fmt.Errorf("%w: %d trailing bytes", ErrMalformedProof, r.Len())
+	}
+	decoded := Proof{
+		Index:    int(index),
+		N:        int(n),
+		Value:    value,
+		Siblings: siblings,
+	}
+	if err := validateProof(&decoded); err != nil {
+		return err
+	}
+	*p = decoded
+	return nil
+}
+
+// EncodedSize reports the exact number of bytes MarshalBinary will produce.
+// The grid layer uses it for communication accounting without re-encoding.
+func (p *Proof) EncodedSize() int {
+	size := uvarintLen(uint64(p.Index)) + uvarintLen(uint64(p.N))
+	size += uvarintLen(uint64(len(p.Value))) + len(p.Value)
+	size += uvarintLen(uint64(len(p.Siblings)))
+	for _, s := range p.Siblings {
+		size += uvarintLen(uint64(len(s))) + len(s)
+	}
+	return size
+}
+
+func readBytes(r *bytes.Reader) ([]byte, error) {
+	n, err := binary.ReadUvarint(r)
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(r.Len()) {
+		return nil, fmt.Errorf("declared length %d exceeds remaining %d", n, r.Len())
+	}
+	out := make([]byte, n)
+	if n == 0 {
+		// bytes.Reader reports io.EOF for empty reads at the end of the
+		// buffer; zero-length leaf values are legal.
+		return out, nil
+	}
+	if _, err := r.Read(out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func uvarintLen(v uint64) int {
+	var tmp [binary.MaxVarintLen64]byte
+	return binary.PutUvarint(tmp[:], v)
+}

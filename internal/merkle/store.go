@@ -1,0 +1,186 @@
+package merkle
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Storage errors.
+var (
+	// ErrBadSnapshot is returned when a persisted tree fails validation.
+	ErrBadSnapshot = errors.New("merkle: malformed tree snapshot")
+)
+
+// snapshotMagic identifies the on-disk format; bump the version byte on
+// incompatible changes.
+var snapshotMagic = []byte{'u', 'g', 'm', 't', 0x01}
+
+// WriteSnapshot persists the partial tree's stored node set (the top H-ℓ
+// levels of Section 3.3) so a participant can keep commitments across
+// restarts without recomputing f over the whole domain. The paper sizes
+// this store explicitly — "using 4G disk space provides a feasible solution
+// both storage-wise and computation-wise" for |D| = 2^40 — and this is that
+// store. The leaf function is not persisted; the caller re-binds it on
+// load.
+func (p *PartialTree) WriteSnapshot(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(snapshotMagic); err != nil {
+		return fmt.Errorf("merkle: write snapshot header: %w", err)
+	}
+	var tmp [binary.MaxVarintLen64]byte
+	writeUvarint := func(v uint64) error {
+		n := binary.PutUvarint(tmp[:], v)
+		_, err := bw.Write(tmp[:n])
+		return err
+	}
+	if err := writeUvarint(uint64(p.n)); err != nil {
+		return fmt.Errorf("merkle: write snapshot n: %w", err)
+	}
+	if err := writeUvarint(uint64(p.ell)); err != nil {
+		return fmt.Errorf("merkle: write snapshot ℓ: %w", err)
+	}
+	if err := writeUvarint(uint64(len(p.top))); err != nil {
+		return fmt.Errorf("merkle: write snapshot node count: %w", err)
+	}
+	// top[0] is unused in the heap layout; store it as empty.
+	for i, node := range p.top {
+		if err := writeUvarint(uint64(len(node))); err != nil {
+			return fmt.Errorf("merkle: write node %d length: %w", i, err)
+		}
+		if _, err := bw.Write(node); err != nil {
+			return fmt.Errorf("merkle: write node %d: %w", i, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadSnapshot restores a partial tree persisted by WriteSnapshot. leafAt
+// must be the same deterministic leaf function used to build the original
+// tree: proofs rebuild subtrees from it, and a mismatch surfaces as root
+// inconsistencies at verification time (it cannot be detected here without
+// recomputing the domain, which is the very cost the snapshot avoids).
+func ReadSnapshot(r io.Reader, leafAt func(i int) []byte, opts ...Option) (*PartialTree, error) {
+	if leafAt == nil {
+		return nil, fmt.Errorf("%w: nil leafAt", ErrNilLeaf)
+	}
+	br := bufio.NewReader(r)
+	header := make([]byte, len(snapshotMagic))
+	if _, err := io.ReadFull(br, header); err != nil {
+		return nil, fmt.Errorf("%w: header: %v", ErrBadSnapshot, err)
+	}
+	if !bytes.Equal(header, snapshotMagic) {
+		return nil, fmt.Errorf("%w: bad magic %x", ErrBadSnapshot, header)
+	}
+	n, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("%w: n: %v", ErrBadSnapshot, err)
+	}
+	ell, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("%w: ℓ: %v", ErrBadSnapshot, err)
+	}
+	nodeCount, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("%w: node count: %v", ErrBadSnapshot, err)
+	}
+	if n < 1 || n > 1<<40 {
+		return nil, fmt.Errorf("%w: leaf count %d", ErrBadSnapshot, n)
+	}
+	capacity := nextPow2(int(n))
+	height := log2(capacity)
+	if int(ell) > height {
+		return nil, fmt.Errorf("%w: ℓ=%d exceeds height %d", ErrBadSnapshot, ell, height)
+	}
+	blockSize := 1 << ell
+	wantNodes := uint64(2 * (capacity / blockSize))
+	if nodeCount != wantNodes {
+		return nil, fmt.Errorf("%w: %d nodes, want %d", ErrBadSnapshot, nodeCount, wantNodes)
+	}
+
+	top := make([][]byte, nodeCount)
+	for i := range top {
+		size, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("%w: node %d length: %v", ErrBadSnapshot, i, err)
+		}
+		const maxNodeBytes = 1 << 20
+		if size > maxNodeBytes {
+			return nil, fmt.Errorf("%w: node %d claims %d bytes", ErrBadSnapshot, i, size)
+		}
+		node := make([]byte, size)
+		if size > 0 {
+			if _, err := io.ReadFull(br, node); err != nil {
+				return nil, fmt.Errorf("%w: node %d: %v", ErrBadSnapshot, i, err)
+			}
+		}
+		top[i] = node
+	}
+	// Internal nodes of the top tree must be digests; block roots (the
+	// bottom stored row) may be raw leaf values at ℓ=0, including empty
+	// ones. Node 0 is the unused heap slot.
+	for i := 1; i < len(top)/2; i++ {
+		if len(top[i]) == 0 {
+			return nil, fmt.Errorf("%w: empty internal node %d", ErrBadSnapshot, i)
+		}
+	}
+
+	hs := newHashers(buildOptions(opts))
+	p := &PartialTree{
+		n:         int(n),
+		cap:       capacity,
+		ell:       int(ell),
+		blockSize: blockSize,
+		top:       top,
+		leafAt:    leafAt,
+		hs:        hs,
+		scratch:   make([][]byte, 2*blockSize),
+	}
+	// Validate internal consistency of the persisted top levels: every
+	// stored internal node must hash its children.
+	numBlocks := len(top) / 2
+	for i := numBlocks - 1; i >= 1; i-- {
+		want := hs.combine(top[2*i], top[2*i+1])
+		if !bytes.Equal(top[i], want) {
+			return nil, fmt.Errorf("%w: node %d does not hash its children", ErrBadSnapshot, i)
+		}
+	}
+	return p, nil
+}
+
+// SaveSnapshotFile persists the tree to path (atomically via a temp file).
+func (p *PartialTree) SaveSnapshotFile(path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("merkle: create snapshot: %w", err)
+	}
+	if err := p.WriteSnapshot(f); err != nil {
+		_ = f.Close()
+		_ = os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		_ = os.Remove(tmp)
+		return fmt.Errorf("merkle: close snapshot: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		_ = os.Remove(tmp)
+		return fmt.Errorf("merkle: commit snapshot: %w", err)
+	}
+	return nil
+}
+
+// LoadSnapshotFile restores a tree persisted by SaveSnapshotFile.
+func LoadSnapshotFile(path string, leafAt func(i int) []byte, opts ...Option) (*PartialTree, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("merkle: open snapshot: %w", err)
+	}
+	defer f.Close()
+	return ReadSnapshot(f, leafAt, opts...)
+}

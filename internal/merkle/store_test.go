@@ -1,0 +1,154 @@
+package merkle
+
+import (
+	"bytes"
+	"errors"
+	"path/filepath"
+	"testing"
+)
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	const n, ell = 100, 3
+	leaf := leafFunc(n)
+	original, err := NewPartial(n, ell, leaf)
+	if err != nil {
+		t.Fatalf("NewPartial: %v", err)
+	}
+
+	var buf bytes.Buffer
+	if err := original.WriteSnapshot(&buf); err != nil {
+		t.Fatalf("WriteSnapshot: %v", err)
+	}
+	restored, err := ReadSnapshot(bytes.NewReader(buf.Bytes()), leaf)
+	if err != nil {
+		t.Fatalf("ReadSnapshot: %v", err)
+	}
+
+	if !bytes.Equal(restored.Root(), original.Root()) {
+		t.Fatal("restored root differs")
+	}
+	if restored.N() != n || restored.SubtreeHeight() != ell {
+		t.Fatalf("restored shape (n=%d, ℓ=%d)", restored.N(), restored.SubtreeHeight())
+	}
+	// Proofs from the restored tree must verify against the old root.
+	for _, i := range []int{0, 1, 42, n - 1} {
+		proof, err := restored.Prove(i)
+		if err != nil {
+			t.Fatalf("Prove(%d): %v", i, err)
+		}
+		if err := Verify(original.Root(), proof); err != nil {
+			t.Fatalf("Verify(%d): %v", i, err)
+		}
+	}
+}
+
+func TestSnapshotFileRoundTrip(t *testing.T) {
+	const n, ell = 64, 2
+	leaf := leafFunc(n)
+	original, err := NewPartial(n, ell, leaf)
+	if err != nil {
+		t.Fatalf("NewPartial: %v", err)
+	}
+	path := filepath.Join(t.TempDir(), "tree.snap")
+	if err := original.SaveSnapshotFile(path); err != nil {
+		t.Fatalf("SaveSnapshotFile: %v", err)
+	}
+	restored, err := LoadSnapshotFile(path, leaf)
+	if err != nil {
+		t.Fatalf("LoadSnapshotFile: %v", err)
+	}
+	if !bytes.Equal(restored.Root(), original.Root()) {
+		t.Fatal("restored root differs")
+	}
+}
+
+func TestSnapshotRejectsCorruption(t *testing.T) {
+	const n, ell = 32, 2
+	leaf := leafFunc(n)
+	original, err := NewPartial(n, ell, leaf)
+	if err != nil {
+		t.Fatalf("NewPartial: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := original.WriteSnapshot(&buf); err != nil {
+		t.Fatalf("WriteSnapshot: %v", err)
+	}
+	data := buf.Bytes()
+
+	t.Run("bad magic", func(t *testing.T) {
+		corrupted := append([]byte(nil), data...)
+		corrupted[0] ^= 0xff
+		if _, err := ReadSnapshot(bytes.NewReader(corrupted), leaf); !errors.Is(err, ErrBadSnapshot) {
+			t.Fatalf("err = %v, want ErrBadSnapshot", err)
+		}
+	})
+	t.Run("truncated", func(t *testing.T) {
+		for cut := 0; cut < len(data); cut += 13 {
+			if _, err := ReadSnapshot(bytes.NewReader(data[:cut]), leaf); !errors.Is(err, ErrBadSnapshot) {
+				t.Fatalf("truncation at %d: err = %v, want ErrBadSnapshot", cut, err)
+			}
+		}
+	})
+	t.Run("flipped node byte", func(t *testing.T) {
+		// Corrupting a stored digest must break the parent-hash check.
+		corrupted := append([]byte(nil), data...)
+		corrupted[len(corrupted)-1] ^= 0x01
+		if _, err := ReadSnapshot(bytes.NewReader(corrupted), leaf); !errors.Is(err, ErrBadSnapshot) {
+			t.Fatalf("err = %v, want ErrBadSnapshot", err)
+		}
+	})
+	t.Run("nil leaf func", func(t *testing.T) {
+		if _, err := ReadSnapshot(bytes.NewReader(data), nil); !errors.Is(err, ErrNilLeaf) {
+			t.Fatalf("err = %v, want ErrNilLeaf", err)
+		}
+	})
+}
+
+func TestSnapshotWrongLeafFuncDetectedAtVerification(t *testing.T) {
+	// A snapshot re-bound to a different leaf function cannot be detected
+	// at load time (that is the point of not recomputing the domain), but
+	// the resulting proofs fail verification.
+	const n, ell = 64, 3
+	original, err := NewPartial(n, ell, leafFunc(n))
+	if err != nil {
+		t.Fatalf("NewPartial: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := original.WriteSnapshot(&buf); err != nil {
+		t.Fatalf("WriteSnapshot: %v", err)
+	}
+	wrongLeaf := func(i int) []byte { return []byte{byte(i), 0xee} }
+	restored, err := ReadSnapshot(bytes.NewReader(buf.Bytes()), wrongLeaf)
+	if err != nil {
+		t.Fatalf("ReadSnapshot: %v", err)
+	}
+	proof, err := restored.Prove(5)
+	if err != nil {
+		t.Fatalf("Prove: %v", err)
+	}
+	if err := Verify(original.Root(), proof); !errors.Is(err, ErrRootMismatch) {
+		t.Fatalf("err = %v, want ErrRootMismatch", err)
+	}
+}
+
+func TestSnapshotEllZeroAndFull(t *testing.T) {
+	const n = 16
+	leaf := leafFunc(n)
+	for _, ell := range []int{0, 4} {
+		original, err := NewPartial(n, ell, leaf)
+		if err != nil {
+			t.Fatalf("NewPartial(ℓ=%d): %v", ell, err)
+		}
+		var buf bytes.Buffer
+		if err := original.WriteSnapshot(&buf); err != nil {
+			t.Fatalf("WriteSnapshot: %v", err)
+		}
+		restored, err := ReadSnapshot(bytes.NewReader(buf.Bytes()), leaf)
+		if err != nil {
+			t.Fatalf("ReadSnapshot(ℓ=%d): %v", ell, err)
+		}
+		if !bytes.Equal(restored.Root(), original.Root()) {
+			t.Fatalf("ℓ=%d: root mismatch", ell)
+		}
+	}
+}

@@ -1,0 +1,102 @@
+package merkle
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Streaming errors.
+var (
+	// ErrTooManyLeaves is returned when Add is called more than n times.
+	ErrTooManyLeaves = errors.New("merkle: more leaves added than declared")
+	// ErrIncomplete is returned when Root is requested before all n leaves
+	// have been added.
+	ErrIncomplete = errors.New("merkle: not all declared leaves were added")
+)
+
+// StreamBuilder computes the Merkle root of an n-leaf tree in a single
+// left-to-right pass using O(log n) memory. Participants with domains far
+// larger than RAM (the paper discusses |D| = 2^40) use it to produce the
+// commitment without materializing the tree; proofs are then served by a
+// PartialTree that rebuilds subtrees on demand (Section 3.3).
+type StreamBuilder struct {
+	n     int
+	added int
+	cap   int
+	// stack holds pending subtree roots in strictly descending height
+	// order; levels[i] is the height of the subtree rooted at stack[i].
+	// Adjacent completed subtrees of equal height merge eagerly, so the
+	// stack never exceeds log2(cap)+1 entries.
+	stack  [][]byte
+	levels []int
+	hs     hashers
+	root   []byte
+}
+
+// NewStreamBuilder prepares a builder for exactly n leaves.
+func NewStreamBuilder(n int, opts ...Option) (*StreamBuilder, error) {
+	if n <= 0 {
+		return nil, ErrEmptyTree
+	}
+	capacity := nextPow2(n)
+	depth := log2(capacity)
+	return &StreamBuilder{
+		n:      n,
+		cap:    capacity,
+		stack:  make([][]byte, 0, depth+1),
+		levels: make([]int, 0, depth+1),
+		hs:     newHashers(buildOptions(opts)),
+	}, nil
+}
+
+// Add appends the next leaf value (leaves must arrive in index order).
+func (b *StreamBuilder) Add(value []byte) error {
+	if value == nil {
+		return fmt.Errorf("%w: index %d", ErrNilLeaf, b.added)
+	}
+	if b.added >= b.n {
+		return ErrTooManyLeaves
+	}
+	b.push(value, 0)
+	b.added++
+	return nil
+}
+
+// Added reports how many leaves have been consumed so far.
+func (b *StreamBuilder) Added() int { return b.added }
+
+// Root finalizes the tree, padding to the next power of two, and returns the
+// commitment Φ(R). It may only be called after all n leaves have been added;
+// repeated calls return the same root.
+func (b *StreamBuilder) Root() ([]byte, error) {
+	if b.added < b.n {
+		return nil, fmt.Errorf("%w: have %d of %d", ErrIncomplete, b.added, b.n)
+	}
+	if b.root == nil {
+		for i := b.n; i < b.cap; i++ {
+			b.push(b.hs.pad, 0)
+		}
+		if len(b.stack) != 1 {
+			// Unreachable for a complete tree; guards internal invariants.
+			return nil, fmt.Errorf("merkle: internal error: %d pending subtrees after padding", len(b.stack))
+		}
+		b.root = b.stack[0]
+	}
+	out := make([]byte, len(b.root))
+	copy(out, b.root)
+	return out, nil
+}
+
+// push places a subtree root of the given height on the stack and merges
+// equal-height neighbours until heights strictly descend again.
+func (b *StreamBuilder) push(value []byte, level int) {
+	b.stack = append(b.stack, value)
+	b.levels = append(b.levels, level)
+	for len(b.stack) >= 2 && b.levels[len(b.levels)-1] == b.levels[len(b.levels)-2] {
+		top := len(b.stack) - 1
+		merged := b.hs.combine(b.stack[top-1], b.stack[top])
+		lvl := b.levels[top] + 1
+		b.stack = append(b.stack[:top-1], merged)
+		b.levels = append(b.levels[:top-1], lvl)
+	}
+}

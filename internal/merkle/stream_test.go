@@ -1,0 +1,115 @@
+package merkle
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func TestStreamBuilderMatchesTree(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4, 5, 7, 8, 9, 15, 16, 17, 63, 64, 65, 200} {
+		t.Run(fmt.Sprintf("n=%d", n), func(t *testing.T) {
+			values := leafValues(n)
+			want := mustBuild(t, values).Root()
+
+			b, err := NewStreamBuilder(n)
+			if err != nil {
+				t.Fatalf("NewStreamBuilder: %v", err)
+			}
+			for _, v := range values {
+				if err := b.Add(v); err != nil {
+					t.Fatalf("Add: %v", err)
+				}
+			}
+			got, err := b.Root()
+			if err != nil {
+				t.Fatalf("Root: %v", err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("stream root %x != tree root %x", got, want)
+			}
+		})
+	}
+}
+
+func TestStreamBuilderErrors(t *testing.T) {
+	if _, err := NewStreamBuilder(0); !errors.Is(err, ErrEmptyTree) {
+		t.Fatalf("NewStreamBuilder(0): err = %v, want ErrEmptyTree", err)
+	}
+
+	b, err := NewStreamBuilder(2)
+	if err != nil {
+		t.Fatalf("NewStreamBuilder: %v", err)
+	}
+	if err := b.Add(nil); !errors.Is(err, ErrNilLeaf) {
+		t.Fatalf("Add(nil): err = %v, want ErrNilLeaf", err)
+	}
+	if _, err := b.Root(); !errors.Is(err, ErrIncomplete) {
+		t.Fatalf("early Root: err = %v, want ErrIncomplete", err)
+	}
+	if err := b.Add([]byte("a")); err != nil {
+		t.Fatalf("Add: %v", err)
+	}
+	if got := b.Added(); got != 1 {
+		t.Fatalf("Added() = %d, want 1", got)
+	}
+	if err := b.Add([]byte("b")); err != nil {
+		t.Fatalf("Add: %v", err)
+	}
+	if err := b.Add([]byte("c")); !errors.Is(err, ErrTooManyLeaves) {
+		t.Fatalf("extra Add: err = %v, want ErrTooManyLeaves", err)
+	}
+}
+
+func TestStreamBuilderRootIsRepeatable(t *testing.T) {
+	b, err := NewStreamBuilder(3)
+	if err != nil {
+		t.Fatalf("NewStreamBuilder: %v", err)
+	}
+	for _, v := range leafValues(3) {
+		if err := b.Add(v); err != nil {
+			t.Fatalf("Add: %v", err)
+		}
+	}
+	first, err := b.Root()
+	if err != nil {
+		t.Fatalf("Root: %v", err)
+	}
+	second, err := b.Root()
+	if err != nil {
+		t.Fatalf("Root (second call): %v", err)
+	}
+	if !bytes.Equal(first, second) {
+		t.Fatal("Root is not idempotent")
+	}
+}
+
+func TestStreamBuilderQuickEquivalence(t *testing.T) {
+	f := func(nSeed uint16) bool {
+		n := int(nSeed%500) + 1
+		values := leafValues(n)
+		tree, err := Build(values)
+		if err != nil {
+			return false
+		}
+		b, err := NewStreamBuilder(n)
+		if err != nil {
+			return false
+		}
+		for _, v := range values {
+			if err := b.Add(v); err != nil {
+				return false
+			}
+		}
+		got, err := b.Root()
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(got, tree.Root())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

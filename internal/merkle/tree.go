@@ -1,0 +1,218 @@
+// Package merkle implements the Merkle (hash) tree used by the
+// Commitment-Based Sampling scheme of "Uncheatable Grid Computing"
+// (Du, Jia, Mangal, Murugesan; ICDCS 2004), Section 3.
+//
+// Following Eq. (1) of the paper, the tree is a complete binary tree whose
+// leaf assignment is the raw computation result, Φ(Li) = f(xi), and whose
+// internal assignment is the hash of the two children,
+// Φ(V) = hash(Φ(Vleft) || Φ(Vright)).
+//
+// Two deliberate hardenings over the paper's abstract description:
+//
+//   - Internal hashing is length-prefixed and domain-separated
+//     (hash(0x01 || len(l) || l || len(r) || r)) so that variable-length leaf
+//     values cannot produce concatenation ambiguities.
+//   - Domains whose size is not a power of two are padded with a fixed,
+//     domain-separated pad digest so the tree stays complete, as the paper
+//     assumes.
+//
+// The package provides a fully materialized Tree, a constant-memory
+// StreamBuilder, and the storage-bounded PartialTree of Section 3.3.
+package merkle
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash"
+)
+
+// Errors reported by this package. They are exported so protocol layers can
+// distinguish malformed inputs from genuine verification failures.
+var (
+	// ErrEmptyTree is returned when a tree is requested over zero leaves.
+	ErrEmptyTree = errors.New("merkle: tree must have at least one leaf")
+	// ErrIndexOutOfRange is returned when a leaf index falls outside [0, n).
+	ErrIndexOutOfRange = errors.New("merkle: leaf index out of range")
+	// ErrNilLeaf is returned when a leaf value is nil. Empty (zero-length)
+	// values are legal; nil indicates a caller bug.
+	ErrNilLeaf = errors.New("merkle: leaf value must not be nil")
+)
+
+const (
+	// prefix bytes for domain separation inside the hash input.
+	nodePrefix byte = 0x01
+	padPrefix  byte = 0x00
+)
+
+// Hasher names a constructor for the one-way hash used throughout the tree.
+// The paper suggests MD5 or SHA; the default is SHA-256.
+type Hasher func() hash.Hash
+
+// options collects construction parameters for trees and proofs.
+type options struct {
+	hasher Hasher
+}
+
+// Option customizes tree construction and proof verification. The same
+// options must be used on both sides of the protocol.
+type Option interface {
+	apply(*options)
+}
+
+type hasherOption struct{ h Hasher }
+
+func (o hasherOption) apply(opts *options) { opts.hasher = o.h }
+
+// WithHasher selects the one-way hash function for internal nodes.
+func WithHasher(h Hasher) Option { return hasherOption{h: h} }
+
+func buildOptions(opts []Option) options {
+	o := options{hasher: sha256.New}
+	for _, opt := range opts {
+		opt.apply(&o)
+	}
+	return o
+}
+
+// hashers bundles the configured hash with the derived pad digest so the
+// expensive pad computation happens once per tree.
+type hashers struct {
+	newHash Hasher
+	pad     []byte
+}
+
+func newHashers(o options) hashers {
+	h := o.hasher()
+	h.Write([]byte{padPrefix})
+	h.Write([]byte("uncheatgrid/merkle: pad leaf"))
+	return hashers{newHash: o.hasher, pad: h.Sum(nil)}
+}
+
+// combine computes the Φ value of an internal node from its two children,
+// with length prefixes to rule out ambiguity between variable-length leaves.
+func (hs hashers) combine(left, right []byte) []byte {
+	h := hs.newHash()
+	var lenBuf [binary.MaxVarintLen64]byte
+	h.Write([]byte{nodePrefix})
+	n := binary.PutUvarint(lenBuf[:], uint64(len(left)))
+	h.Write(lenBuf[:n])
+	h.Write(left)
+	n = binary.PutUvarint(lenBuf[:], uint64(len(right)))
+	h.Write(lenBuf[:n])
+	h.Write(right)
+	return h.Sum(nil)
+}
+
+// Tree is a fully materialized Merkle tree over n leaf values. It is the
+// participant-side data structure of the CBS scheme (Step 1, Section 3.1).
+// A Tree is immutable after construction and safe for concurrent reads.
+type Tree struct {
+	n     int      // number of real leaves
+	cap   int      // leaves after padding; power of two, cap >= n
+	nodes [][]byte // heap layout; nodes[1] is the root, nodes[cap+i] leaf i
+	hs    hashers
+}
+
+// Build constructs the tree over the given leaf values. values[i] holds the
+// raw computation result f(xi); values must be non-empty and every entry
+// non-nil. The slice contents are retained by reference: callers must not
+// mutate them afterwards.
+func Build(values [][]byte, opts ...Option) (*Tree, error) {
+	if len(values) == 0 {
+		return nil, ErrEmptyTree
+	}
+	return BuildFunc(len(values), func(i int) []byte { return values[i] }, opts...)
+}
+
+// BuildFunc constructs the tree over n leaves whose values are produced by
+// at(i). It avoids materializing a separate value slice; at is called exactly
+// once per index, in order.
+func BuildFunc(n int, at func(i int) []byte, opts ...Option) (*Tree, error) {
+	if n <= 0 {
+		return nil, ErrEmptyTree
+	}
+	o := buildOptions(opts)
+	hs := newHashers(o)
+	capacity := nextPow2(n)
+	nodes := make([][]byte, 2*capacity)
+	for i := 0; i < n; i++ {
+		v := at(i)
+		if v == nil {
+			return nil, fmt.Errorf("%w: index %d", ErrNilLeaf, i)
+		}
+		nodes[capacity+i] = v
+	}
+	for i := n; i < capacity; i++ {
+		nodes[capacity+i] = hs.pad
+	}
+	for i := capacity - 1; i >= 1; i-- {
+		nodes[i] = hs.combine(nodes[2*i], nodes[2*i+1])
+	}
+	return &Tree{n: n, cap: capacity, nodes: nodes, hs: hs}, nil
+}
+
+// N reports the number of real (unpadded) leaves.
+func (t *Tree) N() int { return t.n }
+
+// Height reports the number of edges on the path from a leaf to the root;
+// it equals the number of sibling hashes in every proof.
+func (t *Tree) Height() int { return log2(t.cap) }
+
+// Root returns Φ(R), the commitment the participant sends to the supervisor.
+// The returned slice is a copy and safe to retain.
+func (t *Tree) Root() []byte {
+	root := t.nodes[1]
+	if t.cap == 1 {
+		// Degenerate single-leaf tree: the root is the leaf value itself,
+		// exactly as Eq. (1) degenerates for n = 1.
+		root = t.nodes[t.cap]
+	}
+	out := make([]byte, len(root))
+	copy(out, root)
+	return out
+}
+
+// Leaf returns the value stored at leaf index i.
+func (t *Tree) Leaf(i int) ([]byte, error) {
+	if i < 0 || i >= t.n {
+		return nil, fmt.Errorf("%w: %d not in [0, %d)", ErrIndexOutOfRange, i, t.n)
+	}
+	return t.nodes[t.cap+i], nil
+}
+
+// Prove produces the audit path for leaf i: the leaf value plus the Φ values
+// of the sibling of every node on the path from the leaf to the root
+// (Step 3, Section 3.1 of the paper).
+func (t *Tree) Prove(i int) (*Proof, error) {
+	if i < 0 || i >= t.n {
+		return nil, fmt.Errorf("%w: %d not in [0, %d)", ErrIndexOutOfRange, i, t.n)
+	}
+	siblings := make([][]byte, 0, t.Height())
+	for pos := t.cap + i; pos > 1; pos /= 2 {
+		siblings = append(siblings, t.nodes[pos^1])
+	}
+	value := make([]byte, len(t.nodes[t.cap+i]))
+	copy(value, t.nodes[t.cap+i])
+	return &Proof{Index: i, N: t.n, Value: value, Siblings: siblings}, nil
+}
+
+// nextPow2 returns the smallest power of two >= n (n >= 1).
+func nextPow2(n int) int {
+	p := 1
+	for p < n {
+		p *= 2
+	}
+	return p
+}
+
+// log2 returns the base-2 logarithm of a power of two.
+func log2(p int) int {
+	l := 0
+	for p > 1 {
+		p /= 2
+		l++
+	}
+	return l
+}

@@ -1,0 +1,65 @@
+package transport
+
+import (
+	"math/rand"
+	"sync"
+)
+
+// FaultPlan describes injected failures for testing: messages may be
+// silently dropped or have one payload byte flipped in transit. Faults are
+// applied on the send path with a seeded generator, so failure tests are
+// reproducible.
+type FaultPlan struct {
+	// DropProb is the probability a sent message vanishes.
+	DropProb float64
+	// GarbleProb is the probability a sent message has one byte corrupted.
+	GarbleProb float64
+	// Seed fixes the fault sequence.
+	Seed int64
+}
+
+// WithFaults wraps conn so sends are subjected to the plan. Receive and
+// close behaviour pass through; statistics still count attempted sends so
+// accounting stays comparable.
+func WithFaults(conn Conn, plan FaultPlan) Conn {
+	return &faultConn{
+		Conn: conn,
+		plan: plan,
+		rng:  rand.New(rand.NewSource(plan.Seed)),
+	}
+}
+
+// faultConn injects faults in front of an inner connection.
+type faultConn struct {
+	Conn
+
+	plan FaultPlan
+	mu   sync.Mutex
+	rng  *rand.Rand
+}
+
+// Send implements Conn, applying the fault plan.
+func (c *faultConn) Send(m Message) error {
+	c.mu.Lock()
+	drop := c.rng.Float64() < c.plan.DropProb
+	garble := !drop && c.rng.Float64() < c.plan.GarbleProb
+	var garbleAt int
+	var garbleBit uint
+	if garble && len(m.Payload) > 0 {
+		garbleAt = c.rng.Intn(len(m.Payload))
+		garbleBit = uint(c.rng.Intn(8))
+	}
+	c.mu.Unlock()
+
+	if drop {
+		// The message disappears on the wire; the sender still paid for it.
+		c.Conn.Stats().recordSend(m)
+		return nil
+	}
+	if garble && len(m.Payload) > 0 {
+		corrupted := append([]byte(nil), m.Payload...)
+		corrupted[garbleAt] ^= 1 << garbleBit
+		m = Message{Type: m.Type, Payload: corrupted}
+	}
+	return c.Conn.Send(m)
+}

@@ -1,0 +1,134 @@
+package transport
+
+import (
+	"io"
+	"sync"
+	"time"
+)
+
+// pipeOptions configure an in-memory pipe.
+type pipeOptions struct {
+	recvTimeout time.Duration
+	buffer      int
+}
+
+// PipeOption customizes Pipe.
+type PipeOption interface {
+	apply(*pipeOptions)
+}
+
+type recvTimeoutOption time.Duration
+
+func (o recvTimeoutOption) apply(p *pipeOptions) { p.recvTimeout = time.Duration(o) }
+
+// WithRecvTimeout makes Recv fail with ErrTimeout after d. The default (0)
+// blocks until a message arrives or the pipe closes; fault-injection tests
+// need the timeout to observe dropped frames.
+func WithRecvTimeout(d time.Duration) PipeOption { return recvTimeoutOption(d) }
+
+type bufferOption int
+
+func (o bufferOption) apply(p *pipeOptions) { p.buffer = int(o) }
+
+// WithBuffer sets the per-direction queue depth (default 1).
+func WithBuffer(n int) PipeOption { return bufferOption(n) }
+
+// Pipe creates a connected in-memory duplex pair. Bytes are accounted at
+// both endpoints using the same frame sizes as the TCP transport, so
+// simulated and real runs report comparable traffic.
+func Pipe(opts ...PipeOption) (Conn, Conn) {
+	po := pipeOptions{buffer: 1}
+	for _, opt := range opts {
+		opt.apply(&po)
+	}
+	ab := make(chan Message, po.buffer)
+	ba := make(chan Message, po.buffer)
+	closedA := make(chan struct{})
+	closedB := make(chan struct{})
+	a := &pipeConn{
+		send: ab, recv: ba,
+		closed: closedA, peerClosed: closedB,
+		recvTimeout: po.recvTimeout,
+	}
+	b := &pipeConn{
+		send: ba, recv: ab,
+		closed: closedB, peerClosed: closedA,
+		recvTimeout: po.recvTimeout,
+	}
+	return a, b
+}
+
+// pipeConn is one endpoint of an in-memory duplex pipe.
+type pipeConn struct {
+	send        chan Message
+	recv        chan Message
+	closed      chan struct{}
+	peerClosed  chan struct{}
+	recvTimeout time.Duration
+	closeOnce   sync.Once
+	stats       Stats
+}
+
+var _ Conn = (*pipeConn)(nil)
+
+// Send implements Conn.
+func (c *pipeConn) Send(m Message) error {
+	if err := checkFrameSize(len(m.Payload)); err != nil {
+		return err
+	}
+	// Check close signals first: a ready buffered channel must not win the
+	// select against an already-closed peer.
+	select {
+	case <-c.closed:
+		return ErrClosed
+	case <-c.peerClosed:
+		return ErrClosed
+	default:
+	}
+	select {
+	case <-c.closed:
+		return ErrClosed
+	case <-c.peerClosed:
+		return ErrClosed
+	case c.send <- m:
+		c.stats.recordSend(m)
+		return nil
+	}
+}
+
+// Recv implements Conn.
+func (c *pipeConn) Recv() (Message, error) {
+	var timeout <-chan time.Time
+	if c.recvTimeout > 0 {
+		timer := time.NewTimer(c.recvTimeout)
+		defer timer.Stop()
+		timeout = timer.C
+	}
+	select {
+	case m := <-c.recv:
+		c.stats.recordRecv(m)
+		return m, nil
+	case <-c.closed:
+		return Message{}, ErrClosed
+	case <-timeout:
+		return Message{}, ErrTimeout
+	case <-c.peerClosed:
+		// Drain messages the peer queued before closing.
+		select {
+		case m := <-c.recv:
+			c.stats.recordRecv(m)
+			return m, nil
+		default:
+			return Message{}, io.EOF
+		}
+	}
+}
+
+// Close implements Conn.
+func (c *pipeConn) Close() error {
+	c.closeOnce.Do(func() { close(c.closed) })
+	return nil
+}
+
+// Stats implements Conn.
+func (c *pipeConn) Stats() *Stats { return &c.stats }

@@ -1,0 +1,134 @@
+package transport
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// Listener accepts TCP connections speaking the framed message protocol.
+type Listener struct {
+	inner net.Listener
+}
+
+// Listen opens a TCP listener on addr (e.g. "127.0.0.1:0").
+func Listen(addr string) (*Listener, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
+	}
+	return &Listener{inner: l}, nil
+}
+
+// Addr reports the bound address, useful with port 0.
+func (l *Listener) Addr() string { return l.inner.Addr().String() }
+
+// Accept waits for the next inbound connection.
+func (l *Listener) Accept() (Conn, error) {
+	c, err := l.inner.Accept()
+	if err != nil {
+		return nil, fmt.Errorf("transport: accept: %w", err)
+	}
+	return newTCPConn(c), nil
+}
+
+// Close stops the listener.
+func (l *Listener) Close() error { return l.inner.Close() }
+
+// Dial connects to a transport listener at addr.
+func Dial(addr string) (Conn, error) {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
+	}
+	return newTCPConn(c), nil
+}
+
+// DialTimeout is Dial with a connect deadline.
+func DialTimeout(addr string, d time.Duration) (Conn, error) {
+	c, err := net.DialTimeout("tcp", addr, d)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
+	}
+	return newTCPConn(c), nil
+}
+
+// tcpConn frames messages over a TCP stream: [type:1][len:4 BE][payload].
+type tcpConn struct {
+	conn  net.Conn
+	br    *bufio.Reader
+	wmu   sync.Mutex // serializes writes
+	stats Stats
+}
+
+var _ Conn = (*tcpConn)(nil)
+
+func newTCPConn(c net.Conn) *tcpConn {
+	return &tcpConn{conn: c, br: bufio.NewReader(c)}
+}
+
+// Send implements Conn.
+func (c *tcpConn) Send(m Message) error {
+	if err := checkFrameSize(len(m.Payload)); err != nil {
+		return err
+	}
+	var header [frameOverhead]byte
+	header[0] = m.Type
+	binary.BigEndian.PutUint32(header[1:], uint32(len(m.Payload)))
+
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	if _, err := c.conn.Write(header[:]); err != nil {
+		return normalizeNetErr(err)
+	}
+	if _, err := c.conn.Write(m.Payload); err != nil {
+		return normalizeNetErr(err)
+	}
+	c.stats.recordSend(m)
+	return nil
+}
+
+// Recv implements Conn.
+func (c *tcpConn) Recv() (Message, error) {
+	var header [frameOverhead]byte
+	if _, err := io.ReadFull(c.br, header[:]); err != nil {
+		if errors.Is(err, io.EOF) {
+			return Message{}, io.EOF
+		}
+		return Message{}, normalizeNetErr(drainEOF(err))
+	}
+	length := int(binary.BigEndian.Uint32(header[1:]))
+	if err := checkFrameSize(length); err != nil {
+		return Message{}, err
+	}
+	payload := make([]byte, length)
+	if _, err := io.ReadFull(c.br, payload); err != nil {
+		return Message{}, normalizeNetErr(drainEOF(err))
+	}
+	m := Message{Type: header[0], Payload: payload}
+	c.stats.recordRecv(m)
+	return m, nil
+}
+
+// Close implements Conn.
+func (c *tcpConn) Close() error { return c.conn.Close() }
+
+// Stats implements Conn.
+func (c *tcpConn) Stats() *Stats { return &c.stats }
+
+// normalizeNetErr maps closed-connection errors onto ErrClosed so callers
+// can treat both transports uniformly.
+func normalizeNetErr(err error) error {
+	if err == nil {
+		return nil
+	}
+	if errors.Is(err, net.ErrClosed) {
+		return ErrClosed
+	}
+	return err
+}

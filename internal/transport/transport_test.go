@@ -1,0 +1,380 @@
+package transport
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestPipeRoundTrip(t *testing.T) {
+	a, b := Pipe()
+	defer a.Close()
+	defer b.Close()
+
+	want := Message{Type: 3, Payload: []byte("hello grid")}
+	done := make(chan error, 1)
+	go func() { done <- a.Send(want) }()
+
+	got, err := b.Recv()
+	if err != nil {
+		t.Fatalf("Recv: %v", err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	if got.Type != want.Type || !bytes.Equal(got.Payload, want.Payload) {
+		t.Fatalf("got %+v, want %+v", got, want)
+	}
+}
+
+func TestPipeBothDirections(t *testing.T) {
+	a, b := Pipe()
+	defer a.Close()
+	defer b.Close()
+
+	go func() {
+		m, err := b.Recv()
+		if err != nil {
+			return
+		}
+		m.Payload = append(m.Payload, '!')
+		_ = b.Send(m)
+	}()
+	if err := a.Send(Message{Type: 1, Payload: []byte("ping")}); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	reply, err := a.Recv()
+	if err != nil {
+		t.Fatalf("Recv: %v", err)
+	}
+	if string(reply.Payload) != "ping!" {
+		t.Fatalf("reply = %q", reply.Payload)
+	}
+}
+
+func TestPipeStatsCountFrames(t *testing.T) {
+	a, b := Pipe(WithBuffer(4))
+	defer a.Close()
+	defer b.Close()
+
+	payload := []byte("0123456789")
+	if err := a.Send(Message{Type: 1, Payload: payload}); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	if _, err := b.Recv(); err != nil {
+		t.Fatalf("Recv: %v", err)
+	}
+
+	wantBytes := int64(5 + len(payload))
+	if got := a.Stats().BytesSent(); got != wantBytes {
+		t.Errorf("a BytesSent = %d, want %d", got, wantBytes)
+	}
+	if got := b.Stats().BytesRecv(); got != wantBytes {
+		t.Errorf("b BytesRecv = %d, want %d", got, wantBytes)
+	}
+	if a.Stats().MsgsSent() != 1 || b.Stats().MsgsRecv() != 1 {
+		t.Error("message counters wrong")
+	}
+}
+
+func TestPipeCloseUnblocksRecv(t *testing.T) {
+	a, b := Pipe()
+	defer b.Close()
+
+	errs := make(chan error, 1)
+	go func() {
+		_, err := a.Recv()
+		errs <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	if err := a.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := <-errs; !errors.Is(err, ErrClosed) {
+		t.Fatalf("Recv after own close: err = %v, want ErrClosed", err)
+	}
+}
+
+func TestPipePeerCloseGivesEOFAfterDrain(t *testing.T) {
+	a, b := Pipe(WithBuffer(2))
+	if err := a.Send(Message{Type: 9, Payload: []byte("last words")}); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	// The queued message must still be deliverable.
+	m, err := b.Recv()
+	if err != nil {
+		t.Fatalf("Recv: %v", err)
+	}
+	if string(m.Payload) != "last words" {
+		t.Fatalf("payload = %q", m.Payload)
+	}
+	if _, err := b.Recv(); !errors.Is(err, io.EOF) {
+		t.Fatalf("Recv after drain: err = %v, want io.EOF", err)
+	}
+}
+
+func TestPipeSendToClosedPeer(t *testing.T) {
+	a, b := Pipe()
+	if err := b.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := a.Send(Message{Type: 1}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Send: err = %v, want ErrClosed", err)
+	}
+}
+
+func TestPipeRecvTimeout(t *testing.T) {
+	a, b := Pipe(WithRecvTimeout(20 * time.Millisecond))
+	defer a.Close()
+	defer b.Close()
+	start := time.Now()
+	if _, err := b.Recv(); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("Recv: err = %v, want ErrTimeout", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("timeout took %v", elapsed)
+	}
+}
+
+func TestPipeDoubleCloseIsSafe(t *testing.T) {
+	a, b := Pipe()
+	defer b.Close()
+	if err := a.Close(); err != nil {
+		t.Fatalf("first Close: %v", err)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}
+
+func TestPipeRejectsOversizedFrame(t *testing.T) {
+	a, b := Pipe()
+	defer a.Close()
+	defer b.Close()
+	huge := make([]byte, MaxFrameBytes+1)
+	if err := a.Send(Message{Type: 1, Payload: huge}); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("Send: err = %v, want ErrFrameTooLarge", err)
+	}
+}
+
+func TestTCPRoundTrip(t *testing.T) {
+	l, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	defer l.Close()
+
+	type acceptResult struct {
+		conn Conn
+		err  error
+	}
+	accepted := make(chan acceptResult, 1)
+	go func() {
+		c, err := l.Accept()
+		accepted <- acceptResult{conn: c, err: err}
+	}()
+
+	client, err := DialTimeout(l.Addr(), 2*time.Second)
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer client.Close()
+
+	res := <-accepted
+	if res.err != nil {
+		t.Fatalf("Accept: %v", res.err)
+	}
+	server := res.conn
+	defer server.Close()
+
+	// Client → server.
+	want := Message{Type: 7, Payload: []byte("over real sockets")}
+	if err := client.Send(want); err != nil {
+		t.Fatalf("client Send: %v", err)
+	}
+	got, err := server.Recv()
+	if err != nil {
+		t.Fatalf("server Recv: %v", err)
+	}
+	if got.Type != want.Type || !bytes.Equal(got.Payload, want.Payload) {
+		t.Fatalf("got %+v, want %+v", got, want)
+	}
+
+	// Server → client, multiple frames preserving boundaries.
+	for i := 0; i < 3; i++ {
+		if err := server.Send(Message{Type: uint8(i), Payload: []byte{byte(i), byte(i)}}); err != nil {
+			t.Fatalf("server Send %d: %v", i, err)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		m, err := client.Recv()
+		if err != nil {
+			t.Fatalf("client Recv %d: %v", i, err)
+		}
+		if m.Type != uint8(i) || len(m.Payload) != 2 {
+			t.Fatalf("frame %d corrupted: %+v", i, m)
+		}
+	}
+
+	// Byte accounting matches across endpoints.
+	if client.Stats().BytesSent() != server.Stats().BytesRecv() {
+		t.Errorf("client sent %d, server received %d",
+			client.Stats().BytesSent(), server.Stats().BytesRecv())
+	}
+
+	// EOF after close.
+	if err := server.Close(); err != nil {
+		t.Fatalf("server Close: %v", err)
+	}
+	if _, err := client.Recv(); !errors.Is(err, io.EOF) {
+		t.Fatalf("client Recv after server close: err = %v, want io.EOF", err)
+	}
+}
+
+func TestTCPEmptyPayload(t *testing.T) {
+	l, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	defer l.Close()
+	go func() {
+		c, err := l.Accept()
+		if err != nil {
+			return
+		}
+		defer c.Close()
+		m, err := c.Recv()
+		if err == nil {
+			_ = c.Send(m)
+		}
+	}()
+	client, err := DialTimeout(l.Addr(), 2*time.Second)
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer client.Close()
+	if err := client.Send(Message{Type: 42}); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	m, err := client.Recv()
+	if err != nil {
+		t.Fatalf("Recv: %v", err)
+	}
+	if m.Type != 42 || len(m.Payload) != 0 {
+		t.Fatalf("echo = %+v", m)
+	}
+}
+
+func TestFaultDropLosesMessages(t *testing.T) {
+	a, b := Pipe(WithRecvTimeout(30*time.Millisecond), WithBuffer(8))
+	defer a.Close()
+	defer b.Close()
+	lossy := WithFaults(a, FaultPlan{DropProb: 1, Seed: 1})
+
+	if err := lossy.Send(Message{Type: 1, Payload: []byte("gone")}); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	if _, err := b.Recv(); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("Recv: err = %v, want ErrTimeout (message dropped)", err)
+	}
+	// Accounting still charges the sender.
+	if lossy.Stats().MsgsSent() != 1 {
+		t.Fatalf("MsgsSent = %d, want 1", lossy.Stats().MsgsSent())
+	}
+}
+
+func TestFaultGarbleFlipsOneBit(t *testing.T) {
+	a, b := Pipe(WithBuffer(2))
+	defer a.Close()
+	defer b.Close()
+	garbler := WithFaults(a, FaultPlan{GarbleProb: 1, Seed: 2})
+
+	original := []byte{0x00, 0x00, 0x00, 0x00}
+	if err := garbler.Send(Message{Type: 1, Payload: original}); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	got, err := b.Recv()
+	if err != nil {
+		t.Fatalf("Recv: %v", err)
+	}
+	diff := 0
+	for i := range original {
+		if got.Payload[i] != original[i] {
+			diff++
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("%d bytes differ, want exactly 1", diff)
+	}
+	// The sender's buffer must not be mutated.
+	for _, v := range original {
+		if v != 0 {
+			t.Fatal("sender payload mutated in place")
+		}
+	}
+}
+
+func TestFaultPartialDropRate(t *testing.T) {
+	a, b := Pipe(WithRecvTimeout(20*time.Millisecond), WithBuffer(256))
+	defer a.Close()
+	defer b.Close()
+	lossy := WithFaults(a, FaultPlan{DropProb: 0.5, Seed: 3})
+
+	const sent = 200
+	for i := 0; i < sent; i++ {
+		if err := lossy.Send(Message{Type: 1, Payload: []byte{byte(i)}}); err != nil {
+			t.Fatalf("Send: %v", err)
+		}
+	}
+	delivered := 0
+	for {
+		if _, err := b.Recv(); err != nil {
+			break
+		}
+		delivered++
+	}
+	if delivered < 60 || delivered > 140 {
+		t.Fatalf("delivered %d of %d at 50%% drop", delivered, sent)
+	}
+}
+
+func TestPipeConcurrentTraffic(t *testing.T) {
+	a, b := Pipe(WithBuffer(16))
+	defer a.Close()
+	defer b.Close()
+
+	const n = 200
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < n; i++ {
+			if err := a.Send(Message{Type: 1, Payload: []byte(fmt.Sprintf("m%d", i))}); err != nil {
+				t.Errorf("Send %d: %v", i, err)
+				return
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < n; i++ {
+			m, err := b.Recv()
+			if err != nil {
+				t.Errorf("Recv %d: %v", i, err)
+				return
+			}
+			if want := fmt.Sprintf("m%d", i); string(m.Payload) != want {
+				t.Errorf("out of order: got %q, want %q", m.Payload, want)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+}

@@ -1,0 +1,97 @@
+package workload
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"math"
+	"math/rand"
+)
+
+// Synthetic is the experiment workload: a hash-based function with tunable
+// evaluation cost and output width. It lets the experiments dial in the
+// paper's parameters directly:
+//
+//   - cost: Eval performs CostIters chained SHA-256 compressions, so the
+//     cost ratio C_f/C_hash of Eq. 5 is simply CostIters.
+//   - q: outputs are OutputBits uniform bits, so a uniform guesser succeeds
+//     with probability exactly q = 2^-OutputBits. OutputBits=1 reproduces
+//     the paper's q = 0.5 curve in Fig. 2.
+type Synthetic struct {
+	seed       uint64
+	costIters  int
+	outputBits uint
+}
+
+var _ Function = (*Synthetic)(nil)
+
+// NewSynthetic creates a synthetic workload. costIters < 1 is clamped to 1;
+// outputBits is clamped to [1, 256].
+func NewSynthetic(seed uint64, costIters int, outputBits uint) *Synthetic {
+	if costIters < 1 {
+		costIters = 1
+	}
+	if outputBits < 1 {
+		outputBits = 1
+	}
+	if outputBits > 256 {
+		outputBits = 256
+	}
+	return &Synthetic{seed: seed, costIters: costIters, outputBits: outputBits}
+}
+
+// Name implements Function.
+func (s *Synthetic) Name() string { return "synthetic" }
+
+// CostIters reports the number of hash compressions per evaluation.
+func (s *Synthetic) CostIters() int { return s.costIters }
+
+// OutputBits reports the output width in bits.
+func (s *Synthetic) OutputBits() uint { return s.outputBits }
+
+// Eval implements Function: CostIters chained hashes truncated to
+// OutputBits.
+func (s *Synthetic) Eval(x uint64) []byte {
+	var buf [16]byte
+	binary.BigEndian.PutUint64(buf[:8], s.seed)
+	binary.BigEndian.PutUint64(buf[8:], x)
+	state := sha256.Sum256(buf[:])
+	for i := 1; i < s.costIters; i++ {
+		state = sha256.Sum256(state[:])
+	}
+	return truncateBits(state[:], s.outputBits)
+}
+
+// GuessOutput implements Function: uniform random bits in the same format.
+func (s *Synthetic) GuessOutput(_ uint64, rng *rand.Rand) []byte {
+	raw := make([]byte, (s.outputBits+7)/8)
+	rng.Read(raw)
+	return truncateBits(raw, s.outputBits)
+}
+
+// GuessProb implements Function: exactly 2^-OutputBits.
+func (s *Synthetic) GuessProb() float64 {
+	return math.Pow(2, -float64(s.outputBits))
+}
+
+// Screener reports a sparse pseudo-random subset (~1/1024) of outputs so
+// that end-to-end runs exercise the reporting path.
+func (s *Synthetic) Screener() Screener {
+	return ScreenerFunc(func(x uint64, output []byte) (string, bool) {
+		if splitmix(s.seed^x)%1024 != 0 {
+			return "", false
+		}
+		return "synthetic hit", true
+	})
+}
+
+// truncateBits keeps the first bits of raw (big-endian bit order), zeroing
+// the remainder of the final byte, in a ceil(bits/8)-byte slice.
+func truncateBits(raw []byte, bits uint) []byte {
+	byteLen := int((bits + 7) / 8)
+	out := make([]byte, byteLen)
+	copy(out, raw[:min(len(raw), byteLen)])
+	if rem := bits % 8; rem != 0 {
+		out[byteLen-1] &= byte(0xff << (8 - rem))
+	}
+	return out
+}

@@ -1,0 +1,167 @@
+// Package workload provides the computations f evaluated by grid
+// participants, together with the screeners S of Section 2.1 of
+// "Uncheatable Grid Computing" (Du et al., ICDCS 2004) and the guess model
+// f̌ of the semi-honest cheater (Section 2.2).
+//
+// The CBS scheme treats f as a black box; what matters for the experiments
+// are (a) its evaluation cost, (b) how expensive verification of a single
+// output is relative to recomputation, and (c) the probability q that a
+// cheater guesses f(x) correctly without computing it (Theorem 3). Each
+// implementation documents where it sits on those axes.
+//
+// The concrete workloads mirror the applications the paper's introduction
+// motivates: brute-force keyspace search (its running example), drug-candidate
+// screening (IBM smallpox grid), radio-signal analysis (SETI@home), Mersenne
+// prime testing (GIMPS), and integer factoring (the "verification is trivial"
+// example of Section 3.1).
+package workload
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync/atomic"
+)
+
+// Errors reported by this package.
+var (
+	// ErrUnknownFunction is returned by the registry for unregistered names.
+	ErrUnknownFunction = errors.New("workload: unknown function")
+)
+
+// Function is the computation f assigned to participants, defined over a
+// uint64 input domain. Implementations must be deterministic and safe for
+// concurrent use.
+type Function interface {
+	// Name identifies the workload (registry key, report label).
+	Name() string
+	// Eval computes f(x).
+	Eval(x uint64) []byte
+	// GuessOutput fabricates a stand-in for f(x) at negligible cost — the
+	// cheater's f̌ of Section 2.2. It must draw from the same output format
+	// as Eval so that a guess is indistinguishable except by value.
+	GuessOutput(x uint64, rng *rand.Rand) []byte
+	// GuessProb reports q = Pr[GuessOutput(x) == Eval(x)], the guessing
+	// probability of Theorem 3.
+	GuessProb() float64
+	// Screener returns the workload's canonical screener S (Section 2.1),
+	// selecting the outputs reported to the supervisor.
+	Screener() Screener
+}
+
+// OutputVerifier is implemented by functions whose outputs can be checked
+// far more cheaply than recomputed — the paper's factoring remark in
+// Section 3.1, Step 4. VerifyOutput must accept exactly the outputs Eval
+// produces.
+type OutputVerifier interface {
+	VerifyOutput(x uint64, output []byte) bool
+}
+
+// Screener is the program S of Section 2.1: it inspects a pair (x, f(x))
+// and reports the string s for "valuable" outputs. Its runtime must be
+// negligible next to Eval.
+type Screener interface {
+	// Screen returns the report string and whether the output is of
+	// interest to the supervisor.
+	Screen(x uint64, output []byte) (string, bool)
+}
+
+// ScreenerFunc adapts a function to the Screener interface.
+type ScreenerFunc func(x uint64, output []byte) (string, bool)
+
+// Screen implements Screener.
+func (f ScreenerFunc) Screen(x uint64, output []byte) (string, bool) { return f(x, output) }
+
+// Counter wraps a Function and counts evaluations. The experiments use it to
+// measure participant effort (honest work, cheat savings, §3.3 rebuild cost,
+// §4.2 attack cost). Safe for concurrent use.
+type Counter struct {
+	inner Function
+	evals atomic.Int64
+}
+
+var _ Function = (*Counter)(nil)
+
+// Count wraps f with an evaluation counter.
+func Count(f Function) *Counter {
+	return &Counter{inner: f}
+}
+
+// Name implements Function.
+func (c *Counter) Name() string { return c.inner.Name() }
+
+// Eval implements Function, incrementing the counter.
+func (c *Counter) Eval(x uint64) []byte {
+	c.evals.Add(1)
+	return c.inner.Eval(x)
+}
+
+// GuessOutput implements Function. Guesses are free: no count.
+func (c *Counter) GuessOutput(x uint64, rng *rand.Rand) []byte {
+	return c.inner.GuessOutput(x, rng)
+}
+
+// GuessProb implements Function.
+func (c *Counter) GuessProb() float64 { return c.inner.GuessProb() }
+
+// Screener implements Function; screening is not counted as evaluation.
+func (c *Counter) Screener() Screener { return c.inner.Screener() }
+
+// Evals reports the number of Eval calls since construction or Reset.
+func (c *Counter) Evals() int64 { return c.evals.Load() }
+
+// Reset zeroes the counter.
+func (c *Counter) Reset() { c.evals.Store(0) }
+
+// Unwrap returns the underlying Function.
+func (c *Counter) Unwrap() Function { return c.inner }
+
+// AsOutputVerifier reports whether f (unwrapping counters) supports cheap
+// output verification, returning the verifier when it does.
+func AsOutputVerifier(f Function) (OutputVerifier, bool) {
+	for {
+		if v, ok := f.(OutputVerifier); ok {
+			return v, true
+		}
+		c, ok := f.(*Counter)
+		if !ok {
+			return nil, false
+		}
+		f = c.Unwrap()
+	}
+}
+
+// Builder constructs a workload from a seed, letting command-line tools and
+// experiments instantiate workloads by name.
+type Builder func(seed uint64) Function
+
+// registry maps workload names to builders. Populated at package
+// initialization with the standard workloads; immutable afterwards.
+var registry = map[string]Builder{
+	"password":   func(seed uint64) Function { return NewPassword(seed, 20) },
+	"drugscreen": func(seed uint64) Function { return NewDrugScreen(seed) },
+	"signal":     func(seed uint64) Function { return NewSignal(seed, 64) },
+	"mersenne":   func(seed uint64) Function { return NewMersenne(seed) },
+	"factor":     func(seed uint64) Function { return NewFactor(seed) },
+	"synthetic":  func(seed uint64) Function { return NewSynthetic(seed, 4, 64) },
+}
+
+// New instantiates a registered workload by name.
+func New(name string, seed uint64) (Function, error) {
+	b, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q (known: %v)", ErrUnknownFunction, name, Names())
+	}
+	return b(seed), nil
+}
+
+// Names lists the registered workload names in sorted order.
+func Names() []string {
+	names := make([]string, 0, len(registry))
+	for name := range registry {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

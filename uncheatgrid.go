@@ -1,0 +1,297 @@
+// Package uncheatgrid is a Go implementation of "Uncheatable Grid
+// Computing" (Du, Jia, Mangal, Murugesan; ICDCS 2004): the Commitment-Based
+// Sampling (CBS) scheme that lets a grid-computing supervisor verify — with
+// O(m log n) communication — that a participant really evaluated f on all n
+// assigned inputs, plus the non-interactive variant, the storage-bounded
+// prover, the baselines the paper compares against, and a full grid
+// simulation harness.
+//
+// # Quick start
+//
+// The participant commits to its results with a Merkle tree, the supervisor
+// challenges m random samples, and the participant proves each sampled
+// result was in the committed tree:
+//
+//	f := uncheatgrid.NewSyntheticWorkload(1, 4, 64)
+//	prover, _ := uncheatgrid.NewProver(1024, func(i uint64) []byte { return f.Eval(i) })
+//	verifier, _ := uncheatgrid.NewVerifier(prover.Commitment())
+//	challenge, _ := verifier.Challenge(33) // m per Eq. 3 at ε=1e-4, r=0.5, q=0.5
+//	response, _ := prover.Respond(challenge.Indices)
+//	err := verifier.Verify(challenge, response,
+//	    uncheatgrid.RecomputeCheck(func(i uint64) []byte { return f.Eval(i) }))
+//	// err == nil ⇔ the participant is (with probability ≥ 1-1e-4) honest.
+//
+// Higher-level entry points: RunSim simulates whole populations of honest
+// and cheating participants under any scheme; the cmd/figures binary
+// regenerates every figure and table of the paper.
+package uncheatgrid
+
+import (
+	"uncheatgrid/internal/analysis"
+	"uncheatgrid/internal/baseline"
+	"uncheatgrid/internal/cheat"
+	"uncheatgrid/internal/core"
+	"uncheatgrid/internal/grid"
+	"uncheatgrid/internal/hashchain"
+	"uncheatgrid/internal/merkle"
+	"uncheatgrid/internal/transport"
+	"uncheatgrid/internal/workload"
+)
+
+// ---- CBS protocol (the paper's contribution, Sections 3-4) ----
+
+type (
+	// Prover is the participant side of (NI-)CBS: it commits to results
+	// and answers sample challenges.
+	Prover = core.Prover
+	// Verifier is the supervisor side of (NI-)CBS.
+	Verifier = core.Verifier
+	// Commitment is the Step 1 message (Merkle root + domain size).
+	Commitment = core.Commitment
+	// Challenge is the Step 2 message (sample indices).
+	Challenge = core.Challenge
+	// Response is the Step 3 message (per-sample audit proofs).
+	Response = core.Response
+	// CheckFunc validates a claimed f(x) on the supervisor side.
+	CheckFunc = core.CheckFunc
+	// CheatError reports the convicting sample of a failed verification.
+	CheatError = core.CheatError
+	// ProtocolOption customizes provers and verifiers.
+	ProtocolOption = core.Option
+)
+
+// Protocol constructors and helpers re-exported from the core scheme.
+var (
+	// NewProver builds the participant's commitment over n claimed results.
+	NewProver = core.NewProver
+	// NewVerifier accepts a commitment and audits responses against it.
+	NewVerifier = core.NewVerifier
+	// RecomputeCheck builds a CheckFunc that recomputes f and compares.
+	RecomputeCheck = core.RecomputeCheck
+	// AcceptAnyOutput skips the output check (commitment audit only).
+	AcceptAnyOutput CheckFunc = core.AcceptAnyOutput
+	// WithSubtreeHeight selects the Section 3.3 storage-bounded prover.
+	WithSubtreeHeight = core.WithSubtreeHeight
+	// WithRand pins the verifier's challenge randomness.
+	WithRand = core.WithRand
+	// WithTreeOptions forwards Merkle-layer options (hash choice).
+	WithTreeOptions = core.WithTreeOptions
+)
+
+// Sentinel errors of the protocol layer.
+var (
+	// ErrWrongOutput marks a sample whose claimed f(x) is incorrect.
+	ErrWrongOutput = core.ErrWrongOutput
+	// ErrCommitmentMismatch marks a proof inconsistent with the committed
+	// root — the Theorem 2 conviction.
+	ErrCommitmentMismatch = core.ErrCommitmentMismatch
+)
+
+// ---- Merkle tree substrate (Section 3, Eq. 1) ----
+
+type (
+	// MerkleTree is the materialized commitment tree.
+	MerkleTree = merkle.Tree
+	// MerkleProof is one leaf's audit path.
+	MerkleProof = merkle.Proof
+	// PartialMerkleTree is the Section 3.3 storage-bounded tree.
+	PartialMerkleTree = merkle.PartialTree
+	// MerkleStreamBuilder computes roots in O(log n) memory.
+	MerkleStreamBuilder = merkle.StreamBuilder
+)
+
+// Merkle constructors re-exported for direct use.
+var (
+	// BuildMerkleTree materializes a tree over leaf values.
+	BuildMerkleTree = merkle.Build
+	// VerifyMerkleProof checks an audit path against a root.
+	VerifyMerkleProof = merkle.Verify
+	// NewPartialMerkleTree builds the storage-bounded tree.
+	NewPartialMerkleTree = merkle.NewPartial
+	// NewMerkleStreamBuilder builds roots over huge domains.
+	NewMerkleStreamBuilder = merkle.NewStreamBuilder
+)
+
+// ---- Non-interactive sample derivation (Section 4, Eq. 4-5) ----
+
+type (
+	// HashChain is the iterated one-way function g of NI-CBS.
+	HashChain = hashchain.Chain
+)
+
+// NewHashChain constructs g = hash^iterations; both sides of the NI-CBS
+// exchange must agree on the iteration count.
+var NewHashChain = hashchain.New
+
+// ---- Analysis (Eq. 2, Eq. 3, Section 3.3, Eq. 5) ----
+
+var (
+	// CheatSuccessProb is Eq. 2: (r + (1-r)q)^m.
+	CheatSuccessProb = analysis.CheatSuccessProb
+	// DetectionProb is 1 - CheatSuccessProb.
+	DetectionProb = analysis.DetectionProb
+	// RequiredSamples is Eq. 3: the minimum m for a target ε (Fig. 2).
+	RequiredSamples = analysis.RequiredSamples
+	// RCO is the Section 3.3 relative computation overhead 2m/S.
+	RCO = analysis.RCO
+	// ExpectedRerollAttempts is the Section 4.2 attack effort 1/r^m.
+	ExpectedRerollAttempts = analysis.ExpectedRerollAttempts
+	// RequiredChainIterations sizes g to satisfy Eq. 5.
+	RequiredChainIterations = analysis.RequiredChainIterations
+	// RerollAttackCost evaluates both sides of Eq. 5.
+	RerollAttackCost = analysis.RerollAttackCost
+)
+
+// ---- Workloads (the computations f and screeners S, Section 2.1) ----
+
+type (
+	// Workload is the computation f assigned to participants.
+	Workload = workload.Function
+	// Screener is the report filter S of Section 2.1.
+	Screener = workload.Screener
+	// WorkloadCounter counts evaluations of f.
+	WorkloadCounter = workload.Counter
+)
+
+// Workload constructors and the registry.
+var (
+	// NewWorkload instantiates a registered workload by name.
+	NewWorkload = workload.New
+	// WorkloadNames lists the registered workloads.
+	WorkloadNames = workload.Names
+	// CountWorkload wraps a workload with an evaluation counter.
+	CountWorkload = workload.Count
+	// NewPasswordWorkload is the brute-force keyspace search (Section 3).
+	NewPasswordWorkload = workload.NewPassword
+	// NewDrugScreenWorkload is the molecule-screening simulation.
+	NewDrugScreenWorkload = workload.NewDrugScreen
+	// NewSignalWorkload is the SETI-style spectral search.
+	NewSignalWorkload = workload.NewSignal
+	// NewMersenneWorkload is the GIMPS-style Lucas-Lehmer test (q = 0.5).
+	NewMersenneWorkload = workload.NewMersenne
+	// NewFactorWorkload is the cheaply-verifiable factoring workload.
+	NewFactorWorkload = workload.NewFactor
+	// NewSyntheticWorkload has tunable cost and output width (q dial).
+	NewSyntheticWorkload = workload.NewSynthetic
+)
+
+// ---- Cheating models (Section 2.2) ----
+
+type (
+	// Producer is a participant behaviour (honest or cheating).
+	Producer = cheat.Producer
+	// RerollConfig parameterizes the Section 4.2 NI-CBS attack.
+	RerollConfig = cheat.RerollConfig
+	// RerollResult reports a mounted re-rolling attack.
+	RerollResult = cheat.RerollResult
+)
+
+// Behaviour constructors and the NI-CBS attack.
+var (
+	// NewHonest is the r = 1 behaviour.
+	NewHonest = cheat.NewHonest
+	// NewSemiHonest cheats with honesty ratio r.
+	NewSemiHonest = cheat.NewSemiHonest
+	// NewMalicious corrupts screener reports.
+	NewMalicious = cheat.NewMalicious
+	// Reroll mounts the Section 4.2 re-rolling attack.
+	Reroll = cheat.Reroll
+)
+
+// ---- Baselines (Section 1, 1.1) ----
+
+type (
+	// NaiveSampling re-checks samples of a full upload.
+	NaiveSampling = baseline.NaiveSampling
+	// DoubleCheck compares redundant replicas.
+	DoubleCheck = baseline.DoubleCheck
+	// RingerSet is the Golle-Mironov supervisor state.
+	RingerSet = baseline.RingerSet
+)
+
+// Baseline constructors.
+var (
+	// NewNaiveSampling builds the naive sampler.
+	NewNaiveSampling = baseline.NewNaiveSampling
+	// NewDoubleCheck builds the redundancy comparator.
+	NewDoubleCheck = baseline.NewDoubleCheck
+	// PlantRingers precomputes ringer images over a domain.
+	PlantRingers = baseline.PlantRingers
+)
+
+// ---- Grid simulation (Section 2.1, Section 4 GRACE) ----
+
+type (
+	// Supervisor organizes tasks and verification.
+	Supervisor = grid.Supervisor
+	// SupervisorConfig configures a supervisor.
+	SupervisorConfig = grid.SupervisorConfig
+	// Participant is a grid worker.
+	Participant = grid.Participant
+	// ProducerFactory builds a participant behaviour per task.
+	ProducerFactory = grid.ProducerFactory
+	// Broker is the GRACE-style oblivious relay.
+	Broker = grid.Broker
+	// Task is one assigned domain window.
+	Task = grid.Task
+	// SchemeKind enumerates verification schemes.
+	SchemeKind = grid.SchemeKind
+	// SchemeSpec parameterizes a scheme.
+	SchemeSpec = grid.SchemeSpec
+	// SimConfig describes a population simulation.
+	SimConfig = grid.SimConfig
+	// SimReport aggregates a simulation run.
+	SimReport = grid.SimReport
+	// TaskOutcome summarizes one verified task.
+	TaskOutcome = grid.TaskOutcome
+)
+
+// The verification schemes.
+const (
+	SchemeCBS         = grid.SchemeCBS
+	SchemeNICBS       = grid.SchemeNICBS
+	SchemeNaive       = grid.SchemeNaive
+	SchemeDoubleCheck = grid.SchemeDoubleCheck
+	SchemeRinger      = grid.SchemeRinger
+)
+
+// Grid constructors and helpers.
+var (
+	// NewSupervisor creates the task organizer.
+	NewSupervisor = grid.NewSupervisor
+	// NewParticipant creates a worker.
+	NewParticipant = grid.NewParticipant
+	// NewBroker creates the GRACE relay.
+	NewBroker = grid.NewBroker
+	// RunSim executes a population simulation.
+	RunSim = grid.RunSim
+	// ParseScheme maps a scheme name to its kind.
+	ParseScheme = grid.ParseScheme
+	// HonestFactory produces honest workers.
+	HonestFactory grid.ProducerFactory = grid.HonestFactory
+	// SemiHonestFactory produces lazy cheaters.
+	SemiHonestFactory = grid.SemiHonestFactory
+	// MaliciousFactory produces report saboteurs.
+	MaliciousFactory = grid.MaliciousFactory
+)
+
+// ---- Transport ----
+
+type (
+	// Conn is a byte-accounted message connection.
+	Conn = transport.Conn
+	// FaultPlan injects message loss or corruption for testing.
+	FaultPlan = transport.FaultPlan
+)
+
+// Transport constructors.
+var (
+	// Pipe creates an in-memory connection pair.
+	Pipe = transport.Pipe
+	// ListenTCP opens a framed TCP listener.
+	ListenTCP = transport.Listen
+	// DialTCP connects to a framed TCP listener.
+	DialTCP = transport.Dial
+	// WithFaults wraps a connection with fault injection.
+	WithFaults = transport.WithFaults
+)
