@@ -8,6 +8,7 @@ package uncheatgrid
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"testing"
 )
 
@@ -232,6 +233,64 @@ func BenchmarkTreeBuild(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				if _, err := BuildMerkleTree(values); err != nil {
 					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkMerkleBuildParallel compares the sequential and parallel tree
+// builders at n = 2^16 and 2^18 — the bottom layer of the concurrent
+// verification engine. The parallel root is bit-identical to the
+// sequential one; only the construction schedule differs.
+func BenchmarkMerkleBuildParallel(b *testing.B) {
+	f := benchWorkload(6)
+	for _, n := range []int{1 << 16, 1 << 18} {
+		values := make([][]byte, n)
+		for i := range values {
+			values[i] = f.Eval(uint64(i))
+		}
+		at := func(i int) []byte { return values[i] }
+		b.Run(fmt.Sprintf("n=%d/sequential", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := BuildMerkleTreeFunc(n, at); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("n=%d/parallel-p%d", n, runtime.NumCPU()), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := BuildMerkleTreeFunc(n, at,
+					WithMerkleParallelism(runtime.NumCPU())); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSupervisionPooled compares serial and pooled supervision of an
+// 8-participant population: the same 8 CBS tasks verified one at a time
+// versus concurrently through the SupervisorPool. Per-task seed derivation
+// makes the two runs produce identical reports.
+func BenchmarkSupervisionPooled(b *testing.B) {
+	for _, workers := range []int{1, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				report, err := RunSim(SimConfig{
+					Spec:     SchemeSpec{Kind: SchemeCBS, M: 33},
+					Workload: "synthetic",
+					Seed:     uint64(i),
+					TaskSize: 1 << 12,
+					Tasks:    8,
+					Honest:   8,
+					Workers:  workers,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if report.TasksAssigned != 8 {
+					b.Fatalf("assigned %d tasks, want 8", report.TasksAssigned)
 				}
 			}
 		})

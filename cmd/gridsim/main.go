@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"text/tabwriter"
 
 	"uncheatgrid/internal/analysis"
@@ -48,6 +49,7 @@ func run(w io.Writer, args []string) error {
 		replicas   = fs.Int("replicas", 3, "double-check group size")
 		blacklist  = fs.Bool("blacklist", false, "stop assigning to participants after a rejection")
 		crossCheck = fs.Bool("crosscheck", true, "cross-check screener reports on sampled inputs")
+		workers    = fs.Int("workers", runtime.NumCPU(), "concurrent verification workers (1 = serial)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -91,6 +93,7 @@ func run(w io.Writer, args []string) error {
 		Replicas:          *replicas,
 		Blacklist:         *blacklist,
 		CrossCheckReports: *crossCheck,
+		Workers:           *workers,
 	})
 	if err != nil {
 		return err

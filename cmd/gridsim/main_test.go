@@ -1,0 +1,76 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// runGridsim invokes the CLI entry point with the given flags and returns
+// its output.
+func runGridsim(t *testing.T, args ...string) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := run(&buf, args); err != nil {
+		t.Fatalf("run(%v): %v\noutput:\n%s", args, err, buf.String())
+	}
+	return buf.String()
+}
+
+func TestRunSmallSimulation(t *testing.T) {
+	out := runGridsim(t,
+		"-scheme", "cbs", "-tasks", "2", "-tasksize", "256",
+		"-honest", "1", "-semihonest", "1", "-m", "20", "-workers", "2")
+	for _, want := range []string{"scheme=cbs", "supervisor:", "honest-0", "semihonest-0"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(out, "detection=1/1") {
+		t.Errorf("semi-honest cheater not detected at m=20:\n%s", out)
+	}
+}
+
+func TestRunDerivesSampleCountFromEpsilon(t *testing.T) {
+	out := runGridsim(t,
+		"-scheme", "cbs", "-tasks", "1", "-tasksize", "128",
+		"-honest", "1", "-semihonest", "0", "-m", "0", "-epsilon", "1e-4")
+	if !strings.Contains(out, "derived from Eq. 3") {
+		t.Errorf("missing Eq. 3 derivation note:\n%s", out)
+	}
+}
+
+func TestRunAllSchemes(t *testing.T) {
+	schemes := map[string][]string{
+		"cbs":          nil,
+		"ni-cbs":       nil,
+		"naive":        nil,
+		"ringer":       nil,
+		"double-check": {"-honest", "3", "-replicas", "3"},
+	}
+	for scheme, extra := range schemes {
+		t.Run(scheme, func(t *testing.T) {
+			args := append([]string{
+				"-scheme", scheme, "-tasks", "1", "-tasksize", "128",
+				"-honest", "3", "-semihonest", "0", "-m", "5",
+			}, extra...)
+			out := runGridsim(t, args...)
+			if !strings.Contains(out, "scheme="+scheme) {
+				t.Errorf("output missing scheme header:\n%s", out)
+			}
+		})
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, []string{"-scheme", "nope"}); err == nil {
+		t.Error("unknown scheme accepted")
+	}
+	if err := run(&buf, []string{"-tasks", "0"}); err == nil {
+		t.Error("zero tasks accepted")
+	}
+	if err := run(&buf, []string{"-workers", "-2"}); err == nil {
+		t.Error("negative workers accepted")
+	}
+}

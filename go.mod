@@ -1,0 +1,3 @@
+module uncheatgrid
+
+go 1.24

@@ -1,0 +1,159 @@
+package grid
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"uncheatgrid/internal/transport"
+)
+
+// Assignment pairs a task with the connection to the participant that
+// should execute it. It is the unit of work of SupervisorPool.RunTasks.
+type Assignment struct {
+	// Conn is the supervisor-side endpoint to the participant.
+	Conn transport.Conn
+	// Task is the domain window to assign.
+	Task Task
+}
+
+// SupervisorPool verifies many participants concurrently: it schedules
+// assignments across a bounded worker pool, keeping each connection's
+// protocol exchange strictly serial (distinct connections proceed in
+// parallel). Because the supervisor derives per-task randomness from
+// hash(seed, task ID), a pooled run produces the same outcomes as a serial
+// one for equal seeds and inputs, regardless of scheduling.
+//
+// The double-check scheme replicates one task across several connections
+// and compares uploads at a barrier; it stays on Supervisor.RunReplicated.
+type SupervisorPool struct {
+	sup     *Supervisor
+	workers int
+
+	// bytesSent and bytesRecv aggregate supervisor-side traffic across all
+	// pooled tasks.
+	bytesSent atomic.Int64
+	bytesRecv atomic.Int64
+}
+
+// NewSupervisorPool creates a pool around a fresh supervisor. workers
+// bounds how many task exchanges run at once; values below 1 select
+// runtime.NumCPU().
+func NewSupervisorPool(cfg SupervisorConfig, workers int) (*SupervisorPool, error) {
+	if cfg.Spec.Kind == SchemeDoubleCheck {
+		return nil, fmt.Errorf("%w: double-check requires RunReplicated, not a pool", ErrBadConfig)
+	}
+	sup, err := NewSupervisor(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if workers < 1 {
+		workers = runtime.NumCPU()
+	}
+	return &SupervisorPool{sup: sup, workers: workers}, nil
+}
+
+// Supervisor exposes the underlying supervisor (for VerifyEvals etc.).
+func (p *SupervisorPool) Supervisor() *Supervisor { return p.sup }
+
+// VerifyEvals reports the aggregated supervisor-side f evaluations across
+// all tasks run through the pool.
+func (p *SupervisorPool) VerifyEvals() int64 { return p.sup.VerifyEvals() }
+
+// BytesSent reports the aggregated supervisor-side bytes sent across all
+// completed pooled tasks.
+func (p *SupervisorPool) BytesSent() int64 { return p.bytesSent.Load() }
+
+// BytesRecv reports the aggregated supervisor-side bytes received across
+// all completed pooled tasks.
+func (p *SupervisorPool) BytesRecv() int64 { return p.bytesRecv.Load() }
+
+// RunTasks runs every assignment to completion and returns the outcomes in
+// input order. Assignments sharing a connection are executed serially in
+// input order (the wire protocol is strictly request/response); assignments
+// on distinct connections run concurrently, at most `workers` at a time.
+//
+// The first transport or protocol error cancels all unstarted work and is
+// returned; outcomes already completed are lost with it, as in the serial
+// API. Detected cheats are not errors — they land in the outcome verdicts.
+// Cancelling ctx stops the pool before the next task on each connection;
+// in-flight exchanges finish first.
+func (p *SupervisorPool) RunTasks(ctx context.Context, assignments []Assignment) ([]*TaskOutcome, error) {
+	if len(assignments) == 0 {
+		return nil, nil
+	}
+	outcomes := make([]*TaskOutcome, len(assignments))
+
+	// Group assignment indices by connection, preserving input order both
+	// across groups and within each group.
+	groups := make(map[transport.Conn][]int)
+	order := make([]transport.Conn, 0, len(assignments))
+	for i, a := range assignments {
+		if a.Conn == nil {
+			return nil, fmt.Errorf("%w: assignment %d has nil connection", ErrBadConfig, i)
+		}
+		if _, seen := groups[a.Conn]; !seen {
+			order = append(order, a.Conn)
+		}
+		groups[a.Conn] = append(groups[a.Conn], i)
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		mu       sync.Mutex
+		firstErr error
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+		cancel()
+	}
+
+	sem := make(chan struct{}, p.workers)
+	var wg sync.WaitGroup
+	for _, conn := range order {
+		wg.Add(1)
+		go func(conn transport.Conn, idxs []int) {
+			defer wg.Done()
+			for _, i := range idxs {
+				// Give up before starting the next task if the run is
+				// already cancelled; the select alone is not enough, since
+				// it chooses randomly when a worker slot is also free.
+				if err := ctx.Err(); err != nil {
+					fail(err)
+					return
+				}
+				// Acquire a worker slot; give up if the run is cancelled
+				// while waiting.
+				select {
+				case sem <- struct{}{}:
+				case <-ctx.Done():
+					fail(ctx.Err())
+					return
+				}
+				outcome, err := p.sup.RunTask(conn, assignments[i].Task)
+				<-sem
+				if err != nil {
+					fail(fmt.Errorf("grid: task %d: %w", assignments[i].Task.ID, err))
+					return
+				}
+				outcomes[i] = outcome
+				p.bytesSent.Add(outcome.BytesSent)
+				p.bytesRecv.Add(outcome.BytesRecv)
+			}
+		}(conn, groups[conn])
+	}
+	wg.Wait()
+
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return outcomes, nil
+}

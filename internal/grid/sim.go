@@ -1,6 +1,7 @@
 package grid
 
 import (
+	"context"
 	"fmt"
 
 	"uncheatgrid/internal/transport"
@@ -35,6 +36,15 @@ type SimConfig struct {
 	Blacklist bool
 	// CrossCheckReports enables the sampled-index screener cross-check.
 	CrossCheckReports bool
+	// Workers sets how many participants are verified concurrently.
+	// Values <= 1 run the legacy serial scheduler; larger values drive a
+	// SupervisorPool. The report is identical for equal seeds whatever the
+	// worker count — task randomness is derived per task ID, and the
+	// pooled scheduler preserves the serial round-robin assignment
+	// (including blacklisting, which both schedulers apply before any
+	// participant can be picked twice). The double-check scheme is a
+	// replication barrier and always runs serially.
+	Workers int
 }
 
 func (c SimConfig) participants() int { return c.Honest + c.SemiHonest + c.Malicious }
@@ -51,6 +61,9 @@ func (c SimConfig) validate() error {
 	}
 	if c.participants() < 1 {
 		return fmt.Errorf("%w: empty participant pool", ErrBadConfig)
+	}
+	if c.Workers < 0 {
+		return fmt.Errorf("%w: negative worker count %d", ErrBadConfig, c.Workers)
 	}
 	if c.Spec.Kind == SchemeDoubleCheck {
 		if c.Replicas != 0 && c.Replicas < 2 {
@@ -132,17 +145,17 @@ type simWorker struct {
 // RunSim executes the configured population run over in-memory pipes and
 // returns the aggregated report. The supervisor assigns tasks round-robin
 // over the (non-blacklisted) pool; double-check groups consecutive workers.
+// With Workers > 1 the non-replicated schemes verify participants
+// concurrently through a SupervisorPool; per-task seed derivation keeps the
+// report identical to the serial run.
 func RunSim(cfg SimConfig) (*SimReport, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	supervisor, err := NewSupervisor(SupervisorConfig{
+	supCfg := SupervisorConfig{
 		Spec:              cfg.Spec,
 		Seed:              int64(cfg.Seed) ^ 0x5c4ed,
 		CrossCheckReports: cfg.CrossCheckReports,
-	})
-	if err != nil {
-		return nil, err
 	}
 
 	workers, err := buildPool(cfg)
@@ -155,9 +168,28 @@ func RunSim(cfg SimConfig) (*SimReport, error) {
 	}
 
 	report := &SimReport{Scheme: cfg.Spec.Kind.String()}
-	if err := scheduleTasks(cfg, supervisor, workers, report); err != nil {
+	var scheduleErr error
+	var supervisorEvals func() int64
+	if cfg.Workers > 1 && cfg.Spec.Kind != SchemeDoubleCheck {
+		pool, err := NewSupervisorPool(supCfg, cfg.Workers)
+		if err != nil {
+			shutdownPool(workers)
+			return nil, err
+		}
+		scheduleErr = scheduleTasksPooled(cfg, pool, workers, report)
+		supervisorEvals = pool.VerifyEvals
+	} else {
+		supervisor, err := NewSupervisor(supCfg)
+		if err != nil {
+			shutdownPool(workers)
+			return nil, err
+		}
+		scheduleErr = scheduleTasks(cfg, supervisor, workers, report)
+		supervisorEvals = supervisor.VerifyEvals
+	}
+	if scheduleErr != nil {
 		shutdownPool(workers)
-		return nil, err
+		return nil, scheduleErr
 	}
 	if err := shutdownPool(workers); err != nil {
 		return nil, err
@@ -189,7 +221,7 @@ func RunSim(cfg SimConfig) (*SimReport, error) {
 		report.SupervisorBytesSent += w.supConn.Stats().BytesSent()
 		report.SupervisorBytesRecv += w.supConn.Stats().BytesRecv()
 	}
-	report.SupervisorEvals = supervisor.VerifyEvals()
+	report.SupervisorEvals = supervisorEvals()
 	return report, nil
 }
 
@@ -234,28 +266,39 @@ func buildPool(cfg SimConfig) ([]*simWorker, error) {
 	return workers, nil
 }
 
+// nextEligible returns the next non-blacklisted worker in round-robin
+// order starting at *next (which it advances), or nil when the whole pool
+// is blacklisted. Both schedulers share it so their assignment order stays
+// in lockstep — the basis of the serial/pooled reproducibility guarantee.
+func nextEligible(workers []*simWorker, next *int) *simWorker {
+	for tries := 0; tries < len(workers); tries++ {
+		w := workers[*next%len(workers)]
+		*next++
+		if !w.blacklisted {
+			return w
+		}
+	}
+	return nil
+}
+
+// taskFor builds the taskNum-th domain window of the run.
+func taskFor(cfg SimConfig, taskNum int) Task {
+	return Task{
+		ID:       uint64(taskNum),
+		Start:    uint64(taskNum) * uint64(cfg.TaskSize),
+		N:        uint64(cfg.TaskSize),
+		Workload: cfg.Workload,
+		Seed:     cfg.Seed,
+	}
+}
+
 // scheduleTasks drives the supervisor across the task list.
 func scheduleTasks(cfg SimConfig, supervisor *Supervisor, workers []*simWorker, report *SimReport) error {
 	next := 0
-	pick := func() *simWorker {
-		for tries := 0; tries < len(workers); tries++ {
-			w := workers[next%len(workers)]
-			next++
-			if !w.blacklisted {
-				return w
-			}
-		}
-		return nil
-	}
+	pick := func() *simWorker { return nextEligible(workers, &next) }
 
 	for taskNum := 0; taskNum < cfg.Tasks; taskNum++ {
-		task := Task{
-			ID:       uint64(taskNum),
-			Start:    uint64(taskNum) * uint64(cfg.TaskSize),
-			N:        uint64(cfg.TaskSize),
-			Workload: cfg.Workload,
-			Seed:     cfg.Seed,
-		}
+		task := taskFor(cfg, taskNum)
 		if cfg.Spec.Kind == SchemeDoubleCheck {
 			k := cfg.replicaCount()
 			group := make([]*simWorker, 0, k)
@@ -295,6 +338,56 @@ func scheduleTasks(cfg SimConfig, supervisor *Supervisor, workers []*simWorker, 
 		}
 		report.TasksAssigned++
 		recordOutcome(cfg, w, outcome, report)
+	}
+	return nil
+}
+
+// scheduleTasksPooled drives the task list through a SupervisorPool.
+//
+// Without Blacklist, eligibility never changes mid-run: the whole task list
+// is assigned round-robin up front and submitted as one batch, so workers
+// never idle at artificial barriers (the pool serializes per connection).
+//
+// With Blacklist, tasks go out in waves: each wave assigns at most one task
+// per eligible (distinct, non-blacklisted) participant, runs concurrently,
+// then applies verdicts — and with them blacklisting — before the next
+// wave. A wave ends exactly where the serial round-robin would wrap, which
+// is also the first point the serial scheduler could re-pick a blacklisted
+// worker, so task-to-worker pairing is identical to the serial run in both
+// modes; only wall-clock time changes.
+func scheduleTasksPooled(cfg SimConfig, pool *SupervisorPool, workers []*simWorker, report *SimReport) error {
+	ctx := context.Background()
+	next := 0
+	taskNum := 0
+	for taskNum < cfg.Tasks {
+		batch := make([]Assignment, 0, cfg.Tasks-taskNum)
+		batchWorkers := make([]*simWorker, 0, cfg.Tasks-taskNum)
+		for taskNum < cfg.Tasks {
+			w := nextEligible(workers, &next)
+			if w == nil {
+				break
+			}
+			if cfg.Blacklist && containsWorker(batchWorkers, w) {
+				// Wrapped around the pool: close the wave so verdicts can
+				// blacklist before this worker is assigned again.
+				next--
+				break
+			}
+			batch = append(batch, Assignment{Conn: w.supConn, Task: taskFor(cfg, taskNum)})
+			batchWorkers = append(batchWorkers, w)
+			taskNum++
+		}
+		if len(batch) == 0 {
+			return nil // everyone blacklisted
+		}
+		outcomes, err := pool.RunTasks(ctx, batch)
+		if err != nil {
+			return err
+		}
+		report.TasksAssigned += len(outcomes)
+		for i, outcome := range outcomes {
+			recordOutcome(cfg, batchWorkers[i], outcome, report)
+		}
 	}
 	return nil
 }

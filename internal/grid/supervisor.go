@@ -1,9 +1,12 @@
 package grid
 
 import (
+	"crypto/sha256"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"math/rand"
+	"sync/atomic"
 
 	"uncheatgrid/internal/baseline"
 	"uncheatgrid/internal/core"
@@ -16,8 +19,10 @@ import (
 type SupervisorConfig struct {
 	// Spec selects and parameterizes the verification scheme.
 	Spec SchemeSpec
-	// Seed drives challenge and ringer randomness; runs with equal seeds
-	// and inputs are reproducible.
+	// Seed drives challenge and ringer randomness. Each task draws from a
+	// private generator seeded by hash(Seed, task ID), so runs with equal
+	// seeds and inputs are reproducible regardless of how tasks are
+	// scheduled across goroutines.
 	Seed int64
 	// CrossCheckReports enables the screener cross-check on sampled
 	// indices, which catches malicious (report-corrupting) participants in
@@ -27,14 +32,15 @@ type SupervisorConfig struct {
 
 // Supervisor organizes the computation (Section 2.1): it assigns tasks,
 // collects screened results, and verifies participants with the configured
-// scheme. Not safe for concurrent RunTask calls; use one Supervisor per
-// driving goroutine.
+// scheme. A Supervisor is safe for concurrent RunTask calls on distinct
+// connections; a single connection must not carry two tasks at once (the
+// protocol is ordered). SupervisorPool schedules exactly that way.
 type Supervisor struct {
 	cfg SupervisorConfig
-	rng *rand.Rand
 
-	// evals counts supervisor-side evaluations of f spent on verification.
-	evals int64
+	// evals counts supervisor-side evaluations of f spent on verification,
+	// aggregated across all (possibly concurrent) tasks.
+	evals atomic.Int64
 }
 
 // NewSupervisor validates the configuration and creates a supervisor.
@@ -42,15 +48,38 @@ func NewSupervisor(cfg SupervisorConfig) (*Supervisor, error) {
 	if err := cfg.Spec.validate(); err != nil {
 		return nil, err
 	}
-	return &Supervisor{
-		cfg: cfg,
-		rng: rand.New(rand.NewSource(cfg.Seed)),
-	}, nil
+	return &Supervisor{cfg: cfg}, nil
 }
 
 // VerifyEvals reports how many f evaluations the supervisor has spent
 // verifying results since construction.
-func (s *Supervisor) VerifyEvals() int64 { return s.evals }
+func (s *Supervisor) VerifyEvals() int64 { return s.evals.Load() }
+
+// taskSeed mixes the supervisor seed with the task ID through SHA-256 so
+// every task gets an independent, scheduling-order-free randomness stream.
+func taskSeed(seed int64, taskID uint64) int64 {
+	var buf [16]byte
+	binary.LittleEndian.PutUint64(buf[:8], uint64(seed))
+	binary.LittleEndian.PutUint64(buf[8:], taskID)
+	sum := sha256.Sum256(buf[:])
+	return int64(binary.LittleEndian.Uint64(sum[:8]))
+}
+
+// taskRun carries the mutable state of one task execution — its randomness
+// stream and verification-eval counter — so concurrent tasks never contend
+// on supervisor fields.
+type taskRun struct {
+	sup   *Supervisor
+	rng   *rand.Rand
+	evals int64
+}
+
+func (s *Supervisor) newTaskRun(task Task) *taskRun {
+	return &taskRun{
+		sup: s,
+		rng: rand.New(rand.NewSource(taskSeed(s.cfg.Seed, task.ID))),
+	}
+}
 
 // TaskOutcome summarizes one verified task execution.
 type TaskOutcome struct {
@@ -95,15 +124,16 @@ func (s *Supervisor) run(conn transport.Conn, task Task, replicaResults *[][]byt
 	if err != nil {
 		return nil, err
 	}
+	tr := s.newTaskRun(task)
 
 	outcome := &TaskOutcome{Task: task, CheatIndex: -1}
 	startSent := conn.Stats().BytesSent()
 	startRecv := conn.Stats().BytesRecv()
-	startEvals := s.evals
 	defer func() {
 		outcome.BytesSent = conn.Stats().BytesSent() - startSent
 		outcome.BytesRecv = conn.Stats().BytesRecv() - startRecv
-		outcome.VerifyEvals = s.evals - startEvals
+		outcome.VerifyEvals = tr.evals
+		s.evals.Add(tr.evals)
 	}()
 
 	a := assignment{Task: task, Spec: s.cfg.Spec}
@@ -111,8 +141,8 @@ func (s *Supervisor) run(conn transport.Conn, task Task, replicaResults *[][]byt
 	if s.cfg.Spec.Kind == SchemeRinger {
 		// Secrets are domain-relative; f is evaluated at absolute inputs.
 		ringers, err = baseline.PlantRingers(
-			func(x uint64) []byte { s.evals++; return f.Eval(task.Start + x) },
-			task.N, s.cfg.Spec.M, s.rng)
+			func(x uint64) []byte { tr.evals++; return f.Eval(task.Start + x) },
+			task.N, s.cfg.Spec.M, tr.rng)
 		if err != nil {
 			return nil, err
 		}
@@ -124,13 +154,13 @@ func (s *Supervisor) run(conn transport.Conn, task Task, replicaResults *[][]byt
 
 	switch s.cfg.Spec.Kind {
 	case SchemeCBS:
-		err = s.verifyCBS(conn, task, f, false, outcome)
+		err = tr.verifyCBS(conn, task, f, false, outcome)
 	case SchemeNICBS:
-		err = s.verifyCBS(conn, task, f, true, outcome)
+		err = tr.verifyCBS(conn, task, f, true, outcome)
 	case SchemeNaive, SchemeDoubleCheck:
-		err = s.verifyUpload(conn, task, f, replicaResults, outcome)
+		err = tr.verifyUpload(conn, task, f, replicaResults, outcome)
 	case SchemeRinger:
-		err = s.verifyRinger(conn, task, ringers, outcome)
+		err = tr.verifyRinger(conn, task, ringers, outcome)
 	default:
 		return nil, fmt.Errorf("%w: scheme %v", ErrBadConfig, s.cfg.Spec.Kind)
 	}
@@ -153,8 +183,8 @@ func (s *Supervisor) sendVerdict(conn transport.Conn, outcome *TaskOutcome) erro
 
 // checkFuncFor builds the Step 4 output check: a cheap verifier when the
 // workload supports one, otherwise recomputation. Evaluations are charged
-// to the supervisor's verification budget.
-func (s *Supervisor) checkFuncFor(task Task, f workload.Function) core.CheckFunc {
+// to the task's verification budget.
+func (tr *taskRun) checkFuncFor(task Task, f workload.Function) core.CheckFunc {
 	if verifier, ok := workload.AsOutputVerifier(f); ok {
 		return func(index uint64, output []byte) error {
 			if !verifier.VerifyOutput(task.Start+index, output) {
@@ -164,14 +194,14 @@ func (s *Supervisor) checkFuncFor(task Task, f workload.Function) core.CheckFunc
 		}
 	}
 	return core.RecomputeCheck(func(index uint64) []byte {
-		s.evals++
+		tr.evals++
 		return f.Eval(task.Start + index)
 	})
 }
 
 // verifyCBS receives commitment, reports, and proofs, and runs the Step 4
 // verification (interactive challenge or NI re-derivation).
-func (s *Supervisor) verifyCBS(conn transport.Conn, task Task, f workload.Function, nonInteractive bool, outcome *TaskOutcome) error {
+func (tr *taskRun) verifyCBS(conn transport.Conn, task Task, f workload.Function, nonInteractive bool, outcome *TaskOutcome) error {
 	commitMsg, err := expectMsg(conn, msgCommit)
 	if err != nil {
 		return err
@@ -193,23 +223,23 @@ func (s *Supervisor) verifyCBS(conn transport.Conn, task Task, f workload.Functi
 		return nil
 	}
 
-	verifier, err := core.NewVerifier(commitment, core.WithRand(s.rng))
+	verifier, err := core.NewVerifier(commitment, core.WithRand(tr.rng))
 	if err != nil {
 		return err
 	}
 
 	var challenge core.Challenge
 	if nonInteractive {
-		chain, err := hashchain.New(s.cfg.Spec.ChainIters)
+		chain, err := hashchain.New(tr.sup.cfg.Spec.ChainIters)
 		if err != nil {
 			return err
 		}
-		challenge.Indices, err = chain.SampleIndices(commitment.Root, s.cfg.Spec.M, commitment.N)
+		challenge.Indices, err = chain.SampleIndices(commitment.Root, tr.sup.cfg.Spec.M, commitment.N)
 		if err != nil {
 			return err
 		}
 	} else {
-		challenge, err = verifier.Challenge(s.cfg.Spec.M)
+		challenge, err = verifier.Challenge(tr.sup.cfg.Spec.M)
 		if err != nil {
 			return err
 		}
@@ -232,7 +262,7 @@ func (s *Supervisor) verifyCBS(conn transport.Conn, task Task, f workload.Functi
 		return nil
 	}
 
-	verifyErr := verifier.Verify(challenge, &resp, s.checkFuncFor(task, f))
+	verifyErr := verifier.Verify(challenge, &resp, tr.checkFuncFor(task, f))
 	var cheatErr *core.CheatError
 	switch {
 	case verifyErr == nil:
@@ -246,8 +276,8 @@ func (s *Supervisor) verifyCBS(conn transport.Conn, task Task, f workload.Functi
 		return nil
 	}
 
-	if s.cfg.CrossCheckReports {
-		if reason := s.crossCheckReports(task, f, challenge.Indices, outcome.Reports); reason != "" {
+	if tr.sup.cfg.CrossCheckReports {
+		if reason := tr.crossCheckReports(task, f, challenge.Indices, outcome.Reports); reason != "" {
 			outcome.Verdict = Verdict{Reason: reason}
 		}
 	}
@@ -257,7 +287,7 @@ func (s *Supervisor) verifyCBS(conn transport.Conn, task Task, f workload.Functi
 // crossCheckReports recomputes the screener on the sampled inputs and
 // confirms the participant's report list agrees — the sampled-index defense
 // against the malicious model of Section 2.2.
-func (s *Supervisor) crossCheckReports(task Task, f workload.Function, indices []uint64, reports []Report) string {
+func (tr *taskRun) crossCheckReports(task Task, f workload.Function, indices []uint64, reports []Report) string {
 	screener := f.Screener()
 	reported := make(map[uint64]string, len(reports))
 	for _, rep := range reports {
@@ -265,7 +295,7 @@ func (s *Supervisor) crossCheckReports(task Task, f workload.Function, indices [
 	}
 	for _, idx := range indices {
 		x := task.Start + idx
-		s.evals++
+		tr.evals++
 		value := f.Eval(x)
 		wantS, interesting := screener.Screen(x, value)
 		gotS, gotReported := reported[x]
@@ -281,7 +311,7 @@ func (s *Supervisor) crossCheckReports(task Task, f workload.Function, indices [
 
 // verifyUpload receives a full result vector and either samples it (naive)
 // or stashes it for replica comparison (double-check).
-func (s *Supervisor) verifyUpload(conn transport.Conn, task Task, f workload.Function, replicaResults *[][]byte, outcome *TaskOutcome) error {
+func (tr *taskRun) verifyUpload(conn transport.Conn, task Task, f workload.Function, replicaResults *[][]byte, outcome *TaskOutcome) error {
 	resultsMsg, err := expectMsg(conn, msgResults)
 	if err != nil {
 		return err
@@ -304,11 +334,11 @@ func (s *Supervisor) verifyUpload(conn transport.Conn, task Task, f workload.Fun
 		return nil // verdict decided by RunReplicated
 	}
 
-	sampler, err := baseline.NewNaiveSampling(s.cfg.Spec.M, s.rng)
+	sampler, err := baseline.NewNaiveSampling(tr.sup.cfg.Spec.M, tr.rng)
 	if err != nil {
 		return err
 	}
-	check := s.checkFuncFor(task, f)
+	check := tr.checkFuncFor(task, f)
 	verifyErr := sampler.Verify(int(task.N), results, func(index uint64, output []byte) error {
 		return check(index, output)
 	})
@@ -327,7 +357,7 @@ func (s *Supervisor) verifyUpload(conn transport.Conn, task Task, f workload.Fun
 
 // verifyRinger receives the participant's ringer hits and checks every
 // planted secret was found.
-func (s *Supervisor) verifyRinger(conn transport.Conn, task Task, ringers *baseline.RingerSet, outcome *TaskOutcome) error {
+func (tr *taskRun) verifyRinger(conn transport.Conn, task Task, ringers *baseline.RingerSet, outcome *TaskOutcome) error {
 	hitsMsg, err := expectMsg(conn, msgRingerHits)
 	if err != nil {
 		return err

@@ -26,6 +26,9 @@ import (
 	"errors"
 	"fmt"
 	"hash"
+	"runtime"
+	"sync"
+	"sync/atomic"
 )
 
 // Errors reported by this package. They are exported so protocol layers can
@@ -52,7 +55,8 @@ type Hasher func() hash.Hash
 
 // options collects construction parameters for trees and proofs.
 type options struct {
-	hasher Hasher
+	hasher      Hasher
+	parallelism int
 }
 
 // Option customizes tree construction and proof verification. The same
@@ -67,6 +71,31 @@ func (o hasherOption) apply(opts *options) { opts.hasher = o.h }
 
 // WithHasher selects the one-way hash function for internal nodes.
 func WithHasher(h Hasher) Option { return hasherOption{h: h} }
+
+type parallelismOption struct{ p int }
+
+func (o parallelismOption) apply(opts *options) { opts.parallelism = o.p }
+
+// WithParallelism shards leaf evaluation and subtree hashing during Build
+// and BuildFunc across a worker pool of up to p goroutines. The resulting
+// tree — root, proofs, everything — is bit-identical to a sequential
+// build; only the construction schedule changes. p <= 1 selects the
+// sequential builder; p == 0 (the zero value) likewise. Pass
+// runtime.NumCPU() for a hardware-sized pool.
+//
+// The effective worker count is clamped to runtime.NumCPU() (hashing is
+// CPU-bound) and to half the padded leaf count, and trees smaller than
+// 1024 padded leaves always build sequentially — goroutine startup would
+// cost more than it saves.
+//
+// With p > 1 the leaf producer passed to BuildFunc is called concurrently
+// from multiple goroutines (still exactly once per index, but no longer in
+// order), so it must be safe for concurrent use. Trees built by Build are
+// unaffected: slice indexing is always safe.
+//
+// Parallelism only affects construction; proofs and verification are
+// unchanged.
+func WithParallelism(p int) Option { return parallelismOption{p: p} }
 
 func buildOptions(opts []Option) options {
 	o := options{hasher: sha256.New}
@@ -128,7 +157,8 @@ func Build(values [][]byte, opts ...Option) (*Tree, error) {
 
 // BuildFunc constructs the tree over n leaves whose values are produced by
 // at(i). It avoids materializing a separate value slice; at is called exactly
-// once per index, in order.
+// once per index — in order by default, concurrently (and out of order) when
+// WithParallelism selects a worker pool.
 func BuildFunc(n int, at func(i int) []byte, opts ...Option) (*Tree, error) {
 	if n <= 0 {
 		return nil, ErrEmptyTree
@@ -137,6 +167,15 @@ func BuildFunc(n int, at func(i int) []byte, opts ...Option) (*Tree, error) {
 	hs := newHashers(o)
 	capacity := nextPow2(n)
 	nodes := make([][]byte, 2*capacity)
+
+	workers := buildWorkers(o.parallelism, capacity)
+	if workers > 1 {
+		if err := fillParallel(nodes, n, capacity, at, hs, workers); err != nil {
+			return nil, err
+		}
+		return &Tree{n: n, cap: capacity, nodes: nodes, hs: hs}, nil
+	}
+
 	for i := 0; i < n; i++ {
 		v := at(i)
 		if v == nil {
@@ -151,6 +190,111 @@ func BuildFunc(n int, at func(i int) []byte, opts ...Option) (*Tree, error) {
 		nodes[i] = hs.combine(nodes[2*i], nodes[2*i+1])
 	}
 	return &Tree{n: n, cap: capacity, nodes: nodes, hs: hs}, nil
+}
+
+// parallelMinLeaves is the tree size below which goroutine startup costs
+// more than it saves; smaller trees always build sequentially.
+const parallelMinLeaves = 1 << 10
+
+// buildWorkers resolves the effective worker count for a tree of the given
+// padded capacity.
+func buildWorkers(requested, capacity int) int {
+	if requested <= 1 || capacity < parallelMinLeaves {
+		return 1
+	}
+	if cpus := runtime.NumCPU(); requested > cpus {
+		requested = cpus
+	}
+	// Never more shards than half the leaves, so every shard owns a whole
+	// subtree of at least two leaves.
+	if max := capacity / 2; requested > max {
+		requested = max
+	}
+	return requested
+}
+
+// fillParallel populates nodes (heap layout, padded capacity `capacity`)
+// using a pool of workers. The leaf span is cut into shards equal-sized
+// subtrees; each worker evaluates its shard's leaves and hashes the subtree
+// bottom-up, fully independently. The top log2(shards) levels are then
+// combined sequentially — shards-1 nodes, a negligible tail. The node
+// values are bit-identical to the sequential schedule because the tree
+// structure, padding, and hash inputs are unchanged.
+func fillParallel(nodes [][]byte, n, capacity int, at func(i int) []byte, hs hashers, workers int) error {
+	shards := nextPow2(workers)
+	if shards > capacity/2 {
+		shards = capacity / 2
+	}
+	span := capacity / shards // leaves per shard; a power of two >= 2
+
+	errs := make([]error, shards)
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	next := make(chan int, shards)
+	for s := 0; s < shards; s++ {
+		next <- s
+	}
+	close(next)
+
+	// abortStride bounds how much work a shard does between checks of the
+	// shared failure flag, so one bad leaf stops the whole build quickly
+	// instead of after every other shard finishes.
+	const abortStride = 256
+
+	worker := func() {
+		defer wg.Done()
+		for s := range next {
+			if failed.Load() {
+				return
+			}
+			lo := s * span // first leaf index of the shard
+			for i := lo; i < lo+span; i++ {
+				if i%abortStride == 0 && failed.Load() {
+					return
+				}
+				switch {
+				case i < n:
+					v := at(i)
+					if v == nil {
+						errs[s] = fmt.Errorf("%w: index %d", ErrNilLeaf, i)
+						failed.Store(true)
+						return
+					}
+					nodes[capacity+i] = v
+				default:
+					nodes[capacity+i] = hs.pad
+				}
+			}
+			if failed.Load() {
+				return
+			}
+			// Bottom-up within the shard's subtree: the nodes of level
+			// width w are exactly [root*w, (root+1)*w) in heap layout,
+			// where root = shards + s scaled down level by level.
+			root := (capacity + lo) / span
+			for w := span / 2; w >= 1; w /= 2 {
+				for q := root * w; q < (root+1)*w; q++ {
+					nodes[q] = hs.combine(nodes[2*q], nodes[2*q+1])
+				}
+			}
+		}
+	}
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go worker()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+
+	// Shard roots occupy [shards, 2*shards); finish the top of the heap.
+	for i := shards - 1; i >= 1; i-- {
+		nodes[i] = hs.combine(nodes[2*i], nodes[2*i+1])
+	}
+	return nil
 }
 
 // N reports the number of real (unpadded) leaves.

@@ -98,18 +98,31 @@ type (
 	PartialMerkleTree = merkle.PartialTree
 	// MerkleStreamBuilder computes roots in O(log n) memory.
 	MerkleStreamBuilder = merkle.StreamBuilder
+	// MerkleOption customizes tree construction (hash choice, parallelism).
+	MerkleOption = merkle.Option
 )
 
 // Merkle constructors re-exported for direct use.
 var (
 	// BuildMerkleTree materializes a tree over leaf values.
 	BuildMerkleTree = merkle.Build
+	// BuildMerkleTreeFunc materializes a tree over generated leaf values.
+	BuildMerkleTreeFunc = merkle.BuildFunc
 	// VerifyMerkleProof checks an audit path against a root.
 	VerifyMerkleProof = merkle.Verify
 	// NewPartialMerkleTree builds the storage-bounded tree.
 	NewPartialMerkleTree = merkle.NewPartial
 	// NewMerkleStreamBuilder builds roots over huge domains.
 	NewMerkleStreamBuilder = merkle.NewStreamBuilder
+	// WithMerkleHasher selects the tree's one-way hash function.
+	WithMerkleHasher = merkle.WithHasher
+	// WithMerkleParallelism shards tree construction across a worker pool;
+	// roots are bit-identical to the sequential build. The leaf function
+	// is then called from multiple goroutines, so it must be safe for
+	// concurrent use. It applies to BuildMerkleTree/BuildMerkleTreeFunc;
+	// the storage-bounded (WithSubtreeHeight) prover builds sequentially
+	// and ignores it.
+	WithMerkleParallelism = merkle.WithParallelism
 )
 
 // ---- Non-interactive sample derivation (Section 4, Eq. 4-5) ----
@@ -226,6 +239,12 @@ type (
 	Supervisor = grid.Supervisor
 	// SupervisorConfig configures a supervisor.
 	SupervisorConfig = grid.SupervisorConfig
+	// SupervisorPool verifies many participants concurrently with bounded
+	// workers; outcomes are reproducible for equal seeds regardless of
+	// scheduling.
+	SupervisorPool = grid.SupervisorPool
+	// Assignment pairs a task with a participant connection for pooled runs.
+	Assignment = grid.Assignment
 	// Participant is a grid worker.
 	Participant = grid.Participant
 	// ProducerFactory builds a participant behaviour per task.
@@ -259,6 +278,8 @@ const (
 var (
 	// NewSupervisor creates the task organizer.
 	NewSupervisor = grid.NewSupervisor
+	// NewSupervisorPool creates the concurrent verification engine.
+	NewSupervisorPool = grid.NewSupervisorPool
 	// NewParticipant creates a worker.
 	NewParticipant = grid.NewParticipant
 	// NewBroker creates the GRACE relay.
