@@ -9,7 +9,9 @@ import (
 	"fmt"
 	"math/rand"
 	"runtime"
+	"sync"
 	"testing"
+	"time"
 )
 
 // benchWorkload is the standard 64-bit-output synthetic function.
@@ -294,6 +296,88 @@ func BenchmarkSupervisionPooled(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkPipelinedSession compares one-dialogue-per-task supervision with
+// a pipelined multi-task session on the same single connection — the
+// transport-level batching experiment. The latency variants model a real
+// link where every frame pays a fixed one-way send delay: pipelining
+// overlaps the waits and batching shares frames across tasks, so the
+// session sustains far more tasks per second. Over a zero-latency in-memory
+// pipe the two should be within noise on one CPU — the session machinery
+// costs (nearly) nothing when it cannot help.
+func BenchmarkPipelinedSession(b *testing.B) {
+	const tasks = 8
+	const window = 8
+	const taskSize = 1 << 10
+	for _, latency := range []time.Duration{0, 500 * time.Microsecond} {
+		for _, pipelined := range []bool{false, true} {
+			mode := "dialogue"
+			if pipelined {
+				mode = fmt.Sprintf("session-w%d", window)
+			}
+			b.Run(fmt.Sprintf("latency=%s/%s", latency, mode), func(b *testing.B) {
+				var wire int64
+				for i := 0; i < b.N; i++ {
+					supConn, partConn := Pipe()
+					p, err := NewParticipant("p", HonestFactory)
+					if err != nil {
+						b.Fatal(err)
+					}
+					serveErr := make(chan error, 1)
+					go func() { serveErr <- p.Serve(WithLatency(partConn, latency)) }()
+					sup, err := NewSupervisor(SupervisorConfig{
+						Spec: SchemeSpec{Kind: SchemeCBS, M: 20},
+						Seed: int64(i),
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					conn := WithLatency(supConn, latency)
+					taskList := make([]Task, tasks)
+					for j := range taskList {
+						taskList[j] = Task{
+							ID: uint64(j), Start: uint64(j) * taskSize, N: taskSize,
+							Workload: "synthetic", Seed: 7,
+						}
+					}
+					if pipelined {
+						sess, err := sup.OpenSession(conn, window)
+						if err != nil {
+							b.Fatal(err)
+						}
+						var wg sync.WaitGroup
+						for _, task := range taskList {
+							wg.Add(1)
+							go func(task Task) {
+								defer wg.Done()
+								if _, err := sess.RunTask(task); err != nil {
+									b.Error(err)
+								}
+							}(task)
+						}
+						wg.Wait()
+						if err := sess.Close(); err != nil {
+							b.Fatal(err)
+						}
+					} else {
+						for _, task := range taskList {
+							if _, err := sup.RunTask(conn, task); err != nil {
+								b.Fatal(err)
+							}
+						}
+					}
+					wire += supConn.Stats().BytesSent() + supConn.Stats().BytesRecv()
+					_ = supConn.Close()
+					if err := <-serveErr; err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(float64(b.N*tasks)/b.Elapsed().Seconds(), "tasks/s")
+				b.ReportMetric(float64(wire)/float64(int64(b.N)*tasks), "wire-B/task")
+			})
+		}
 	}
 }
 

@@ -50,6 +50,7 @@ func run(w io.Writer, args []string) error {
 		blacklist  = fs.Bool("blacklist", false, "stop assigning to participants after a rejection")
 		crossCheck = fs.Bool("crosscheck", true, "cross-check screener reports on sampled inputs")
 		workers    = fs.Int("workers", runtime.NumCPU(), "concurrent verification workers (1 = serial)")
+		pipeline   = fs.Int("pipeline", 0, "pipelined session window per connection (0 = per-task dialogue)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -94,6 +95,7 @@ func run(w io.Writer, args []string) error {
 		Blacklist:         *blacklist,
 		CrossCheckReports: *crossCheck,
 		Workers:           *workers,
+		PipelineWindow:    *pipeline,
 	})
 	if err != nil {
 		return err
@@ -103,8 +105,12 @@ func run(w io.Writer, args []string) error {
 }
 
 func printReport(w io.Writer, report *grid.SimReport) {
-	fmt.Fprintf(w, "scheme=%s tasks=%d detection=%d/%d honest-accused=%d\n",
-		report.Scheme, report.TasksAssigned,
+	mode := ""
+	if report.PipelineWindow > 0 {
+		mode = fmt.Sprintf(" pipeline=%d", report.PipelineWindow)
+	}
+	fmt.Fprintf(w, "scheme=%s%s tasks=%d detection=%d/%d honest-accused=%d\n",
+		report.Scheme, mode, report.TasksAssigned,
 		report.CheatersDetected, report.CheatersTotal, report.HonestAccused)
 	fmt.Fprintf(w, "supervisor: sent=%dB recv=%dB verify-evals=%d\n",
 		report.SupervisorBytesSent, report.SupervisorBytesRecv, report.SupervisorEvals)

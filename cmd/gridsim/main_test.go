@@ -74,3 +74,20 @@ func TestRunRejectsBadFlags(t *testing.T) {
 		t.Error("negative workers accepted")
 	}
 }
+
+func TestRunPipelinedSimulation(t *testing.T) {
+	// A single (cheating) participant makes detection deterministic even
+	// under work stealing: every task lands on it.
+	out := runGridsim(t,
+		"-scheme", "cbs", "-tasks", "6", "-tasksize", "256",
+		"-honest", "0", "-semihonest", "1", "-m", "20", "-pipeline", "4")
+	if !strings.Contains(out, "scheme=cbs pipeline=4") {
+		t.Errorf("report header missing pipeline mode:\n%s", out)
+	}
+	if !strings.Contains(out, "detection=1/1") {
+		t.Errorf("cheater not detected under pipelining:\n%s", out)
+	}
+	if err := run(&bytes.Buffer{}, []string{"-pipeline", "-1"}); err == nil {
+		t.Error("negative pipeline window accepted")
+	}
+}

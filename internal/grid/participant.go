@@ -9,6 +9,7 @@ import (
 	"uncheatgrid/internal/cheat"
 	"uncheatgrid/internal/core"
 	"uncheatgrid/internal/hashchain"
+	"uncheatgrid/internal/merkle"
 	"uncheatgrid/internal/transport"
 	"uncheatgrid/internal/workload"
 )
@@ -38,12 +39,39 @@ func MaliciousFactory(corruptProb float64, seed uint64) ProducerFactory {
 	}
 }
 
+// participantConfig collects construction options.
+type participantConfig struct {
+	proverParallelism int
+}
+
+// ParticipantOption customizes a participant.
+type ParticipantOption interface {
+	applyParticipant(*participantConfig)
+}
+
+type proverParallelismOption int
+
+func (o proverParallelismOption) applyParticipant(c *participantConfig) {
+	c.proverParallelism = int(o)
+}
+
+// WithProverParallelism makes the participant hash its CBS commitment tree
+// with p parallel workers (merkle.WithParallelism). Claimed values are still
+// evaluated and screened serially in index order — the committed root and
+// the report stream are identical to a sequential participant's; only the
+// tree construction fans out. p <= 1, non-CBS schemes, and storage-bounded
+// (SubtreeHeight > 0) assignments build sequentially.
+func WithProverParallelism(p int) ParticipantOption { return proverParallelismOption(p) }
+
 // Participant is a grid worker: it receives task assignments over a
 // connection, evaluates its (possibly cheating) results, and speaks the
-// verification protocol named in each assignment.
+// verification protocol named in each assignment. It serves both wire
+// modes: the classic one-dialogue-per-task exchange and pipelined sessions
+// with many interleaved tasks per connection.
 type Participant struct {
 	id      string
 	factory ProducerFactory
+	cfg     participantConfig
 
 	mu       sync.Mutex
 	evals    int64
@@ -55,14 +83,18 @@ type Participant struct {
 
 // NewParticipant creates a worker. id labels it in reports; factory decides
 // its honesty.
-func NewParticipant(id string, factory ProducerFactory) (*Participant, error) {
+func NewParticipant(id string, factory ProducerFactory, opts ...ParticipantOption) (*Participant, error) {
 	if id == "" {
 		return nil, fmt.Errorf("%w: empty participant id", ErrBadConfig)
 	}
 	if factory == nil {
 		return nil, fmt.Errorf("%w: nil producer factory", ErrBadConfig)
 	}
-	return &Participant{id: id, factory: factory}, nil
+	p := &Participant{id: id, factory: factory}
+	for _, opt := range opts {
+		opt.applyParticipant(&p.cfg)
+	}
+	return p, nil
 }
 
 // ID reports the participant's label.
@@ -95,6 +127,11 @@ func (p *Participant) Totals() Totals {
 
 // Serve processes assignments from conn until the peer closes (io.EOF). Any
 // other transport or protocol error is returned.
+//
+// Bare msgAssign frames run the classic one-dialogue-per-task exchange.
+// The first msgBatch frame switches the connection into pipelined-session
+// mode: tagged messages are demultiplexed by task ID and the assigned
+// tasks execute concurrently until the peer closes.
 func (p *Participant) Serve(conn transport.Conn) error {
 	for {
 		msg, err := conn.Recv()
@@ -104,23 +141,213 @@ func (p *Participant) Serve(conn transport.Conn) error {
 		if err != nil {
 			return fmt.Errorf("grid: participant %s recv: %w", p.id, err)
 		}
-		if msg.Type != msgAssign {
+		switch msg.Type {
+		case msgAssign:
+			a, err := decodeAssignment(msg.Payload)
+			if err != nil {
+				return fmt.Errorf("grid: participant %s: %w", p.id, err)
+			}
+			if err := p.executeTask(conn, a); err != nil {
+				return fmt.Errorf("grid: participant %s task %d: %w", p.id, a.Task.ID, err)
+			}
+		case msgBatch:
+			return p.servePipelined(conn, msg)
+		default:
 			return fmt.Errorf("%w: participant %s got type %d, want assignment",
 				ErrUnexpectedMessage, p.id, msg.Type)
-		}
-		a, err := decodeAssignment(msg.Payload)
-		if err != nil {
-			return fmt.Errorf("grid: participant %s: %w", p.id, err)
-		}
-		if err := p.executeTask(conn, a); err != nil {
-			return fmt.Errorf("grid: participant %s task %d: %w", p.id, a.Task.ID, err)
 		}
 	}
 }
 
+// sessionInboxCap bounds undelivered messages per in-flight pipelined task.
+// No scheme sends more than two supervisor→participant messages per task
+// after the assignment (challenge and verdict), so exceeding the bound
+// means the peer is violating the protocol.
+const sessionInboxCap = 8
+
+// participantSession is the worker-side end of a pipelined session: the
+// serve loop demultiplexes tagged messages by task ID and executes the
+// assigned tasks concurrently, reusing taskExecution per task. Outgoing
+// messages funnel through a coalescing batch writer.
+type participantSession struct {
+	p      *Participant
+	conn   transport.Conn
+	writer *batchWriter
+	wg     sync.WaitGroup
+
+	mu      sync.Mutex
+	inboxes map[uint64]chan transport.Message
+	done    bool
+	taskErr error
+}
+
+// servePipelined owns the connection from the first batch frame until the
+// peer closes. It returns the first receive, dispatch, task, or send error.
+func (p *Participant) servePipelined(conn transport.Conn, first transport.Message) error {
+	ps := &participantSession{
+		p:       p,
+		conn:    conn,
+		inboxes: make(map[uint64]chan transport.Message),
+	}
+	// A writer failure aborts the session: closing the connection fails
+	// the serve loop, which tears the inboxes down so blocked tasks (and
+	// the peer) cannot wait forever on frames that were discarded.
+	ps.writer = newBatchWriter(conn, func(error) { _ = conn.Close() })
+	err := ps.handleFrame(first)
+	for err == nil {
+		var msg transport.Message
+		msg, err = conn.Recv()
+		if errors.Is(err, io.EOF) {
+			err = nil
+			break
+		}
+		if err != nil {
+			err = fmt.Errorf("grid: participant %s recv: %w", p.id, err)
+			break
+		}
+		err = ps.handleFrame(msg)
+	}
+	if err != nil {
+		// A protocol error leaves the peer's session waiting on a half-dead
+		// exchange; closing the connection unblocks its puller.
+		_ = conn.Close()
+	}
+	// Stop routing. Tasks still blocked on a message observe EOF once they
+	// drain what was queued before shutdown; messages already routed (the
+	// peer sends every verdict before closing) complete normally.
+	ps.mu.Lock()
+	ps.done = true
+	for _, inbox := range ps.inboxes {
+		close(inbox)
+	}
+	ps.mu.Unlock()
+	ps.wg.Wait()
+	werr := ps.writer.close()
+	ps.mu.Lock()
+	taskErr := ps.taskErr
+	ps.mu.Unlock()
+	// Task and writer failures abort the session by closing the connection,
+	// so a resulting ErrClosed on the serve loop is a symptom — prefer the
+	// root cause.
+	if err == nil || errors.Is(err, transport.ErrClosed) {
+		switch {
+		case taskErr != nil:
+			err = taskErr
+		case werr != nil && !errors.Is(werr, transport.ErrClosed):
+			err = fmt.Errorf("grid: participant %s send: %w", p.id, werr)
+		}
+	}
+	return err
+}
+
+// handleFrame validates and dispatches one incoming session frame.
+func (ps *participantSession) handleFrame(frame transport.Message) error {
+	if frame.Type != msgBatch {
+		return fmt.Errorf("%w: participant %s got frame type %d during a pipelined session, want batch",
+			ErrUnexpectedMessage, ps.p.id, frame.Type)
+	}
+	msgs, err := decodeBatch(frame.Payload)
+	if err != nil {
+		return fmt.Errorf("grid: participant %s: %w", ps.p.id, err)
+	}
+	for _, tm := range msgs {
+		if err := ps.dispatch(tm); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// dispatch routes one tagged message: assignments start a new concurrent
+// task execution, everything else lands in the owning task's inbox.
+func (ps *participantSession) dispatch(tm taggedMsg) error {
+	if tm.Type == msgAssign {
+		a, err := decodeAssignment(tm.Payload)
+		if err != nil {
+			return fmt.Errorf("grid: participant %s: %w", ps.p.id, err)
+		}
+		if a.Task.ID != tm.TaskID {
+			return fmt.Errorf("%w: assignment for task %d tagged %d",
+				ErrBadPayload, a.Task.ID, tm.TaskID)
+		}
+		return ps.startTask(a)
+	}
+	ps.mu.Lock()
+	inbox, ok := ps.inboxes[tm.TaskID]
+	ps.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: message type %d for unknown task %d",
+			ErrUnexpectedMessage, tm.Type, tm.TaskID)
+	}
+	select {
+	case inbox <- transport.Message{Type: tm.Type, Payload: tm.Payload}:
+		return nil
+	default:
+		return fmt.Errorf("%w: task %d inbox overflow", ErrUnexpectedMessage, tm.TaskID)
+	}
+}
+
+// startTask registers the task's inbox and executes the assignment on its
+// own goroutine over a virtual per-task connection.
+func (ps *participantSession) startTask(a assignment) error {
+	ps.mu.Lock()
+	if _, dup := ps.inboxes[a.Task.ID]; dup {
+		ps.mu.Unlock()
+		return fmt.Errorf("%w: duplicate in-flight task %d", ErrUnexpectedMessage, a.Task.ID)
+	}
+	inbox := make(chan transport.Message, sessionInboxCap)
+	ps.inboxes[a.Task.ID] = inbox
+	ps.mu.Unlock()
+
+	conn := &participantTaskConn{ps: ps, id: a.Task.ID, inbox: inbox}
+	ps.wg.Add(1)
+	go func() {
+		defer ps.wg.Done()
+		err := ps.p.executeTask(conn, a)
+		ps.mu.Lock()
+		if !ps.done {
+			delete(ps.inboxes, a.Task.ID)
+		}
+		if err != nil && ps.taskErr == nil {
+			ps.taskErr = fmt.Errorf("grid: participant %s task %d: %w", ps.p.id, a.Task.ID, err)
+		}
+		ps.mu.Unlock()
+		if err != nil {
+			// A failed task cannot answer its supervisor-side exchange, which
+			// would otherwise wait forever. Abort the whole session: closing
+			// the connection unblocks both the peer and our own serve loop.
+			_ = ps.conn.Close()
+		}
+	}()
+	return nil
+}
+
+// participantTaskConn is the virtual protoConn of one pipelined task on the
+// participant side.
+type participantTaskConn struct {
+	ps    *participantSession
+	id    uint64
+	inbox chan transport.Message
+}
+
+// Send implements protoConn.
+func (c *participantTaskConn) Send(m transport.Message) error {
+	return c.ps.writer.enqueue(taggedMsg{TaskID: c.id, Type: m.Type, Payload: m.Payload})
+}
+
+// Recv implements protoConn.
+func (c *participantTaskConn) Recv() (transport.Message, error) {
+	m, ok := <-c.inbox
+	if !ok {
+		return transport.Message{}, io.EOF
+	}
+	return m, nil
+}
+
 // executeTask runs one assignment end to end, including the verification
-// dialogue the scheme requires.
-func (p *Participant) executeTask(conn transport.Conn, a assignment) error {
+// dialogue the scheme requires. conn is either a whole connection (dialogue
+// mode) or a per-task session endpoint (pipelined mode).
+func (p *Participant) executeTask(conn protoConn, a assignment) error {
 	if err := a.Task.validate(); err != nil {
 		return err
 	}
@@ -139,10 +366,11 @@ func (p *Participant) executeTask(conn transport.Conn, a assignment) error {
 	screener := base.Screener()
 
 	exec := &taskExecution{
-		task:     a.Task,
-		spec:     a.Spec,
-		producer: producer,
-		screener: screener,
+		task:        a.Task,
+		spec:        a.Spec,
+		producer:    producer,
+		screener:    screener,
+		parallelism: p.cfg.proverParallelism,
 	}
 	switch a.Spec.Kind {
 	case SchemeCBS:
@@ -183,10 +411,11 @@ func (p *Participant) executeTask(conn transport.Conn, a assignment) error {
 
 // taskExecution carries the state of one assignment.
 type taskExecution struct {
-	task     Task
-	spec     SchemeSpec
-	producer cheat.Producer
-	screener workload.Screener
+	task        Task
+	spec        SchemeSpec
+	producer    cheat.Producer
+	screener    workload.Screener
+	parallelism int
 }
 
 // claimAndScreen evaluates the participant's claimed value for domain index
@@ -205,7 +434,7 @@ func (e *taskExecution) claimAndScreen(i uint64, reports *[]Report) []byte {
 // runCBS executes Steps 1-3 of (NI-)CBS: build the tree over claimed values
 // while screening, send commitment and reports, then answer the challenge
 // (interactive) or self-derive it (non-interactive).
-func (e *taskExecution) runCBS(conn transport.Conn, nonInteractive bool, chain *hashchain.Chain) error {
+func (e *taskExecution) runCBS(conn protoConn, nonInteractive bool, chain *hashchain.Chain) error {
 	var reports []Report
 	// Screening happens once per input on the first (tree-building) pass.
 	screened := make(map[uint64]bool, e.task.N)
@@ -220,6 +449,19 @@ func (e *taskExecution) runCBS(conn transport.Conn, nonInteractive bool, chain *
 	var opts []core.Option
 	if e.spec.SubtreeHeight > 0 {
 		opts = append(opts, core.WithSubtreeHeight(e.spec.SubtreeHeight))
+	}
+	if e.parallelism > 1 && e.spec.SubtreeHeight == 0 {
+		// Parallel tree build: the prover calls claim from many goroutines,
+		// but screening must stay a serial in-order pass (report order and
+		// producer state are part of the protocol contract). Materialize the
+		// claimed values first, then hash the tree in parallel over the
+		// frozen slice — the root is bit-identical to the sequential build.
+		values := make([][]byte, e.task.N)
+		for i := uint64(0); i < e.task.N; i++ {
+			values[i] = claim(i)
+		}
+		claim = func(i uint64) []byte { return values[i] }
+		opts = append(opts, core.WithTreeOptions(merkle.WithParallelism(e.parallelism)))
 	}
 	prover, err := core.NewProver(int(e.task.N), claim, opts...)
 	if err != nil {
@@ -268,7 +510,7 @@ func (e *taskExecution) runCBS(conn transport.Conn, nonInteractive bool, chain *
 
 // runUpload executes the naive-sampling / double-check participant side:
 // compute (or fabricate) everything and upload the full result vector.
-func (e *taskExecution) runUpload(conn transport.Conn) error {
+func (e *taskExecution) runUpload(conn protoConn) error {
 	var reports []Report
 	results := make([][]byte, e.task.N)
 	for i := uint64(0); i < e.task.N; i++ {
@@ -283,7 +525,7 @@ func (e *taskExecution) runUpload(conn transport.Conn) error {
 // runRinger executes the Golle-Mironov participant side: scan the domain,
 // reporting both screened results and inputs whose value matches a planted
 // image.
-func (e *taskExecution) runRinger(conn transport.Conn, images [][]byte) error {
+func (e *taskExecution) runRinger(conn protoConn, images [][]byte) error {
 	imageSet := make(map[string]struct{}, len(images))
 	for _, img := range images {
 		imageSet[string(img)] = struct{}{}
@@ -302,7 +544,7 @@ func (e *taskExecution) runRinger(conn transport.Conn, images [][]byte) error {
 	return conn.Send(transport.Message{Type: msgReports, Payload: encodeReports(reports)})
 }
 
-func recvVerdict(conn transport.Conn) (Verdict, error) {
+func recvVerdict(conn protoConn) (Verdict, error) {
 	msg, err := conn.Recv()
 	if err != nil {
 		return Verdict{}, err

@@ -1,0 +1,427 @@
+package grid
+
+import (
+	"fmt"
+	"sync"
+
+	"uncheatgrid/internal/transport"
+)
+
+// This file implements pipelined multi-task sessions: instead of one
+// request/response dialogue per task, a supervisor opens a Session on a
+// connection and keeps up to `window` tasks in flight at once. Every
+// protocol message is tagged with its task ID and travels inside msgBatch
+// frames, so small messages from concurrent tasks coalesce and share frame
+// headers — the audit-pipeline shape of Goodrich (arXiv:0906.1225) applied
+// to the CBS schemes.
+
+// batchTargetBytes is the soft cap on how much tagged payload one coalesced
+// frame carries before the writer stops gathering more. A single oversized
+// sub-message still travels alone, exactly as it would have in dialogue
+// mode.
+const batchTargetBytes = 1 << 20
+
+// maxBatchPayload is the hard cap: a coalesced frame's payload must stay a
+// legal transport frame, with headroom for the batch count prefix. A batch
+// always carries at least one message, so tag framing shaves ~20 bytes off
+// the largest single payload a session can carry versus dialogue mode;
+// payloads that close to transport.MaxFrameBytes must be chunked by the
+// caller in either mode (see ROADMAP "Chunked uploads").
+const maxBatchPayload = transport.MaxFrameBytes - 16
+
+// batchWriter serializes task-tagged messages from many goroutines onto one
+// connection, coalescing whatever is queued into msgBatch frames. After a
+// send error the writer keeps draining (and discarding) its queue so
+// enqueuers can never wedge; the error fires the onFail hook once (enqueue
+// is asynchronous, so a task that already queued its message may otherwise
+// be blocked waiting for a reply to a frame that was discarded), is
+// reported on the next enqueue, and by close.
+//
+// close must not race enqueue: both endpoints guarantee their task
+// goroutines have finished (window slots / WaitGroup) before closing.
+type batchWriter struct {
+	conn   transport.Conn
+	in     chan taggedMsg
+	done   chan struct{}
+	onFail func(error)
+
+	// mu guards err and overhead only and is never held across a blocking
+	// operation.
+	mu       sync.Mutex
+	err      error
+	overhead int64
+}
+
+func newBatchWriter(conn transport.Conn, onFail func(error)) *batchWriter {
+	w := &batchWriter{
+		conn:   conn,
+		in:     make(chan taggedMsg, 64),
+		done:   make(chan struct{}),
+		onFail: onFail,
+	}
+	go w.loop()
+	return w
+}
+
+func (w *batchWriter) loop() {
+	defer close(w.done)
+	var carry *taggedMsg // next frame's first message when a batch hits the hard cap
+	for {
+		var first taggedMsg
+		if carry != nil {
+			first, carry = *carry, nil
+		} else {
+			var ok bool
+			if first, ok = <-w.in; !ok {
+				return
+			}
+		}
+		batch := []taggedMsg{first}
+		size := first.wireSize()
+	coalesce:
+		for len(batch) < maxBatchMsgs && size < batchTargetBytes {
+			select {
+			case tm, ok := <-w.in:
+				if !ok {
+					w.flush(batch)
+					return
+				}
+				if size+tm.wireSize() > maxBatchPayload {
+					// Adding tm would overflow a legal frame; it opens the
+					// next one instead.
+					carry = &tm
+					break coalesce
+				}
+				batch = append(batch, tm)
+				size += tm.wireSize()
+			default:
+				break coalesce
+			}
+		}
+		w.flush(batch)
+	}
+}
+
+func (w *batchWriter) flush(batch []taggedMsg) {
+	if w.failed() != nil {
+		return // drain mode: consume without sending so enqueuers never block
+	}
+	frame := transport.Message{Type: msgBatch, Payload: encodeBatch(batch)}
+	if err := w.conn.Send(frame); err != nil {
+		w.fail(err)
+		return
+	}
+	var tagged int64
+	for _, tm := range batch {
+		tagged += tm.wireSize()
+	}
+	w.mu.Lock()
+	w.overhead += frame.FrameSize() - tagged
+	w.mu.Unlock()
+}
+
+func (w *batchWriter) fail(err error) {
+	w.mu.Lock()
+	first := w.err == nil
+	if first {
+		w.err = err
+	}
+	w.mu.Unlock()
+	if first && w.onFail != nil {
+		w.onFail(err)
+	}
+}
+
+func (w *batchWriter) failed() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.err
+}
+
+// overheadBytes reports sent frame bytes not attributable to any one task:
+// batch headers and count prefixes.
+func (w *batchWriter) overheadBytes() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.overhead
+}
+
+// enqueue queues one tagged message for (possibly coalesced) sending. It
+// returns quickly; transmission errors surface on later calls and at close.
+func (w *batchWriter) enqueue(tm taggedMsg) error {
+	if err := w.failed(); err != nil {
+		return err
+	}
+	w.in <- tm
+	return nil
+}
+
+// close flushes queued messages, stops the writer, and reports any send
+// error. No enqueue may be concurrent with or follow close.
+func (w *batchWriter) close() error {
+	close(w.in)
+	<-w.done
+	return w.failed()
+}
+
+// Session is a pipelined multi-task exchange owned by a supervisor: up to
+// `window` tasks proceed concurrently over one connection, their messages
+// tagged by task ID and coalesced into batch frames. The peer participant
+// enters pipelined mode automatically on the first batch frame.
+//
+// A Session must be the connection's only user while open. Close flushes
+// and shuts the session down but leaves the connection open.
+type Session struct {
+	sup    *Supervisor
+	conn   transport.Conn
+	window int
+
+	slots     chan struct{} // window permits; Close acquires all
+	closing   chan struct{}
+	closeOnce sync.Once
+	closeErr  error
+	writer    *batchWriter
+
+	// mu guards the demultiplexer: per-task inboxes, the elected-puller
+	// flag, the terminal error, and receive-side overhead accounting.
+	mu           sync.Mutex
+	cond         *sync.Cond
+	tasks        map[uint64]*sessionTaskConn
+	used         map[uint64]struct{}
+	pulling      bool
+	err          error
+	recvOverhead int64
+}
+
+// OpenSession starts a pipelined session on conn with the given in-flight
+// window. The double-check scheme needs a replication barrier across
+// connections and cannot be pipelined.
+func (s *Supervisor) OpenSession(conn transport.Conn, window int) (*Session, error) {
+	if s.cfg.Spec.Kind == SchemeDoubleCheck {
+		return nil, fmt.Errorf("%w: double-check requires RunReplicated, not a session", ErrBadConfig)
+	}
+	if conn == nil {
+		return nil, fmt.Errorf("%w: nil connection", ErrBadConfig)
+	}
+	if window < 1 {
+		return nil, fmt.Errorf("%w: session window %d", ErrBadConfig, window)
+	}
+	sess := &Session{
+		sup:     s,
+		conn:    conn,
+		window:  window,
+		slots:   make(chan struct{}, window),
+		closing: make(chan struct{}),
+		tasks:   make(map[uint64]*sessionTaskConn),
+		used:    make(map[uint64]struct{}),
+	}
+	sess.cond = sync.NewCond(&sess.mu)
+	// A writer failure must poison the session, not just drain: tasks that
+	// already enqueued a message would otherwise wait forever for a reply
+	// to a frame that was never sent. Closing the connection unblocks the
+	// elected puller (and the peer).
+	sess.writer = newBatchWriter(conn, func(err error) {
+		sess.fail(fmt.Errorf("grid: session send: %w", err))
+		_ = conn.Close()
+	})
+	return sess, nil
+}
+
+// fail records the session's terminal error and wakes every waiter.
+func (s *Session) fail(err error) {
+	s.mu.Lock()
+	if s.err == nil {
+		s.err = err
+	}
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// sessionTaskConn is the virtual protoConn of one in-flight task: sends are
+// tagged with the task ID and coalesced by the session writer; receives are
+// demultiplexed by ID from the shared connection.
+type sessionTaskConn struct {
+	sess *Session
+	id   uint64
+	// inbox holds routed-but-unconsumed messages; guarded by sess.mu.
+	inbox []transport.Message
+	// sent is owned by the task goroutine; recv is guarded by sess.mu.
+	// Both count this task's tagged bytes inside batch frames.
+	sent, recv int64
+}
+
+// Send implements protoConn.
+func (c *sessionTaskConn) Send(m transport.Message) error {
+	tm := taggedMsg{TaskID: c.id, Type: m.Type, Payload: m.Payload}
+	if err := c.sess.writer.enqueue(tm); err != nil {
+		return err
+	}
+	c.sent += tm.wireSize()
+	return nil
+}
+
+// Recv implements protoConn.
+func (c *sessionTaskConn) Recv() (transport.Message, error) {
+	return c.sess.recvFor(c)
+}
+
+// recvFor returns the next message routed to c. The session has no
+// dedicated reader goroutine: among the task goroutines blocked here, one
+// is elected to pull from the connection and route what arrives; the rest
+// wait on the condition variable. A session error wakes and fails everyone.
+func (s *Session) recvFor(c *sessionTaskConn) (transport.Message, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if len(c.inbox) > 0 {
+			m := c.inbox[0]
+			c.inbox = c.inbox[1:]
+			return m, nil
+		}
+		if s.err != nil {
+			return transport.Message{}, s.err
+		}
+		if !s.pulling {
+			s.pulling = true
+			s.mu.Unlock()
+			frame, err := s.conn.Recv()
+			s.mu.Lock()
+			s.pulling = false
+			if err != nil {
+				err = fmt.Errorf("grid: session recv: %w", err)
+			} else {
+				err = s.routeLocked(frame)
+			}
+			if err != nil && s.err == nil {
+				s.err = err
+			}
+			s.cond.Broadcast()
+			continue
+		}
+		s.cond.Wait()
+	}
+}
+
+// routeLocked demultiplexes one incoming batch frame into per-task inboxes
+// and attributes its bytes: tagged sub-messages to their tasks, framing to
+// the session. Caller holds s.mu.
+func (s *Session) routeLocked(frame transport.Message) error {
+	if frame.Type != msgBatch {
+		return fmt.Errorf("%w: session got frame type %d, want batch", ErrUnexpectedMessage, frame.Type)
+	}
+	msgs, err := decodeBatch(frame.Payload)
+	if err != nil {
+		return err
+	}
+	var tagged int64
+	for _, tm := range msgs {
+		tc, ok := s.tasks[tm.TaskID]
+		if !ok {
+			return fmt.Errorf("%w: message type %d for unknown task %d",
+				ErrUnexpectedMessage, tm.Type, tm.TaskID)
+		}
+		tc.inbox = append(tc.inbox, transport.Message{Type: tm.Type, Payload: tm.Payload})
+		tc.recv += tm.wireSize()
+		tagged += tm.wireSize()
+	}
+	s.recvOverhead += frame.FrameSize() - tagged
+	return nil
+}
+
+// register adds a task to the demultiplexer. Task IDs are the wire-level
+// routing key and must be unique for the whole life of the session, not
+// just among in-flight tasks: the participant tears its side of a finished
+// task down asynchronously, so immediate reuse would race it.
+func (s *Session) register(taskID uint64) (*sessionTaskConn, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.err; err != nil {
+		return nil, err
+	}
+	if _, dup := s.used[taskID]; dup {
+		return nil, fmt.Errorf("%w: task %d already run on this session (IDs must be unique per session)", ErrBadConfig, taskID)
+	}
+	s.used[taskID] = struct{}{}
+	c := &sessionTaskConn{sess: s, id: taskID}
+	s.tasks[taskID] = c
+	return c, nil
+}
+
+func (s *Session) unregister(taskID uint64) {
+	s.mu.Lock()
+	delete(s.tasks, taskID)
+	s.mu.Unlock()
+}
+
+// RunTask runs one task through the session, from assignment to verdict.
+// It is safe for concurrent use; at most `window` calls proceed at once and
+// further callers block for a slot. Task IDs must be unique across the
+// session's lifetime. Detected cheats land in the outcome verdict, exactly
+// as in dialogue mode — equal seeds and task IDs produce identical
+// verdicts however the exchanges interleave.
+//
+// The outcome's byte counts cover the task's tagged messages on the wire;
+// shared batch framing is reported by OverheadBytes.
+func (sess *Session) RunTask(task Task) (*TaskOutcome, error) {
+	select {
+	case sess.slots <- struct{}{}:
+	case <-sess.closing:
+		return nil, fmt.Errorf("%w: session closed", ErrBadConfig)
+	}
+	defer func() { <-sess.slots }()
+
+	// Register before preparing: the duplicate-ID check is the cheap one,
+	// and settle always runs once a task has charged verification evals.
+	c, err := sess.register(task.ID)
+	if err != nil {
+		return nil, err
+	}
+	defer sess.unregister(task.ID)
+	pt, err := sess.sup.prepareTask(task)
+	if err != nil {
+		// No traffic was generated, so the ID stays reusable for a retry.
+		sess.mu.Lock()
+		delete(sess.used, task.ID)
+		sess.mu.Unlock()
+		return nil, err
+	}
+
+	err = sess.sup.exchange(c, pt, nil)
+	sess.mu.Lock()
+	pt.outcome.BytesSent = c.sent
+	pt.outcome.BytesRecv = c.recv
+	sess.mu.Unlock()
+	sess.sup.settle(pt)
+	if err != nil {
+		return nil, fmt.Errorf("grid: session task %d: %w", task.ID, err)
+	}
+	return pt.outcome, nil
+}
+
+// OverheadBytes reports session framing traffic not attributed to any task:
+// batch frame headers and count prefixes, per direction. Once the session
+// is closed, conn.Stats().BytesSent() == Σ outcome.BytesSent + sent exactly
+// (and likewise for receive) when the session was the connection's only
+// user.
+func (sess *Session) OverheadBytes() (sent, recv int64) {
+	sess.mu.Lock()
+	recv = sess.recvOverhead
+	sess.mu.Unlock()
+	return sess.writer.overheadBytes(), recv
+}
+
+// Close waits for in-flight tasks, flushes pending frames, and shuts the
+// session down. The connection stays open — the participant's session loop
+// ends when the connection closes. Close reports any writer send error.
+func (sess *Session) Close() error {
+	sess.closeOnce.Do(func() {
+		close(sess.closing)
+		// Acquiring every window slot proves no RunTask is in flight, so
+		// closing the writer cannot race an enqueue.
+		for i := 0; i < sess.window; i++ {
+			sess.slots <- struct{}{}
+		}
+		sess.closeErr = sess.writer.close()
+	})
+	return sess.closeErr
+}

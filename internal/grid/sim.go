@@ -3,6 +3,8 @@ package grid
 import (
 	"context"
 	"fmt"
+	"sort"
+	"sync"
 
 	"uncheatgrid/internal/transport"
 )
@@ -45,6 +47,17 @@ type SimConfig struct {
 	// participant can be picked twice). The double-check scheme is a
 	// replication barrier and always runs serially.
 	Workers int
+	// PipelineWindow, when > 0, replaces the per-task dialogue with
+	// pipelined multi-task sessions: every participant connection carries up
+	// to PipelineWindow concurrent task exchanges in batched frames, and
+	// connections claim tasks from a shared queue (work stealing). Unlike
+	// Workers, the task→participant pairing then depends on scheduling;
+	// each (task, participant) verdict is still deterministic, and the
+	// report is recorded in task order. Blacklisting retires a participant
+	// from claiming after its first rejection, but tasks already in flight
+	// on it still finish. Double-check ignores this field (replication
+	// barrier). PipelineWindow takes precedence over Workers.
+	PipelineWindow int
 }
 
 func (c SimConfig) participants() int { return c.Honest + c.SemiHonest + c.Malicious }
@@ -64,6 +77,9 @@ func (c SimConfig) validate() error {
 	}
 	if c.Workers < 0 {
 		return fmt.Errorf("%w: negative worker count %d", ErrBadConfig, c.Workers)
+	}
+	if c.PipelineWindow < 0 {
+		return fmt.Errorf("%w: negative pipeline window %d", ErrBadConfig, c.PipelineWindow)
 	}
 	if c.Spec.Kind == SchemeDoubleCheck {
 		if c.Replicas != 0 && c.Replicas < 2 {
@@ -105,6 +121,9 @@ type ParticipantSummary struct {
 type SimReport struct {
 	// Scheme names the verification scheme used.
 	Scheme string
+	// PipelineWindow echoes the session window of a pipelined run; 0 means
+	// the per-task dialogue was used.
+	PipelineWindow int
 	// Participants summarizes each pool member.
 	Participants []ParticipantSummary
 	// Reports collects every screened result received by the supervisor.
@@ -147,7 +166,9 @@ type simWorker struct {
 // over the (non-blacklisted) pool; double-check groups consecutive workers.
 // With Workers > 1 the non-replicated schemes verify participants
 // concurrently through a SupervisorPool; per-task seed derivation keeps the
-// report identical to the serial run.
+// report identical to the serial run. With PipelineWindow > 0 tasks flow
+// through pipelined multi-task sessions with work stealing instead (see
+// SimConfig.PipelineWindow for the reproducibility trade-off).
 func RunSim(cfg SimConfig) (*SimReport, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
@@ -170,7 +191,16 @@ func RunSim(cfg SimConfig) (*SimReport, error) {
 	report := &SimReport{Scheme: cfg.Spec.Kind.String()}
 	var scheduleErr error
 	var supervisorEvals func() int64
-	if cfg.Workers > 1 && cfg.Spec.Kind != SchemeDoubleCheck {
+	if cfg.PipelineWindow > 0 && cfg.Spec.Kind != SchemeDoubleCheck {
+		report.PipelineWindow = cfg.PipelineWindow
+		pool, err := NewSupervisorPool(supCfg, cfg.participants()*cfg.PipelineWindow)
+		if err != nil {
+			shutdownPool(workers)
+			return nil, err
+		}
+		scheduleErr = scheduleTasksPipelined(cfg, pool, workers, report)
+		supervisorEvals = pool.VerifyEvals
+	} else if cfg.Workers > 1 && cfg.Spec.Kind != SchemeDoubleCheck {
 		pool, err := NewSupervisorPool(supCfg, cfg.Workers)
 		if err != nil {
 			shutdownPool(workers)
@@ -388,6 +418,69 @@ func scheduleTasksPooled(cfg SimConfig, pool *SupervisorPool, workers []*simWork
 		for i, outcome := range outcomes {
 			recordOutcome(cfg, batchWorkers[i], outcome, report)
 		}
+	}
+	return nil
+}
+
+// scheduleTasksPipelined drives the whole task list through pipelined
+// sessions with work stealing (SupervisorPool.RunTasksStream): every
+// participant connection holds up to cfg.PipelineWindow tasks in flight and
+// claims work from a shared queue. Outcomes are consumed as they stream in
+// (blacklisting retires a participant from further claims immediately) but
+// recorded into the report in task order, so the report layout does not
+// depend on completion interleaving.
+func scheduleTasksPipelined(cfg SimConfig, pool *SupervisorPool, workers []*simWorker, report *SimReport) error {
+	byConn := make(map[transport.Conn]*simWorker, len(workers))
+	conns := make([]transport.Conn, len(workers))
+	for i, w := range workers {
+		conns[i] = w.supConn
+		byConn[w.supConn] = w
+	}
+	tasks := make([]Task, cfg.Tasks)
+	for i := range tasks {
+		tasks[i] = taskFor(cfg, i)
+	}
+
+	// Blacklist flags are written by this consumer and read by the pool's
+	// claim-time eligibility checks on other goroutines.
+	var mu sync.Mutex
+	var opts []StreamOption
+	if cfg.Blacklist {
+		opts = append(opts, WithEligibility(func(conn transport.Conn) bool {
+			mu.Lock()
+			defer mu.Unlock()
+			return !byConn[conn].blacklisted
+		}))
+	}
+	stream, err := pool.RunTasksStream(context.Background(), conns, tasks, cfg.PipelineWindow, opts...)
+	if err != nil {
+		return err
+	}
+
+	type completion struct {
+		w       *simWorker
+		outcome *TaskOutcome
+	}
+	var completed []completion
+	for so := range stream.Outcomes() {
+		w := byConn[so.Conn]
+		if cfg.Blacklist && !so.Outcome.Verdict.Accepted {
+			mu.Lock()
+			w.blacklisted = true
+			mu.Unlock()
+		}
+		completed = append(completed, completion{w, so.Outcome})
+	}
+	if err := stream.Err(); err != nil {
+		return err
+	}
+
+	sort.Slice(completed, func(i, j int) bool {
+		return completed[i].outcome.Task.ID < completed[j].outcome.Task.ID
+	})
+	report.TasksAssigned = len(completed)
+	for _, c := range completed {
+		recordOutcome(cfg, c.w, c.outcome, report)
 	}
 	return nil
 }

@@ -99,6 +99,18 @@ type TaskOutcome struct {
 	CheatIndex int64
 }
 
+// protoConn is the one-task view of a connection: ordered Send/Recv of a
+// single task's protocol messages. transport.Conn implements it directly
+// (the classic one-dialogue-per-connection mode); pipelined sessions hand
+// each in-flight task a virtual protoConn multiplexed over one shared
+// transport.Conn. The per-phase supervisor and participant state machines
+// are written against this interface so both modes share one protocol
+// implementation.
+type protoConn interface {
+	Send(m transport.Message) error
+	Recv() (transport.Message, error)
+}
+
 // RunTask assigns the task over conn and runs the configured verification
 // scheme to completion (assignment through verdict). Protocol and transport
 // failures are returned as errors; a detected cheat is not an error — it is
@@ -114,9 +126,22 @@ func (s *Supervisor) RunTask(conn transport.Conn, task Task) (*TaskOutcome, erro
 	return outcomes, nil
 }
 
-// run executes one supervisor-side task exchange. replicaResults, when
-// non-nil, receives the full upload for double-check aggregation.
-func (s *Supervisor) run(conn transport.Conn, task Task, replicaResults *[][]byte) (*TaskOutcome, error) {
+// preparedTask is the output of the assignment phase: everything the
+// supervisor needs to drive one task's verification, independent of the
+// connection (real or session-virtual) the exchange will run on.
+type preparedTask struct {
+	assign  assignment
+	f       workload.Function
+	tr      *taskRun
+	ringers *baseline.RingerSet
+	outcome *TaskOutcome
+}
+
+// prepareTask runs the assignment phase: validate the task, instantiate the
+// workload and the task's private randomness stream, and (ringer scheme)
+// plant the secrets. No traffic is generated; ringer evaluations are charged
+// to the task's verification budget.
+func (s *Supervisor) prepareTask(task Task) (*preparedTask, error) {
 	if err := task.validate(); err != nil {
 		return nil, err
 	}
@@ -125,59 +150,88 @@ func (s *Supervisor) run(conn transport.Conn, task Task, replicaResults *[][]byt
 		return nil, err
 	}
 	tr := s.newTaskRun(task)
-
-	outcome := &TaskOutcome{Task: task, CheatIndex: -1}
-	startSent := conn.Stats().BytesSent()
-	startRecv := conn.Stats().BytesRecv()
-	defer func() {
-		outcome.BytesSent = conn.Stats().BytesSent() - startSent
-		outcome.BytesRecv = conn.Stats().BytesRecv() - startRecv
-		outcome.VerifyEvals = tr.evals
-		s.evals.Add(tr.evals)
-	}()
-
-	a := assignment{Task: task, Spec: s.cfg.Spec}
-	var ringers *baseline.RingerSet
+	pt := &preparedTask{
+		assign:  assignment{Task: task, Spec: s.cfg.Spec},
+		f:       f,
+		tr:      tr,
+		outcome: &TaskOutcome{Task: task, CheatIndex: -1},
+	}
 	if s.cfg.Spec.Kind == SchemeRinger {
 		// Secrets are domain-relative; f is evaluated at absolute inputs.
-		ringers, err = baseline.PlantRingers(
+		pt.ringers, err = baseline.PlantRingers(
 			func(x uint64) []byte { tr.evals++; return f.Eval(task.Start + x) },
 			task.N, s.cfg.Spec.M, tr.rng)
 		if err != nil {
 			return nil, err
 		}
-		a.RingerImages = ringers.Images
+		pt.assign.RingerImages = pt.ringers.Images
 	}
-	if err := conn.Send(transport.Message{Type: msgAssign, Payload: encodeAssignment(a)}); err != nil {
-		return nil, err
+	return pt, nil
+}
+
+// exchange runs the wire phases of a prepared task over conn: assignment
+// out, scheme-specific verification dialogue, verdict back. replicaResults,
+// when non-nil, receives the full upload for double-check aggregation (whose
+// verdict waits for the replica barrier instead of being sent here).
+func (s *Supervisor) exchange(conn protoConn, pt *preparedTask, replicaResults *[][]byte) error {
+	if err := conn.Send(transport.Message{Type: msgAssign, Payload: encodeAssignment(pt.assign)}); err != nil {
+		return err
 	}
 
+	task := pt.assign.Task
+	var err error
 	switch s.cfg.Spec.Kind {
 	case SchemeCBS:
-		err = tr.verifyCBS(conn, task, f, false, outcome)
+		err = pt.tr.verifyCBS(conn, task, pt.f, false, pt.outcome)
 	case SchemeNICBS:
-		err = tr.verifyCBS(conn, task, f, true, outcome)
+		err = pt.tr.verifyCBS(conn, task, pt.f, true, pt.outcome)
 	case SchemeNaive, SchemeDoubleCheck:
-		err = tr.verifyUpload(conn, task, f, replicaResults, outcome)
+		err = pt.tr.verifyUpload(conn, task, pt.f, replicaResults, pt.outcome)
 	case SchemeRinger:
-		err = tr.verifyRinger(conn, task, ringers, outcome)
+		err = pt.tr.verifyRinger(conn, task, pt.ringers, pt.outcome)
 	default:
-		return nil, fmt.Errorf("%w: scheme %v", ErrBadConfig, s.cfg.Spec.Kind)
+		return fmt.Errorf("%w: scheme %v", ErrBadConfig, s.cfg.Spec.Kind)
 	}
 	if err != nil {
-		return nil, err
+		return err
 	}
 
 	// Double-check defers its verdict until all replicas have reported.
 	if s.cfg.Spec.Kind != SchemeDoubleCheck {
-		if err := s.sendVerdict(conn, outcome); err != nil {
-			return nil, err
-		}
+		return s.sendVerdict(conn, pt.outcome)
 	}
-	return outcome, nil
+	return nil
 }
 
-func (s *Supervisor) sendVerdict(conn transport.Conn, outcome *TaskOutcome) error {
+// settle closes the task's verification-eval accounting into its outcome
+// and the supervisor totals. Called exactly once per prepared task.
+func (s *Supervisor) settle(pt *preparedTask) {
+	pt.outcome.VerifyEvals = pt.tr.evals
+	s.evals.Add(pt.tr.evals)
+}
+
+// run executes one supervisor-side task exchange in dialogue mode, where
+// the task owns the connection and per-task traffic is the connection's
+// stats delta.
+func (s *Supervisor) run(conn transport.Conn, task Task, replicaResults *[][]byte) (*TaskOutcome, error) {
+	pt, err := s.prepareTask(task)
+	if err != nil {
+		return nil, err
+	}
+	startSent := conn.Stats().BytesSent()
+	startRecv := conn.Stats().BytesRecv()
+	defer func() {
+		pt.outcome.BytesSent = conn.Stats().BytesSent() - startSent
+		pt.outcome.BytesRecv = conn.Stats().BytesRecv() - startRecv
+		s.settle(pt)
+	}()
+	if err := s.exchange(conn, pt, replicaResults); err != nil {
+		return nil, err
+	}
+	return pt.outcome, nil
+}
+
+func (s *Supervisor) sendVerdict(conn protoConn, outcome *TaskOutcome) error {
 	return conn.Send(transport.Message{Type: msgVerdict, Payload: encodeVerdict(outcome.Verdict)})
 }
 
@@ -201,7 +255,7 @@ func (tr *taskRun) checkFuncFor(task Task, f workload.Function) core.CheckFunc {
 
 // verifyCBS receives commitment, reports, and proofs, and runs the Step 4
 // verification (interactive challenge or NI re-derivation).
-func (tr *taskRun) verifyCBS(conn transport.Conn, task Task, f workload.Function, nonInteractive bool, outcome *TaskOutcome) error {
+func (tr *taskRun) verifyCBS(conn protoConn, task Task, f workload.Function, nonInteractive bool, outcome *TaskOutcome) error {
 	commitMsg, err := expectMsg(conn, msgCommit)
 	if err != nil {
 		return err
@@ -311,7 +365,7 @@ func (tr *taskRun) crossCheckReports(task Task, f workload.Function, indices []u
 
 // verifyUpload receives a full result vector and either samples it (naive)
 // or stashes it for replica comparison (double-check).
-func (tr *taskRun) verifyUpload(conn transport.Conn, task Task, f workload.Function, replicaResults *[][]byte, outcome *TaskOutcome) error {
+func (tr *taskRun) verifyUpload(conn protoConn, task Task, f workload.Function, replicaResults *[][]byte, outcome *TaskOutcome) error {
 	resultsMsg, err := expectMsg(conn, msgResults)
 	if err != nil {
 		return err
@@ -357,7 +411,7 @@ func (tr *taskRun) verifyUpload(conn transport.Conn, task Task, f workload.Funct
 
 // verifyRinger receives the participant's ringer hits and checks every
 // planted secret was found.
-func (tr *taskRun) verifyRinger(conn transport.Conn, task Task, ringers *baseline.RingerSet, outcome *TaskOutcome) error {
+func (tr *taskRun) verifyRinger(conn protoConn, task Task, ringers *baseline.RingerSet, outcome *TaskOutcome) error {
 	hitsMsg, err := expectMsg(conn, msgRingerHits)
 	if err != nil {
 		return err
@@ -457,7 +511,7 @@ func (s *Supervisor) RunReplicated(conns []transport.Conn, task Task) ([]*TaskOu
 }
 
 // expectMsg receives the next message and checks its type.
-func expectMsg(conn transport.Conn, wantType uint8) (transport.Message, error) {
+func expectMsg(conn protoConn, wantType uint8) (transport.Message, error) {
 	msg, err := conn.Recv()
 	if err != nil {
 		return transport.Message{}, err

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/binary"
 	"fmt"
+	"io"
 )
 
 // Message kinds on the supervisor↔participant wire. One byte each, carried
@@ -28,7 +29,79 @@ const (
 	msgRingerHits
 	// msgVerdict carries the supervisor's ruling. Supervisor → participant.
 	msgVerdict
+	// msgBatch carries several task-tagged sub-messages in one frame so
+	// pipelined sessions can interleave tasks on one connection and coalesce
+	// small messages (multi-assignment and multi-proof frames are both just
+	// batches of the corresponding tagged kinds). Either direction.
+	msgBatch
 )
+
+// taggedMsg is one task-scoped protocol message inside a pipelined session:
+// an ordinary message kind plus the ID of the task that owns it, so both
+// endpoints can demultiplex interleaved exchanges.
+type taggedMsg struct {
+	TaskID  uint64
+	Type    uint8
+	Payload []byte
+}
+
+// wireSize reports the encoded size of the tagged message inside a batch
+// frame — the unit of per-task byte accounting in pipelined sessions.
+func (t taggedMsg) wireSize() int64 {
+	return int64(uvarintLen(t.TaskID)) + 1 +
+		int64(uvarintLen(uint64(len(t.Payload)))) + int64(len(t.Payload))
+}
+
+// maxBatchMsgs bounds the sub-message count of one batch frame.
+const maxBatchMsgs = 1 << 16
+
+func encodeBatch(msgs []taggedMsg) []byte {
+	var buf bytes.Buffer
+	putUvarint(&buf, uint64(len(msgs)))
+	for _, m := range msgs {
+		putUvarint(&buf, m.TaskID)
+		buf.WriteByte(m.Type)
+		putBytes(&buf, m.Payload)
+	}
+	return buf.Bytes()
+}
+
+func decodeBatch(payload []byte) ([]taggedMsg, error) {
+	r := bytes.NewReader(payload)
+	count, err := binary.ReadUvarint(r)
+	if err != nil {
+		return nil, fmt.Errorf("%w: batch count: %v", ErrBadPayload, err)
+	}
+	if count > maxBatchMsgs {
+		return nil, fmt.Errorf("%w: %d batched messages", ErrBadPayload, count)
+	}
+	if count == 0 {
+		if r.Len() != 0 {
+			return nil, fmt.Errorf("%w: %d trailing bytes", ErrBadPayload, r.Len())
+		}
+		return nil, nil
+	}
+	msgs := make([]taggedMsg, 0, count)
+	for i := uint64(0); i < count; i++ {
+		id, err := binary.ReadUvarint(r)
+		if err != nil {
+			return nil, fmt.Errorf("%w: batch message %d task id: %v", ErrBadPayload, i, err)
+		}
+		typ, err := r.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("%w: batch message %d type: %v", ErrBadPayload, i, err)
+		}
+		inner, err := getBytes(r)
+		if err != nil {
+			return nil, fmt.Errorf("%w: batch message %d payload: %v", ErrBadPayload, i, err)
+		}
+		msgs = append(msgs, taggedMsg{TaskID: id, Type: typ, Payload: inner})
+	}
+	if r.Len() != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrBadPayload, r.Len())
+	}
+	return msgs, nil
+}
 
 // assignment is the decoded msgAssign payload.
 type assignment struct {
@@ -267,15 +340,19 @@ func getBytes(r *bytes.Reader) ([]byte, error) {
 		return nil, fmt.Errorf("declared %d bytes, %d remain", n, r.Len())
 	}
 	out := make([]byte, n)
-	if n == 0 {
-		// bytes.Reader reports io.EOF for empty reads at the end of the
-		// buffer; a zero-length field is valid wherever it appears.
-		return out, nil
-	}
-	if _, err := r.Read(out); err != nil {
+	// io.ReadFull, unlike a single Read call, loops over short reads and is
+	// a no-op for zero-length fields, so this stays correct for any
+	// io.Reader-backed source, not just bytes.Reader.
+	if _, err := io.ReadFull(r, out); err != nil {
 		return nil, err
 	}
 	return out, nil
+}
+
+// uvarintLen reports how many bytes v occupies in uvarint encoding.
+func uvarintLen(v uint64) int {
+	var tmp [binary.MaxVarintLen64]byte
+	return binary.PutUvarint(tmp[:], v)
 }
 
 func getString(r *bytes.Reader) (string, error) {

@@ -1,0 +1,95 @@
+package grid
+
+import (
+	"reflect"
+	"testing"
+)
+
+// The wire decoders face attacker-controlled bytes: a malicious participant
+// can send anything inside a frame. These native fuzz targets assert the
+// decoders never panic and that whatever decodes successfully survives an
+// encode∘decode round trip unchanged.
+
+func fuzzAssignmentSeeds(f *testing.F) {
+	f.Add(encodeAssignment(assignment{
+		Task: Task{ID: 3, Start: 64, N: 128, Workload: "synthetic", Seed: 9},
+		Spec: SchemeSpec{Kind: SchemeCBS, M: 20},
+	}))
+	f.Add(encodeAssignment(assignment{
+		Task:         Task{ID: 1, N: 16, Workload: "password", Seed: 2},
+		Spec:         SchemeSpec{Kind: SchemeRinger, M: 2},
+		RingerImages: [][]byte{{0xde, 0xad}, {}, {0xbe}},
+	}))
+	f.Add(encodeAssignment(assignment{
+		Task: Task{ID: 0, N: 1, Workload: "", Seed: 0},
+		Spec: SchemeSpec{Kind: SchemeNICBS, M: 1, ChainIters: 4, SubtreeHeight: 3},
+	}))
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01})
+}
+
+func FuzzDecodeAssignment(f *testing.F) {
+	fuzzAssignmentSeeds(f)
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		a, err := decodeAssignment(payload)
+		if err != nil {
+			return
+		}
+		again, err := decodeAssignment(encodeAssignment(a))
+		if err != nil {
+			t.Fatalf("re-decode of re-encoded assignment failed: %v", err)
+		}
+		if !reflect.DeepEqual(a, again) {
+			t.Fatalf("round trip changed assignment: %+v != %+v", a, again)
+		}
+	})
+}
+
+func FuzzDecodeReports(f *testing.F) {
+	f.Add(encodeReports(nil))
+	f.Add(encodeReports([]Report{{X: 7, S: "hit"}, {X: 0, S: ""}}))
+	f.Add([]byte{0x01})
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		reports, err := decodeReports(payload)
+		if err != nil {
+			return
+		}
+		again, err := decodeReports(encodeReports(reports))
+		if err != nil {
+			t.Fatalf("re-decode of re-encoded reports failed: %v", err)
+		}
+		if !reflect.DeepEqual(reports, again) {
+			t.Fatalf("round trip changed reports: %+v != %+v", reports, again)
+		}
+	})
+}
+
+func FuzzDecodeBatch(f *testing.F) {
+	f.Add(encodeBatch(nil))
+	f.Add(encodeBatch([]taggedMsg{
+		{TaskID: 1, Type: msgCommit, Payload: []byte{1, 2, 3}},
+		{TaskID: 2, Type: msgReports, Payload: nil},
+	}))
+	f.Add(encodeBatch([]taggedMsg{{
+		TaskID: 9,
+		Type:   msgAssign,
+		Payload: encodeAssignment(assignment{
+			Task: Task{ID: 9, N: 8, Workload: "synthetic"},
+			Spec: SchemeSpec{Kind: SchemeCBS, M: 1},
+		}),
+	}}))
+	f.Add([]byte{0x02, 0x00})
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		msgs, err := decodeBatch(payload)
+		if err != nil {
+			return
+		}
+		again, err := decodeBatch(encodeBatch(msgs))
+		if err != nil {
+			t.Fatalf("re-decode of re-encoded batch failed: %v", err)
+		}
+		if len(msgs) != len(again) || (len(msgs) > 0 && !reflect.DeepEqual(msgs, again)) {
+			t.Fatalf("round trip changed batch: %+v != %+v", msgs, again)
+		}
+	})
+}

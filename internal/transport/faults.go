@@ -3,6 +3,7 @@ package transport
 import (
 	"math/rand"
 	"sync"
+	"time"
 )
 
 // FaultPlan describes injected failures for testing: messages may be
@@ -27,6 +28,31 @@ func WithFaults(conn Conn, plan FaultPlan) Conn {
 		plan: plan,
 		rng:  rand.New(rand.NewSource(plan.Seed)),
 	}
+}
+
+// WithLatency wraps conn so every Send blocks an extra d before the frame
+// enters the wire — a fixed one-way link-delay model. Protocols that batch
+// or pipeline pay the delay once per frame instead of once per message,
+// which is exactly the effect the pipelined-session benchmarks measure.
+// Receive, close, and statistics pass through; d <= 0 returns conn as is.
+func WithLatency(conn Conn, d time.Duration) Conn {
+	if d <= 0 {
+		return conn
+	}
+	return &latencyConn{Conn: conn, delay: d}
+}
+
+// latencyConn delays sends in front of an inner connection.
+type latencyConn struct {
+	Conn
+
+	delay time.Duration
+}
+
+// Send implements Conn, paying the link delay first.
+func (c *latencyConn) Send(m Message) error {
+	time.Sleep(c.delay)
+	return c.Conn.Send(m)
 }
 
 // faultConn injects faults in front of an inner connection.

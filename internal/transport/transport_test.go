@@ -378,3 +378,28 @@ func TestPipeConcurrentTraffic(t *testing.T) {
 	}()
 	wg.Wait()
 }
+
+func TestLatencyConnDelaysAndDelivers(t *testing.T) {
+	a, b := Pipe(WithBuffer(2))
+	slow := WithLatency(a, 2*time.Millisecond)
+	start := time.Now()
+	if err := slow.Send(Message{Type: 1, Payload: []byte("hi")}); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed < 2*time.Millisecond {
+		t.Errorf("Send returned after %v, want >= 2ms link delay", elapsed)
+	}
+	msg, err := b.Recv()
+	if err != nil || string(msg.Payload) != "hi" {
+		t.Fatalf("Recv = %+v, %v", msg, err)
+	}
+	// Statistics pass through to the wrapped endpoint.
+	if slow.Stats().BytesSent() != a.Stats().BytesSent() || a.Stats().MsgsSent() != 1 {
+		t.Errorf("latency wrapper broke stats passthrough")
+	}
+	if got := WithLatency(a, 0); got != a {
+		t.Errorf("WithLatency(conn, 0) = %v, want the conn unchanged", got)
+	}
+	_ = slow.Close()
+	_ = b.Close()
+}

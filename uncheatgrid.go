@@ -245,8 +245,21 @@ type (
 	SupervisorPool = grid.SupervisorPool
 	// Assignment pairs a task with a participant connection for pooled runs.
 	Assignment = grid.Assignment
+	// Session is a pipelined multi-task exchange: up to `window` tasks in
+	// flight on one connection, messages tagged by task ID and coalesced
+	// into batched frames. Open one with Supervisor.OpenSession.
+	Session = grid.Session
+	// TaskStream is the handle of a streaming pooled run
+	// (SupervisorPool.RunTasksStream): outcomes arrive as tasks complete.
+	TaskStream = grid.TaskStream
+	// StreamedOutcome pairs a streamed outcome with its connection.
+	StreamedOutcome = grid.StreamedOutcome
+	// StreamOption configures streaming pooled runs.
+	StreamOption = grid.StreamOption
 	// Participant is a grid worker.
 	Participant = grid.Participant
+	// ParticipantOption customizes a participant.
+	ParticipantOption = grid.ParticipantOption
 	// ProducerFactory builds a participant behaviour per task.
 	ProducerFactory = grid.ProducerFactory
 	// Broker is the GRACE-style oblivious relay.
@@ -294,6 +307,12 @@ var (
 	SemiHonestFactory = grid.SemiHonestFactory
 	// MaliciousFactory produces report saboteurs.
 	MaliciousFactory = grid.MaliciousFactory
+	// WithProverParallelism makes a participant hash its commitment tree in
+	// parallel; roots and reports stay identical to the sequential build.
+	WithProverParallelism = grid.WithProverParallelism
+	// WithStreamEligibility gates which connections may claim tasks during
+	// a streaming pooled run.
+	WithStreamEligibility = grid.WithEligibility
 )
 
 // ---- Transport ----
@@ -315,4 +334,7 @@ var (
 	DialTCP = transport.Dial
 	// WithFaults wraps a connection with fault injection.
 	WithFaults = transport.WithFaults
+	// WithLatency wraps a connection with a fixed per-frame send delay — a
+	// link-delay model for benchmarking pipelined protocols.
+	WithLatency = transport.WithLatency
 )
