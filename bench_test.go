@@ -6,6 +6,7 @@
 package uncheatgrid
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"runtime"
@@ -377,6 +378,143 @@ func BenchmarkPipelinedSession(b *testing.B) {
 				b.ReportMetric(float64(b.N*tasks)/b.Elapsed().Seconds(), "tasks/s")
 				b.ReportMetric(float64(wire)/float64(int64(b.N)*tasks), "wire-B/task")
 			})
+		}
+	}
+}
+
+// BenchmarkResumedSession extends the dialogue-vs-session comparison with
+// the fault-recovery row: the same 8-task pipelined workload on one
+// connection, but over a link that garbles frames. Corruption is caught by
+// the batch checksum, the connection is quarantined, and in-flight tasks
+// resume mid-protocol on a redialed replacement — the metric shows what
+// reconnect-and-resume costs relative to the clean session run.
+func BenchmarkResumedSession(b *testing.B) {
+	const tasks = 8
+	const window = 8
+	const taskSize = 1 << 10
+	for _, garble := range []float64{0, 0.05} {
+		b.Run(fmt.Sprintf("garble=%g", garble), func(b *testing.B) {
+			var reconnects int64
+			for i := 0; i < b.N; i++ {
+				p, err := NewParticipant("p", HonestFactory)
+				if err != nil {
+					b.Fatal(err)
+				}
+				var mu sync.Mutex
+				var supConns []Conn
+				var serveErrs []chan error
+				dial := func() Conn {
+					supConn, partConn := Pipe()
+					var sup, part Conn = supConn, partConn
+					mu.Lock()
+					attempt := len(supConns)
+					mu.Unlock()
+					if garble > 0 {
+						sup = WithFaults(sup, FaultPlan{GarbleProb: garble, Seed: int64(i*1000 + attempt*2)})
+						part = WithFaults(part, FaultPlan{GarbleProb: garble, Seed: int64(i*1000 + attempt*2 + 1)})
+					}
+					ch := make(chan error, 1)
+					go func() { ch <- p.Serve(part) }()
+					mu.Lock()
+					supConns = append(supConns, sup)
+					serveErrs = append(serveErrs, ch)
+					mu.Unlock()
+					return sup
+				}
+				pool, err := NewSupervisorPool(SupervisorConfig{
+					Spec: SchemeSpec{Kind: SchemeCBS, M: 20},
+					Seed: int64(i),
+				}, window)
+				if err != nil {
+					b.Fatal(err)
+				}
+				taskList := make([]Task, tasks)
+				for j := range taskList {
+					taskList[j] = Task{
+						ID: uint64(j), Start: uint64(j) * taskSize, N: taskSize,
+						Workload: "synthetic", Seed: 7,
+					}
+				}
+				stream, err := pool.RunTasksStream(context.Background(),
+					[]Conn{dial()}, taskList, window,
+					WithStreamRedial(func(Conn) (Conn, error) { return dial(), nil }),
+					WithStreamMaxReconnects(1000),
+					WithStreamRecvTimeout(2*time.Second))
+				if err != nil {
+					b.Fatal(err)
+				}
+				count := 0
+				for so := range stream.Outcomes() {
+					count++
+					if !so.Outcome.Verdict.Accepted {
+						b.Fatalf("honest task %d rejected: %s", so.Outcome.Task.ID, so.Outcome.Verdict.Reason)
+					}
+				}
+				if err := stream.Err(); err != nil {
+					b.Fatal(err)
+				}
+				if count != tasks {
+					b.Fatalf("completed %d tasks, want %d", count, tasks)
+				}
+				mu.Lock()
+				reconnects += int64(len(supConns) - 1)
+				for _, c := range supConns {
+					_ = c.Close()
+				}
+				errs := serveErrs
+				mu.Unlock()
+				for _, ch := range errs {
+					if err := <-ch; err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			b.ReportMetric(float64(b.N*tasks)/b.Elapsed().Seconds(), "tasks/s")
+			b.ReportMetric(float64(reconnects)/float64(b.N), "reconnects/op")
+		})
+	}
+}
+
+// BenchmarkChunkedUpload measures a naive-scheme task whose full result
+// upload exceeds MaxFrameBytes: 2^21 password digests encode to ~69 MiB and
+// must travel as an ordered chunk stream. Byte accounting stays exact — the
+// outcome's receive total equals the connection counter, frame headers
+// included.
+func BenchmarkChunkedUpload(b *testing.B) {
+	const n = 1 << 21
+	task := Task{ID: 1, N: n, Workload: "password", Seed: 3}
+	for i := 0; i < b.N; i++ {
+		supConn, partConn := Pipe(WithPipeBuffer(8))
+		p, err := NewParticipant("p", HonestFactory)
+		if err != nil {
+			b.Fatal(err)
+		}
+		serveErr := make(chan error, 1)
+		go func() { serveErr <- p.Serve(partConn) }()
+		sup, err := NewSupervisor(SupervisorConfig{
+			Spec: SchemeSpec{Kind: SchemeNaive, M: 8},
+			Seed: int64(i),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		outcome, err := sup.RunTask(supConn, task)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !outcome.Verdict.Accepted {
+			b.Fatalf("honest upload rejected: %s", outcome.Verdict.Reason)
+		}
+		if outcome.BytesRecv <= MaxFrameBytes {
+			b.Fatalf("upload of %d bytes does not exceed MaxFrameBytes — not a chunked case", outcome.BytesRecv)
+		}
+		if outcome.BytesRecv != supConn.Stats().BytesRecv() {
+			b.Fatalf("byte accounting drifted: outcome %d, connection %d", outcome.BytesRecv, supConn.Stats().BytesRecv())
+		}
+		b.SetBytes(outcome.BytesRecv)
+		_ = supConn.Close()
+		if err := <-serveErr; err != nil {
+			b.Fatal(err)
 		}
 	}
 }

@@ -51,6 +51,10 @@ func run(w io.Writer, args []string) error {
 		crossCheck = fs.Bool("crosscheck", true, "cross-check screener reports on sampled inputs")
 		workers    = fs.Int("workers", runtime.NumCPU(), "concurrent verification workers (1 = serial)")
 		pipeline   = fs.Int("pipeline", 0, "pipelined session window per connection (0 = per-task dialogue)")
+		drop       = fs.Float64("drop", 0, "probability a frame silently vanishes in transit (needs -pipeline)")
+		garble     = fs.Float64("garble", 0, "probability a frame has one bit flipped in transit (needs -pipeline)")
+		reconnect  = fs.Int("reconnect", 0, "max replacement connections per participant under faults (0 = default 8)")
+		faultWait  = fs.Duration("faultwait", 0, "receive watchdog that converts dropped frames into reconnects (0 = default 2s)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -96,6 +100,10 @@ func run(w io.Writer, args []string) error {
 		CrossCheckReports: *crossCheck,
 		Workers:           *workers,
 		PipelineWindow:    *pipeline,
+		DropProb:          *drop,
+		GarbleProb:        *garble,
+		ReconnectLimit:    *reconnect,
+		FaultRecvTimeout:  *faultWait,
 	})
 	if err != nil {
 		return err
@@ -116,11 +124,11 @@ func printReport(w io.Writer, report *grid.SimReport) {
 		report.SupervisorBytesSent, report.SupervisorBytesRecv, report.SupervisorEvals)
 
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "participant\tbehavior\ttasks\taccepted\trejected\tf-evals\tsentB\trecvB\tblacklisted")
+	fmt.Fprintln(tw, "participant\tbehavior\ttasks\taccepted\trejected\tf-evals\tsentB\trecvB\treconns\tblacklisted")
 	for _, p := range report.Participants {
-		fmt.Fprintf(tw, "%s\t%s\t%d\t%d\t%d\t%d\t%d\t%d\t%v\n",
+		fmt.Fprintf(tw, "%s\t%s\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%v\n",
 			p.ID, p.Behavior, p.Tasks, p.Accepted, p.Rejected,
-			p.FEvals, p.BytesSent, p.BytesRecv, p.Blacklisted)
+			p.FEvals, p.BytesSent, p.BytesRecv, p.Reconnects, p.Blacklisted)
 	}
 	_ = tw.Flush()
 

@@ -75,6 +75,29 @@ func TestRunRejectsBadFlags(t *testing.T) {
 	}
 }
 
+func TestRunFaultySimulation(t *testing.T) {
+	// Garbles are detected by the batch checksum and recovered by
+	// reconnect-and-resume; the run must converge with every task assigned
+	// and the cheater still detected. A single participant pins the
+	// task→participant pairing, making detection deterministic.
+	out := runGridsim(t,
+		"-scheme", "cbs", "-tasks", "4", "-tasksize", "128",
+		"-honest", "0", "-semihonest", "1", "-m", "20", "-pipeline", "2",
+		"-garble", "0.1", "-drop", "0.02", "-reconnect", "100", "-faultwait", "250ms")
+	if !strings.Contains(out, "tasks=4") {
+		t.Errorf("faulty run lost tasks:\n%s", out)
+	}
+	if !strings.Contains(out, "detection=1/1") {
+		t.Errorf("cheater not detected under faults:\n%s", out)
+	}
+	if err := run(&bytes.Buffer{}, []string{"-drop", "0.5"}); err == nil {
+		t.Error("faults without -pipeline accepted")
+	}
+	if err := run(&bytes.Buffer{}, []string{"-drop", "1.5", "-pipeline", "2"}); err == nil {
+		t.Error("out-of-range drop probability accepted")
+	}
+}
+
 func TestRunPipelinedSimulation(t *testing.T) {
 	// A single (cheating) participant makes detection deterministic even
 	// under work stealing: every task lands on it.

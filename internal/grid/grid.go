@@ -24,6 +24,14 @@ var (
 	ErrUnexpectedMessage = errors.New("grid: unexpected message")
 	// ErrBadPayload indicates an undecodable message payload.
 	ErrBadPayload = errors.New("grid: malformed payload")
+	// ErrFrameCorrupt indicates a session frame failed its integrity check —
+	// link damage rather than peer misbehavior. Sessions treat it like any
+	// other transport fault: quarantine the connection and resume elsewhere.
+	ErrFrameCorrupt = errors.New("grid: frame failed integrity check")
+	// ErrConnQuarantined wraps the transport fault that killed a session
+	// connection; tasks failing with it hold resumable state and can
+	// re-attach to a replacement connection.
+	ErrConnQuarantined = errors.New("grid: connection quarantined")
 	// ErrTaskTooLarge is returned when a task exceeds the in-memory
 	// simulation bound.
 	ErrTaskTooLarge = errors.New("grid: task domain too large")

@@ -147,7 +147,7 @@ func (p *Participant) Serve(conn transport.Conn) error {
 			if err != nil {
 				return fmt.Errorf("grid: participant %s: %w", p.id, err)
 			}
-			if err := p.executeTask(conn, a); err != nil {
+			if err := p.executeTask(conn, a, nil); err != nil {
 				return fmt.Errorf("grid: participant %s task %d: %w", p.id, a.Task.ID, err)
 			}
 		case msgBatch:
@@ -207,6 +207,13 @@ func (p *Participant) servePipelined(conn transport.Conn, first transport.Messag
 		}
 		err = ps.handleFrame(msg)
 	}
+	if errors.Is(err, ErrFrameCorrupt) {
+		// Link damage, not peer misbehavior: kill the connection so the
+		// supervisor quarantines it and resumes elsewhere, and end this
+		// serve cleanly — the replacement connection gets its own loop.
+		_ = conn.Close()
+		err = nil
+	}
 	if err != nil {
 		// A protocol error leaves the peer's session waiting on a half-dead
 		// exchange; closing the connection unblocks its puller.
@@ -258,10 +265,12 @@ func (ps *participantSession) handleFrame(frame transport.Message) error {
 	return nil
 }
 
-// dispatch routes one tagged message: assignments start a new concurrent
-// task execution, everything else lands in the owning task's inbox.
+// dispatch routes one tagged message: assignments and resume handshakes
+// start a new concurrent task execution, everything else lands in the owning
+// task's inbox.
 func (ps *participantSession) dispatch(tm taggedMsg) error {
-	if tm.Type == msgAssign {
+	switch tm.Type {
+	case msgAssign:
 		a, err := decodeAssignment(tm.Payload)
 		if err != nil {
 			return fmt.Errorf("grid: participant %s: %w", ps.p.id, err)
@@ -270,7 +279,17 @@ func (ps *participantSession) dispatch(tm taggedMsg) error {
 			return fmt.Errorf("%w: assignment for task %d tagged %d",
 				ErrBadPayload, a.Task.ID, tm.TaskID)
 		}
-		return ps.startTask(a)
+		return ps.startTask(a, nil)
+	case msgResume:
+		m, err := decodeResume(tm.Payload)
+		if err != nil {
+			return fmt.Errorf("grid: participant %s: %w", ps.p.id, err)
+		}
+		if m.Assignment.Task.ID != tm.TaskID {
+			return fmt.Errorf("%w: resume for task %d tagged %d",
+				ErrBadPayload, m.Assignment.Task.ID, tm.TaskID)
+		}
+		return ps.startTask(m.Assignment, &m)
 	}
 	ps.mu.Lock()
 	inbox, ok := ps.inboxes[tm.TaskID]
@@ -288,8 +307,11 @@ func (ps *participantSession) dispatch(tm taggedMsg) error {
 }
 
 // startTask registers the task's inbox and executes the assignment on its
-// own goroutine over a virtual per-task connection.
-func (ps *participantSession) startTask(a assignment) error {
+// own goroutine over a virtual per-task connection. res carries the
+// supervisor's resume handshake when the task is re-announced on a
+// replacement connection; the execution then re-derives its deterministic
+// state and replays only what the supervisor is missing.
+func (ps *participantSession) startTask(a assignment, res *resumeMsg) error {
 	ps.mu.Lock()
 	if _, dup := ps.inboxes[a.Task.ID]; dup {
 		ps.mu.Unlock()
@@ -303,7 +325,14 @@ func (ps *participantSession) startTask(a assignment) error {
 	ps.wg.Add(1)
 	go func() {
 		defer ps.wg.Done()
-		err := ps.p.executeTask(conn, a)
+		err := ps.p.executeTask(conn, a, res)
+		if errors.Is(err, io.EOF) || errors.Is(err, transport.ErrClosed) {
+			// The connection died under the task. The supervisor holds
+			// resumable state and will re-announce on a replacement
+			// connection, so this is a clean per-task abort, not a session
+			// error.
+			err = nil
+		}
 		ps.mu.Lock()
 		if !ps.done {
 			delete(ps.inboxes, a.Task.ID)
@@ -346,8 +375,12 @@ func (c *participantTaskConn) Recv() (transport.Message, error) {
 
 // executeTask runs one assignment end to end, including the verification
 // dialogue the scheme requires. conn is either a whole connection (dialogue
-// mode) or a per-task session endpoint (pipelined mode).
-func (p *Participant) executeTask(conn protoConn, a assignment) error {
+// mode) or a per-task session endpoint (pipelined mode). A non-nil res means
+// the supervisor is resuming the task on a replacement connection: the
+// execution recomputes its deterministic state (producers decide per input,
+// so a re-run claims identical values) and replays only the messages the
+// supervisor does not already hold.
+func (p *Participant) executeTask(conn protoConn, a assignment, res *resumeMsg) error {
 	if err := a.Task.validate(); err != nil {
 		return err
 	}
@@ -374,17 +407,17 @@ func (p *Participant) executeTask(conn protoConn, a assignment) error {
 	}
 	switch a.Spec.Kind {
 	case SchemeCBS:
-		err = exec.runCBS(conn, false, nil)
+		err = exec.runCBS(conn, false, nil, res)
 	case SchemeNICBS:
 		chain, chainErr := hashchain.New(a.Spec.ChainIters)
 		if chainErr != nil {
 			return chainErr
 		}
-		err = exec.runCBS(conn, true, chain)
+		err = exec.runCBS(conn, true, chain, res)
 	case SchemeNaive, SchemeDoubleCheck:
-		err = exec.runUpload(conn)
+		err = exec.runUpload(conn, res)
 	case SchemeRinger:
-		err = exec.runRinger(conn, a.RingerImages)
+		err = exec.runRinger(conn, a.RingerImages, res)
 	default:
 		return fmt.Errorf("%w: scheme %v", ErrBadConfig, a.Spec.Kind)
 	}
@@ -433,8 +466,11 @@ func (e *taskExecution) claimAndScreen(i uint64, reports *[]Report) []byte {
 
 // runCBS executes Steps 1-3 of (NI-)CBS: build the tree over claimed values
 // while screening, send commitment and reports, then answer the challenge
-// (interactive) or self-derive it (non-interactive).
-func (e *taskExecution) runCBS(conn protoConn, nonInteractive bool, chain *hashchain.Chain) error {
+// (interactive) or self-derive it (non-interactive). On resume the tree is
+// rebuilt — bit-identical, since claims are deterministic — and only the
+// messages the supervisor lacks are sent; a challenge the supervisor already
+// issued arrives replayed inside res instead of over the wire.
+func (e *taskExecution) runCBS(conn protoConn, nonInteractive bool, chain *hashchain.Chain, res *resumeMsg) error {
 	var reports []Report
 	// Screening happens once per input on the first (tree-building) pass.
 	screened := make(map[uint64]bool, e.task.N)
@@ -471,11 +507,18 @@ func (e *taskExecution) runCBS(conn protoConn, nonInteractive bool, chain *hashc
 	if err != nil {
 		return err
 	}
-	if err := conn.Send(transport.Message{Type: msgCommit, Payload: commitPayload}); err != nil {
-		return err
+	if res == nil || !res.HaveCommit {
+		if err := conn.Send(transport.Message{Type: msgCommit, Payload: commitPayload}); err != nil {
+			return err
+		}
 	}
-	if err := conn.Send(transport.Message{Type: msgReports, Payload: encodeReports(reports)}); err != nil {
-		return err
+	if res == nil || !res.HaveReports {
+		if err := conn.Send(transport.Message{Type: msgReports, Payload: encodeReports(reports)}); err != nil {
+			return err
+		}
+	}
+	if res != nil && res.HaveProofs {
+		return nil // the supervisor holds everything; it only owes the verdict
 	}
 
 	var resp *core.Response
@@ -485,16 +528,22 @@ func (e *taskExecution) runCBS(conn protoConn, nonInteractive bool, chain *hashc
 			return err
 		}
 	} else {
-		msg, err := conn.Recv()
-		if err != nil {
-			return err
-		}
-		if msg.Type != msgChallenge {
-			return fmt.Errorf("%w: got type %d, want challenge", ErrUnexpectedMessage, msg.Type)
-		}
 		var ch core.Challenge
-		if err := ch.UnmarshalBinary(msg.Payload); err != nil {
-			return fmt.Errorf("%w: challenge: %v", ErrBadPayload, err)
+		if res != nil && res.Challenge != nil {
+			if err := ch.UnmarshalBinary(res.Challenge); err != nil {
+				return fmt.Errorf("%w: resumed challenge: %v", ErrBadPayload, err)
+			}
+		} else {
+			msg, err := conn.Recv()
+			if err != nil {
+				return err
+			}
+			if msg.Type != msgChallenge {
+				return fmt.Errorf("%w: got type %d, want challenge", ErrUnexpectedMessage, msg.Type)
+			}
+			if err := ch.UnmarshalBinary(msg.Payload); err != nil {
+				return fmt.Errorf("%w: challenge: %v", ErrBadPayload, err)
+			}
 		}
 		resp, err = prover.Respond(ch.Indices)
 		if err != nil {
@@ -509,23 +558,64 @@ func (e *taskExecution) runCBS(conn protoConn, nonInteractive bool, chain *hashc
 }
 
 // runUpload executes the naive-sampling / double-check participant side:
-// compute (or fabricate) everything and upload the full result vector.
-func (e *taskExecution) runUpload(conn protoConn) error {
+// compute (or fabricate) everything and upload the full result vector —
+// in one frame when it fits, as an ordered chunk stream otherwise. On
+// resume, the upload restarts at the first chunk the supervisor is missing
+// (chunk boundaries are deterministic, so the stream splices exactly).
+func (e *taskExecution) runUpload(conn protoConn, res *resumeMsg) error {
 	var reports []Report
 	results := make([][]byte, e.task.N)
 	for i := uint64(0); i < e.task.N; i++ {
 		results[i] = e.claimAndScreen(i, &reports)
 	}
-	if err := conn.Send(transport.Message{Type: msgResults, Payload: encodeResults(results)}); err != nil {
-		return err
+	if res == nil || !res.ResultsDone {
+		var from uint64
+		if res != nil {
+			from = res.Chunks
+		}
+		if err := sendResults(conn, results, from); err != nil {
+			return err
+		}
 	}
-	return conn.Send(transport.Message{Type: msgReports, Payload: encodeReports(reports)})
+	if res == nil || !res.HaveReports {
+		return conn.Send(transport.Message{Type: msgReports, Payload: encodeReports(reports)})
+	}
+	return nil
+}
+
+// sendResults uploads the encoded result vector: a single msgResults frame
+// when it fits under uploadChunkBytes, an ordered msgResultChunk stream
+// otherwise. from skips chunks a previous connection already delivered.
+func sendResults(conn protoConn, results [][]byte, from uint64) error {
+	payload := encodeResults(results)
+	if len(payload) <= uploadChunkBytes {
+		if from > 0 {
+			return fmt.Errorf("%w: resume at chunk %d of an unchunked upload", ErrUnexpectedMessage, from)
+		}
+		return conn.Send(transport.Message{Type: msgResults, Payload: payload})
+	}
+	chunks := uint64((len(payload) + uploadChunkBytes - 1) / uploadChunkBytes)
+	if from >= chunks {
+		return fmt.Errorf("%w: resume at chunk %d of %d", ErrUnexpectedMessage, from, chunks)
+	}
+	for seq := from; seq < chunks; seq++ {
+		lo := int(seq) * uploadChunkBytes
+		hi := lo + uploadChunkBytes
+		if hi > len(payload) {
+			hi = len(payload)
+		}
+		c := resultChunk{Seq: seq, Final: seq == chunks-1, Data: payload[lo:hi]}
+		if err := conn.Send(transport.Message{Type: msgResultChunk, Payload: encodeChunk(c)}); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // runRinger executes the Golle-Mironov participant side: scan the domain,
 // reporting both screened results and inputs whose value matches a planted
 // image.
-func (e *taskExecution) runRinger(conn protoConn, images [][]byte) error {
+func (e *taskExecution) runRinger(conn protoConn, images [][]byte, res *resumeMsg) error {
 	imageSet := make(map[string]struct{}, len(images))
 	for _, img := range images {
 		imageSet[string(img)] = struct{}{}
@@ -538,10 +628,15 @@ func (e *taskExecution) runRinger(conn protoConn, images [][]byte) error {
 			hits = append(hits, e.task.Start+i)
 		}
 	}
-	if err := conn.Send(transport.Message{Type: msgRingerHits, Payload: encodeIndices(hits)}); err != nil {
-		return err
+	if res == nil || !res.HaveHits {
+		if err := conn.Send(transport.Message{Type: msgRingerHits, Payload: encodeIndices(hits)}); err != nil {
+			return err
+		}
 	}
-	return conn.Send(transport.Message{Type: msgReports, Payload: encodeReports(reports)})
+	if res == nil || !res.HaveReports {
+		return conn.Send(transport.Message{Type: msgReports, Payload: encodeReports(reports)})
+	}
+	return nil
 }
 
 func recvVerdict(conn protoConn) (Verdict, error) {

@@ -6,6 +6,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"uncheatgrid/internal/transport"
 )
@@ -173,6 +174,7 @@ type TaskStream struct {
 	outcomes chan StreamedOutcome
 	done     chan struct{}
 	err      error
+	d        *dispatcher
 }
 
 // Outcomes returns the stream of completed tasks in completion order.
@@ -184,9 +186,26 @@ func (s *TaskStream) Err() error {
 	return s.err
 }
 
+// Retire permanently retires a connection (and every replacement dialed for
+// it) from claiming fresh tasks. Claims the connection holds but has not
+// started — its revocable leases — are recalled and rerouted to other
+// connections; exchanges already started, including resumed ones, still
+// finish. Because retirement and exchange starts serialize on the
+// dispatcher's lock, a Retire call happens-before every later start: no task
+// can begin on a connection retired between claim re-check and exchange
+// start, which fully closes the race the polling eligibility gate leaves
+// open. The simulator's blacklist calls this on the rejected outcome's
+// connection.
+func (s *TaskStream) Retire(conn transport.Conn) {
+	s.d.retireConn(conn)
+}
+
 // streamConfig collects RunTasksStream options.
 type streamConfig struct {
-	eligible func(transport.Conn) bool
+	eligible      func(transport.Conn) bool
+	redial        func(old transport.Conn) (transport.Conn, error)
+	maxReconnects int
+	recvTimeout   time.Duration
 }
 
 // StreamOption configures RunTasksStream.
@@ -200,268 +219,50 @@ type eligibleOption struct {
 
 func (o eligibleOption) applyStream(c *streamConfig) { c.eligible = o.fn }
 
-// WithEligibility gates scheduling: the function is consulted each time a
-// connection is about to claim its next task, and returning false retires
-// that connection (tasks already in flight on it still finish). The
-// simulator's blacklist uses this. fn is called from many goroutines.
+// WithEligibility gates scheduling: the function is consulted — under the
+// dispatcher lock, so it must be fast and must not call back into the pool —
+// each time a connection is about to claim or start a task, and returning
+// false retires that connection (tasks already in flight on it still
+// finish). The simulator's blacklist used this before TaskStream.Retire
+// existed; Retire is the stronger, synchronous form.
 func WithEligibility(fn func(transport.Conn) bool) StreamOption { return eligibleOption{fn} }
 
-// strayTracker coordinates task hand-off when the eligibility gate retires
-// a connection after one of its workers has already claimed a task. claims
-// counts workers that might still produce or consume a stray — parked on
-// the queue, executing, or holding a task — so a drainer knows the strays
-// list is final only once claims reaches zero.
-type strayTracker struct {
-	mu     sync.Mutex
-	cond   *sync.Cond
-	strays []Task
-	claims int
+type redialOption struct {
+	fn func(old transport.Conn) (transport.Conn, error)
 }
 
-// park registers a claim before the worker blocks on the queue; the claim
-// then covers whatever task the queue delivers.
-func (s *strayTracker) park() {
-	s.mu.Lock()
-	s.claims++
-	s.mu.Unlock()
+func (o redialOption) applyStream(c *streamConfig) { c.redial = o.fn }
+
+// WithRedial enables reconnect-and-resume: when a session's connection is
+// quarantined after a transport fault, fn is asked for a replacement
+// connection to the same participant. In-flight tasks re-attach to the
+// replacement mid-protocol via the resume handshake instead of restarting.
+// Without a redial function (the default), tasks that had received nothing
+// restart on other connections and tasks bound mid-protocol are restarted
+// from scratch elsewhere.
+func WithRedial(fn func(old transport.Conn) (transport.Conn, error)) StreamOption {
+	return redialOption{fn}
 }
 
-// release drops a claim (task finished, abandoned to cancellation, or the
-// queue closed without delivering one).
-func (s *strayTracker) release() {
-	s.mu.Lock()
-	s.claims--
-	s.cond.Broadcast()
-	s.mu.Unlock()
+type maxReconnectsOption int
+
+func (o maxReconnectsOption) applyStream(c *streamConfig) { c.maxReconnects = int(o) }
+
+// WithMaxReconnects bounds how many replacement connections one
+// participant's slot may consume before it is declared permanently dead
+// (default 4). Tasks stranded on a dead slot are restarted from scratch on
+// the surviving connections — with a fresh per-task randomness stream, so
+// the retried verdict is identical to a clean first run on the new
+// participant.
+func WithMaxReconnects(n int) StreamOption { return maxReconnectsOption(n) }
+
+type streamRecvTimeoutOption time.Duration
+
+func (o streamRecvTimeoutOption) applyStream(c *streamConfig) {
+	c.recvTimeout = time.Duration(o)
 }
 
-// take claims a stray if one is available.
-func (s *strayTracker) take() (Task, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if len(s.strays) == 0 {
-		return Task{}, false
-	}
-	task := s.strays[len(s.strays)-1]
-	s.strays = s.strays[:len(s.strays)-1]
-	s.claims++
-	return task, true
-}
-
-// deposit hands a claimed task back for still-eligible workers to adopt.
-func (s *strayTracker) deposit(task Task) {
-	s.mu.Lock()
-	s.strays = append(s.strays, task)
-	s.claims--
-	s.cond.Broadcast()
-	s.mu.Unlock()
-}
-
-// drain blocks until a stray is available (claiming it), no outstanding
-// claim can produce one, or ctx is cancelled.
-func (s *strayTracker) drain(ctx context.Context) (Task, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	for {
-		if ctx.Err() != nil {
-			return Task{}, false
-		}
-		if len(s.strays) > 0 {
-			task := s.strays[len(s.strays)-1]
-			s.strays = s.strays[:len(s.strays)-1]
-			s.claims++
-			return task, true
-		}
-		if s.claims == 0 {
-			return Task{}, false
-		}
-		s.cond.Wait()
-	}
-}
-
-// RunTasksStream verifies tasks over pipelined sessions with work stealing:
-// every connection opens a session holding up to `window` concurrent task
-// exchanges, and all sessions claim tasks from one shared queue — fast
-// participants take more work instead of idling behind static per-conn
-// groups. Outcomes stream out as they complete.
-//
-// Which connection runs which task is scheduling-dependent; the verdict of
-// a given (task, connection) pair is not, thanks to per-task seed
-// derivation. The pool's worker bound still applies: sessions hold up to
-// `window` claims each, but at most `workers` exchanges execute at once.
-// The first error cancels the run: unclaimed tasks are dropped and the
-// error surfaces on TaskStream.Err. If every connection is retired by the
-// eligibility gate, remaining tasks are dropped and the stream ends
-// cleanly — callers detect the shortfall by counting outcomes.
-func (p *SupervisorPool) RunTasksStream(ctx context.Context, conns []transport.Conn, tasks []Task, window int, opts ...StreamOption) (*TaskStream, error) {
-	if len(conns) == 0 {
-		return nil, fmt.Errorf("%w: no connections", ErrBadConfig)
-	}
-	var cfg streamConfig
-	for _, opt := range opts {
-		opt.applyStream(&cfg)
-	}
-
-	sessions := make([]*Session, len(conns))
-	for i, conn := range conns {
-		sess, err := p.sup.OpenSession(conn, window)
-		if err != nil {
-			for _, open := range sessions[:i] {
-				_ = open.Close()
-			}
-			return nil, err
-		}
-		sessions[i] = sess
-	}
-
-	stream := &TaskStream{
-		outcomes: make(chan StreamedOutcome),
-		done:     make(chan struct{}),
-	}
-	ctx, cancel := context.WithCancel(ctx)
-	queue := make(chan Task)
-
-	var (
-		mu       sync.Mutex
-		firstErr error
-	)
-	fail := func(err error) {
-		mu.Lock()
-		if firstErr == nil {
-			firstErr = err
-		}
-		mu.Unlock()
-		cancel()
-	}
-
-	// strays redistributes tasks claimed by a worker whose connection was
-	// retired by the eligibility gate after claiming: still-eligible
-	// workers adopt them, so a late blacklist cannot silently drop work
-	// while eligible connections remain (serial-mode blacklist reassigns
-	// the task the same way). The claim count covers every worker from the
-	// moment it parks on the queue, so drainers cannot exit while a
-	// deposit is still possible.
-	strays := &strayTracker{}
-	strays.cond = sync.NewCond(&strays.mu)
-	go func() {
-		<-ctx.Done()
-		strays.cond.Broadcast()
-	}()
-
-	// The pool's worker bound applies across all sessions, exactly as in
-	// RunTasks: sessions hold up to `window` claims each, but at most
-	// p.workers exchanges execute at once.
-	sem := make(chan struct{}, p.workers)
-
-	var workers sync.WaitGroup
-	for i := range sessions {
-		sess, conn := sessions[i], conns[i]
-		for w := 0; w < window; w++ {
-			workers.Add(1)
-			go func() {
-				defer workers.Done()
-				for {
-					if cfg.eligible != nil && !cfg.eligible(conn) {
-						return
-					}
-					task, ok := strays.take()
-					if !ok {
-						strays.park()
-						select {
-						case <-ctx.Done():
-							strays.release()
-							return
-						case task, ok = <-queue:
-						}
-						if !ok {
-							strays.release()
-							// Queue exhausted: drain strays until no parked
-							// or executing worker can deposit another.
-							if task, ok = strays.drain(ctx); !ok {
-								return
-							}
-						}
-					}
-					// Re-check at claim time: the connection may have been
-					// retired while this worker was parked on the queue.
-					if cfg.eligible != nil && !cfg.eligible(conn) {
-						strays.deposit(task)
-						return
-					}
-					select {
-					case sem <- struct{}{}:
-					case <-ctx.Done():
-						strays.release()
-						return
-					}
-					outcome, err := sess.RunTask(task)
-					<-sem
-					if err != nil {
-						strays.release()
-						fail(err)
-						return
-					}
-					p.bytesSent.Add(outcome.BytesSent)
-					p.bytesRecv.Add(outcome.BytesRecv)
-					select {
-					case stream.outcomes <- StreamedOutcome{Outcome: outcome, Conn: conn}:
-						strays.release()
-					case <-ctx.Done():
-						strays.release()
-						return
-					}
-				}
-			}()
-		}
-	}
-
-	workersDone := make(chan struct{})
-	go func() {
-		workers.Wait()
-		close(workersDone)
-	}()
-
-	// Feeder: offer tasks until the list is exhausted, the run is
-	// cancelled, or every worker has retired.
-	go func() {
-		defer close(queue)
-		for _, task := range tasks {
-			select {
-			case queue <- task:
-			case <-ctx.Done():
-				return
-			case <-workersDone:
-				return
-			}
-		}
-	}()
-
-	// Finisher: close sessions (flushing their writers), then publish the
-	// terminal error and close the stream.
-	go func() {
-		<-workersDone
-		for _, sess := range sessions {
-			if err := sess.Close(); err != nil {
-				mu.Lock()
-				if firstErr == nil {
-					firstErr = fmt.Errorf("grid: session close: %w", err)
-				}
-				mu.Unlock()
-			}
-			// Outcomes carry only their own tagged bytes; fold the shared
-			// batch framing in so the pool counters keep meaning "wire
-			// traffic" in both run modes.
-			ovSent, ovRecv := sess.OverheadBytes()
-			p.bytesSent.Add(ovSent)
-			p.bytesRecv.Add(ovRecv)
-		}
-		cancel()
-		mu.Lock()
-		stream.err = firstErr
-		mu.Unlock()
-		close(stream.outcomes)
-		close(stream.done)
-	}()
-
-	return stream, nil
-}
+// WithStreamRecvTimeout forwards a receive watchdog to every session the
+// stream opens (see WithSessionRecvTimeout): silently dropped frames become
+// quarantines, and with WithRedial, resumes.
+func WithStreamRecvTimeout(d time.Duration) StreamOption { return streamRecvTimeoutOption(d) }

@@ -1,0 +1,408 @@
+package grid
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"uncheatgrid/internal/transport"
+)
+
+// cutConn delivers frames normally until `after` receives have happened,
+// then fails every further operation with ErrClosed — a deterministic link
+// cut at a known protocol point.
+type cutConn struct {
+	transport.Conn
+	remaining atomic.Int64
+}
+
+func cutAfterRecv(conn transport.Conn, after int64) *cutConn {
+	c := &cutConn{Conn: conn}
+	c.remaining.Store(after)
+	return c
+}
+
+func (c *cutConn) Recv() (transport.Message, error) {
+	if c.remaining.Add(-1) < 0 {
+		return transport.Message{}, transport.ErrClosed
+	}
+	return c.Conn.Recv()
+}
+
+// redialableParticipant serves a participant that can be dialed repeatedly:
+// each dial opens a fresh pipe and serve goroutine, the model of a worker
+// that reconnects after a link failure.
+type redialableParticipant struct {
+	t *testing.T
+	p *Participant
+
+	mu        sync.Mutex
+	serveErrs []chan error
+	supConns  []transport.Conn
+}
+
+func newRedialableParticipant(t *testing.T, factory ProducerFactory) *redialableParticipant {
+	t.Helper()
+	p, err := NewParticipant("p", factory)
+	if err != nil {
+		t.Fatalf("NewParticipant: %v", err)
+	}
+	return &redialableParticipant{t: t, p: p}
+}
+
+func (r *redialableParticipant) dial() transport.Conn {
+	supConn, partConn := transport.Pipe(transport.WithBuffer(8))
+	ch := make(chan error, 1)
+	go func() { ch <- r.p.Serve(partConn) }()
+	r.mu.Lock()
+	r.serveErrs = append(r.serveErrs, ch)
+	r.supConns = append(r.supConns, supConn)
+	r.mu.Unlock()
+	return supConn
+}
+
+func (r *redialableParticipant) dials() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.supConns)
+}
+
+func (r *redialableParticipant) shutdown() {
+	r.t.Helper()
+	r.mu.Lock()
+	conns := append([]transport.Conn(nil), r.supConns...)
+	errs := append([]chan error(nil), r.serveErrs...)
+	r.mu.Unlock()
+	for _, c := range conns {
+		_ = c.Close()
+	}
+	for i, ch := range errs {
+		if err := <-ch; err != nil {
+			r.t.Errorf("participant serve %d: %v", i, err)
+		}
+	}
+}
+
+// TestStreamResumesMidProtocol cuts the connection after the first reply
+// frame of every scheme — guaranteeing the attempt is bound mid-protocol —
+// and checks the stream reconnects, resumes, and completes every task with
+// an accepting verdict for an honest participant.
+func TestStreamResumesMidProtocol(t *testing.T) {
+	specs := []SchemeSpec{
+		{Kind: SchemeCBS, M: 6},
+		{Kind: SchemeNICBS, M: 6, ChainIters: 2},
+		{Kind: SchemeCBS, M: 6, SubtreeHeight: 3},
+		{Kind: SchemeNaive, M: 6},
+		{Kind: SchemeRinger, M: 4},
+	}
+	for _, spec := range specs {
+		t.Run(fmt.Sprintf("%v-ell%d", spec.Kind, spec.SubtreeHeight), func(t *testing.T) {
+			r := newRedialableParticipant(t, HonestFactory)
+			defer r.shutdown()
+			first := cutAfterRecv(r.dial(), 1)
+
+			pool, err := NewSupervisorPool(SupervisorConfig{Spec: spec, Seed: 9}, 4)
+			if err != nil {
+				t.Fatalf("NewSupervisorPool: %v", err)
+			}
+			stream, err := pool.RunTasksStream(context.Background(),
+				[]transport.Conn{first}, poolTasks(3, 64), 2,
+				WithRedial(func(transport.Conn) (transport.Conn, error) { return r.dial(), nil }))
+			if err != nil {
+				t.Fatalf("RunTasksStream: %v", err)
+			}
+			count := 0
+			for so := range stream.Outcomes() {
+				count++
+				if !so.Outcome.Verdict.Accepted {
+					t.Errorf("honest task %d rejected after resume: %s", so.Outcome.Task.ID, so.Outcome.Verdict.Reason)
+				}
+			}
+			if err := stream.Err(); err != nil {
+				t.Fatalf("stream error: %v", err)
+			}
+			if count != 3 {
+				t.Errorf("completed %d tasks, want 3", count)
+			}
+			if r.dials() < 2 {
+				t.Errorf("no reconnect happened (dials = %d); the cut never forced a resume", r.dials())
+			}
+		})
+	}
+}
+
+// TestStreamRestartsWhenRedialFails kills one of two connections mid-run
+// with no redial available: the stranded tasks must restart from scratch on
+// the surviving connection and none may be lost.
+func TestStreamRestartsWhenRedialFails(t *testing.T) {
+	doomed := newRedialableParticipant(t, HonestFactory)
+	defer doomed.shutdown()
+	healthy := newRedialableParticipant(t, HonestFactory)
+	defer healthy.shutdown()
+
+	conns := []transport.Conn{cutAfterRecv(doomed.dial(), 1), healthy.dial()}
+	pool, err := NewSupervisorPool(SupervisorConfig{Spec: SchemeSpec{Kind: SchemeCBS, M: 6}, Seed: 3}, 4)
+	if err != nil {
+		t.Fatalf("NewSupervisorPool: %v", err)
+	}
+	const tasks = 8
+	stream, err := pool.RunTasksStream(context.Background(), conns, poolTasks(tasks, 64), 2)
+	if err != nil {
+		t.Fatalf("RunTasksStream: %v", err)
+	}
+	seen := make(map[uint64]bool)
+	for so := range stream.Outcomes() {
+		if seen[so.Outcome.Task.ID] {
+			t.Errorf("task %d delivered twice", so.Outcome.Task.ID)
+		}
+		seen[so.Outcome.Task.ID] = true
+		if !so.Outcome.Verdict.Accepted {
+			t.Errorf("honest task %d rejected: %s", so.Outcome.Task.ID, so.Outcome.Verdict.Reason)
+		}
+	}
+	if err := stream.Err(); err != nil {
+		t.Fatalf("stream error: %v", err)
+	}
+	if len(seen) != tasks {
+		t.Errorf("completed %d tasks, want %d — tasks were silently dropped", len(seen), tasks)
+	}
+}
+
+// TestDispatcherRevokesClaimOnRetire pins the revocable-claim protocol at
+// the dispatcher level: a lease claimed before its connection is retired
+// must fail to start, and its ticket must be rerouted to the shared queue —
+// no instant survives between retirement and exchange start.
+func TestDispatcherRevokesClaimOnRetire(t *testing.T) {
+	pool, err := NewSupervisorPool(SupervisorConfig{Spec: SchemeSpec{Kind: SchemeCBS, M: 4}}, 2)
+	if err != nil {
+		t.Fatalf("NewSupervisorPool: %v", err)
+	}
+	_, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	d := newDispatcher(pool, nil, cancel)
+	connA, _ := transport.Pipe()
+	slotA := newConnSlot(connA, nil)
+	d.registerConn(connA, slotA)
+	d.pending = append(d.pending, ticket{task: poolTasks(1, 64)[0]})
+
+	l, ok := d.claim(slotA)
+	if !ok {
+		t.Fatal("claim failed with pending work available")
+	}
+	// The connection is retired between claim and start — the exact window
+	// the old polling gate left open.
+	d.retireConn(connA)
+	if d.start(l) {
+		t.Fatal("lease started on a connection retired before exchange start")
+	}
+	d.mu.Lock()
+	requeued := len(d.pending) == 1 && d.pending[0].task.ID == l.task.ID
+	leaseGone := len(d.leases) == 0
+	d.mu.Unlock()
+	if !requeued {
+		t.Error("revoked ticket was not rerouted to the shared queue")
+	}
+	if !leaseGone {
+		t.Error("revoked lease still outstanding")
+	}
+}
+
+// TestRunSimFaultyMatchesClean is the fault-injection acceptance test: a
+// single-participant population (pinning the task→participant pairing) run
+// with drops and garbles aggressive enough to force reconnect-and-resume
+// must produce byte-identical verdicts and reports to the clean run with the
+// same seeds, and no task may be lost.
+func TestRunSimFaultyMatchesClean(t *testing.T) {
+	base := SimConfig{
+		Spec:              SchemeSpec{Kind: SchemeCBS, M: 14},
+		Workload:          "synthetic",
+		Seed:              21,
+		TaskSize:          128,
+		Tasks:             8,
+		SemiHonest:        1,
+		HonestyRatio:      0.5,
+		CrossCheckReports: true,
+		PipelineWindow:    3,
+	}
+	clean, err := RunSim(base)
+	if err != nil {
+		t.Fatalf("clean RunSim: %v", err)
+	}
+
+	faulty := base
+	faulty.DropProb = 0.03
+	faulty.GarbleProb = 0.12
+	faulty.ReconnectLimit = 200
+	faulty.FaultRecvTimeout = 250 * time.Millisecond
+	report, err := RunSim(faulty)
+	if err != nil {
+		t.Fatalf("faulty RunSim: %v", err)
+	}
+
+	if report.Participants[0].Reconnects < 1 {
+		t.Fatalf("no reconnect-and-resume was forced (reconnects = 0); the test proves nothing")
+	}
+	if report.TasksAssigned != base.Tasks {
+		t.Errorf("faulty run completed %d tasks, want %d", report.TasksAssigned, base.Tasks)
+	}
+	// The supervisor's per-task rulings are the verdicts that must be
+	// byte-identical; a participant's own accepted/rejected bookkeeping may
+	// lag when a verdict-delivery frame is lost to a fault.
+	if !reflect.DeepEqual(clean.TaskVerdicts, report.TaskVerdicts) {
+		t.Errorf("verdicts diverge:\nclean:  %+v\nfaulty: %+v", clean.TaskVerdicts, report.TaskVerdicts)
+	}
+	if !reflect.DeepEqual(clean.Reports, report.Reports) {
+		t.Errorf("report streams diverge: clean %d reports, faulty %d", len(clean.Reports), len(report.Reports))
+	}
+	if clean.HonestAccused != report.HonestAccused {
+		t.Errorf("accusations diverge: clean %d, faulty %d", clean.HonestAccused, report.HonestAccused)
+	}
+}
+
+// TestRunSimFaultyPopulation runs a mixed honest/cheating population over a
+// lossy link: the stream must converge, no task may be silently dropped, and
+// verdicts must match each executor's class (r=0 cheaters fabricate every
+// value, so any sampled index convicts them — verdicts are deterministic per
+// class regardless of which participant work stealing picked).
+func TestRunSimFaultyPopulation(t *testing.T) {
+	const tasks = 12
+	report, err := RunSim(SimConfig{
+		Spec:             SchemeSpec{Kind: SchemeCBS, M: 10},
+		Workload:         "synthetic",
+		Seed:             5,
+		TaskSize:         96,
+		Tasks:            tasks,
+		Honest:           3,
+		SemiHonest:       2,
+		HonestyRatio:     0, // every claimed value is a guess: rejection certain
+		PipelineWindow:   2,
+		DropProb:         0.02,
+		GarbleProb:       0.08,
+		ReconnectLimit:   200,
+		FaultRecvTimeout: 250 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("RunSim: %v", err)
+	}
+	if report.TasksAssigned != tasks {
+		t.Errorf("TasksAssigned = %d, want %d — tasks lost to faults", report.TasksAssigned, tasks)
+	}
+	if len(report.TaskVerdicts) != tasks {
+		t.Errorf("recorded %d task verdicts, want %d", len(report.TaskVerdicts), tasks)
+	}
+	seen := make(map[uint64]bool)
+	for _, tv := range report.TaskVerdicts {
+		if seen[tv.TaskID] {
+			t.Errorf("task %d ruled twice", tv.TaskID)
+		}
+		seen[tv.TaskID] = true
+	}
+	// Participant-side counters only reflect verdicts that were delivered
+	// (a delivery frame can be lost to a fault), so the per-class check is
+	// one-sided: no cheater may ever be accepted, no honest worker rejected.
+	for _, p := range report.Participants {
+		switch {
+		case p.Cheater && p.Accepted > 0:
+			t.Errorf("cheater %s had %d tasks accepted", p.ID, p.Accepted)
+		case !p.Cheater && p.Rejected > 0:
+			t.Errorf("honest participant %s rejected %d times", p.ID, p.Rejected)
+		}
+	}
+	if report.HonestAccused != 0 {
+		t.Errorf("%d honest participants accused", report.HonestAccused)
+	}
+}
+
+// TestRunSimFaultyShortfallIsAnError drowns the link so thoroughly that the
+// reconnect budget cannot save it: RunSim must fail loudly instead of
+// returning a silently short report (a blacklist-emptied pool remains the
+// only legitimate shortfall).
+func TestRunSimFaultyShortfallIsAnError(t *testing.T) {
+	_, err := RunSim(SimConfig{
+		Spec:             SchemeSpec{Kind: SchemeCBS, M: 6},
+		Workload:         "synthetic",
+		Seed:             3,
+		TaskSize:         64,
+		Tasks:            3,
+		Honest:           1,
+		PipelineWindow:   2,
+		DropProb:         0.9,
+		ReconnectLimit:   1,
+		FaultRecvTimeout: 100 * time.Millisecond,
+	})
+	if err == nil {
+		t.Fatal("RunSim returned success although the link cannot complete the task list")
+	}
+	if !strings.Contains(err.Error(), "completed") {
+		t.Errorf("error %q does not report the task shortfall", err)
+	}
+}
+
+// TestRunSimRejectsBadFaultConfig covers fault-field validation.
+func TestRunSimRejectsBadFaultConfig(t *testing.T) {
+	base := SimConfig{
+		Spec: SchemeSpec{Kind: SchemeCBS, M: 6}, Workload: "synthetic",
+		TaskSize: 64, Tasks: 1, Honest: 1, PipelineWindow: 2,
+	}
+	for name, mutate := range map[string]func(*SimConfig){
+		"faults without pipeline": func(c *SimConfig) { c.DropProb = 0.1; c.PipelineWindow = 0 },
+		"drop out of range":       func(c *SimConfig) { c.DropProb = 1.5 },
+		"garble negative":         func(c *SimConfig) { c.GarbleProb = -0.1 },
+		"negative reconnects":     func(c *SimConfig) { c.ReconnectLimit = -1 },
+		"negative watchdog":       func(c *SimConfig) { c.FaultRecvTimeout = -time.Second },
+	} {
+		cfg := base
+		mutate(&cfg)
+		if _, err := RunSim(cfg); !errors.Is(err, ErrBadConfig) {
+			t.Errorf("%s: err = %v, want ErrBadConfig", name, err)
+		}
+	}
+}
+
+// TestSessionWatchdogQuarantines pins the drop-detection path alone: a
+// participant whose every send vanishes must trip the session receive
+// watchdog, and the attempt must come back resumable (ErrConnQuarantined),
+// not hang.
+func TestSessionWatchdogQuarantines(t *testing.T) {
+	r := newRedialableParticipant(t, HonestFactory)
+	supConn, partConn := transport.Pipe(transport.WithBuffer(8))
+	// Drop every participant→supervisor frame.
+	lossy := transport.WithFaults(partConn, transport.FaultPlan{DropProb: 0.999999, Seed: 1})
+	ch := make(chan error, 1)
+	go func() { ch <- r.p.Serve(lossy) }()
+
+	sup, err := NewSupervisor(SupervisorConfig{Spec: SchemeSpec{Kind: SchemeCBS, M: 4}, Seed: 2})
+	if err != nil {
+		t.Fatalf("NewSupervisor: %v", err)
+	}
+	sess, err := sup.OpenSession(supConn, 1, WithSessionRecvTimeout(150*time.Millisecond))
+	if err != nil {
+		t.Fatalf("OpenSession: %v", err)
+	}
+	at, err := sup.NewAttempt(poolTasks(1, 64)[0])
+	if err != nil {
+		t.Fatalf("NewAttempt: %v", err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := sess.RunAttempt(at)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrConnQuarantined) {
+			t.Errorf("RunAttempt error = %v, want ErrConnQuarantined", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("watchdog never fired; RunAttempt hung on the dropped frame")
+	}
+	_ = sess.Close()
+	_ = supConn.Close()
+	<-ch // the participant's serve loop exits on the closed connection
+}

@@ -1,8 +1,12 @@
 package grid
 
 import (
+	"errors"
 	"fmt"
+	"io"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"uncheatgrid/internal/transport"
 )
@@ -164,6 +168,33 @@ func (w *batchWriter) close() error {
 	return w.failed()
 }
 
+// sessionConfig collects OpenSession options.
+type sessionConfig struct {
+	recvTimeout time.Duration
+}
+
+// SessionOption configures OpenSession.
+type SessionOption interface {
+	applySession(*sessionConfig)
+}
+
+type sessionRecvTimeoutOption time.Duration
+
+func (o sessionRecvTimeoutOption) applySession(c *sessionConfig) {
+	c.recvTimeout = time.Duration(o)
+}
+
+// WithSessionRecvTimeout arms a receive watchdog: whenever the session waits
+// longer than d for the next frame, the connection is declared dead and
+// closed, surfacing as ErrConnQuarantined on every in-flight attempt. This
+// is how silently dropped frames on a lossy link become reconnects instead
+// of hangs. d must comfortably exceed the participant's worst-case per-task
+// compute time — a spurious trip costs a resume, never a wrong verdict. The
+// default (0) disables the watchdog.
+func WithSessionRecvTimeout(d time.Duration) SessionOption {
+	return sessionRecvTimeoutOption(d)
+}
+
 // Session is a pipelined multi-task exchange owned by a supervisor: up to
 // `window` tasks proceed concurrently over one connection, their messages
 // tagged by task ID and coalesced into batch frames. The peer participant
@@ -175,12 +206,14 @@ type Session struct {
 	sup    *Supervisor
 	conn   transport.Conn
 	window int
+	cfg    sessionConfig
 
-	slots     chan struct{} // window permits; Close acquires all
-	closing   chan struct{}
-	closeOnce sync.Once
-	closeErr  error
-	writer    *batchWriter
+	slots       chan struct{} // window permits; Close acquires all
+	closing     chan struct{}
+	closeOnce   sync.Once
+	closeErr    error
+	quarantined atomic.Bool
+	writer      *batchWriter
 
 	// mu guards the demultiplexer: per-task inboxes, the elected-puller
 	// flag, the terminal error, and receive-side overhead accounting.
@@ -196,7 +229,7 @@ type Session struct {
 // OpenSession starts a pipelined session on conn with the given in-flight
 // window. The double-check scheme needs a replication barrier across
 // connections and cannot be pipelined.
-func (s *Supervisor) OpenSession(conn transport.Conn, window int) (*Session, error) {
+func (s *Supervisor) OpenSession(conn transport.Conn, window int, opts ...SessionOption) (*Session, error) {
 	if s.cfg.Spec.Kind == SchemeDoubleCheck {
 		return nil, fmt.Errorf("%w: double-check requires RunReplicated, not a session", ErrBadConfig)
 	}
@@ -206,10 +239,15 @@ func (s *Supervisor) OpenSession(conn transport.Conn, window int) (*Session, err
 	if window < 1 {
 		return nil, fmt.Errorf("%w: session window %d", ErrBadConfig, window)
 	}
+	var cfg sessionConfig
+	for _, opt := range opts {
+		opt.applySession(&cfg)
+	}
 	sess := &Session{
 		sup:     s,
 		conn:    conn,
 		window:  window,
+		cfg:     cfg,
 		slots:   make(chan struct{}, window),
 		closing: make(chan struct{}),
 		tasks:   make(map[uint64]*sessionTaskConn),
@@ -284,7 +322,18 @@ func (s *Session) recvFor(c *sessionTaskConn) (transport.Message, error) {
 		if !s.pulling {
 			s.pulling = true
 			s.mu.Unlock()
+			// The watchdog converts a silently dropped frame (the peer will
+			// never answer) into a dead connection the quarantine machinery
+			// already handles. Closing the connection is the only way to
+			// unblock a pending Recv on every transport.
+			var watchdog *time.Timer
+			if s.cfg.recvTimeout > 0 {
+				watchdog = time.AfterFunc(s.cfg.recvTimeout, func() { _ = s.conn.Close() })
+			}
 			frame, err := s.conn.Recv()
+			if watchdog != nil {
+				watchdog.Stop()
+			}
 			s.mu.Lock()
 			s.pulling = false
 			if err != nil {
@@ -304,19 +353,25 @@ func (s *Session) recvFor(c *sessionTaskConn) (transport.Message, error) {
 
 // routeLocked demultiplexes one incoming batch frame into per-task inboxes
 // and attributes its bytes: tagged sub-messages to their tasks, framing to
-// the session. Caller holds s.mu.
+// the session. Frames that cannot be routed (corrupt or misdirected) are
+// charged entirely to session overhead so receive-side accounting stays
+// exact even when the connection is about to be quarantined. Caller holds
+// s.mu.
 func (s *Session) routeLocked(frame transport.Message) error {
 	if frame.Type != msgBatch {
+		s.recvOverhead += frame.FrameSize()
 		return fmt.Errorf("%w: session got frame type %d, want batch", ErrUnexpectedMessage, frame.Type)
 	}
 	msgs, err := decodeBatch(frame.Payload)
 	if err != nil {
+		s.recvOverhead += frame.FrameSize()
 		return err
 	}
 	var tagged int64
 	for _, tm := range msgs {
 		tc, ok := s.tasks[tm.TaskID]
 		if !ok {
+			s.recvOverhead += frame.FrameSize() - tagged
 			return fmt.Errorf("%w: message type %d for unknown task %d",
 				ErrUnexpectedMessage, tm.Type, tm.TaskID)
 		}
@@ -361,41 +416,75 @@ func (s *Session) unregister(taskID uint64) {
 // verdicts however the exchanges interleave.
 //
 // The outcome's byte counts cover the task's tagged messages on the wire;
-// shared batch framing is reported by OverheadBytes.
+// shared batch framing is reported by OverheadBytes. A failed RunTask is
+// terminal for the task; callers that want reconnect-and-resume drive
+// RunAttempt themselves (SupervisorPool.RunTasksStream does).
 func (sess *Session) RunTask(task Task) (*TaskOutcome, error) {
+	at, err := sess.sup.NewAttempt(task)
+	if err != nil {
+		return nil, err
+	}
+	outcome, err := sess.RunAttempt(at)
+	if err != nil {
+		at.settle(sess.sup)
+		return nil, fmt.Errorf("grid: session task %d: %w", task.ID, err)
+	}
+	return outcome, nil
+}
+
+// RunAttempt attaches a prepared task attempt to this session and drives its
+// exchange as far as the connection allows. On success the outcome carries
+// the attempt's cumulative byte totals across every connection it touched.
+// An error wrapping ErrConnQuarantined means the connection died under the
+// task: the attempt keeps its protocol state and may be re-attached to a
+// session on a replacement connection (to the same participant once any
+// reply was received — see taskAttempt.started). Any other error is a
+// protocol-level failure and terminal.
+func (sess *Session) RunAttempt(at *taskAttempt) (*TaskOutcome, error) {
 	select {
 	case sess.slots <- struct{}{}:
 	case <-sess.closing:
+		if sess.quarantined.Load() {
+			// The session was torn down by a transport fault while this
+			// attempt was on its way in; the attempt is untouched and can
+			// attach to the replacement session instead.
+			return nil, fmt.Errorf("%w: session closed by quarantine", ErrConnQuarantined)
+		}
 		return nil, fmt.Errorf("%w: session closed", ErrBadConfig)
 	}
 	defer func() { <-sess.slots }()
 
-	// Register before preparing: the duplicate-ID check is the cheap one,
-	// and settle always runs once a task has charged verification evals.
-	c, err := sess.register(task.ID)
+	c, err := sess.register(at.task.ID)
 	if err != nil {
-		return nil, err
+		return nil, quarantineWrap(err)
 	}
-	defer sess.unregister(task.ID)
-	pt, err := sess.sup.prepareTask(task)
-	if err != nil {
-		// No traffic was generated, so the ID stays reusable for a retry.
-		sess.mu.Lock()
-		delete(sess.used, task.ID)
-		sess.mu.Unlock()
-		return nil, err
-	}
+	defer sess.unregister(at.task.ID)
 
-	err = sess.sup.exchange(c, pt, nil)
+	err = sess.sup.runExchange(c, at.pt, nil)
 	sess.mu.Lock()
-	pt.outcome.BytesSent = c.sent
-	pt.outcome.BytesRecv = c.recv
+	at.bytesSent += c.sent
+	at.bytesRecv += c.recv
 	sess.mu.Unlock()
-	sess.sup.settle(pt)
 	if err != nil {
-		return nil, fmt.Errorf("grid: session task %d: %w", task.ID, err)
+		return nil, quarantineWrap(err)
 	}
-	return pt.outcome, nil
+	at.pt.outcome.BytesSent = at.bytesSent
+	at.pt.outcome.BytesRecv = at.bytesRecv
+	at.settle(sess.sup)
+	return at.pt.outcome, nil
+}
+
+// quarantineWrap classifies an exchange failure: transport-level faults —
+// closed or timed-out connections, EOF, integrity-check failures — leave the
+// attempt resumable and are wrapped in ErrConnQuarantined; anything else
+// (malformed payloads, protocol violations) passes through as a terminal
+// error.
+func quarantineWrap(err error) error {
+	if errors.Is(err, transport.ErrClosed) || errors.Is(err, transport.ErrTimeout) ||
+		errors.Is(err, io.EOF) || errors.Is(err, ErrFrameCorrupt) {
+		return fmt.Errorf("%w: %w", ErrConnQuarantined, err)
+	}
+	return err
 }
 
 // OverheadBytes reports session framing traffic not attributed to any task:
@@ -408,6 +497,14 @@ func (sess *Session) OverheadBytes() (sent, recv int64) {
 	recv = sess.recvOverhead
 	sess.mu.Unlock()
 	return sess.writer.overheadBytes(), recv
+}
+
+// abandon closes a session whose connection died: late RunAttempt arrivals
+// observe a quarantine (resumable) instead of a configuration error, and the
+// writer's failure to flush is expected rather than reported.
+func (sess *Session) abandon() {
+	sess.quarantined.Store(true)
+	_ = sess.Close()
 }
 
 // Close waits for in-flight tasks, flushes pending frames, and shuts the

@@ -539,9 +539,10 @@ func TestRunTasksStreamEligibilityRetiresConn(t *testing.T) {
 	}
 }
 
-// TestRunTasksStreamPropagatesErrors closes one connection before the run:
-// the failure must surface on Err.
-func TestRunTasksStreamPropagatesErrors(t *testing.T) {
+// TestRunTasksStreamSurvivesDeadConn closes one connection before the run:
+// a transport failure is no longer a run-killing error — the dead
+// connection's tasks restart on the healthy one and every outcome arrives.
+func TestRunTasksStreamSurvivesDeadConn(t *testing.T) {
 	conns, shutdown := poolFixture(t, 2, func(int) ProducerFactory { return HonestFactory })
 	pool, err := NewSupervisorPool(SupervisorConfig{
 		Spec: SchemeSpec{Kind: SchemeCBS, M: 4},
@@ -554,10 +555,18 @@ func TestRunTasksStreamPropagatesErrors(t *testing.T) {
 	if err != nil {
 		t.Fatalf("RunTasksStream: %v", err)
 	}
-	for range stream.Outcomes() {
+	count := 0
+	for so := range stream.Outcomes() {
+		count++
+		if so.Conn != conns[0] {
+			t.Error("outcome attributed to the dead connection")
+		}
 	}
-	if stream.Err() == nil {
-		t.Error("stream over a closed connection reported no error")
+	if err := stream.Err(); err != nil {
+		t.Errorf("stream error: %v (dead connections should be survivable)", err)
+	}
+	if count != 8 {
+		t.Errorf("streamed %d outcomes, want 8", count)
 	}
 	_ = conns[0].Close()
 	shutdown()

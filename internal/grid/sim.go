@@ -2,9 +2,12 @@ package grid
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/binary"
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"uncheatgrid/internal/transport"
 )
@@ -58,7 +61,26 @@ type SimConfig struct {
 	// on it still finish. Double-check ignores this field (replication
 	// barrier). PipelineWindow takes precedence over Workers.
 	PipelineWindow int
+	// DropProb and GarbleProb inject transport faults on every connection
+	// (send side, both directions, seeded deterministically from Seed):
+	// frames silently vanish or have one bit flipped in transit. Faults
+	// require PipelineWindow > 0 — only pipelined sessions carry the
+	// integrity checks, receive watchdog, and reconnect-and-resume machinery
+	// that recover from them. Each (task, participant) verdict is unaffected
+	// by injected faults: resumed exchanges replay their protocol position
+	// and restarted ones re-derive their randomness from the task seed.
+	DropProb, GarbleProb float64
+	// ReconnectLimit bounds replacement connections per participant under
+	// fault injection; 0 selects the default (8).
+	ReconnectLimit int
+	// FaultRecvTimeout is the session receive watchdog that turns silently
+	// dropped frames into reconnects; 0 selects the default (2s). It must
+	// exceed the worst-case per-task participant compute time.
+	FaultRecvTimeout time.Duration
 }
+
+// faulty reports whether fault injection is enabled.
+func (c SimConfig) faulty() bool { return c.DropProb > 0 || c.GarbleProb > 0 }
 
 func (c SimConfig) participants() int { return c.Honest + c.SemiHonest + c.Malicious }
 
@@ -80,6 +102,18 @@ func (c SimConfig) validate() error {
 	}
 	if c.PipelineWindow < 0 {
 		return fmt.Errorf("%w: negative pipeline window %d", ErrBadConfig, c.PipelineWindow)
+	}
+	if c.DropProb < 0 || c.DropProb >= 1 || c.GarbleProb < 0 || c.GarbleProb >= 1 {
+		return fmt.Errorf("%w: fault probabilities must lie in [0, 1)", ErrBadConfig)
+	}
+	if c.faulty() && (c.PipelineWindow < 1 || c.Spec.Kind == SchemeDoubleCheck) {
+		return fmt.Errorf("%w: fault injection requires pipelined sessions (PipelineWindow > 0, non-replicated scheme)", ErrBadConfig)
+	}
+	if c.ReconnectLimit < 0 {
+		return fmt.Errorf("%w: negative reconnect limit %d", ErrBadConfig, c.ReconnectLimit)
+	}
+	if c.FaultRecvTimeout < 0 {
+		return fmt.Errorf("%w: negative fault receive timeout %v", ErrBadConfig, c.FaultRecvTimeout)
 	}
 	if c.Spec.Kind == SchemeDoubleCheck {
 		if c.Replicas != 0 && c.Replicas < 2 {
@@ -111,10 +145,23 @@ type ParticipantSummary struct {
 	Tasks, Accepted, Rejected int
 	// FEvals counts the participant's evaluations of f.
 	FEvals int64
-	// BytesSent and BytesRecv are measured at the participant endpoint.
+	// BytesSent and BytesRecv are measured at the participant endpoint,
+	// summed across every connection (reconnects included).
 	BytesSent, BytesRecv int64
 	// Blacklisted reports whether scheduling dropped this participant.
 	Blacklisted bool
+	// Reconnects counts replacement connections dialed to this participant
+	// after transport faults quarantined earlier ones.
+	Reconnects int
+}
+
+// TaskVerdict pairs a task with the supervisor's ruling on it — the
+// authoritative per-task record (a participant may never learn its verdict
+// when the delivery frame is lost to a fault; the supervisor's ruling
+// stands regardless).
+type TaskVerdict struct {
+	TaskID  uint64
+	Verdict Verdict
 }
 
 // SimReport aggregates a simulation run.
@@ -126,6 +173,9 @@ type SimReport struct {
 	PipelineWindow int
 	// Participants summarizes each pool member.
 	Participants []ParticipantSummary
+	// TaskVerdicts records the supervisor's ruling per executed task, in
+	// task order (replicas repeat the ID).
+	TaskVerdicts []TaskVerdict
 	// Reports collects every screened result received by the supervisor.
 	Reports []Report
 	// TasksAssigned counts task executions (replicas count individually).
@@ -150,15 +200,95 @@ func (r *SimReport) DetectionRate() float64 {
 	return float64(r.CheatersDetected) / float64(r.CheatersTotal)
 }
 
-// simWorker pairs a participant with its connection endpoints.
+// simWorker pairs a participant with its connection endpoints. Under fault
+// injection a worker accumulates connections: the original dial plus one per
+// reconnect, each serving on its own goroutine. Summaries aggregate traffic
+// across all of them.
 type simWorker struct {
 	participant *Participant
-	supConn     transport.Conn // supervisor-side endpoint
-	partConn    transport.Conn // participant-side endpoint
-	serveErr    chan error
+	idx         int
 	cheater     bool
 	rejections  int
 	blacklisted bool
+
+	mu        sync.Mutex
+	supConns  []transport.Conn // supervisor-side endpoints, in dial order
+	partConns []transport.Conn // participant-side endpoints, in dial order
+	serveErrs []chan error
+}
+
+// faultSeed derives a distinct, reproducible fault-plan seed per (run,
+// worker, dial, direction).
+func faultSeed(seed uint64, worker, dial, direction int) int64 {
+	var buf [32]byte
+	binary.LittleEndian.PutUint64(buf[:8], seed)
+	binary.LittleEndian.PutUint64(buf[8:16], uint64(worker))
+	binary.LittleEndian.PutUint64(buf[16:24], uint64(dial))
+	binary.LittleEndian.PutUint64(buf[24:], uint64(direction))
+	sum := sha256.Sum256(buf[:])
+	return int64(binary.LittleEndian.Uint64(sum[:8]))
+}
+
+// dial opens a fresh connection pair to the worker's participant, wraps both
+// ends with the configured fault plan, and starts a serve goroutine on the
+// participant side. It returns the supervisor-side endpoint.
+func (w *simWorker) dial(cfg SimConfig) transport.Conn {
+	supConn, partConn := transport.Pipe(transport.WithBuffer(8))
+	var sup, part transport.Conn = supConn, partConn
+	w.mu.Lock()
+	attempt := len(w.supConns)
+	w.mu.Unlock()
+	if cfg.faulty() {
+		sup = transport.WithFaults(sup, transport.FaultPlan{
+			DropProb:   cfg.DropProb,
+			GarbleProb: cfg.GarbleProb,
+			Seed:       faultSeed(cfg.Seed, w.idx, attempt, 0),
+		})
+		part = transport.WithFaults(part, transport.FaultPlan{
+			DropProb:   cfg.DropProb,
+			GarbleProb: cfg.GarbleProb,
+			Seed:       faultSeed(cfg.Seed, w.idx, attempt, 1),
+		})
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- w.participant.Serve(part) }()
+	w.mu.Lock()
+	w.supConns = append(w.supConns, sup)
+	w.partConns = append(w.partConns, part)
+	w.serveErrs = append(w.serveErrs, serveErr)
+	w.mu.Unlock()
+	return sup
+}
+
+// supConn returns the first (and in fault-free runs, only) supervisor-side
+// endpoint.
+func (w *simWorker) supConn() transport.Conn {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.supConns[0]
+}
+
+// dials reports how many connections were opened to this participant.
+func (w *simWorker) dials() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return len(w.supConns)
+}
+
+// trafficTotals sums the byte counters across every connection the worker
+// ever held, at the given side's endpoints.
+func (w *simWorker) trafficTotals(participantSide bool) (sent, recv int64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	conns := w.supConns
+	if participantSide {
+		conns = w.partConns
+	}
+	for _, c := range conns {
+		sent += c.Stats().BytesSent()
+		recv += c.Stats().BytesRecv()
+	}
+	return sent, recv
 }
 
 // RunSim executes the configured population run over in-memory pipes and
@@ -182,10 +312,6 @@ func RunSim(cfg SimConfig) (*SimReport, error) {
 	workers, err := buildPool(cfg)
 	if err != nil {
 		return nil, err
-	}
-	for _, w := range workers {
-		w := w
-		go func() { w.serveErr <- w.participant.Serve(w.partConn) }()
 	}
 
 	report := &SimReport{Scheme: cfg.Spec.Kind.String()}
@@ -227,6 +353,7 @@ func RunSim(cfg SimConfig) (*SimReport, error) {
 
 	for _, w := range workers {
 		totals := w.participant.Totals()
+		partSent, partRecv := w.trafficTotals(true)
 		summary := ParticipantSummary{
 			ID:          w.participant.ID(),
 			Behavior:    totals.Behavior,
@@ -235,9 +362,10 @@ func RunSim(cfg SimConfig) (*SimReport, error) {
 			Accepted:    totals.Accepted,
 			Rejected:    totals.Rejected,
 			FEvals:      totals.FEvals,
-			BytesSent:   w.partConn.Stats().BytesSent(),
-			BytesRecv:   w.partConn.Stats().BytesRecv(),
+			BytesSent:   partSent,
+			BytesRecv:   partRecv,
 			Blacklisted: w.blacklisted,
+			Reconnects:  w.dials() - 1,
 		}
 		report.Participants = append(report.Participants, summary)
 		if w.cheater {
@@ -248,15 +376,17 @@ func RunSim(cfg SimConfig) (*SimReport, error) {
 		} else if totals.Rejected > 0 {
 			report.HonestAccused++
 		}
-		report.SupervisorBytesSent += w.supConn.Stats().BytesSent()
-		report.SupervisorBytesRecv += w.supConn.Stats().BytesRecv()
+		supSent, supRecv := w.trafficTotals(false)
+		report.SupervisorBytesSent += supSent
+		report.SupervisorBytesRecv += supRecv
 	}
 	report.SupervisorEvals = supervisorEvals()
 	return report, nil
 }
 
-// buildPool constructs the participant pool: semi-honest cheaters first,
-// then malicious, then honest workers.
+// buildPool constructs the participant pool — semi-honest cheaters first,
+// then malicious, then honest workers — and dials each worker's first
+// connection (starting its serve goroutine).
 func buildPool(cfg SimConfig) ([]*simWorker, error) {
 	var workers []*simWorker
 	add := func(id string, factory ProducerFactory, cheater bool) error {
@@ -264,14 +394,9 @@ func buildPool(cfg SimConfig) ([]*simWorker, error) {
 		if err != nil {
 			return err
 		}
-		supConn, partConn := transport.Pipe(transport.WithBuffer(8))
-		workers = append(workers, &simWorker{
-			participant: p,
-			supConn:     supConn,
-			partConn:    partConn,
-			serveErr:    make(chan error, 1),
-			cheater:     cheater,
-		})
+		w := &simWorker{participant: p, idx: len(workers), cheater: cheater}
+		w.dial(cfg)
+		workers = append(workers, w)
 		return nil
 	}
 	for i := 0; i < cfg.SemiHonest; i++ {
@@ -342,7 +467,7 @@ func scheduleTasks(cfg SimConfig, supervisor *Supervisor, workers []*simWorker, 
 					continue
 				}
 				group = append(group, w)
-				conns = append(conns, w.supConn)
+				conns = append(conns, w.supConn())
 			}
 			if len(group) < k {
 				return nil // pool too small for distinct replicas; stop cleanly
@@ -362,7 +487,7 @@ func scheduleTasks(cfg SimConfig, supervisor *Supervisor, workers []*simWorker, 
 		if w == nil {
 			return nil // everyone blacklisted
 		}
-		outcome, err := supervisor.RunTask(w.supConn, task)
+		outcome, err := supervisor.RunTask(w.supConn(), task)
 		if err != nil {
 			return err
 		}
@@ -403,7 +528,7 @@ func scheduleTasksPooled(cfg SimConfig, pool *SupervisorPool, workers []*simWork
 				next--
 				break
 			}
-			batch = append(batch, Assignment{Conn: w.supConn, Task: taskFor(cfg, taskNum)})
+			batch = append(batch, Assignment{Conn: w.supConn(), Task: taskFor(cfg, taskNum)})
 			batchWorkers = append(batchWorkers, w)
 			taskNum++
 		}
@@ -426,31 +551,52 @@ func scheduleTasksPooled(cfg SimConfig, pool *SupervisorPool, workers []*simWork
 // sessions with work stealing (SupervisorPool.RunTasksStream): every
 // participant connection holds up to cfg.PipelineWindow tasks in flight and
 // claims work from a shared queue. Outcomes are consumed as they stream in
-// (blacklisting retires a participant from further claims immediately) but
-// recorded into the report in task order, so the report layout does not
-// depend on completion interleaving.
+// but recorded into the report in task order, so the report layout does not
+// depend on completion interleaving. Blacklisting retires a participant via
+// TaskStream.Retire, which synchronously recalls its unstarted claims. Under
+// fault injection the stream redials replacement connections to the same
+// participant so quarantined exchanges resume mid-protocol.
 func scheduleTasksPipelined(cfg SimConfig, pool *SupervisorPool, workers []*simWorker, report *SimReport) error {
+	// byConn maps every connection — original dials and fault-mode redials —
+	// to its worker; mu guards it against concurrent redial registration.
+	var mu sync.Mutex
 	byConn := make(map[transport.Conn]*simWorker, len(workers))
 	conns := make([]transport.Conn, len(workers))
 	for i, w := range workers {
-		conns[i] = w.supConn
-		byConn[w.supConn] = w
+		conns[i] = w.supConn()
+		byConn[w.supConn()] = w
 	}
 	tasks := make([]Task, cfg.Tasks)
 	for i := range tasks {
 		tasks[i] = taskFor(cfg, i)
 	}
 
-	// Blacklist flags are written by this consumer and read by the pool's
-	// claim-time eligibility checks on other goroutines.
-	var mu sync.Mutex
 	var opts []StreamOption
-	if cfg.Blacklist {
-		opts = append(opts, WithEligibility(func(conn transport.Conn) bool {
-			mu.Lock()
-			defer mu.Unlock()
-			return !byConn[conn].blacklisted
-		}))
+	if cfg.faulty() {
+		reconnects := cfg.ReconnectLimit
+		if reconnects == 0 {
+			reconnects = 8
+		}
+		recvTimeout := cfg.FaultRecvTimeout
+		if recvTimeout == 0 {
+			recvTimeout = 2 * time.Second
+		}
+		opts = append(opts,
+			WithStreamRecvTimeout(recvTimeout),
+			WithMaxReconnects(reconnects),
+			WithRedial(func(old transport.Conn) (transport.Conn, error) {
+				mu.Lock()
+				w := byConn[old]
+				mu.Unlock()
+				if w == nil {
+					return nil, fmt.Errorf("%w: redial for unknown connection", ErrBadConfig)
+				}
+				conn := w.dial(cfg)
+				mu.Lock()
+				byConn[conn] = w
+				mu.Unlock()
+				return conn, nil
+			}))
 	}
 	stream, err := pool.RunTasksStream(context.Background(), conns, tasks, cfg.PipelineWindow, opts...)
 	if err != nil {
@@ -463,16 +609,35 @@ func scheduleTasksPipelined(cfg SimConfig, pool *SupervisorPool, workers []*simW
 	}
 	var completed []completion
 	for so := range stream.Outcomes() {
+		mu.Lock()
 		w := byConn[so.Conn]
+		mu.Unlock()
 		if cfg.Blacklist && !so.Outcome.Verdict.Accepted {
-			mu.Lock()
 			w.blacklisted = true
-			mu.Unlock()
+			stream.Retire(so.Conn)
 		}
 		completed = append(completed, completion{w, so.Outcome})
 	}
 	if err := stream.Err(); err != nil {
 		return err
+	}
+
+	// A shortfall is legitimate only when blacklisting retired the whole
+	// pool (the serial scheduler stops cleanly there too); anything else
+	// means connections were lost beyond the reconnect budget, which must
+	// surface as a failure rather than a silently short report.
+	if len(completed) < cfg.Tasks {
+		blacklistedAll := true
+		for _, w := range workers {
+			if !w.blacklisted {
+				blacklistedAll = false
+				break
+			}
+		}
+		if !blacklistedAll {
+			return fmt.Errorf("grid: pipelined run completed %d of %d tasks: participant connections lost beyond recovery",
+				len(completed), cfg.Tasks)
+		}
 	}
 
 	sort.Slice(completed, func(i, j int) bool {
@@ -486,6 +651,7 @@ func scheduleTasksPipelined(cfg SimConfig, pool *SupervisorPool, workers []*simW
 }
 
 func recordOutcome(cfg SimConfig, w *simWorker, outcome *TaskOutcome, report *SimReport) {
+	report.TaskVerdicts = append(report.TaskVerdicts, TaskVerdict{TaskID: outcome.Task.ID, Verdict: outcome.Verdict})
 	report.Reports = append(report.Reports, outcome.Reports...)
 	if !outcome.Verdict.Accepted {
 		w.rejections++
@@ -504,16 +670,26 @@ func containsWorker(group []*simWorker, w *simWorker) bool {
 	return false
 }
 
-// shutdownPool closes all supervisor-side connections and waits for every
-// participant goroutine to exit, returning the first serve error.
+// shutdownPool closes every supervisor-side connection a worker ever held
+// and waits for all its serve goroutines to exit, returning the first serve
+// error.
 func shutdownPool(workers []*simWorker) error {
 	for _, w := range workers {
-		_ = w.supConn.Close()
+		w.mu.Lock()
+		for _, c := range w.supConns {
+			_ = c.Close()
+		}
+		w.mu.Unlock()
 	}
 	var firstErr error
 	for _, w := range workers {
-		if err := <-w.serveErr; err != nil && firstErr == nil {
-			firstErr = err
+		w.mu.Lock()
+		serveErrs := append([]chan error(nil), w.serveErrs...)
+		w.mu.Unlock()
+		for _, ch := range serveErrs {
+			if err := <-ch; err != nil && firstErr == nil {
+				firstErr = err
+			}
 		}
 	}
 	return firstErr

@@ -1,0 +1,620 @@
+package grid
+
+// Work-stealing stream scheduler with revocable claims and
+// reconnect-and-resume.
+//
+// PR 2's scheduler parked every worker on one task channel and re-checked
+// eligibility at claim time; a connection retired between that re-check and
+// the first send could still start a task, and any transport error killed
+// the whole run. This scheduler makes both first-class:
+//
+//   - Claims are leases. A lease is claimed under the dispatcher lock,
+//     started under the same lock (where eligibility is re-checked), and
+//     can be revoked in between — retirement recalls unstarted leases and
+//     reroutes their tickets, so no exchange ever starts on a connection
+//     retired before the start. That closes the ROADMAP's "blacklist claim
+//     race" completely.
+//
+//   - Each connection lives in a connSlot that owns the current
+//     (connection, session) generation. A quarantined session returns its
+//     in-flight attempts to the dispatcher pinned to the slot, the first
+//     failing worker redials, and the attempts resume mid-protocol on the
+//     replacement session. A slot that exhausts its reconnect budget is
+//     dead: its pinned tickets restart from scratch (fresh attempt, fresh
+//     per-task randomness — identical to a clean first run) on surviving
+//     connections.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"uncheatgrid/internal/transport"
+)
+
+// defaultMaxReconnects bounds replacement connections per slot when
+// WithRedial is set without WithMaxReconnects.
+const defaultMaxReconnects = 4
+
+// ticket is the dispatcher's unit of work: a task, plus — once an attempt
+// exists — its resumable supervisor state. pin binds a mid-protocol attempt
+// to the slot whose participant holds the matching prover state.
+type ticket struct {
+	task Task
+	at   *taskAttempt
+	pin  *connSlot
+}
+
+// Lease lifecycle (all transitions under dispatcher.mu).
+const (
+	leaseClaimed int32 = iota
+	leaseStarted
+	leaseRevoked
+)
+
+// lease is one worker's revocable hold on a ticket.
+type lease struct {
+	ticket
+	slot  *connSlot
+	state int32
+}
+
+// connSlot owns the live (connection, session) pair of one participant link
+// and coordinates its replacement after a quarantine. Scheduling state for
+// the slot (retirement, pinned tickets) lives in the dispatcher; this struct
+// only manages the link itself.
+type connSlot struct {
+	mu           sync.Mutex
+	cond         *sync.Cond
+	conn         transport.Conn
+	sess         *Session
+	gen          int
+	reconnecting bool
+	dead         bool
+	reconnects   int
+}
+
+func newConnSlot(conn transport.Conn, sess *Session) *connSlot {
+	sl := &connSlot{conn: conn, sess: sess}
+	sl.cond = sync.NewCond(&sl.mu)
+	return sl
+}
+
+// current returns the live session, its generation, and its connection.
+func (sl *connSlot) current() (*Session, int, transport.Conn) {
+	sl.mu.Lock()
+	defer sl.mu.Unlock()
+	return sl.sess, sl.gen, sl.conn
+}
+
+// currentConn returns the live connection. Safe to call with dispatcher.mu
+// held — the lock order is dispatcher.mu before connSlot.mu, never the
+// reverse.
+func (sl *connSlot) currentConn() transport.Conn {
+	sl.mu.Lock()
+	defer sl.mu.Unlock()
+	return sl.conn
+}
+
+// dispatcher is the shared scheduling state: pending (unpinned) tickets,
+// per-slot pinned resume tickets, and the outstanding leases. Everything —
+// claims, starts, retirements, revocations — serializes on mu, which is what
+// makes retire-before-start a real happens-before edge.
+type dispatcher struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	pending []ticket
+	pinned  map[*connSlot][]ticket
+	leases  map[*lease]struct{}
+	retired map[*connSlot]bool
+	dead    map[*connSlot]bool
+	// slots maps every connection a slot has owned (original and
+	// replacements) back to it, for Retire.
+	slots map[transport.Conn]*connSlot
+
+	eligible  func(transport.Conn) bool
+	pool      *SupervisorPool
+	cancelled bool
+	err       error
+	cancel    context.CancelFunc
+}
+
+func newDispatcher(pool *SupervisorPool, eligible func(transport.Conn) bool, cancel context.CancelFunc) *dispatcher {
+	d := &dispatcher{
+		pinned:   make(map[*connSlot][]ticket),
+		leases:   make(map[*lease]struct{}),
+		retired:  make(map[*connSlot]bool),
+		dead:     make(map[*connSlot]bool),
+		slots:    make(map[transport.Conn]*connSlot),
+		eligible: eligible,
+		pool:     pool,
+		cancel:   cancel,
+	}
+	d.cond = sync.NewCond(&d.mu)
+	return d
+}
+
+// abandonAttempt closes the accounting of an attempt that will never reach
+// an outcome: settle its verification evals into the supervisor totals and
+// credit the tagged bytes that really crossed the wire on its (now dead)
+// connections to the pool counters — the only place that traffic can still
+// be reported. Settling is idempotent, so an attempt abandoned twice is
+// counted once.
+func (d *dispatcher) abandonAttempt(at *taskAttempt) {
+	if at == nil || at.settled {
+		return
+	}
+	at.settle(d.pool.sup)
+	d.pool.bytesSent.Add(at.bytesSent)
+	d.pool.bytesRecv.Add(at.bytesRecv)
+}
+
+// settleOutstanding abandons every ticket left behind at teardown — pending
+// or pinned work stranded by cancellation or mass retirement — so eval and
+// byte accounting stay complete even on runs that do not finish their task
+// list.
+func (d *dispatcher) settleOutstanding() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for _, t := range d.pending {
+		d.abandonAttempt(t.at)
+	}
+	for _, ts := range d.pinned {
+		for _, t := range ts {
+			d.abandonAttempt(t.at)
+		}
+	}
+}
+
+// fail records the run's first error and cancels everything.
+func (d *dispatcher) fail(err error) {
+	d.mu.Lock()
+	if d.err == nil {
+		d.err = err
+	}
+	d.cancelled = true
+	d.cond.Broadcast()
+	d.mu.Unlock()
+	d.cancel()
+}
+
+// stop ends scheduling without an error (context cancelled upstream).
+func (d *dispatcher) stop() {
+	d.mu.Lock()
+	d.cancelled = true
+	d.cond.Broadcast()
+	d.mu.Unlock()
+}
+
+// firstErr returns the recorded failure, if any.
+func (d *dispatcher) firstErr() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.err
+}
+
+func (d *dispatcher) registerConn(conn transport.Conn, sl *connSlot) {
+	d.mu.Lock()
+	d.slots[conn] = sl
+	d.mu.Unlock()
+}
+
+// retireConn implements TaskStream.Retire.
+func (d *dispatcher) retireConn(conn transport.Conn) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if sl, ok := d.slots[conn]; ok {
+		d.retireLocked(sl)
+	}
+}
+
+// retireLocked stops fresh claims on the slot and recalls its revocable
+// (claimed, unstarted, unpinned) leases, rerouting their tickets to the
+// pending queue for other connections. Pinned leases — resumed work already
+// in flight before retirement — are left to finish.
+func (d *dispatcher) retireLocked(sl *connSlot) {
+	if d.retired[sl] {
+		return
+	}
+	d.retired[sl] = true
+	for l := range d.leases {
+		if l.slot == sl && l.state == leaseClaimed && l.pin == nil {
+			l.state = leaseRevoked
+			delete(d.leases, l)
+			d.pending = append(d.pending, l.ticket)
+		}
+	}
+	d.cond.Broadcast()
+}
+
+// markDead declares the slot's link permanently gone: retire it and restart
+// everything still bound to it — queued pinned tickets and claimed pinned
+// leases — from scratch on the pending queue.
+func (d *dispatcher) markDead(sl *connSlot) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.dead[sl] = true
+	d.retireLocked(sl)
+	for l := range d.leases {
+		if l.slot == sl && l.state == leaseClaimed {
+			l.state = leaseRevoked
+			delete(d.leases, l)
+			d.restartTicketLocked(l.ticket)
+		}
+	}
+	for _, t := range d.pinned[sl] {
+		d.restartTicketLocked(t)
+	}
+	delete(d.pinned, sl)
+	d.cond.Broadcast()
+}
+
+// restartTicketLocked abandons a ticket's attempt (settling its eval and
+// byte accounting) and requeues the bare task. The fresh attempt created on
+// the next claim re-derives its randomness from the task seed, so the
+// retried verdict is identical to a clean first run on whichever participant
+// picks it up.
+func (d *dispatcher) restartTicketLocked(t ticket) {
+	d.abandonAttempt(t.at)
+	d.pending = append(d.pending, ticket{task: t.task})
+}
+
+// claim blocks until the slot has work: its own pinned resume tickets first,
+// then the shared pending queue. It returns false when the worker should
+// exit — run cancelled, slot retired with no pinned work left, or all work
+// globally drained.
+func (d *dispatcher) claim(sl *connSlot) (*lease, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for {
+		if d.cancelled {
+			return nil, false
+		}
+		if ts := d.pinned[sl]; len(ts) > 0 {
+			t := ts[len(ts)-1]
+			d.pinned[sl] = ts[:len(ts)-1]
+			return d.leaseLocked(t, sl), true
+		}
+		if !d.retired[sl] && d.eligible != nil && !d.eligible(sl.currentConn()) {
+			d.retireLocked(sl)
+		}
+		if d.retired[sl] {
+			return nil, false
+		}
+		if len(d.pending) > 0 {
+			t := d.pending[0]
+			d.pending = d.pending[1:]
+			return d.leaseLocked(t, sl), true
+		}
+		if len(d.leases) == 0 && d.pinnedEmptyLocked() {
+			return nil, false
+		}
+		d.cond.Wait()
+	}
+}
+
+func (d *dispatcher) pinnedEmptyLocked() bool {
+	for _, ts := range d.pinned {
+		if len(ts) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func (d *dispatcher) leaseLocked(t ticket, sl *connSlot) *lease {
+	l := &lease{ticket: t, slot: sl, state: leaseClaimed}
+	d.leases[l] = struct{}{}
+	return l
+}
+
+// start atomically re-checks eligibility and transitions the lease to
+// started. A fresh lease whose connection was retired between claim and this
+// call is revoked here and its ticket rerouted — the recall that closes the
+// claim/start race. Pinned tickets bypass the gate: they are in-flight work
+// finishing on the participant that holds their state.
+func (d *dispatcher) start(l *lease) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if l.state == leaseRevoked {
+		return false
+	}
+	if d.cancelled {
+		l.state = leaseRevoked
+		delete(d.leases, l)
+		d.cond.Broadcast()
+		return false
+	}
+	if l.pin == nil {
+		if !d.retired[l.slot] && d.eligible != nil && !d.eligible(l.slot.currentConn()) {
+			d.retireLocked(l.slot)
+		}
+		if d.retired[l.slot] {
+			l.state = leaseRevoked
+			delete(d.leases, l)
+			d.pending = append(d.pending, l.ticket)
+			d.cond.Broadcast()
+			return false
+		}
+	}
+	l.state = leaseStarted
+	return true
+}
+
+// complete releases a finished lease.
+func (d *dispatcher) complete(l *lease) {
+	d.mu.Lock()
+	delete(d.leases, l)
+	d.cond.Broadcast()
+	d.mu.Unlock()
+}
+
+// parkForResume returns a quarantined lease's ticket to the scheduler: bound
+// mid-protocol attempts pin to their slot (to resume on the replacement
+// connection), unbound ones rejoin the shared queue for any connection, and
+// tickets whose slot is already dead restart from scratch.
+func (d *dispatcher) parkForResume(l *lease) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	delete(d.leases, l)
+	t := l.ticket
+	switch {
+	case t.at != nil && t.at.started() && d.dead[l.slot]:
+		d.restartTicketLocked(t)
+	case t.at != nil && t.at.started():
+		t.pin = l.slot
+		d.pinned[l.slot] = append(d.pinned[l.slot], t)
+	default:
+		t.pin = nil
+		d.pending = append(d.pending, t)
+	}
+	d.cond.Broadcast()
+}
+
+// recover re-establishes the slot's link after generation gen died. The
+// first worker in becomes the leader: it quarantines the old connection
+// (closing it and banking the dead session's framing overhead), redials, and
+// opens a replacement session; late arrivals wait for the outcome. It
+// returns false when the slot is permanently dead.
+func (sl *connSlot) recover(gen int, d *dispatcher, p *SupervisorPool, cfg *streamConfig, window int) bool {
+	sl.mu.Lock()
+	for {
+		if sl.dead {
+			sl.mu.Unlock()
+			return false
+		}
+		if sl.gen > gen {
+			sl.mu.Unlock()
+			return true // another worker already replaced the link
+		}
+		if !sl.reconnecting {
+			sl.reconnecting = true
+			break
+		}
+		sl.cond.Wait()
+	}
+	oldConn, oldSess := sl.conn, sl.sess
+	canRetry := cfg.redial != nil && sl.reconnects < cfg.maxReconnects
+	sl.mu.Unlock()
+
+	// Quarantine: the connection is gone either way, and the dead session's
+	// shared framing overhead must survive into the pool counters.
+	_ = oldConn.Close()
+	oldSess.abandon()
+	ovSent, ovRecv := oldSess.OverheadBytes()
+	p.bytesSent.Add(ovSent)
+	p.bytesRecv.Add(ovRecv)
+
+	var newConn transport.Conn
+	var newSess *Session
+	if canRetry {
+		if conn, err := cfg.redial(oldConn); err == nil && conn != nil {
+			if sess, err := p.sup.OpenSession(conn, window, WithSessionRecvTimeout(cfg.recvTimeout)); err == nil {
+				newConn, newSess = conn, sess
+			} else {
+				_ = conn.Close()
+			}
+		}
+	}
+
+	// Register before publishing: the moment the swap below makes newConn
+	// visible through sl.current(), outcomes can carry it and
+	// TaskStream.Retire(newConn) must already resolve to this slot.
+	if newSess != nil {
+		d.registerConn(newConn, sl)
+	}
+
+	sl.mu.Lock()
+	sl.reconnecting = false
+	if newSess == nil {
+		sl.dead = true
+		sl.cond.Broadcast()
+		sl.mu.Unlock()
+		d.markDead(sl)
+		return false
+	}
+	sl.conn, sl.sess = newConn, newSess
+	sl.gen++
+	sl.reconnects++
+	sl.cond.Broadcast()
+	sl.mu.Unlock()
+	return true
+}
+
+// RunTasksStream verifies tasks over pipelined sessions with work stealing:
+// every connection opens a session holding up to `window` concurrent task
+// exchanges, and all sessions claim tasks from one shared queue — fast
+// participants take more work instead of idling behind static per-conn
+// groups. Outcomes stream out as they complete.
+//
+// Claims are revocable leases: a connection retired (TaskStream.Retire or
+// the WithEligibility gate) between claiming a task and starting its
+// exchange has the claim recalled and the task rerouted, so no exchange ever
+// starts on a retired connection. With WithRedial, a transport fault
+// quarantines the connection and its in-flight tasks resume mid-protocol on
+// a replacement connection to the same participant — verdicts and the
+// per-task randomness stream are unaffected, so a faulty run's verdicts are
+// byte-identical to a clean run's with equal seeds. Tasks stranded on a dead
+// slot restart from scratch elsewhere; work is only dropped, cleanly, when
+// every connection is retired (callers detect the shortfall by counting
+// outcomes).
+//
+// Which connection runs which task is scheduling-dependent; the verdict of a
+// given (task, connection) pair is not. The pool's worker bound applies
+// across sessions: at most `workers` exchanges execute at once. The first
+// protocol-level error cancels the run and surfaces on TaskStream.Err.
+func (p *SupervisorPool) RunTasksStream(ctx context.Context, conns []transport.Conn, tasks []Task, window int, opts ...StreamOption) (*TaskStream, error) {
+	if len(conns) == 0 {
+		return nil, fmt.Errorf("%w: no connections", ErrBadConfig)
+	}
+	cfg := streamConfig{maxReconnects: defaultMaxReconnects}
+	for _, opt := range opts {
+		opt.applyStream(&cfg)
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	d := newDispatcher(p, cfg.eligible, cancel)
+	slots := make([]*connSlot, len(conns))
+	for i, conn := range conns {
+		sess, err := p.sup.OpenSession(conn, window, WithSessionRecvTimeout(cfg.recvTimeout))
+		if err != nil {
+			for _, sl := range slots[:i] {
+				_ = sl.sess.Close()
+			}
+			cancel()
+			return nil, err
+		}
+		slots[i] = newConnSlot(conn, sess)
+		d.registerConn(conn, slots[i])
+	}
+	for _, t := range tasks {
+		d.pending = append(d.pending, ticket{task: t})
+	}
+
+	stream := &TaskStream{
+		outcomes: make(chan StreamedOutcome),
+		done:     make(chan struct{}),
+		d:        d,
+	}
+
+	// Wake parked workers when the caller cancels.
+	go func() {
+		<-ctx.Done()
+		d.stop()
+	}()
+
+	// The pool's worker bound applies across all sessions, exactly as in
+	// RunTasks: sessions hold up to `window` claims each, but at most
+	// p.workers exchanges execute at once.
+	sem := make(chan struct{}, p.workers)
+
+	var workers sync.WaitGroup
+	for _, sl := range slots {
+		sl := sl
+		for w := 0; w < window; w++ {
+			workers.Add(1)
+			go func() {
+				defer workers.Done()
+				p.streamWorker(ctx, d, sl, &cfg, window, sem, stream)
+			}()
+		}
+	}
+
+	workersDone := make(chan struct{})
+	go func() {
+		workers.Wait()
+		close(workersDone)
+	}()
+
+	// Finisher: close the surviving sessions (flushing their writers) and
+	// bank their framing overhead — dead sessions were banked at quarantine
+	// — then publish the terminal error and close the stream.
+	go func() {
+		<-workersDone
+		d.settleOutstanding()
+		var closeErr error
+		for _, sl := range slots {
+			sl.mu.Lock()
+			dead, sess := sl.dead, sl.sess
+			sl.mu.Unlock()
+			if dead {
+				continue
+			}
+			if err := sess.Close(); err != nil && closeErr == nil {
+				closeErr = fmt.Errorf("grid: session close: %w", err)
+			}
+			ovSent, ovRecv := sess.OverheadBytes()
+			p.bytesSent.Add(ovSent)
+			p.bytesRecv.Add(ovRecv)
+		}
+		cancel()
+		d.mu.Lock()
+		if d.err == nil && closeErr != nil {
+			d.err = closeErr
+		}
+		stream.err = d.err
+		d.mu.Unlock()
+		close(stream.outcomes)
+		close(stream.done)
+	}()
+
+	return stream, nil
+}
+
+// streamWorker is one of a slot's `window` exchange drivers: claim, start
+// (or yield to a revocation), run the attempt, and either stream the
+// outcome, park the attempt for resume, or fail the run.
+func (p *SupervisorPool) streamWorker(ctx context.Context, d *dispatcher, sl *connSlot, cfg *streamConfig, window int, sem chan struct{}, stream *TaskStream) {
+	for {
+		l, ok := d.claim(sl)
+		if !ok {
+			return
+		}
+		if !d.start(l) {
+			continue
+		}
+		if l.at == nil {
+			at, err := p.sup.NewAttempt(l.task)
+			if err != nil {
+				d.complete(l)
+				d.fail(fmt.Errorf("grid: task %d: %w", l.task.ID, err))
+				return
+			}
+			l.at = at
+		}
+		sess, gen, conn := sl.current()
+
+		select {
+		case sem <- struct{}{}:
+		case <-ctx.Done():
+			// Hand the ticket back so accounting settles at teardown.
+			d.parkForResume(l)
+			return
+		}
+		outcome, err := sess.RunAttempt(l.at)
+		<-sem
+
+		if err != nil {
+			if errors.Is(err, ErrConnQuarantined) {
+				d.parkForResume(l)
+				sl.recover(gen, d, p, cfg, window)
+				continue
+			}
+			// Terminal failure: the attempt never reaches an outcome, so
+			// close its eval and byte accounting here.
+			d.abandonAttempt(l.at)
+			d.complete(l)
+			d.fail(fmt.Errorf("grid: task %d: %w", l.task.ID, err))
+			return
+		}
+		p.bytesSent.Add(outcome.BytesSent)
+		p.bytesRecv.Add(outcome.BytesRecv)
+		select {
+		case stream.outcomes <- StreamedOutcome{Outcome: outcome, Conn: conn}:
+		case <-ctx.Done():
+		}
+		d.complete(l)
+	}
+}

@@ -10,7 +10,6 @@ import (
 
 	"uncheatgrid/internal/baseline"
 	"uncheatgrid/internal/core"
-	"uncheatgrid/internal/hashchain"
 	"uncheatgrid/internal/transport"
 	"uncheatgrid/internal/workload"
 )
@@ -128,13 +127,16 @@ func (s *Supervisor) RunTask(conn transport.Conn, task Task) (*TaskOutcome, erro
 
 // preparedTask is the output of the assignment phase: everything the
 // supervisor needs to drive one task's verification, independent of the
-// connection (real or session-virtual) the exchange will run on.
+// connection (real or session-virtual) the exchange will run on. Its st
+// field is the task's resumable wire-phase state machine (see exchange.go):
+// the exchange can detach from a dead connection and re-attach elsewhere.
 type preparedTask struct {
 	assign  assignment
 	f       workload.Function
 	tr      *taskRun
 	ringers *baseline.RingerSet
 	outcome *TaskOutcome
+	st      *exchangeState
 }
 
 // prepareTask runs the assignment phase: validate the task, instantiate the
@@ -155,6 +157,7 @@ func (s *Supervisor) prepareTask(task Task) (*preparedTask, error) {
 		f:       f,
 		tr:      tr,
 		outcome: &TaskOutcome{Task: task, CheatIndex: -1},
+		st:      &exchangeState{phase: initialPhase(s.cfg.Spec.Kind)},
 	}
 	if s.cfg.Spec.Kind == SchemeRinger {
 		// Secrets are domain-relative; f is evaluated at absolute inputs.
@@ -169,38 +172,43 @@ func (s *Supervisor) prepareTask(task Task) (*preparedTask, error) {
 	return pt, nil
 }
 
-// exchange runs the wire phases of a prepared task over conn: assignment
-// out, scheme-specific verification dialogue, verdict back. replicaResults,
-// when non-nil, receives the full upload for double-check aggregation (whose
-// verdict waits for the replica barrier instead of being sent here).
-func (s *Supervisor) exchange(conn protoConn, pt *preparedTask, replicaResults *[][]byte) error {
-	if err := conn.Send(transport.Message{Type: msgAssign, Payload: encodeAssignment(pt.assign)}); err != nil {
-		return err
-	}
+// taskAttempt is the supervisor's detachable handle on one in-flight task:
+// the prepared state machine plus byte totals accumulated across every
+// connection that carried it. An attempt is created once per task, survives
+// connection quarantine, and re-attaches to a replacement session through
+// Session.RunAttempt. Retransmitted announcements are counted, so faulty
+// runs report what actually crossed the wire.
+type taskAttempt struct {
+	task                 Task
+	pt                   *preparedTask
+	bytesSent, bytesRecv int64
+	settled              bool
+}
 
-	task := pt.assign.Task
-	var err error
-	switch s.cfg.Spec.Kind {
-	case SchemeCBS:
-		err = pt.tr.verifyCBS(conn, task, pt.f, false, pt.outcome)
-	case SchemeNICBS:
-		err = pt.tr.verifyCBS(conn, task, pt.f, true, pt.outcome)
-	case SchemeNaive, SchemeDoubleCheck:
-		err = pt.tr.verifyUpload(conn, task, pt.f, replicaResults, pt.outcome)
-	case SchemeRinger:
-		err = pt.tr.verifyRinger(conn, task, pt.ringers, pt.outcome)
-	default:
-		return fmt.Errorf("%w: scheme %v", ErrBadConfig, s.cfg.Spec.Kind)
-	}
+// NewAttempt validates and prepares a task for execution without touching
+// any connection.
+func (s *Supervisor) NewAttempt(task Task) (*taskAttempt, error) {
+	pt, err := s.prepareTask(task)
 	if err != nil {
-		return err
+		return nil, err
 	}
+	return &taskAttempt{task: task, pt: pt}, nil
+}
 
-	// Double-check defers its verdict until all replicas have reported.
-	if s.cfg.Spec.Kind != SchemeDoubleCheck {
-		return s.sendVerdict(conn, pt.outcome)
+// started reports whether participant state binds this attempt to its
+// current peer. An attempt that has received nothing can attach to any
+// participant (its randomness so far is derived purely from the task seed);
+// one mid-protocol must resume where its commitment lives.
+func (at *taskAttempt) started() bool { return at.pt.st.received }
+
+// settle closes the attempt's verification-eval accounting exactly once,
+// however many connections (or restarts) the task consumed.
+func (at *taskAttempt) settle(s *Supervisor) {
+	if at.settled {
+		return
 	}
-	return nil
+	at.settled = true
+	s.settle(at.pt)
 }
 
 // settle closes the task's verification-eval accounting into its outcome
@@ -225,7 +233,7 @@ func (s *Supervisor) run(conn transport.Conn, task Task, replicaResults *[][]byt
 		pt.outcome.BytesRecv = conn.Stats().BytesRecv() - startRecv
 		s.settle(pt)
 	}()
-	if err := s.exchange(conn, pt, replicaResults); err != nil {
+	if err := s.runExchange(conn, pt, replicaResults); err != nil {
 		return nil, err
 	}
 	return pt.outcome, nil
@@ -253,91 +261,6 @@ func (tr *taskRun) checkFuncFor(task Task, f workload.Function) core.CheckFunc {
 	})
 }
 
-// verifyCBS receives commitment, reports, and proofs, and runs the Step 4
-// verification (interactive challenge or NI re-derivation).
-func (tr *taskRun) verifyCBS(conn protoConn, task Task, f workload.Function, nonInteractive bool, outcome *TaskOutcome) error {
-	commitMsg, err := expectMsg(conn, msgCommit)
-	if err != nil {
-		return err
-	}
-	var commitment core.Commitment
-	if err := commitment.UnmarshalBinary(commitMsg.Payload); err != nil {
-		return fmt.Errorf("%w: commitment: %v", ErrBadPayload, err)
-	}
-	reportsMsg, err := expectMsg(conn, msgReports)
-	if err != nil {
-		return err
-	}
-	outcome.Reports, err = decodeReports(reportsMsg.Payload)
-	if err != nil {
-		return err
-	}
-	if commitment.N != task.N {
-		outcome.Verdict = Verdict{Reason: fmt.Sprintf("committed %d leaves for a task of %d", commitment.N, task.N)}
-		return nil
-	}
-
-	verifier, err := core.NewVerifier(commitment, core.WithRand(tr.rng))
-	if err != nil {
-		return err
-	}
-
-	var challenge core.Challenge
-	if nonInteractive {
-		chain, err := hashchain.New(tr.sup.cfg.Spec.ChainIters)
-		if err != nil {
-			return err
-		}
-		challenge.Indices, err = chain.SampleIndices(commitment.Root, tr.sup.cfg.Spec.M, commitment.N)
-		if err != nil {
-			return err
-		}
-	} else {
-		challenge, err = verifier.Challenge(tr.sup.cfg.Spec.M)
-		if err != nil {
-			return err
-		}
-		payload, err := challenge.MarshalBinary()
-		if err != nil {
-			return err
-		}
-		if err := conn.Send(transport.Message{Type: msgChallenge, Payload: payload}); err != nil {
-			return err
-		}
-	}
-
-	proofsMsg, err := expectMsg(conn, msgProofs)
-	if err != nil {
-		return err
-	}
-	var resp core.Response
-	if err := resp.UnmarshalBinary(proofsMsg.Payload); err != nil {
-		outcome.Verdict = Verdict{Reason: fmt.Sprintf("undecodable proofs: %v", err)}
-		return nil
-	}
-
-	verifyErr := verifier.Verify(challenge, &resp, tr.checkFuncFor(task, f))
-	var cheatErr *core.CheatError
-	switch {
-	case verifyErr == nil:
-		outcome.Verdict = Verdict{Accepted: true}
-	case errors.As(verifyErr, &cheatErr):
-		outcome.Verdict = Verdict{Reason: verifyErr.Error()}
-		outcome.CheatIndex = int64(cheatErr.Index)
-		return nil
-	default:
-		outcome.Verdict = Verdict{Reason: fmt.Sprintf("protocol violation: %v", verifyErr)}
-		return nil
-	}
-
-	if tr.sup.cfg.CrossCheckReports {
-		if reason := tr.crossCheckReports(task, f, challenge.Indices, outcome.Reports); reason != "" {
-			outcome.Verdict = Verdict{Reason: reason}
-		}
-	}
-	return nil
-}
-
 // crossCheckReports recomputes the screener on the sampled inputs and
 // confirms the participant's report list agrees — the sampled-index defense
 // against the malicious model of Section 2.2.
@@ -361,93 +284,6 @@ func (tr *taskRun) crossCheckReports(task Task, f workload.Function, indices []u
 		}
 	}
 	return ""
-}
-
-// verifyUpload receives a full result vector and either samples it (naive)
-// or stashes it for replica comparison (double-check).
-func (tr *taskRun) verifyUpload(conn protoConn, task Task, f workload.Function, replicaResults *[][]byte, outcome *TaskOutcome) error {
-	resultsMsg, err := expectMsg(conn, msgResults)
-	if err != nil {
-		return err
-	}
-	results, err := decodeResults(resultsMsg.Payload)
-	if err != nil {
-		return err
-	}
-	reportsMsg, err := expectMsg(conn, msgReports)
-	if err != nil {
-		return err
-	}
-	outcome.Reports, err = decodeReports(reportsMsg.Payload)
-	if err != nil {
-		return err
-	}
-
-	if replicaResults != nil {
-		*replicaResults = results
-		return nil // verdict decided by RunReplicated
-	}
-
-	sampler, err := baseline.NewNaiveSampling(tr.sup.cfg.Spec.M, tr.rng)
-	if err != nil {
-		return err
-	}
-	check := tr.checkFuncFor(task, f)
-	verifyErr := sampler.Verify(int(task.N), results, func(index uint64, output []byte) error {
-		return check(index, output)
-	})
-	var sampleErr *baseline.SampleError
-	switch {
-	case verifyErr == nil:
-		outcome.Verdict = Verdict{Accepted: true}
-	case errors.As(verifyErr, &sampleErr):
-		outcome.Verdict = Verdict{Reason: verifyErr.Error()}
-		outcome.CheatIndex = int64(sampleErr.Index)
-	default:
-		outcome.Verdict = Verdict{Reason: fmt.Sprintf("protocol violation: %v", verifyErr)}
-	}
-	return nil
-}
-
-// verifyRinger receives the participant's ringer hits and checks every
-// planted secret was found.
-func (tr *taskRun) verifyRinger(conn protoConn, task Task, ringers *baseline.RingerSet, outcome *TaskOutcome) error {
-	hitsMsg, err := expectMsg(conn, msgRingerHits)
-	if err != nil {
-		return err
-	}
-	hits, err := decodeIndices(hitsMsg.Payload)
-	if err != nil {
-		return err
-	}
-	reportsMsg, err := expectMsg(conn, msgReports)
-	if err != nil {
-		return err
-	}
-	outcome.Reports, err = decodeReports(reportsMsg.Payload)
-	if err != nil {
-		return err
-	}
-
-	// Hits arrive as absolute inputs; secrets are domain-relative.
-	relative := make([]uint64, 0, len(hits))
-	for _, x := range hits {
-		if x >= task.Start {
-			relative = append(relative, x-task.Start)
-		}
-	}
-	verifyErr := ringers.Verify(relative)
-	var sampleErr *baseline.SampleError
-	switch {
-	case verifyErr == nil:
-		outcome.Verdict = Verdict{Accepted: true}
-	case errors.As(verifyErr, &sampleErr):
-		outcome.Verdict = Verdict{Reason: verifyErr.Error()}
-		outcome.CheatIndex = int64(sampleErr.Index)
-	default:
-		outcome.Verdict = Verdict{Reason: fmt.Sprintf("protocol violation: %v", verifyErr)}
-	}
-	return nil
 }
 
 // RunReplicated assigns the same task to every connection and compares the

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"io"
 )
 
@@ -34,6 +35,20 @@ const (
 	// small messages (multi-assignment and multi-proof frames are both just
 	// batches of the corresponding tagged kinds). Either direction.
 	msgBatch
+	// msgResultChunk carries one slice of a chunked full-result upload:
+	// uploads whose encoding exceeds uploadChunkBytes travel as an ordered
+	// chunk sequence instead of a single frame, so arbitrarily large tasks
+	// fit under transport.MaxFrameBytes and the session batch writer can
+	// interleave other tasks' messages between chunks. Participant →
+	// supervisor.
+	msgResultChunk
+	// msgResume re-announces a task on a replacement connection: it carries
+	// the original assignment plus the supervisor's per-task protocol
+	// position (which participant messages it already holds, how many upload
+	// chunks arrived, and the challenge it already issued) so the
+	// participant can re-derive its deterministic state and replay only what
+	// is missing. Supervisor → participant.
+	msgResume
 )
 
 // taggedMsg is one task-scoped protocol message inside a pipelined session:
@@ -55,19 +70,36 @@ func (t taggedMsg) wireSize() int64 {
 // maxBatchMsgs bounds the sub-message count of one batch frame.
 const maxBatchMsgs = 1 << 16
 
+// batchChecksumLen is the size of the CRC-32 prefix on every batch frame.
+// Sessions are the layer that survives lossy links, so their frames carry an
+// integrity check: a garbled frame fails the checksum and is handled as a
+// connection-level fault (quarantine and resume) instead of masquerading as
+// a peer protocol violation.
+const batchChecksumLen = 4
+
 func encodeBatch(msgs []taggedMsg) []byte {
 	var buf bytes.Buffer
+	buf.Write(make([]byte, batchChecksumLen)) // checksum placeholder
 	putUvarint(&buf, uint64(len(msgs)))
 	for _, m := range msgs {
 		putUvarint(&buf, m.TaskID)
 		buf.WriteByte(m.Type)
 		putBytes(&buf, m.Payload)
 	}
-	return buf.Bytes()
+	out := buf.Bytes()
+	binary.LittleEndian.PutUint32(out[:batchChecksumLen], crc32.ChecksumIEEE(out[batchChecksumLen:]))
+	return out
 }
 
 func decodeBatch(payload []byte) ([]taggedMsg, error) {
-	r := bytes.NewReader(payload)
+	if len(payload) < batchChecksumLen {
+		return nil, fmt.Errorf("%w: batch frame of %d bytes", ErrFrameCorrupt, len(payload))
+	}
+	want := binary.LittleEndian.Uint32(payload[:batchChecksumLen])
+	if got := crc32.ChecksumIEEE(payload[batchChecksumLen:]); got != want {
+		return nil, fmt.Errorf("%w: batch checksum %08x, want %08x", ErrFrameCorrupt, got, want)
+	}
+	r := bytes.NewReader(payload[batchChecksumLen:])
 	count, err := binary.ReadUvarint(r)
 	if err != nil {
 		return nil, fmt.Errorf("%w: batch count: %v", ErrBadPayload, err)
@@ -254,6 +286,156 @@ func decodeResults(payload []byte) ([][]byte, error) {
 		return nil, fmt.Errorf("%w: %d trailing bytes", ErrBadPayload, r.Len())
 	}
 	return results, nil
+}
+
+// uploadChunkBytes is both the threshold above which a full-result upload
+// is chunked and the data size of each chunk. It is far below
+// transport.MaxFrameBytes so arbitrarily large result sets fit, and small
+// enough that the session batch writer can interleave other tasks' messages
+// between chunks instead of stalling the link behind one huge frame. A
+// variable so tests can exercise the chunk path without gigabyte uploads.
+var uploadChunkBytes = 4 << 20
+
+// maxUploadBytes bounds the reassembled size of a chunked upload, the
+// analogue of the per-payload decode limits for attacker-controlled chunk
+// streams.
+const maxUploadBytes int64 = 1 << 31
+
+// resultChunk is one decoded msgResultChunk: the Seq-th slice of the encoded
+// result vector, with Final marking the last chunk.
+type resultChunk struct {
+	Seq   uint64
+	Final bool
+	Data  []byte
+}
+
+func encodeChunk(c resultChunk) []byte {
+	var buf bytes.Buffer
+	putUvarint(&buf, c.Seq)
+	if c.Final {
+		buf.WriteByte(1)
+	} else {
+		buf.WriteByte(0)
+	}
+	putBytes(&buf, c.Data)
+	return buf.Bytes()
+}
+
+func decodeChunk(payload []byte) (resultChunk, error) {
+	var c resultChunk
+	r := bytes.NewReader(payload)
+	var err error
+	if c.Seq, err = binary.ReadUvarint(r); err != nil {
+		return c, fmt.Errorf("%w: chunk seq: %v", ErrBadPayload, err)
+	}
+	flag, err := r.ReadByte()
+	if err != nil {
+		return c, fmt.Errorf("%w: chunk final flag: %v", ErrBadPayload, err)
+	}
+	if flag > 1 {
+		return c, fmt.Errorf("%w: chunk final flag %d", ErrBadPayload, flag)
+	}
+	c.Final = flag == 1
+	if c.Data, err = getBytes(r); err != nil {
+		return c, fmt.Errorf("%w: chunk data: %v", ErrBadPayload, err)
+	}
+	if r.Len() != 0 {
+		return c, fmt.Errorf("%w: %d trailing bytes", ErrBadPayload, r.Len())
+	}
+	return c, nil
+}
+
+// resumeMsg is the decoded msgResume payload: the original assignment plus
+// the supervisor's record of the exchange so far, from which a participant
+// re-derives its deterministic state and replays only what is missing.
+type resumeMsg struct {
+	Assignment assignment
+	// HaveCommit/HaveReports/HaveProofs/HaveHits record which
+	// participant→supervisor messages the supervisor already holds.
+	HaveCommit, HaveReports, HaveProofs, HaveHits bool
+	// Chunks counts upload chunks already received; ResultsDone marks a
+	// complete upload (chunked or single-frame).
+	Chunks      uint64
+	ResultsDone bool
+	// Challenge replays the marshaled challenge the supervisor already
+	// issued (interactive CBS); nil when none was sent.
+	Challenge []byte
+}
+
+// Flag bits of the resumeMsg wire encoding.
+const (
+	resumeHaveCommit = 1 << iota
+	resumeHaveReports
+	resumeHaveProofs
+	resumeHaveHits
+	resumeResultsDone
+	resumeHasChallenge
+)
+
+func encodeResume(m resumeMsg) []byte {
+	var buf bytes.Buffer
+	putBytes(&buf, encodeAssignment(m.Assignment))
+	var flags byte
+	if m.HaveCommit {
+		flags |= resumeHaveCommit
+	}
+	if m.HaveReports {
+		flags |= resumeHaveReports
+	}
+	if m.HaveProofs {
+		flags |= resumeHaveProofs
+	}
+	if m.HaveHits {
+		flags |= resumeHaveHits
+	}
+	if m.ResultsDone {
+		flags |= resumeResultsDone
+	}
+	if m.Challenge != nil {
+		flags |= resumeHasChallenge
+	}
+	buf.WriteByte(flags)
+	putUvarint(&buf, m.Chunks)
+	if m.Challenge != nil {
+		putBytes(&buf, m.Challenge)
+	}
+	return buf.Bytes()
+}
+
+func decodeResume(payload []byte) (resumeMsg, error) {
+	var m resumeMsg
+	r := bytes.NewReader(payload)
+	assignRaw, err := getBytes(r)
+	if err != nil {
+		return m, fmt.Errorf("%w: resume assignment: %v", ErrBadPayload, err)
+	}
+	if m.Assignment, err = decodeAssignment(assignRaw); err != nil {
+		return m, err
+	}
+	flags, err := r.ReadByte()
+	if err != nil {
+		return m, fmt.Errorf("%w: resume flags: %v", ErrBadPayload, err)
+	}
+	if flags >= resumeHasChallenge<<1 {
+		return m, fmt.Errorf("%w: resume flags %#x", ErrBadPayload, flags)
+	}
+	m.HaveCommit = flags&resumeHaveCommit != 0
+	m.HaveReports = flags&resumeHaveReports != 0
+	m.HaveProofs = flags&resumeHaveProofs != 0
+	m.HaveHits = flags&resumeHaveHits != 0
+	m.ResultsDone = flags&resumeResultsDone != 0
+	if m.Chunks, err = binary.ReadUvarint(r); err != nil {
+		return m, fmt.Errorf("%w: resume chunk count: %v", ErrBadPayload, err)
+	}
+	if flags&resumeHasChallenge != 0 {
+		if m.Challenge, err = getBytes(r); err != nil {
+			return m, fmt.Errorf("%w: resume challenge: %v", ErrBadPayload, err)
+		}
+	}
+	if r.Len() != 0 {
+		return m, fmt.Errorf("%w: %d trailing bytes", ErrBadPayload, r.Len())
+	}
+	return m, nil
 }
 
 func encodeIndices(indices []uint64) []byte {

@@ -64,6 +64,69 @@ func FuzzDecodeReports(f *testing.F) {
 	})
 }
 
+func FuzzDecodeChunk(f *testing.F) {
+	f.Add(encodeChunk(resultChunk{Seq: 0, Final: false, Data: []byte{1, 2, 3}}))
+	f.Add(encodeChunk(resultChunk{Seq: 17, Final: true, Data: nil}))
+	f.Add([]byte{0x00})
+	f.Add([]byte{0x03, 0x02, 0xff})
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		c, err := decodeChunk(payload)
+		if err != nil {
+			return
+		}
+		again, err := decodeChunk(encodeChunk(c))
+		if err != nil {
+			t.Fatalf("re-decode of re-encoded chunk failed: %v", err)
+		}
+		if c.Seq != again.Seq || c.Final != again.Final || !reflect.DeepEqual(c.Data, again.Data) {
+			t.Fatalf("round trip changed chunk: %+v != %+v", c, again)
+		}
+	})
+}
+
+func FuzzDecodeResume(f *testing.F) {
+	f.Add(encodeResume(resumeMsg{
+		Assignment: assignment{
+			Task: Task{ID: 3, Start: 64, N: 128, Workload: "synthetic", Seed: 9},
+			Spec: SchemeSpec{Kind: SchemeCBS, M: 20},
+		},
+		HaveCommit:  true,
+		HaveReports: true,
+		Challenge:   []byte{1, 2, 3, 4},
+	}))
+	f.Add(encodeResume(resumeMsg{
+		Assignment: assignment{
+			Task: Task{ID: 7, N: 32, Workload: "password", Seed: 1},
+			Spec: SchemeSpec{Kind: SchemeNaive, M: 4},
+		},
+		Chunks: 5,
+	}))
+	f.Add(encodeResume(resumeMsg{
+		Assignment: assignment{
+			Task:         Task{ID: 1, N: 16, Workload: "synthetic", Seed: 2},
+			Spec:         SchemeSpec{Kind: SchemeRinger, M: 2},
+			RingerImages: [][]byte{{0xde}, {}},
+		},
+		HaveHits:    true,
+		ResultsDone: true,
+	}))
+	f.Add([]byte{})
+	f.Add([]byte{0x01, 0x00, 0xff})
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		m, err := decodeResume(payload)
+		if err != nil {
+			return
+		}
+		again, err := decodeResume(encodeResume(m))
+		if err != nil {
+			t.Fatalf("re-decode of re-encoded resume failed: %v", err)
+		}
+		if !reflect.DeepEqual(m, again) {
+			t.Fatalf("round trip changed resume: %+v != %+v", m, again)
+		}
+	})
+}
+
 func FuzzDecodeBatch(f *testing.F) {
 	f.Add(encodeBatch(nil))
 	f.Add(encodeBatch([]taggedMsg{

@@ -29,6 +29,8 @@ type PartialTree struct {
 	top    [][]byte
 	leafAt func(i int) []byte
 	hs     hashers
+	// workers is the resolved per-rebuild parallelism (1 = sequential).
+	workers int
 
 	// rebuiltLeaves counts leaf recomputations performed to serve proofs;
 	// the experiments use it to measure rco.
@@ -43,6 +45,13 @@ type PartialTree struct {
 // by leafAt. leafAt must be deterministic: it is called once per leaf during
 // construction and again for every leaf of a rebuilt subtree during Prove.
 // ℓ = 0 stores the full tree; ℓ = H stores only the root.
+//
+// WithParallelism(p) shards each subtree rebuild — at construction and for
+// every Prove — across up to p goroutines; leafAt is then called
+// concurrently (still exactly once per leaf of the block) and must be safe
+// for concurrent use. Roots, proofs, and rebuild accounting are
+// bit-identical to a sequential tree: only the hashing schedule changes.
+// Rebuilds of blocks smaller than 1024 leaves stay sequential.
 func NewPartial(n, ell int, leafAt func(i int) []byte, opts ...Option) (*PartialTree, error) {
 	if n <= 0 {
 		return nil, ErrEmptyTree
@@ -55,7 +64,8 @@ func NewPartial(n, ell int, leafAt func(i int) []byte, opts ...Option) (*Partial
 	if ell < 0 || ell > height {
 		return nil, fmt.Errorf("%w: ℓ=%d, height=%d", ErrBadSubtreeHeight, ell, height)
 	}
-	hs := newHashers(buildOptions(opts))
+	o := buildOptions(opts)
+	hs := newHashers(o)
 	blockSize := 1 << ell
 	numBlocks := capacity / blockSize
 
@@ -67,6 +77,7 @@ func NewPartial(n, ell int, leafAt func(i int) []byte, opts ...Option) (*Partial
 		top:       make([][]byte, 2*numBlocks),
 		leafAt:    leafAt,
 		hs:        hs,
+		workers:   rebuildWorkers(o.parallelism, blockSize),
 		scratch:   make([][]byte, 2*blockSize),
 	}
 	for b := 0; b < numBlocks; b++ {
@@ -148,12 +159,32 @@ func (p *PartialTree) rebuildSubtree(b int) [][]byte {
 	return p.fillSubtree(b, true)
 }
 
+// rebuildWorkers resolves the per-rebuild worker count. Unlike the full
+// tree's buildWorkers it does not clamp to runtime.NumCPU(): a rebuild runs
+// under p.mu (one proof at a time), the goroutine count is bounded by the
+// caller's request, and the result is schedule-independent either way.
+// Blocks below parallelMinLeaves always rebuild sequentially — goroutine
+// startup would cost more than it saves.
+func rebuildWorkers(requested, blockSize int) int {
+	if requested <= 1 || blockSize < parallelMinLeaves {
+		return 1
+	}
+	if max := blockSize / 2; requested > max {
+		requested = max
+	}
+	return requested
+}
+
 // fillSubtree populates the scratch buffer with the heap-layout subtree of
 // block b. Leaves beyond n take the pad digest. Callers must hold p.mu (or
 // be the constructor, which runs before the tree is shared).
 func (p *PartialTree) fillSubtree(b int, counted bool) [][]byte {
 	sub := p.scratch
 	base := b * p.blockSize
+	if p.workers > 1 {
+		p.fillSubtreeParallel(sub, base, counted)
+		return sub
+	}
 	for j := 0; j < p.blockSize; j++ {
 		idx := base + j
 		if idx < p.n {
@@ -169,6 +200,49 @@ func (p *PartialTree) fillSubtree(b int, counted bool) [][]byte {
 		sub[i] = p.hs.combine(sub[2*i], sub[2*i+1])
 	}
 	return sub
+}
+
+// fillSubtreeParallel is the sharded twin of the sequential pass in
+// fillSubtree: the block's leaf span is cut into equal-sized sub-subtrees,
+// each evaluated and hashed bottom-up by its own goroutine, and the top
+// log2(shards) levels are combined sequentially. Node values are
+// bit-identical to the sequential schedule — structure, padding, and hash
+// inputs are unchanged.
+func (p *PartialTree) fillSubtreeParallel(sub [][]byte, base int, counted bool) {
+	shards := nextPow2(p.workers)
+	if shards > p.blockSize/2 {
+		shards = p.blockSize / 2
+	}
+	span := p.blockSize / shards
+	var wg sync.WaitGroup
+	wg.Add(shards)
+	for s := 0; s < shards; s++ {
+		go func(s int) {
+			defer wg.Done()
+			lo := s * span
+			for j := lo; j < lo+span; j++ {
+				idx := base + j
+				if idx < p.n {
+					sub[p.blockSize+j] = p.leafAt(idx)
+					if counted {
+						p.rebuiltLeaves.Add(1)
+					}
+				} else {
+					sub[p.blockSize+j] = p.hs.pad
+				}
+			}
+			root := (p.blockSize + lo) / span
+			for w := span / 2; w >= 1; w /= 2 {
+				for q := root * w; q < (root+1)*w; q++ {
+					sub[q] = p.hs.combine(sub[2*q], sub[2*q+1])
+				}
+			}
+		}(s)
+	}
+	wg.Wait()
+	for i := shards - 1; i >= 1; i-- {
+		sub[i] = p.hs.combine(sub[2*i], sub[2*i+1])
+	}
 }
 
 func cloneBytes(b []byte) []byte {

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+	"sync"
 	"testing"
 	"testing/quick"
 )
@@ -200,4 +201,81 @@ func TestPartialQuickEquivalence(t *testing.T) {
 	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
 		t.Fatal(err)
 	}
+}
+
+// TestPartialParallelMatchesSequential pins the satellite guarantee of
+// parallel subtree rebuilds: roots, proofs, and rebuild accounting of a
+// WithParallelism partial tree are bit-identical to the sequential one. The
+// block size (2^ℓ = 2048) clears the sequential-fallback threshold so the
+// sharded path genuinely runs, whatever the host's CPU count.
+func TestPartialParallelMatchesSequential(t *testing.T) {
+	const n = 5000
+	const ell = 11
+	at := leafFunc(n) // slice-backed: safe for concurrent calls
+	sequential, err := NewPartial(n, ell, at)
+	if err != nil {
+		t.Fatalf("NewPartial (sequential): %v", err)
+	}
+	parallel, err := NewPartial(n, ell, at, WithParallelism(4))
+	if err != nil {
+		t.Fatalf("NewPartial (parallel): %v", err)
+	}
+	if parallel.workers <= 1 {
+		t.Fatal("parallel tree resolved to a sequential rebuild; the test proves nothing")
+	}
+	if !bytes.Equal(sequential.Root(), parallel.Root()) {
+		t.Fatal("parallel root differs from sequential root")
+	}
+	for _, i := range []int{0, 1, 1023, 2048, 4095, n - 1} {
+		want, err := sequential.Prove(i)
+		if err != nil {
+			t.Fatalf("sequential Prove(%d): %v", i, err)
+		}
+		got, err := parallel.Prove(i)
+		if err != nil {
+			t.Fatalf("parallel Prove(%d): %v", i, err)
+		}
+		if !proofsEqual(got, want) {
+			t.Fatalf("proof mismatch at leaf %d", i)
+		}
+	}
+	if s, p := sequential.RebuiltLeaves(), parallel.RebuiltLeaves(); s != p {
+		t.Errorf("rebuild accounting diverges: sequential %d, parallel %d", s, p)
+	}
+}
+
+// TestPartialParallelConcurrentProves exercises parallel rebuilds from
+// concurrent Prove callers (the scratch buffer is shared; p.mu serializes
+// rebuilds while each rebuild fans out internally).
+func TestPartialParallelConcurrentProves(t *testing.T) {
+	const n = 4096
+	partial, err := NewPartial(n, 10, leafFunc(n), WithParallelism(4))
+	if err != nil {
+		t.Fatalf("NewPartial: %v", err)
+	}
+	full := mustBuild(t, leafValues(n))
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := g; i < n; i += 4 * 37 {
+				got, err := partial.Prove(i)
+				if err != nil {
+					t.Errorf("Prove(%d): %v", i, err)
+					return
+				}
+				want, err := full.Prove(i)
+				if err != nil {
+					t.Errorf("full Prove(%d): %v", i, err)
+					return
+				}
+				if !proofsEqual(got, want) {
+					t.Errorf("proof mismatch at leaf %d", i)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
 }

@@ -256,6 +256,8 @@ type (
 	StreamedOutcome = grid.StreamedOutcome
 	// StreamOption configures streaming pooled runs.
 	StreamOption = grid.StreamOption
+	// SessionOption configures pipelined sessions.
+	SessionOption = grid.SessionOption
 	// Participant is a grid worker.
 	Participant = grid.Participant
 	// ParticipantOption customizes a participant.
@@ -274,6 +276,9 @@ type (
 	SimConfig = grid.SimConfig
 	// SimReport aggregates a simulation run.
 	SimReport = grid.SimReport
+	// TaskVerdict is the supervisor's authoritative per-task ruling in a
+	// simulation report.
+	TaskVerdict = grid.TaskVerdict
 	// TaskOutcome summarizes one verified task.
 	TaskOutcome = grid.TaskOutcome
 )
@@ -313,7 +318,27 @@ var (
 	// WithStreamEligibility gates which connections may claim tasks during
 	// a streaming pooled run.
 	WithStreamEligibility = grid.WithEligibility
+	// WithStreamRedial enables reconnect-and-resume: quarantined
+	// connections are replaced and their in-flight tasks resume
+	// mid-protocol.
+	WithStreamRedial = grid.WithRedial
+	// WithStreamMaxReconnects bounds replacement connections per
+	// participant.
+	WithStreamMaxReconnects = grid.WithMaxReconnects
+	// WithStreamRecvTimeout arms the sessions' receive watchdog, turning
+	// silently dropped frames into reconnects.
+	WithStreamRecvTimeout = grid.WithStreamRecvTimeout
+	// WithSessionRecvTimeout arms one session's receive watchdog.
+	WithSessionRecvTimeout = grid.WithSessionRecvTimeout
 )
+
+// ErrConnQuarantined marks a transport fault that left the task's protocol
+// state resumable on a replacement connection.
+var ErrConnQuarantined = grid.ErrConnQuarantined
+
+// MaxFrameBytes bounds a single transport frame; larger uploads travel as
+// chunk streams.
+const MaxFrameBytes = transport.MaxFrameBytes
 
 // ---- Transport ----
 
@@ -328,6 +353,8 @@ type (
 var (
 	// Pipe creates an in-memory connection pair.
 	Pipe = transport.Pipe
+	// WithPipeBuffer sets a pipe's per-direction queue depth.
+	WithPipeBuffer = transport.WithBuffer
 	// ListenTCP opens a framed TCP listener.
 	ListenTCP = transport.Listen
 	// DialTCP connects to a framed TCP listener.
