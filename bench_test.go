@@ -475,6 +475,114 @@ func BenchmarkResumedSession(b *testing.B) {
 	}
 }
 
+// BenchmarkReplicatedDoubleCheck compares the two ways to run the
+// double-check scheme on the same R connections: the serial RunReplicated
+// dialogue (replicas exchanged one at a time, one frame per message) versus
+// a replicated pipelined stream (uploads overlap freely inside each
+// connection's window; only the comparison meets at the cross-connection
+// rendezvous). On a link where every frame pays a fixed send delay the
+// pipelined form must sustain a multiple of the dialogue's replicated
+// tasks/s — the acceptance bar is >= 2x at 500µs.
+func BenchmarkReplicatedDoubleCheck(b *testing.B) {
+	const tasks = 6
+	const replicas = 3
+	const window = 4
+	const taskSize = 1 << 10
+	for _, latency := range []time.Duration{0, 500 * time.Microsecond} {
+		for _, pipelined := range []bool{false, true} {
+			mode := "dialogue"
+			if pipelined {
+				mode = fmt.Sprintf("stream-w%d", window)
+			}
+			b.Run(fmt.Sprintf("latency=%s/%s", latency, mode), func(b *testing.B) {
+				var wire int64
+				for i := 0; i < b.N; i++ {
+					conns := make([]Conn, replicas)
+					raw := make([]Conn, replicas)
+					serveErrs := make([]chan error, replicas)
+					for j := 0; j < replicas; j++ {
+						supConn, partConn := Pipe(WithPipeBuffer(8))
+						p, err := NewParticipant(fmt.Sprintf("p%d", j), HonestFactory)
+						if err != nil {
+							b.Fatal(err)
+						}
+						serveErrs[j] = make(chan error, 1)
+						go func(ch chan error, c Conn) { ch <- p.Serve(c) }(serveErrs[j], WithLatency(partConn, latency))
+						raw[j] = supConn
+						conns[j] = WithLatency(supConn, latency)
+					}
+					cfg := SupervisorConfig{
+						Spec: SchemeSpec{Kind: SchemeDoubleCheck, M: 1},
+						Seed: int64(i),
+					}
+					taskList := make([]Task, tasks)
+					for j := range taskList {
+						taskList[j] = Task{
+							ID: uint64(j), Start: uint64(j) * taskSize, N: taskSize,
+							Workload: "synthetic", Seed: 7,
+						}
+					}
+					if pipelined {
+						// Size the worker bound like RunSim does
+						// (connections x window): an exchange holds a worker
+						// slot across its link-latency stalls, so the default
+						// (NumCPU, 1 on this box) would serialize the stream.
+						pool, err := NewSupervisorPool(cfg, replicas*window)
+						if err != nil {
+							b.Fatal(err)
+						}
+						stream, err := pool.RunTasksStream(context.Background(), conns, taskList, window,
+							WithStreamReplicas(replicas))
+						if err != nil {
+							b.Fatal(err)
+						}
+						count := 0
+						for so := range stream.Outcomes() {
+							count++
+							if !so.Outcome.Verdict.Accepted {
+								b.Errorf("honest replica rejected: %s", so.Outcome.Verdict.Reason)
+							}
+						}
+						if err := stream.Err(); err != nil {
+							b.Fatal(err)
+						}
+						if count != tasks*replicas {
+							b.Fatalf("streamed %d replica outcomes, want %d", count, tasks*replicas)
+						}
+					} else {
+						sup, err := NewSupervisor(cfg)
+						if err != nil {
+							b.Fatal(err)
+						}
+						for _, task := range taskList {
+							outcomes, err := sup.RunReplicated(conns, task)
+							if err != nil {
+								b.Fatal(err)
+							}
+							for _, o := range outcomes {
+								if !o.Verdict.Accepted {
+									b.Errorf("honest replica rejected: %s", o.Verdict.Reason)
+								}
+							}
+						}
+					}
+					for _, c := range raw {
+						wire += c.Stats().BytesSent() + c.Stats().BytesRecv()
+						_ = c.Close()
+					}
+					for _, ch := range serveErrs {
+						if err := <-ch; err != nil {
+							b.Fatal(err)
+						}
+					}
+				}
+				b.ReportMetric(float64(b.N*tasks)/b.Elapsed().Seconds(), "tasks/s")
+				b.ReportMetric(float64(wire)/float64(int64(b.N)*tasks), "wire-B/task")
+			})
+		}
+	}
+}
+
 // BenchmarkChunkedUpload measures a naive-scheme task whose full result
 // upload exceeds MaxFrameBytes: 2^21 password digests encode to ~69 MiB and
 // must travel as an ordered chunk stream. Byte accounting stays exact — the

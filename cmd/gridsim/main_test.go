@@ -114,3 +114,26 @@ func TestRunPipelinedSimulation(t *testing.T) {
 		t.Error("negative pipeline window accepted")
 	}
 }
+
+func TestRunReplicatedPipelinedFaultySimulation(t *testing.T) {
+	// -pipeline now composes with -scheme double-check and the fault flags:
+	// replica uploads pipeline inside each connection's window, comparisons
+	// meet at cross-connection barriers, and faults are recovered by
+	// reconnect-and-resume. All honest: every replica execution must be
+	// assigned and accepted.
+	out := runGridsim(t,
+		"-scheme", "double-check", "-replicas", "3", "-tasks", "4",
+		"-tasksize", "128", "-honest", "3", "-semihonest", "0", "-m", "1",
+		"-pipeline", "3", "-garble", "0.05", "-drop", "0.01",
+		"-reconnect", "100", "-faultwait", "250ms")
+	if !strings.Contains(out, "scheme=double-check pipeline=3") {
+		t.Errorf("report header missing replicated pipeline mode:\n%s", out)
+	}
+	// 4 tasks x 3 replicas = 12 executions, none lost to faults.
+	if !strings.Contains(out, "tasks=12") {
+		t.Errorf("replicated faulty run lost executions:\n%s", out)
+	}
+	if !strings.Contains(out, "honest-accused=0") {
+		t.Errorf("honest replicas accused under faults:\n%s", out)
+	}
+}

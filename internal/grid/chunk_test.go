@@ -61,9 +61,10 @@ func TestChunkedUploadDialogue(t *testing.T) {
 	if !outcome.Verdict.Accepted {
 		t.Errorf("honest chunked upload rejected: %s", outcome.Verdict.Reason)
 	}
-	// Dialogue mode is one frame per message: chunks + the report list.
-	if got, want := conn.Stats().MsgsRecv(), int64(wantChunks+1); got != want {
-		t.Errorf("supervisor received %d frames, want %d (%d chunks + reports)", got, want, wantChunks)
+	// Dialogue mode is one frame per message: chunks + the report list +
+	// the verdict acknowledgement.
+	if got, want := conn.Stats().MsgsRecv(), int64(wantChunks+2); got != want {
+		t.Errorf("supervisor received %d frames, want %d (%d chunks + reports + verdict ack)", got, want, wantChunks)
 	}
 	if outcome.BytesRecv != conn.Stats().BytesRecv() {
 		t.Errorf("outcome BytesRecv = %d, connection counted %d", outcome.BytesRecv, conn.Stats().BytesRecv())
@@ -214,6 +215,10 @@ func TestChunkedUploadResumesMidStream(t *testing.T) {
 	}
 	if _, err := partSide2.Recv(); err != nil { // the verdict batch
 		t.Fatalf("recv verdict: %v", err)
+	}
+	ack := encodeBatch([]taggedMsg{{TaskID: task.ID, Type: msgVerdictAck}})
+	if err := partSide2.Send(transport.Message{Type: msgBatch, Payload: ack}); err != nil {
+		t.Fatalf("send verdict ack: %v", err)
 	}
 	if err := <-errCh; err != nil {
 		t.Fatalf("resumed RunAttempt: %v", err)

@@ -49,10 +49,16 @@ const (
 	// phaseAwaitProofs waits for the CBS audit-path response.
 	phaseAwaitProofs
 	// phaseDecide has every input; verification runs without touching the
-	// wire.
+	// wire — except in replica mode, where it blocks on the cross-connection
+	// rendezvous that compares the group's uploads.
 	phaseDecide
 	// phaseVerdict owes the participant the verdict.
 	phaseVerdict
+	// phaseAwaitVerdictAck waits for the participant to acknowledge the
+	// verdict; an unacked verdict is re-delivered after a resume, so a
+	// delivery frame lost to a fault cannot leave the worker's counters
+	// stale.
+	phaseAwaitVerdictAck
 	// phaseDone is terminal.
 	phaseDone
 )
@@ -65,6 +71,11 @@ type exchangeState struct {
 	// announced is set once an assignment reached a connection; later
 	// (re-)attachments announce with msgResume instead.
 	announced bool
+	// suppressAnnounce skips the next announce entirely: the attempt is
+	// re-attaching to the same live session it parked on (replica barrier),
+	// where the participant still holds the task in flight and a resume
+	// handshake would collide with it.
+	suppressAnnounce bool
 	// received is set on the first ingested participant message: from then
 	// on the attempt is bound to the peer that produced it and must resume
 	// on a connection to the same participant.
@@ -86,6 +97,9 @@ type exchangeState struct {
 	chunks      uint64
 	results     [][]byte
 	resultsDone bool
+	// submitted records that the upload reached the replica rendezvous, so
+	// a resume after the barrier re-waits instead of re-voting.
+	submitted bool
 
 	// Ringer.
 	hits     []uint64
@@ -125,8 +139,9 @@ func (st *exchangeState) resumeState(a assignment) resumeMsg {
 // the challenge and verdict when due. It returns nil once the task reaches
 // its terminal phase. On error the state survives in pt; calling runExchange
 // again with a fresh connection resumes mid-protocol instead of restarting.
-// replicaResults selects double-check replica mode, whose verdict waits for
-// the replica barrier instead of being sent here.
+// replicaResults selects RunReplicated's serial double-check mode, which
+// collects the upload here and compares after its own barrier; pipelined
+// replica exchanges instead carry a rendezvous in pt and block at decide.
 func (s *Supervisor) runExchange(conn protoConn, pt *preparedTask, replicaResults *[][]byte) error {
 	st := pt.st
 	if err := pt.announce(conn); err != nil {
@@ -146,7 +161,7 @@ func (s *Supervisor) runExchange(conn protoConn, pt *preparedTask, replicaResult
 			if err := s.sendVerdict(conn, pt.outcome); err != nil {
 				return err
 			}
-			st.phase = phaseDone
+			st.phase = phaseAwaitVerdictAck
 		case phaseDone:
 			return nil
 		default:
@@ -166,6 +181,10 @@ func (s *Supervisor) runExchange(conn protoConn, pt *preparedTask, replicaResult
 // connection.
 func (pt *preparedTask) announce(conn protoConn) error {
 	st := pt.st
+	if st.suppressAnnounce {
+		st.suppressAnnounce = false
+		return nil
+	}
 	if !st.announced {
 		if err := conn.Send(transport.Message{Type: msgAssign, Payload: encodeAssignment(pt.assign)}); err != nil {
 			return err
@@ -180,6 +199,12 @@ func (pt *preparedTask) announce(conn protoConn) error {
 	// challenge send is satisfied by the handshake itself.
 	if st.phase == phaseSendChallenge && st.challengePayload != nil {
 		st.phase = phaseAwaitProofs
+	}
+	// A verdict sent but never acknowledged may have been lost with the old
+	// connection; re-deliver it. The participant counts each task's verdict
+	// at most once, so a redundant re-delivery is harmless.
+	if st.phase == phaseAwaitVerdictAck {
+		st.phase = phaseVerdict
 	}
 	return nil
 }
@@ -228,6 +253,11 @@ func (pt *preparedTask) ingest(msg transport.Message) error {
 		err = pt.ingestReports(msg.Payload)
 	case st.phase == phaseAwaitProofs && msg.Type == msgProofs:
 		err = pt.ingestProofs(msg.Payload)
+	case st.phase == phaseAwaitVerdictAck && msg.Type == msgVerdictAck:
+		if len(msg.Payload) != 0 {
+			return fmt.Errorf("%w: verdict ack with %d payload bytes", ErrBadPayload, len(msg.Payload))
+		}
+		st.phase = phaseDone
 	default:
 		return fmt.Errorf("%w: got type %d in exchange phase %d",
 			ErrUnexpectedMessage, msg.Type, st.phase)
@@ -368,9 +398,11 @@ func (pt *preparedTask) ingestProofs(payload []byte) error {
 }
 
 // decide runs the scheme's verification over the collected inputs. It
-// touches no connection, runs exactly once per task (the phase moves on),
-// and charges its evaluations to the task's budget — all of which keeps
-// resumed verdicts identical to clean ones.
+// sends nothing, runs its verification exactly once per task (the phase
+// moves on), and charges its evaluations to the task's budget — all of
+// which keeps resumed verdicts identical to clean ones. In replica mode
+// the decision is the group rendezvous: parkable attempts detach while it
+// is unready, others block for it.
 func (pt *preparedTask) decide(replicaResults *[][]byte) error {
 	st := pt.st
 	tr := pt.tr
@@ -400,13 +432,7 @@ func (pt *preparedTask) decide(replicaResults *[][]byte) error {
 		st.phase = phaseVerdict
 		return nil
 
-	case SchemeNaive, SchemeDoubleCheck:
-		if replicaResults != nil {
-			// Verdict decided by RunReplicated after the replica barrier.
-			*replicaResults = st.results
-			st.phase = phaseDone
-			return nil
-		}
+	case SchemeNaive:
 		sampler, err := baseline.NewNaiveSampling(tr.sup.cfg.Spec.M, tr.rng)
 		if err != nil {
 			return err
@@ -425,6 +451,38 @@ func (pt *preparedTask) decide(replicaResults *[][]byte) error {
 		default:
 			pt.outcome.Verdict = Verdict{Reason: fmt.Sprintf("protocol violation: %v", verifyErr)}
 		}
+		st.phase = phaseVerdict
+		return nil
+
+	case SchemeDoubleCheck:
+		if replicaResults != nil {
+			// Verdict decided by RunReplicated after its serial barrier.
+			*replicaResults = st.results
+			st.phase = phaseDone
+			return nil
+		}
+		if pt.rdv == nil {
+			return fmt.Errorf("%w: double-check requires replication (RunReplicated or a replicated stream)", ErrBadConfig)
+		}
+		// The pipelined replica barrier: bank the upload, then block until
+		// every sibling delivered (or was lost) and the comparison ran. The
+		// submission is recorded so a post-fault resume re-waits instead of
+		// voting twice.
+		if !st.submitted {
+			pt.rdv.submit(pt.repIdx, st.results)
+			st.submitted = true
+		}
+		// Dispatcher-run replicas must not block holding a window slot and
+		// a worker: if the group is still incomplete, detach and let the
+		// scheduler re-claim the attempt once the rendezvous settles.
+		if pt.parkable && !pt.rdv.ready() {
+			return errReplicaParked
+		}
+		v, err := pt.rdv.await(pt.repIdx)
+		if err != nil {
+			return err
+		}
+		pt.outcome.Verdict = v
 		st.phase = phaseVerdict
 		return nil
 

@@ -79,6 +79,13 @@ type Participant struct {
 	accepted int
 	rejected int
 	behavior string
+	// counted guards the per-task verdict counters against double counting:
+	// a verdict whose acknowledgement was lost to a fault is re-delivered on
+	// the resumed connection, and the re-run must not count it twice. A
+	// fresh (non-resume) assignment reusing an ID clears its tombstone, so
+	// only IDs never assigned again accumulate (one map entry per distinct
+	// task the participant ever finished).
+	counted map[uint64]bool
 }
 
 // NewParticipant creates a worker. id labels it in reports; factory decides
@@ -90,7 +97,7 @@ func NewParticipant(id string, factory ProducerFactory, opts ...ParticipantOptio
 	if factory == nil {
 		return nil, fmt.Errorf("%w: nil producer factory", ErrBadConfig)
 	}
-	p := &Participant{id: id, factory: factory}
+	p := &Participant{id: id, factory: factory, counted: make(map[uint64]bool)}
 	for _, opt := range opts {
 		opt.applyParticipant(&p.cfg)
 	}
@@ -136,6 +143,13 @@ func (p *Participant) Serve(conn transport.Conn) error {
 	for {
 		msg, err := conn.Recv()
 		if errors.Is(err, io.EOF) {
+			return nil
+		}
+		if errors.Is(err, transport.ErrFrameCorrupt) {
+			// Link damage, not peer misbehavior: kill the connection so the
+			// peer observes a dead link (and, in session mode, quarantines
+			// and resumes elsewhere) instead of a wedged exchange.
+			_ = conn.Close()
 			return nil
 		}
 		if err != nil {
@@ -207,7 +221,7 @@ func (p *Participant) servePipelined(conn transport.Conn, first transport.Messag
 		}
 		err = ps.handleFrame(msg)
 	}
-	if errors.Is(err, ErrFrameCorrupt) {
+	if errors.Is(err, ErrFrameCorrupt) || errors.Is(err, transport.ErrFrameCorrupt) {
 		// Link damage, not peer misbehavior: kill the connection so the
 		// supervisor quarantines it and resumes elsewhere, and end this
 		// serve cleanly — the replacement connection gets its own loop.
@@ -235,13 +249,18 @@ func (p *Participant) servePipelined(conn transport.Conn, first transport.Messag
 	ps.mu.Unlock()
 	// Task and writer failures abort the session by closing the connection,
 	// so a resulting ErrClosed on the serve loop is a symptom — prefer the
-	// root cause.
+	// root cause. With no root cause, a closed connection is the session's
+	// normal end: the writer may observe the peer's close first (e.g. a
+	// final verdict-ack flush racing the supervisor's teardown) and close
+	// our endpoint, turning the loop's EOF into ErrClosed.
 	if err == nil || errors.Is(err, transport.ErrClosed) {
 		switch {
 		case taskErr != nil:
 			err = taskErr
 		case werr != nil && !errors.Is(werr, transport.ErrClosed):
 			err = fmt.Errorf("grid: participant %s send: %w", p.id, werr)
+		default:
+			err = nil
 		}
 	}
 	return err
@@ -361,7 +380,7 @@ type participantTaskConn struct {
 
 // Send implements protoConn.
 func (c *participantTaskConn) Send(m transport.Message) error {
-	return c.ps.writer.enqueue(taggedMsg{TaskID: c.id, Type: m.Type, Payload: m.Payload})
+	return c.ps.writer.enqueue(taggedMsg{TaskID: c.id, Type: m.Type, Payload: m.Payload}, nil)
 }
 
 // Recv implements protoConn.
@@ -383,6 +402,15 @@ func (c *participantTaskConn) Recv() (transport.Message, error) {
 func (p *Participant) executeTask(conn protoConn, a assignment, res *resumeMsg) error {
 	if err := a.Task.validate(); err != nil {
 		return err
+	}
+	if res == nil {
+		// A fresh assignment supersedes any earlier task that used this ID
+		// (a later run numbering its tasks from zero, say): drop the stale
+		// counted tombstone so the new task's verdict is tallied. Only a
+		// resume can re-deliver an already-counted verdict.
+		p.mu.Lock()
+		delete(p.counted, a.Task.ID)
+		p.mu.Unlock()
 	}
 	if err := a.Spec.validate(); err != nil {
 		return err
@@ -429,17 +457,33 @@ func (p *Participant) executeTask(conn protoConn, a assignment, res *resumeMsg) 
 	if err != nil {
 		return err
 	}
+	p.recordVerdict(a.Task.ID, producer.Name(), verdict, counted.Evals())
+	// Acknowledge so the supervisor knows the ruling landed; a verdict
+	// frame lost to a fault is re-delivered on the resumed connection until
+	// acked (recordVerdict keeps the counters exactly-once under
+	// re-delivery).
+	return conn.Send(transport.Message{Type: msgVerdictAck})
+}
+
+// recordVerdict folds one task's outcome into the participant's counters.
+// Evaluation effort is real work and accrues per execution; the per-task
+// verdict tallies count each task at most once, however many times a fault
+// forces its verdict to be re-delivered.
+func (p *Participant) recordVerdict(taskID uint64, behavior string, verdict Verdict, evals int64) {
 	p.mu.Lock()
-	p.behavior = producer.Name()
+	defer p.mu.Unlock()
+	p.behavior = behavior
+	p.evals += evals
+	if p.counted[taskID] {
+		return
+	}
+	p.counted[taskID] = true
 	p.tasks++
 	if verdict.Accepted {
 		p.accepted++
 	} else {
 		p.rejected++
 	}
-	p.evals += counted.Evals()
-	p.mu.Unlock()
-	return nil
 }
 
 // taskExecution carries the state of one assignment.

@@ -28,7 +28,10 @@ type Assignment struct {
 // one for equal seeds and inputs, regardless of scheduling.
 //
 // The double-check scheme replicates one task across several connections
-// and compares uploads at a barrier; it stays on Supervisor.RunReplicated.
+// and compares uploads at a barrier; RunTasksStream runs it pipelined with
+// a cross-connection rendezvous per task (see WithReplicas), while the
+// per-connection RunTasks batch API cannot express replication and rejects
+// it.
 type SupervisorPool struct {
 	sup     *Supervisor
 	workers int
@@ -43,9 +46,6 @@ type SupervisorPool struct {
 // bounds how many task exchanges run at once; values below 1 select
 // runtime.NumCPU().
 func NewSupervisorPool(cfg SupervisorConfig, workers int) (*SupervisorPool, error) {
-	if cfg.Spec.Kind == SchemeDoubleCheck {
-		return nil, fmt.Errorf("%w: double-check requires RunReplicated, not a pool", ErrBadConfig)
-	}
 	sup, err := NewSupervisor(cfg)
 	if err != nil {
 		return nil, err
@@ -82,6 +82,9 @@ func (p *SupervisorPool) BytesRecv() int64 { return p.bytesRecv.Load() }
 // Cancelling ctx stops the pool before the next task on each connection;
 // in-flight exchanges finish first.
 func (p *SupervisorPool) RunTasks(ctx context.Context, assignments []Assignment) ([]*TaskOutcome, error) {
+	if p.sup.cfg.Spec.Kind == SchemeDoubleCheck {
+		return nil, fmt.Errorf("%w: double-check needs a replica barrier; use RunReplicated or a replicated RunTasksStream", ErrBadConfig)
+	}
 	if len(assignments) == 0 {
 		return nil, nil
 	}
@@ -206,6 +209,7 @@ type streamConfig struct {
 	redial        func(old transport.Conn) (transport.Conn, error)
 	maxReconnects int
 	recvTimeout   time.Duration
+	replicas      int
 }
 
 // StreamOption configures RunTasksStream.
@@ -266,3 +270,15 @@ func (o streamRecvTimeoutOption) applyStream(c *streamConfig) {
 // stream opens (see WithSessionRecvTimeout): silently dropped frames become
 // quarantines, and with WithRedial, resumes.
 func WithStreamRecvTimeout(d time.Duration) StreamOption { return streamRecvTimeoutOption(d) }
+
+type replicasOption int
+
+func (o replicasOption) applyStream(c *streamConfig) { c.replicas = int(o) }
+
+// WithReplicas sets the double-check group size of a replicated
+// RunTasksStream: every task fans out to n pairwise-distinct connections
+// whose uploads meet at a comparison rendezvous (default 2 for the
+// double-check scheme). Only valid with the double-check scheme, which in
+// turn requires at least n connections. The stream emits n outcomes per
+// task, one per replica.
+func WithReplicas(n int) StreamOption { return replicasOption(n) }

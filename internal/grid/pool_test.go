@@ -212,10 +212,19 @@ func TestPoolMatchesSerialSupervisor(t *testing.T) {
 
 // TestPoolRejectsBadConfig covers constructor and input validation.
 func TestPoolRejectsBadConfig(t *testing.T) {
-	if _, err := NewSupervisorPool(SupervisorConfig{
+	// Double-check pools are legal (RunTasksStream replicates them), but
+	// the per-connection RunTasks batch API cannot express the replica
+	// barrier and refuses the scheme.
+	dcPool, err := NewSupervisorPool(SupervisorConfig{
 		Spec: SchemeSpec{Kind: SchemeDoubleCheck, M: 1},
-	}, 4); !errors.Is(err, ErrBadConfig) {
-		t.Fatalf("double-check pool: err = %v, want ErrBadConfig", err)
+	}, 4)
+	if err != nil {
+		t.Fatalf("double-check pool: %v", err)
+	}
+	dcConn, _ := transport.Pipe()
+	if _, err := dcPool.RunTasks(context.Background(),
+		[]Assignment{{Conn: dcConn, Task: poolTasks(1, 64)[0]}}); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("double-check RunTasks: err = %v, want ErrBadConfig", err)
 	}
 	pool, err := NewSupervisorPool(SupervisorConfig{
 		Spec: SchemeSpec{Kind: SchemeCBS, M: 5},

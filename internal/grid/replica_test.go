@@ -1,0 +1,538 @@
+package grid
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+
+	"uncheatgrid/internal/transport"
+)
+
+// replicaDigest is the comparable core of one replica outcome.
+type replicaDigest struct {
+	TaskID  uint64
+	Replica int
+	Verdict Verdict
+}
+
+// TestRunTasksStreamReplicatedMatchesRunReplicated is the pipelined
+// double-check acceptance test at the pool level: the same tasks, seeds,
+// and participant personas run once through the serial RunReplicated
+// dialogue and once through a replicated RunTasksStream must yield
+// byte-identical verdicts per (task, replica). Using exactly R connections
+// pins the group placement to the identity walk in both modes.
+func TestRunTasksStreamReplicatedMatchesRunReplicated(t *testing.T) {
+	const replicas = 3
+	const tasks = 4
+	factories := func(i int) ProducerFactory {
+		if i == 1 {
+			return SemiHonestFactory(0.5, 99) // a real dissenter keeps the comparison honest
+		}
+		return HonestFactory
+	}
+	cfg := SupervisorConfig{Spec: SchemeSpec{Kind: SchemeDoubleCheck, M: 1}, Seed: 11}
+	taskList := poolTasks(tasks, 64)
+
+	var serial []replicaDigest
+	{
+		conns, shutdown := poolFixture(t, replicas, factories)
+		sup, err := NewSupervisor(cfg)
+		if err != nil {
+			t.Fatalf("NewSupervisor: %v", err)
+		}
+		for _, task := range taskList {
+			outcomes, err := sup.RunReplicated(conns, task)
+			if err != nil {
+				t.Fatalf("RunReplicated(%d): %v", task.ID, err)
+			}
+			for _, o := range outcomes {
+				serial = append(serial, replicaDigest{o.Task.ID, o.Replica, o.Verdict})
+			}
+		}
+		shutdown()
+	}
+
+	conns, shutdown := poolFixture(t, replicas, factories)
+	pool, err := NewSupervisorPool(cfg, replicas*4)
+	if err != nil {
+		t.Fatalf("NewSupervisorPool: %v", err)
+	}
+	stream, err := pool.RunTasksStream(context.Background(), conns, taskList, 3, WithReplicas(replicas))
+	if err != nil {
+		t.Fatalf("RunTasksStream: %v", err)
+	}
+	var piped []replicaDigest
+	for so := range stream.Outcomes() {
+		piped = append(piped, replicaDigest{so.Outcome.Task.ID, so.Outcome.Replica, so.Outcome.Verdict})
+	}
+	if err := stream.Err(); err != nil {
+		t.Fatalf("stream error: %v", err)
+	}
+	var wireSent, wireRecv int64
+	for _, conn := range conns {
+		wireSent += conn.Stats().BytesSent()
+		wireRecv += conn.Stats().BytesRecv()
+	}
+	shutdown()
+
+	if len(piped) != tasks*replicas {
+		t.Fatalf("streamed %d replica outcomes, want %d", len(piped), tasks*replicas)
+	}
+	sortDigests(piped)
+	if !reflect.DeepEqual(piped, serial) {
+		t.Errorf("replicated verdicts diverge:\nserial:    %+v\npipelined: %+v", serial, piped)
+	}
+	// The session layer's exact accounting holds through replica barriers:
+	// pool counters mean wire bytes.
+	if pool.BytesSent() != wireSent || pool.BytesRecv() != wireRecv {
+		t.Errorf("pool counters sent=%d recv=%d, wire totals sent=%d recv=%d",
+			pool.BytesSent(), pool.BytesRecv(), wireSent, wireRecv)
+	}
+}
+
+func sortDigests(ds []replicaDigest) {
+	for i := 1; i < len(ds); i++ {
+		for j := i; j > 0; j-- {
+			a, b := ds[j-1], ds[j]
+			if a.TaskID < b.TaskID || (a.TaskID == b.TaskID && a.Replica <= b.Replica) {
+				break
+			}
+			ds[j-1], ds[j] = b, a
+		}
+	}
+}
+
+// TestRunTasksStreamReplicatedThroughput sanity-checks the pipelining
+// claim cheaply: with more connections than replicas, distinct groups
+// proceed concurrently and all outcomes arrive. (The latency-quantified
+// comparison lives in BenchmarkReplicatedDoubleCheck.)
+func TestRunTasksStreamReplicatedManyConns(t *testing.T) {
+	const participants, replicas, tasks = 5, 2, 12
+	conns, shutdown := poolFixture(t, participants, func(int) ProducerFactory { return HonestFactory })
+	defer shutdown()
+	pool, err := NewSupervisorPool(SupervisorConfig{Spec: SchemeSpec{Kind: SchemeDoubleCheck, M: 1}, Seed: 2}, 0)
+	if err != nil {
+		t.Fatalf("NewSupervisorPool: %v", err)
+	}
+	stream, err := pool.RunTasksStream(context.Background(), conns, poolTasks(tasks, 64), 4, WithReplicas(replicas))
+	if err != nil {
+		t.Fatalf("RunTasksStream: %v", err)
+	}
+	seen := make(map[replicaDigest]bool)
+	for so := range stream.Outcomes() {
+		d := replicaDigest{so.Outcome.Task.ID, so.Outcome.Replica, so.Outcome.Verdict}
+		if seen[d] {
+			t.Errorf("replica outcome delivered twice: %+v", d)
+		}
+		seen[d] = true
+		if !so.Outcome.Verdict.Accepted {
+			t.Errorf("honest replica rejected: task %d replica %d: %s",
+				so.Outcome.Task.ID, so.Outcome.Replica, so.Outcome.Verdict.Reason)
+		}
+	}
+	if err := stream.Err(); err != nil {
+		t.Fatalf("stream error: %v", err)
+	}
+	if len(seen) != tasks*replicas {
+		t.Errorf("streamed %d replica outcomes, want %d", len(seen), tasks*replicas)
+	}
+}
+
+// TestRunTasksStreamReplicatedValidation covers the replica plumbing's
+// configuration errors.
+func TestRunTasksStreamReplicatedValidation(t *testing.T) {
+	conns, shutdown := poolFixture(t, 2, func(int) ProducerFactory { return HonestFactory })
+	defer shutdown()
+
+	dc, err := NewSupervisorPool(SupervisorConfig{Spec: SchemeSpec{Kind: SchemeDoubleCheck, M: 1}}, 2)
+	if err != nil {
+		t.Fatalf("NewSupervisorPool(double-check): %v", err)
+	}
+	if _, err := dc.RunTasksStream(context.Background(), conns, poolTasks(1, 64), 2, WithReplicas(3)); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("3 replicas on 2 conns: err = %v, want ErrBadConfig", err)
+	}
+	if _, err := dc.RunTasksStream(context.Background(), conns, poolTasks(1, 64), 2, WithReplicas(1)); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("1 replica: err = %v, want ErrBadConfig", err)
+	}
+
+	cbs, err := NewSupervisorPool(SupervisorConfig{Spec: SchemeSpec{Kind: SchemeCBS, M: 4}}, 2)
+	if err != nil {
+		t.Fatalf("NewSupervisorPool(cbs): %v", err)
+	}
+	if _, err := cbs.RunTasksStream(context.Background(), conns, poolTasks(1, 64), 2, WithReplicas(2)); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("WithReplicas on cbs: err = %v, want ErrBadConfig", err)
+	}
+}
+
+// TestStreamReplicaResumesAfterCut forces a mid-protocol quarantine on one
+// replica of every group (the first connection dies after one reply and is
+// redialed): the replicas must resume on the replacement connection and
+// every verdict must still accept the honest participants.
+func TestStreamReplicaResumesAfterCut(t *testing.T) {
+	const replicas = 2
+	r := newRedialableParticipant(t, HonestFactory)
+	defer r.shutdown()
+	other := newRedialableParticipant(t, HonestFactory)
+	defer other.shutdown()
+
+	conns := []transport.Conn{cutAfterRecv(r.dial(), 1), other.dial()}
+	pool, err := NewSupervisorPool(SupervisorConfig{Spec: SchemeSpec{Kind: SchemeDoubleCheck, M: 1}, Seed: 5}, 4)
+	if err != nil {
+		t.Fatalf("NewSupervisorPool: %v", err)
+	}
+	stream, err := pool.RunTasksStream(context.Background(), conns, poolTasks(3, 64), 2,
+		WithReplicas(replicas),
+		WithRedial(func(transport.Conn) (transport.Conn, error) { return r.dial(), nil }))
+	if err != nil {
+		t.Fatalf("RunTasksStream: %v", err)
+	}
+	count := 0
+	for so := range stream.Outcomes() {
+		count++
+		if !so.Outcome.Verdict.Accepted {
+			t.Errorf("honest replica rejected after resume: task %d replica %d: %s",
+				so.Outcome.Task.ID, so.Outcome.Replica, so.Outcome.Verdict.Reason)
+		}
+	}
+	if err := stream.Err(); err != nil {
+		t.Fatalf("stream error: %v", err)
+	}
+	if count != 3*replicas {
+		t.Errorf("streamed %d replica outcomes, want %d", count, 3*replicas)
+	}
+	if r.dials() < 2 {
+		t.Errorf("no reconnect happened (dials = %d); the cut never forced a resume", r.dials())
+	}
+}
+
+// TestStreamReplicaReplacedWhenSlotDies kills one of three connections with
+// no redial available: its replicas must be re-placed on a connection that
+// holds no sibling, and every group must still produce a full verdict set.
+func TestStreamReplicaReplacedWhenSlotDies(t *testing.T) {
+	const participants, replicas, tasks = 3, 2, 4
+	doomed := newRedialableParticipant(t, HonestFactory)
+	defer doomed.shutdown()
+	h1 := newRedialableParticipant(t, HonestFactory)
+	defer h1.shutdown()
+	h2 := newRedialableParticipant(t, HonestFactory)
+	defer h2.shutdown()
+
+	conns := []transport.Conn{cutAfterRecv(doomed.dial(), 1), h1.dial(), h2.dial()}
+	pool, err := NewSupervisorPool(SupervisorConfig{Spec: SchemeSpec{Kind: SchemeDoubleCheck, M: 1}, Seed: 3}, 6)
+	if err != nil {
+		t.Fatalf("NewSupervisorPool: %v", err)
+	}
+	stream, err := pool.RunTasksStream(context.Background(), conns, poolTasks(tasks, 64), 2, WithReplicas(replicas))
+	if err != nil {
+		t.Fatalf("RunTasksStream: %v", err)
+	}
+	seen := make(map[uint64]map[int]bool)
+	for so := range stream.Outcomes() {
+		id, rep := so.Outcome.Task.ID, so.Outcome.Replica
+		if seen[id] == nil {
+			seen[id] = make(map[int]bool)
+		}
+		if seen[id][rep] {
+			t.Errorf("task %d replica %d delivered twice", id, rep)
+		}
+		seen[id][rep] = true
+		if !so.Outcome.Verdict.Accepted {
+			t.Errorf("honest replica rejected: task %d replica %d: %s", id, rep, so.Outcome.Verdict.Reason)
+		}
+	}
+	if err := stream.Err(); err != nil {
+		t.Fatalf("stream error: %v", err)
+	}
+	for _, task := range poolTasks(tasks, 64) {
+		if len(seen[task.ID]) != replicas {
+			t.Errorf("task %d delivered %d replica outcomes, want %d", task.ID, len(seen[task.ID]), replicas)
+		}
+	}
+}
+
+// TestReplicaRendezvousQuorum pins the degraded-comparison rules directly:
+// a lost replica shrinks the vote to the survivors; fewer than two
+// survivors cannot vote at all.
+func TestReplicaRendezvousQuorum(t *testing.T) {
+	good := [][]byte{[]byte("a"), []byte("b")}
+	bad := [][]byte{[]byte("a"), []byte("x")}
+
+	rv := newReplicaRendezvous(3)
+	rv.submit(0, good)
+	rv.submit(2, bad)
+	rv.fail(1)
+	if _, err := rv.await(1); !errors.Is(err, ErrReplicaLost) {
+		t.Errorf("lost replica verdict: err = %v, want ErrReplicaLost", err)
+	}
+	// With two survivors no strict majority exists on the disputed index:
+	// both sides are rejected, mirroring RunReplicated's pair semantics.
+	v0, err := rv.await(0)
+	if err != nil {
+		t.Fatalf("await(0): %v", err)
+	}
+	v2, err := rv.await(2)
+	if err != nil {
+		t.Fatalf("await(2): %v", err)
+	}
+	if v0.Accepted || v2.Accepted {
+		t.Errorf("disputed pair produced an acceptance: %+v / %+v", v0, v2)
+	}
+
+	under := newReplicaRendezvous(2)
+	under.submit(0, good)
+	under.fail(1)
+	if _, err := under.await(0); !errors.Is(err, ErrReplicaLost) {
+		t.Errorf("below-quorum group: err = %v, want ErrReplicaLost", err)
+	}
+
+	// Majority with a quorum of 3 of 4: the dissenter is convicted, the
+	// agreeing survivors accepted, idempotent re-submission ignored.
+	q := newReplicaRendezvous(4)
+	q.submit(0, good)
+	q.submit(1, good)
+	q.fail(3)
+	q.submit(2, bad)
+	q.submit(2, good) // late duplicate must not flip the vote
+	for idx, wantAccept := range map[int]bool{0: true, 1: true, 2: false} {
+		v, err := q.await(idx)
+		if err != nil {
+			t.Fatalf("await(%d): %v", idx, err)
+		}
+		if v.Accepted != wantAccept {
+			t.Errorf("replica %d accepted=%v, want %v (%s)", idx, v.Accepted, wantAccept, v.Reason)
+		}
+	}
+}
+
+// TestRunSimReplicatedPipelinedMatchesSerial compares a clean pipelined
+// double-check population against the serial scheduler: identical group
+// placement plus the shared comparator must give byte-identical reports.
+func TestRunSimReplicatedPipelinedMatchesSerial(t *testing.T) {
+	base := SimConfig{
+		Spec:         SchemeSpec{Kind: SchemeDoubleCheck, M: 1},
+		Workload:     "synthetic",
+		Seed:         23,
+		TaskSize:     96,
+		Tasks:        6,
+		Honest:       2,
+		SemiHonest:   2,
+		HonestyRatio: 0.4,
+		Replicas:     3,
+	}
+	serial, err := RunSim(base)
+	if err != nil {
+		t.Fatalf("serial RunSim: %v", err)
+	}
+	piped := base
+	piped.PipelineWindow = 3
+	pipelined, err := RunSim(piped)
+	if err != nil {
+		t.Fatalf("pipelined RunSim: %v", err)
+	}
+
+	if pipelined.PipelineWindow != 3 {
+		t.Errorf("report PipelineWindow = %d, want 3", pipelined.PipelineWindow)
+	}
+	if serial.TasksAssigned != pipelined.TasksAssigned {
+		t.Errorf("TasksAssigned: serial %d, pipelined %d", serial.TasksAssigned, pipelined.TasksAssigned)
+	}
+	if !reflect.DeepEqual(serial.TaskVerdicts, pipelined.TaskVerdicts) {
+		t.Errorf("verdicts diverge:\nserial:    %+v\npipelined: %+v", serial.TaskVerdicts, pipelined.TaskVerdicts)
+	}
+	if !reflect.DeepEqual(serial.Reports, pipelined.Reports) {
+		t.Errorf("report streams diverge: serial %d, pipelined %d", len(serial.Reports), len(pipelined.Reports))
+	}
+	for i := range serial.Participants {
+		s, p := serial.Participants[i], pipelined.Participants[i]
+		if s.Tasks != p.Tasks || s.Accepted != p.Accepted || s.Rejected != p.Rejected {
+			t.Errorf("participant %s counters: serial %+v, pipelined %+v", s.ID, s, p)
+		}
+	}
+}
+
+// TestRunSimReplicatedFaultyMatchesClean is the replicated fault-injection
+// acceptance test: pipelined double-check under drops, garbles, and
+// reconnects must produce verdicts and reports byte-identical to the clean
+// serial dialogue run for equal seeds, with no replica execution lost, and
+// — thanks to verdict acknowledgement — participant-side counters that
+// converge to the clean run's.
+func TestRunSimReplicatedFaultyMatchesClean(t *testing.T) {
+	base := SimConfig{
+		Spec:         SchemeSpec{Kind: SchemeDoubleCheck, M: 1},
+		Workload:     "synthetic",
+		Seed:         29,
+		TaskSize:     96,
+		Tasks:        6,
+		Honest:       2,
+		SemiHonest:   2,
+		HonestyRatio: 0.4,
+		Replicas:     3,
+	}
+	clean, err := RunSim(base)
+	if err != nil {
+		t.Fatalf("clean serial RunSim: %v", err)
+	}
+
+	faulty := base
+	faulty.PipelineWindow = 3
+	faulty.DropProb = 0.03
+	faulty.GarbleProb = 0.1
+	faulty.ReconnectLimit = 200
+	faulty.FaultRecvTimeout = 250 * time.Millisecond
+	report, err := RunSim(faulty)
+	if err != nil {
+		t.Fatalf("faulty pipelined RunSim: %v", err)
+	}
+
+	reconnects := 0
+	for _, p := range report.Participants {
+		reconnects += p.Reconnects
+	}
+	if reconnects == 0 {
+		t.Fatalf("no reconnect-and-resume was forced; the test proves nothing")
+	}
+	if report.TasksAssigned != clean.TasksAssigned {
+		t.Errorf("faulty run assigned %d replica executions, clean %d", report.TasksAssigned, clean.TasksAssigned)
+	}
+	if !reflect.DeepEqual(clean.TaskVerdicts, report.TaskVerdicts) {
+		t.Errorf("verdicts diverge:\nclean:  %+v\nfaulty: %+v", clean.TaskVerdicts, report.TaskVerdicts)
+	}
+	if !reflect.DeepEqual(clean.Reports, report.Reports) {
+		t.Errorf("report streams diverge: clean %d reports, faulty %d", len(clean.Reports), len(report.Reports))
+	}
+	if clean.HonestAccused != report.HonestAccused || clean.CheatersDetected != report.CheatersDetected {
+		t.Errorf("detection diverges: clean %d/%d, faulty %d/%d",
+			clean.CheatersDetected, clean.HonestAccused, report.CheatersDetected, report.HonestAccused)
+	}
+	// Verdict acknowledgement closes the worker-side gap: lost deliveries
+	// are re-sent on resume, so the participants' own counters converge to
+	// the clean run's instead of lagging.
+	for i := range clean.Participants {
+		c, f := clean.Participants[i], report.Participants[i]
+		if c.Tasks != f.Tasks || c.Accepted != f.Accepted || c.Rejected != f.Rejected {
+			t.Errorf("participant %s counters lag: clean tasks/acc/rej %d/%d/%d, faulty %d/%d/%d",
+				c.ID, c.Tasks, c.Accepted, c.Rejected, f.Tasks, f.Accepted, f.Rejected)
+		}
+	}
+}
+
+// TestReplicaParksAtIncompleteRendezvous pins the barrier-liveness design:
+// a replica whose group is incomplete must NOT block holding its window
+// slot and worker — RunAttempt detaches with errReplicaParked — and a
+// re-claimed attempt finishes the exchange, on the same live session
+// (without re-announcing) or on a replacement one (with a resume).
+func TestReplicaParksAtIncompleteRendezvous(t *testing.T) {
+	r := newRedialableParticipant(t, HonestFactory)
+	defer r.shutdown()
+
+	sup, err := NewSupervisor(SupervisorConfig{Spec: SchemeSpec{Kind: SchemeDoubleCheck, M: 1}, Seed: 4})
+	if err != nil {
+		t.Fatalf("NewSupervisor: %v", err)
+	}
+	for _, sameSession := range []bool{true, false} {
+		name := "same-session"
+		task := poolTasks(1, 64)[0]
+		if !sameSession {
+			name = "replacement-session"
+			task.ID = 1 // a fresh task for the second scenario
+		}
+		t.Run(name, func(t *testing.T) {
+			rdv := newReplicaRendezvous(2)
+			at, err := sup.newReplicaAttempt(task, rdv, 0)
+			if err != nil {
+				t.Fatalf("newReplicaAttempt: %v", err)
+			}
+			sess, err := sup.OpenSession(r.dial(), 1)
+			if err != nil {
+				t.Fatalf("OpenSession: %v", err)
+			}
+			// The sibling never arrived: the attempt must detach promptly
+			// instead of blocking the window slot.
+			if _, err := sess.RunAttempt(at); !errors.Is(err, errReplicaParked) {
+				t.Fatalf("RunAttempt error = %v, want errReplicaParked", err)
+			}
+			upload := func() [][]byte {
+				rdv.mu.Lock()
+				defer rdv.mu.Unlock()
+				return rdv.uploads[0]
+			}()
+			if upload == nil {
+				t.Fatal("parked replica never submitted its upload")
+			}
+
+			resume := sess
+			if !sameSession {
+				// The first session dies while the replica is parked; the
+				// re-claimed attempt must announce a resume on the new one.
+				sess.abandon()
+				if resume, err = sup.OpenSession(r.dial(), 1); err != nil {
+					t.Fatalf("OpenSession 2: %v", err)
+				}
+			}
+			rdv.submit(1, append([][]byte(nil), upload...))
+			outcome, err := resume.RunAttempt(at)
+			if err != nil {
+				t.Fatalf("re-claimed RunAttempt: %v", err)
+			}
+			if !outcome.Verdict.Accepted {
+				t.Errorf("honest replica rejected after parking: %s", outcome.Verdict.Reason)
+			}
+			if err := resume.Close(); err != nil {
+				t.Fatalf("session close: %v", err)
+			}
+		})
+	}
+}
+
+// TestStreamReplicatedWindowOneSurvivesQuarantine is the regression test
+// for the scheduler deadlock a code review confirmed: with window 1, a
+// quarantined replica used to be re-queued behind the next group, whose
+// exchange then filled the only window slot at a barrier waiting for a
+// sibling queued behind another barrier-blocked exchange — a permanent
+// cross-connection cycle. With barrier parking no exchange can hold a slot
+// at a rendezvous, so the run must converge.
+func TestStreamReplicatedWindowOneSurvivesQuarantine(t *testing.T) {
+	const replicas = 2
+	const tasks = 2
+	r := newRedialableParticipant(t, HonestFactory)
+	defer r.shutdown()
+	other := newRedialableParticipant(t, HonestFactory)
+	defer other.shutdown()
+
+	conns := []transport.Conn{cutAfterRecv(r.dial(), 1), other.dial()}
+	pool, err := NewSupervisorPool(SupervisorConfig{Spec: SchemeSpec{Kind: SchemeDoubleCheck, M: 1}, Seed: 6}, 4)
+	if err != nil {
+		t.Fatalf("NewSupervisorPool: %v", err)
+	}
+	stream, err := pool.RunTasksStream(context.Background(), conns, poolTasks(tasks, 64), 1,
+		WithReplicas(replicas),
+		WithRedial(func(transport.Conn) (transport.Conn, error) { return r.dial(), nil }))
+	if err != nil {
+		t.Fatalf("RunTasksStream: %v", err)
+	}
+	done := make(chan int, 1)
+	go func() {
+		count := 0
+		for so := range stream.Outcomes() {
+			count++
+			if !so.Outcome.Verdict.Accepted {
+				t.Errorf("honest replica rejected: task %d replica %d: %s",
+					so.Outcome.Task.ID, so.Outcome.Replica, so.Outcome.Verdict.Reason)
+			}
+		}
+		done <- count
+	}()
+	select {
+	case count := <-done:
+		if err := stream.Err(); err != nil {
+			t.Fatalf("stream error: %v", err)
+		}
+		if count != tasks*replicas {
+			t.Errorf("streamed %d replica outcomes, want %d", count, tasks*replicas)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("window-1 replicated stream deadlocked after a quarantine")
+	}
+}

@@ -406,3 +406,246 @@ func TestSessionWatchdogQuarantines(t *testing.T) {
 	_ = supConn.Close()
 	<-ch // the participant's serve loop exits on the closed connection
 }
+
+// verdictDropConn drops the first supervisor→participant frame carrying a
+// verdict — a deterministic stand-in for a delivery frame lost to a fault.
+type verdictDropConn struct {
+	transport.Conn
+	dropped atomic.Bool
+}
+
+func (c *verdictDropConn) Send(m transport.Message) error {
+	if m.Type == msgBatch && !c.dropped.Load() {
+		if msgs, err := decodeBatch(m.Payload); err == nil {
+			for _, tm := range msgs {
+				if tm.Type == msgVerdict && c.dropped.CompareAndSwap(false, true) {
+					return nil // the verdict vanishes on the wire
+				}
+			}
+		}
+	}
+	return c.Conn.Send(m)
+}
+
+// TestDroppedVerdictIsRedelivered pins the verdict-acknowledgement fix: a
+// verdict frame lost in transit leaves the supervisor without its ack, the
+// receive watchdog quarantines the connection, and the resume handshake
+// re-delivers the verdict — so the participant's Accepted counter
+// converges instead of staying stale, and the re-delivery is counted
+// exactly once.
+func TestDroppedVerdictIsRedelivered(t *testing.T) {
+	r := newRedialableParticipant(t, HonestFactory)
+	defer r.shutdown()
+	const tasks = 2
+
+	first := &verdictDropConn{Conn: r.dial()}
+	pool, err := NewSupervisorPool(SupervisorConfig{Spec: SchemeSpec{Kind: SchemeCBS, M: 4}, Seed: 8}, 2)
+	if err != nil {
+		t.Fatalf("NewSupervisorPool: %v", err)
+	}
+	stream, err := pool.RunTasksStream(context.Background(),
+		[]transport.Conn{first}, poolTasks(tasks, 64), 1,
+		WithRedial(func(transport.Conn) (transport.Conn, error) { return r.dial(), nil }),
+		WithStreamRecvTimeout(200*time.Millisecond))
+	if err != nil {
+		t.Fatalf("RunTasksStream: %v", err)
+	}
+	count := 0
+	for so := range stream.Outcomes() {
+		count++
+		if !so.Outcome.Verdict.Accepted {
+			t.Errorf("honest task %d rejected: %s", so.Outcome.Task.ID, so.Outcome.Verdict.Reason)
+		}
+	}
+	if err := stream.Err(); err != nil {
+		t.Fatalf("stream error: %v", err)
+	}
+	if count != tasks {
+		t.Fatalf("completed %d tasks, want %d", count, tasks)
+	}
+	if !first.dropped.Load() {
+		t.Fatal("no verdict was dropped; the test proves nothing")
+	}
+	if r.dials() < 2 {
+		t.Fatal("dropped verdict never forced a reconnect")
+	}
+	totals := r.p.Totals()
+	if totals.Tasks != tasks || totals.Accepted != tasks || totals.Rejected != 0 {
+		t.Errorf("participant counters did not converge: tasks=%d accepted=%d rejected=%d, want %d/%d/0",
+			totals.Tasks, totals.Accepted, totals.Rejected, tasks, tasks)
+	}
+}
+
+// TestSessionSendCreditsOnlyWireFrames pins the flush-time crediting fix:
+// frames a quarantined batch writer discards must not count toward the
+// task's sent bytes. Every send on this connection fails, so nothing
+// reaches the wire and the attempt must report zero sent bytes — crediting
+// at enqueue time would have counted the assignment frame.
+func TestSessionSendCreditsOnlyWireFrames(t *testing.T) {
+	supConn, partConn := transport.Pipe()
+	_ = partConn.Close() // every Send now fails with ErrClosed
+	sup, err := NewSupervisor(SupervisorConfig{Spec: SchemeSpec{Kind: SchemeCBS, M: 4}, Seed: 1})
+	if err != nil {
+		t.Fatalf("NewSupervisor: %v", err)
+	}
+	sess, err := sup.OpenSession(supConn, 1)
+	if err != nil {
+		t.Fatalf("OpenSession: %v", err)
+	}
+	at, err := sup.NewAttempt(poolTasks(1, 64)[0])
+	if err != nil {
+		t.Fatalf("NewAttempt: %v", err)
+	}
+	if _, err := sess.RunAttempt(at); !errors.Is(err, ErrConnQuarantined) {
+		t.Fatalf("RunAttempt error = %v, want ErrConnQuarantined", err)
+	}
+	if supConn.Stats().BytesSent() != 0 {
+		t.Fatalf("connection counted %d sent bytes; the pipe should have refused everything", supConn.Stats().BytesSent())
+	}
+	if at.bytesSent != 0 {
+		t.Errorf("attempt credited %d sent bytes for frames that never hit the wire", at.bytesSent)
+	}
+	ovSent, _ := sess.OverheadBytes()
+	if ovSent != 0 {
+		t.Errorf("session overhead credited %d sent bytes for discarded frames", ovSent)
+	}
+	_ = sess.Close()
+	_ = supConn.Close()
+}
+
+// TestStreamFaultyByteAccountingExact is the run-level accounting pin for
+// faulty sessions: across drops, garbles, quarantines, and redials, the
+// pool's aggregated byte counters must equal the sum of every
+// supervisor-side connection's frame counters exactly — nothing lost to a
+// discarded frame, nothing double-counted by an enqueue that never flushed.
+func TestStreamFaultyByteAccountingExact(t *testing.T) {
+	const tasks = 6
+	p, err := NewParticipant("p", HonestFactory)
+	if err != nil {
+		t.Fatalf("NewParticipant: %v", err)
+	}
+	var mu sync.Mutex
+	var supConns []transport.Conn
+	var serveErrs []chan error
+	dial := func() transport.Conn {
+		supConn, partConn := transport.Pipe(transport.WithBuffer(8))
+		mu.Lock()
+		attempt := len(supConns)
+		mu.Unlock()
+		sup := transport.WithFaults(supConn, transport.FaultPlan{DropProb: 0.02, GarbleProb: 0.1, Seed: int64(2*attempt + 1)})
+		part := transport.WithFaults(partConn, transport.FaultPlan{DropProb: 0.02, GarbleProb: 0.1, Seed: int64(2*attempt + 2)})
+		ch := make(chan error, 1)
+		go func() { ch <- p.Serve(part) }()
+		mu.Lock()
+		supConns = append(supConns, sup)
+		serveErrs = append(serveErrs, ch)
+		mu.Unlock()
+		return sup
+	}
+	pool, err := NewSupervisorPool(SupervisorConfig{Spec: SchemeSpec{Kind: SchemeCBS, M: 6}, Seed: 17}, 3)
+	if err != nil {
+		t.Fatalf("NewSupervisorPool: %v", err)
+	}
+	stream, err := pool.RunTasksStream(context.Background(),
+		[]transport.Conn{dial()}, poolTasks(tasks, 64), 3,
+		WithRedial(func(transport.Conn) (transport.Conn, error) { return dial(), nil }),
+		WithMaxReconnects(500),
+		WithStreamRecvTimeout(250*time.Millisecond))
+	if err != nil {
+		t.Fatalf("RunTasksStream: %v", err)
+	}
+	count := 0
+	for range stream.Outcomes() {
+		count++
+	}
+	if err := stream.Err(); err != nil {
+		t.Fatalf("stream error: %v", err)
+	}
+	if count != tasks {
+		t.Fatalf("completed %d tasks, want %d", count, tasks)
+	}
+
+	mu.Lock()
+	if len(supConns) < 2 {
+		mu.Unlock()
+		t.Fatal("no quarantine happened; the faulty accounting path was never exercised")
+	}
+	var wireSent, wireRecv int64
+	for _, c := range supConns {
+		wireSent += c.Stats().BytesSent()
+		wireRecv += c.Stats().BytesRecv()
+		_ = c.Close()
+	}
+	errs := append([]chan error(nil), serveErrs...)
+	mu.Unlock()
+	for _, ch := range errs {
+		if err := <-ch; err != nil {
+			t.Errorf("participant serve: %v", err)
+		}
+	}
+
+	if pool.BytesSent() != wireSent {
+		t.Errorf("pool BytesSent = %d, wire total %d — send crediting drifted under faults", pool.BytesSent(), wireSent)
+	}
+	if pool.BytesRecv() != wireRecv {
+		t.Errorf("pool BytesRecv = %d, wire total %d — receive attribution drifted under faults", pool.BytesRecv(), wireRecv)
+	}
+}
+
+// TestDialogueGarbleSurfacesAsLinkFault pins the dialogue-mode integrity
+// fix: with per-frame checksums at the transport framing layer, a garbled
+// frame in a plain dialogue exchange surfaces as a transport-level
+// integrity failure — link damage — rather than a decode error blamed on
+// the peer.
+func TestDialogueGarbleSurfacesAsLinkFault(t *testing.T) {
+	p, err := NewParticipant("p", HonestFactory)
+	if err != nil {
+		t.Fatalf("NewParticipant: %v", err)
+	}
+	supConn, partConn := transport.Pipe(transport.WithBuffer(8))
+	// Garble every participant→supervisor frame.
+	lossy := transport.WithFaults(partConn, transport.FaultPlan{GarbleProb: 1, Seed: 9})
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- p.Serve(lossy) }()
+
+	sup, err := NewSupervisor(SupervisorConfig{Spec: SchemeSpec{Kind: SchemeCBS, M: 4}, Seed: 2})
+	if err != nil {
+		t.Fatalf("NewSupervisor: %v", err)
+	}
+	_, err = sup.RunTask(supConn, poolTasks(1, 64)[0])
+	if !errors.Is(err, transport.ErrFrameCorrupt) {
+		t.Errorf("RunTask error = %v, want transport.ErrFrameCorrupt", err)
+	}
+	if errors.Is(err, ErrBadPayload) || errors.Is(err, ErrUnexpectedMessage) {
+		t.Errorf("garble misclassified as peer misbehavior: %v", err)
+	}
+	_ = supConn.Close()
+	<-serveErr // the aborted exchange may legitimately error; just drain it
+}
+
+// TestParticipantRecountsReusedTaskIDs pins the counted-tombstone scoping:
+// only a resume may suppress a verdict tally. A long-lived participant
+// serving a second run that numbers its tasks from zero again must count
+// the new tasks' verdicts, not mistake them for re-deliveries.
+func TestParticipantRecountsReusedTaskIDs(t *testing.T) {
+	r := newRedialableParticipant(t, HonestFactory)
+	defer r.shutdown()
+	for run := 0; run < 2; run++ {
+		sup, err := NewSupervisor(SupervisorConfig{Spec: SchemeSpec{Kind: SchemeCBS, M: 4}, Seed: int64(run)})
+		if err != nil {
+			t.Fatalf("NewSupervisor: %v", err)
+		}
+		outcome, err := sup.RunTask(r.dial(), poolTasks(1, 64)[0]) // task ID 0 both runs
+		if err != nil {
+			t.Fatalf("run %d RunTask: %v", run, err)
+		}
+		if !outcome.Verdict.Accepted {
+			t.Fatalf("run %d honest task rejected: %s", run, outcome.Verdict.Reason)
+		}
+	}
+	totals := r.p.Totals()
+	if totals.Tasks != 2 || totals.Accepted != 2 {
+		t.Errorf("reused task ID tallied %d tasks / %d accepted, want 2/2 (stale tombstone suppressed the recount)",
+			totals.Tasks, totals.Accepted)
+	}
+}

@@ -33,19 +33,38 @@ const batchTargetBytes = 1 << 20
 // caller in either mode (see ROADMAP "Chunked uploads").
 const maxBatchPayload = transport.MaxFrameBytes - 16
 
+// outMsg is one queued tagged message plus its sender's flush callback:
+// settle reports whether the message actually entered the wire, which is
+// when — and only when — its bytes are credited to the owning task.
+// Crediting at enqueue time would count frames a quarantined writer later
+// discards, overstating a faulty run's per-task sent bytes against the
+// connection counters.
+type outMsg struct {
+	tm     taggedMsg
+	settle func(sent bool)
+}
+
+func (m outMsg) done(sent bool) {
+	if m.settle != nil {
+		m.settle(sent)
+	}
+}
+
 // batchWriter serializes task-tagged messages from many goroutines onto one
 // connection, coalescing whatever is queued into msgBatch frames. After a
 // send error the writer keeps draining (and discarding) its queue so
 // enqueuers can never wedge; the error fires the onFail hook once (enqueue
 // is asynchronous, so a task that already queued its message may otherwise
 // be blocked waiting for a reply to a frame that was discarded), is
-// reported on the next enqueue, and by close.
+// reported on the next enqueue, and by close. Every queued message has its
+// settle callback invoked exactly once — flushed or discarded — so senders
+// can await exact accounting.
 //
 // close must not race enqueue: both endpoints guarantee their task
 // goroutines have finished (window slots / WaitGroup) before closing.
 type batchWriter struct {
 	conn   transport.Conn
-	in     chan taggedMsg
+	in     chan outMsg
 	done   chan struct{}
 	onFail func(error)
 
@@ -59,7 +78,7 @@ type batchWriter struct {
 func newBatchWriter(conn transport.Conn, onFail func(error)) *batchWriter {
 	w := &batchWriter{
 		conn:   conn,
-		in:     make(chan taggedMsg, 64),
+		in:     make(chan outMsg, 64),
 		done:   make(chan struct{}),
 		onFail: onFail,
 	}
@@ -69,9 +88,9 @@ func newBatchWriter(conn transport.Conn, onFail func(error)) *batchWriter {
 
 func (w *batchWriter) loop() {
 	defer close(w.done)
-	var carry *taggedMsg // next frame's first message when a batch hits the hard cap
+	var carry *outMsg // next frame's first message when a batch hits the hard cap
 	for {
-		var first taggedMsg
+		var first outMsg
 		if carry != nil {
 			first, carry = *carry, nil
 		} else {
@@ -80,24 +99,24 @@ func (w *batchWriter) loop() {
 				return
 			}
 		}
-		batch := []taggedMsg{first}
-		size := first.wireSize()
+		batch := []outMsg{first}
+		size := first.tm.wireSize()
 	coalesce:
 		for len(batch) < maxBatchMsgs && size < batchTargetBytes {
 			select {
-			case tm, ok := <-w.in:
+			case m, ok := <-w.in:
 				if !ok {
 					w.flush(batch)
 					return
 				}
-				if size+tm.wireSize() > maxBatchPayload {
-					// Adding tm would overflow a legal frame; it opens the
+				if size+m.tm.wireSize() > maxBatchPayload {
+					// Adding m would overflow a legal frame; it opens the
 					// next one instead.
-					carry = &tm
+					carry = &m
 					break coalesce
 				}
-				batch = append(batch, tm)
-				size += tm.wireSize()
+				batch = append(batch, m)
+				size += m.tm.wireSize()
 			default:
 				break coalesce
 			}
@@ -106,18 +125,31 @@ func (w *batchWriter) loop() {
 	}
 }
 
-func (w *batchWriter) flush(batch []taggedMsg) {
+func (w *batchWriter) flush(batch []outMsg) {
 	if w.failed() != nil {
-		return // drain mode: consume without sending so enqueuers never block
+		// Drain mode: consume without sending so enqueuers never block. The
+		// discarded messages settle uncredited — they never hit the wire.
+		for _, m := range batch {
+			m.done(false)
+		}
+		return
 	}
-	frame := transport.Message{Type: msgBatch, Payload: encodeBatch(batch)}
+	msgs := make([]taggedMsg, len(batch))
+	for i, m := range batch {
+		msgs[i] = m.tm
+	}
+	frame := transport.Message{Type: msgBatch, Payload: encodeBatch(msgs)}
 	if err := w.conn.Send(frame); err != nil {
 		w.fail(err)
+		for _, m := range batch {
+			m.done(false)
+		}
 		return
 	}
 	var tagged int64
-	for _, tm := range batch {
-		tagged += tm.wireSize()
+	for _, m := range batch {
+		tagged += m.tm.wireSize()
+		m.done(true)
 	}
 	w.mu.Lock()
 	w.overhead += frame.FrameSize() - tagged
@@ -152,11 +184,14 @@ func (w *batchWriter) overheadBytes() int64 {
 
 // enqueue queues one tagged message for (possibly coalesced) sending. It
 // returns quickly; transmission errors surface on later calls and at close.
-func (w *batchWriter) enqueue(tm taggedMsg) error {
+// settle, if non-nil, is called exactly once when the message is flushed
+// (true) or discarded (false) — unless enqueue itself returns an error, in
+// which case the message was never queued and settle is never called.
+func (w *batchWriter) enqueue(tm taggedMsg, settle func(sent bool)) error {
 	if err := w.failed(); err != nil {
 		return err
 	}
-	w.in <- tm
+	w.in <- outMsg{tm: tm, settle: settle}
 	return nil
 }
 
@@ -227,12 +262,11 @@ type Session struct {
 }
 
 // OpenSession starts a pipelined session on conn with the given in-flight
-// window. The double-check scheme needs a replication barrier across
-// connections and cannot be pipelined.
+// window. Double-check sessions carry replica exchanges whose settle phase
+// reports to a cross-connection rendezvous; they are driven by
+// SupervisorPool.RunTasksStream, and RunTask refuses them (a lone session
+// has no sibling replicas to compare against).
 func (s *Supervisor) OpenSession(conn transport.Conn, window int, opts ...SessionOption) (*Session, error) {
-	if s.cfg.Spec.Kind == SchemeDoubleCheck {
-		return nil, fmt.Errorf("%w: double-check requires RunReplicated, not a session", ErrBadConfig)
-	}
 	if conn == nil {
 		return nil, fmt.Errorf("%w: nil connection", ErrBadConfig)
 	}
@@ -283,20 +317,39 @@ type sessionTaskConn struct {
 	id   uint64
 	// inbox holds routed-but-unconsumed messages; guarded by sess.mu.
 	inbox []transport.Message
-	// sent is owned by the task goroutine; recv is guarded by sess.mu.
-	// Both count this task's tagged bytes inside batch frames.
-	sent, recv int64
+	// sent counts this task's tagged bytes that actually entered the wire —
+	// credited by the batch writer at flush time, not at enqueue, so frames
+	// discarded by a quarantined writer never inflate it. recv is guarded by
+	// sess.mu.
+	sent     atomic.Int64
+	recv     int64
+	inflight sync.WaitGroup
 }
 
-// Send implements protoConn.
+// Send implements protoConn. The message's bytes are credited when the
+// writer flushes it; awaitSends synchronizes with that before the task's
+// totals are read.
 func (c *sessionTaskConn) Send(m transport.Message) error {
 	tm := taggedMsg{TaskID: c.id, Type: m.Type, Payload: m.Payload}
-	if err := c.sess.writer.enqueue(tm); err != nil {
+	size := tm.wireSize()
+	c.inflight.Add(1)
+	err := c.sess.writer.enqueue(tm, func(sent bool) {
+		if sent {
+			c.sent.Add(size)
+		}
+		c.inflight.Done()
+	})
+	if err != nil {
+		c.inflight.Done() // never queued; the callback will not fire
 		return err
 	}
-	c.sent += tm.wireSize()
 	return nil
 }
+
+// awaitSends blocks until every message this task enqueued has been
+// flushed or discarded, making c.sent final. The writer always drains —
+// even after a failure — so this cannot wedge.
+func (c *sessionTaskConn) awaitSends() { c.inflight.Wait() }
 
 // Recv implements protoConn.
 func (c *sessionTaskConn) Recv() (transport.Message, error) {
@@ -330,16 +383,24 @@ func (s *Session) recvFor(c *sessionTaskConn) (transport.Message, error) {
 			if s.cfg.recvTimeout > 0 {
 				watchdog = time.AfterFunc(s.cfg.recvTimeout, func() { _ = s.conn.Close() })
 			}
+			// Receive-side attribution works on the connection counter's
+			// delta rather than the frame header math, so bytes that arrive
+			// but never yield a routable frame — a corrupt frame the
+			// transport CRC rejected — still land in session overhead and
+			// the counters stay exact.
+			before := s.conn.Stats().BytesRecv()
 			frame, err := s.conn.Recv()
 			if watchdog != nil {
 				watchdog.Stop()
 			}
 			s.mu.Lock()
 			s.pulling = false
+			arrived := s.conn.Stats().BytesRecv() - before
 			if err != nil {
+				s.recvOverhead += arrived
 				err = fmt.Errorf("grid: session recv: %w", err)
 			} else {
-				err = s.routeLocked(frame)
+				err = s.routeLocked(frame, arrived)
 			}
 			if err != nil && s.err == nil {
 				s.err = err
@@ -352,26 +413,26 @@ func (s *Session) recvFor(c *sessionTaskConn) (transport.Message, error) {
 }
 
 // routeLocked demultiplexes one incoming batch frame into per-task inboxes
-// and attributes its bytes: tagged sub-messages to their tasks, framing to
-// the session. Frames that cannot be routed (corrupt or misdirected) are
-// charged entirely to session overhead so receive-side accounting stays
-// exact even when the connection is about to be quarantined. Caller holds
-// s.mu.
-func (s *Session) routeLocked(frame transport.Message) error {
+// and attributes its bytes: tagged sub-messages to their tasks, the rest of
+// the arrived bytes (framing, and everything in frames that cannot be
+// routed) to session overhead, so receive-side accounting stays exact even
+// when the connection is about to be quarantined. arrived is the connection
+// counter's delta for this frame. Caller holds s.mu.
+func (s *Session) routeLocked(frame transport.Message, arrived int64) error {
 	if frame.Type != msgBatch {
-		s.recvOverhead += frame.FrameSize()
+		s.recvOverhead += arrived
 		return fmt.Errorf("%w: session got frame type %d, want batch", ErrUnexpectedMessage, frame.Type)
 	}
 	msgs, err := decodeBatch(frame.Payload)
 	if err != nil {
-		s.recvOverhead += frame.FrameSize()
+		s.recvOverhead += arrived
 		return err
 	}
 	var tagged int64
 	for _, tm := range msgs {
 		tc, ok := s.tasks[tm.TaskID]
 		if !ok {
-			s.recvOverhead += frame.FrameSize() - tagged
+			s.recvOverhead += arrived - tagged
 			return fmt.Errorf("%w: message type %d for unknown task %d",
 				ErrUnexpectedMessage, tm.Type, tm.TaskID)
 		}
@@ -379,7 +440,7 @@ func (s *Session) routeLocked(frame transport.Message) error {
 		tc.recv += tm.wireSize()
 		tagged += tm.wireSize()
 	}
-	s.recvOverhead += frame.FrameSize() - tagged
+	s.recvOverhead += arrived - tagged
 	return nil
 }
 
@@ -408,6 +469,17 @@ func (s *Session) unregister(taskID uint64) {
 	s.mu.Unlock()
 }
 
+// release removes a parked task from the demultiplexer AND frees its ID
+// for re-registration: the task is not finished — the participant still
+// holds it in flight awaiting the verdict — so the same ID returning to
+// this session is the same task re-attaching, not a reuse race.
+func (s *Session) release(taskID uint64) {
+	s.mu.Lock()
+	delete(s.tasks, taskID)
+	delete(s.used, taskID)
+	s.mu.Unlock()
+}
+
 // RunTask runs one task through the session, from assignment to verdict.
 // It is safe for concurrent use; at most `window` calls proceed at once and
 // further callers block for a slot. Task IDs must be unique across the
@@ -420,6 +492,9 @@ func (s *Session) unregister(taskID uint64) {
 // terminal for the task; callers that want reconnect-and-resume drive
 // RunAttempt themselves (SupervisorPool.RunTasksStream does).
 func (sess *Session) RunTask(task Task) (*TaskOutcome, error) {
+	if sess.sup.cfg.Spec.Kind == SchemeDoubleCheck {
+		return nil, fmt.Errorf("%w: double-check needs a replica barrier; use RunReplicated or a replicated RunTasksStream", ErrBadConfig)
+	}
 	at, err := sess.sup.NewAttempt(task)
 	if err != nil {
 		return nil, err
@@ -458,13 +533,29 @@ func (sess *Session) RunAttempt(at *taskAttempt) (*TaskOutcome, error) {
 	if err != nil {
 		return nil, quarantineWrap(err)
 	}
-	defer sess.unregister(at.task.ID)
+
+	// A re-attach to the same live session (a replica re-claimed after
+	// parking at its barrier) must not re-announce: the participant still
+	// holds the task in flight on this very connection.
+	at.pt.st.suppressAnnounce = at.attachedTo == sess
+	at.attachedTo = sess
 
 	err = sess.sup.runExchange(c, at.pt, nil)
+	// Settle the attempt's byte totals only after the writer has flushed or
+	// discarded everything this task enqueued — sent bytes mean wire bytes.
+	c.awaitSends()
 	sess.mu.Lock()
-	at.bytesSent += c.sent
+	at.bytesSent += c.sent.Load()
 	at.bytesRecv += c.recv
 	sess.mu.Unlock()
+	if errors.Is(err, errReplicaParked) {
+		// Not finished and not failed: the task stays live on the
+		// participant; free the ID so the re-claimed attempt can register
+		// here again.
+		sess.release(at.task.ID)
+		return nil, err
+	}
+	sess.unregister(at.task.ID)
 	if err != nil {
 		return nil, quarantineWrap(err)
 	}
@@ -480,8 +571,12 @@ func (sess *Session) RunAttempt(at *taskAttempt) (*TaskOutcome, error) {
 // (malformed payloads, protocol violations) passes through as a terminal
 // error.
 func quarantineWrap(err error) error {
+	if errors.Is(err, ErrConnQuarantined) {
+		return err // already classified (e.g. a released replica barrier)
+	}
 	if errors.Is(err, transport.ErrClosed) || errors.Is(err, transport.ErrTimeout) ||
-		errors.Is(err, io.EOF) || errors.Is(err, ErrFrameCorrupt) {
+		errors.Is(err, io.EOF) || errors.Is(err, ErrFrameCorrupt) ||
+		errors.Is(err, transport.ErrFrameCorrupt) {
 		return fmt.Errorf("%w: %w", ErrConnQuarantined, err)
 	}
 	return err
@@ -501,7 +596,9 @@ func (sess *Session) OverheadBytes() (sent, recv int64) {
 
 // abandon closes a session whose connection died: late RunAttempt arrivals
 // observe a quarantine (resumable) instead of a configuration error, and the
-// writer's failure to flush is expected rather than reported.
+// writer's failure to flush is expected rather than reported. No exchange
+// can be blocked at a replica barrier here — parkable attempts detach from
+// unready rendezvous — so waiting out the window slots cannot deadlock.
 func (sess *Session) abandon() {
 	sess.quarantined.Store(true)
 	_ = sess.Close()

@@ -263,13 +263,21 @@ func TestSessionRejectsBadConfig(t *testing.T) {
 		t.Errorf("window 0: err = %v, want ErrBadConfig", err)
 	}
 
+	// Double-check sessions exist (RunTasksStream drives replica exchanges
+	// through them), but a lone RunTask has no sibling replicas to compare
+	// against and is refused.
 	dc, err := NewSupervisor(SupervisorConfig{Spec: SchemeSpec{Kind: SchemeDoubleCheck, M: 1}})
 	if err != nil {
 		t.Fatalf("NewSupervisor(double-check): %v", err)
 	}
-	if _, err := dc.OpenSession(supConn, 4); !errors.Is(err, ErrBadConfig) {
-		t.Errorf("double-check session: err = %v, want ErrBadConfig", err)
+	dcSess, err := dc.OpenSession(supConn, 4)
+	if err != nil {
+		t.Fatalf("double-check OpenSession: %v", err)
 	}
+	if _, err := dcSess.RunTask(poolTasks(1, 64)[0]); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("double-check session RunTask: err = %v, want ErrBadConfig", err)
+	}
+	_ = dcSess.Close()
 
 	sess, err := sup.OpenSession(supConn, 2)
 	if err != nil {
@@ -608,6 +616,9 @@ func commitmentRootVia(t *testing.T, opts ...ParticipantOption) []byte {
 	}
 	if err := conn.Send(transport.Message{Type: msgVerdict, Payload: encodeVerdict(Verdict{Accepted: true})}); err != nil {
 		t.Fatalf("send verdict: %v", err)
+	}
+	if _, err := expectMsg(conn, msgVerdictAck); err != nil {
+		t.Fatalf("recv verdict ack: %v", err)
 	}
 	return commitment.Root
 }

@@ -47,8 +47,9 @@ type SimConfig struct {
 	// worker count — task randomness is derived per task ID, and the
 	// pooled scheduler preserves the serial round-robin assignment
 	// (including blacklisting, which both schedulers apply before any
-	// participant can be picked twice). The double-check scheme is a
-	// replication barrier and always runs serially.
+	// participant can be picked twice). The double-check scheme runs
+	// serially under Workers (its barrier spans connections); use
+	// PipelineWindow to pipeline it.
 	Workers int
 	// PipelineWindow, when > 0, replaces the per-task dialogue with
 	// pipelined multi-task sessions: every participant connection carries up
@@ -58,8 +59,17 @@ type SimConfig struct {
 	// each (task, participant) verdict is still deterministic, and the
 	// report is recorded in task order. Blacklisting retires a participant
 	// from claiming after its first rejection, but tasks already in flight
-	// on it still finish. Double-check ignores this field (replication
-	// barrier). PipelineWindow takes precedence over Workers.
+	// on it still finish. PipelineWindow takes precedence over Workers.
+	//
+	// The double-check scheme pipelines too: replica groups are pre-placed
+	// round-robin exactly like the serial scheduler picks them (so verdicts
+	// are byte-identical to the dialogue run for equal seeds), each
+	// replica's upload overlaps other tasks inside its connection's window,
+	// and only the comparison waits at a cross-connection rendezvous. Since
+	// groups are placed up front, Blacklist cannot recall a rejected
+	// participant's pre-placed replicas — replication itself is the defense
+	// there — so replicated pipelined runs with Blacklist diverge from the
+	// serial scheduler's pairing.
 	PipelineWindow int
 	// DropProb and GarbleProb inject transport faults on every connection
 	// (send side, both directions, seeded deterministically from Seed):
@@ -106,8 +116,8 @@ func (c SimConfig) validate() error {
 	if c.DropProb < 0 || c.DropProb >= 1 || c.GarbleProb < 0 || c.GarbleProb >= 1 {
 		return fmt.Errorf("%w: fault probabilities must lie in [0, 1)", ErrBadConfig)
 	}
-	if c.faulty() && (c.PipelineWindow < 1 || c.Spec.Kind == SchemeDoubleCheck) {
-		return fmt.Errorf("%w: fault injection requires pipelined sessions (PipelineWindow > 0, non-replicated scheme)", ErrBadConfig)
+	if c.faulty() && c.PipelineWindow < 1 {
+		return fmt.Errorf("%w: fault injection requires pipelined sessions (PipelineWindow > 0)", ErrBadConfig)
 	}
 	if c.ReconnectLimit < 0 {
 		return fmt.Errorf("%w: negative reconnect limit %d", ErrBadConfig, c.ReconnectLimit)
@@ -317,7 +327,7 @@ func RunSim(cfg SimConfig) (*SimReport, error) {
 	report := &SimReport{Scheme: cfg.Spec.Kind.String()}
 	var scheduleErr error
 	var supervisorEvals func() int64
-	if cfg.PipelineWindow > 0 && cfg.Spec.Kind != SchemeDoubleCheck {
+	if cfg.PipelineWindow > 0 {
 		report.PipelineWindow = cfg.PipelineWindow
 		pool, err := NewSupervisorPool(supCfg, cfg.participants()*cfg.PipelineWindow)
 		if err != nil {
@@ -551,11 +561,15 @@ func scheduleTasksPooled(cfg SimConfig, pool *SupervisorPool, workers []*simWork
 // sessions with work stealing (SupervisorPool.RunTasksStream): every
 // participant connection holds up to cfg.PipelineWindow tasks in flight and
 // claims work from a shared queue. Outcomes are consumed as they stream in
-// but recorded into the report in task order, so the report layout does not
-// depend on completion interleaving. Blacklisting retires a participant via
-// TaskStream.Retire, which synchronously recalls its unstarted claims. Under
-// fault injection the stream redials replacement connections to the same
-// participant so quarantined exchanges resume mid-protocol.
+// but recorded into the report in (task, replica) order, so the report
+// layout does not depend on completion interleaving. Blacklisting retires a
+// participant via TaskStream.Retire, which synchronously recalls its
+// unstarted claims. Under fault injection the stream redials replacement
+// connections to the same participant so quarantined exchanges resume
+// mid-protocol. The double-check scheme runs replicated: groups are
+// pre-placed round-robin (matching the serial scheduler's walk), uploads
+// pipeline inside each window, and comparisons meet at per-task rendezvous
+// barriers.
 func scheduleTasksPipelined(cfg SimConfig, pool *SupervisorPool, workers []*simWorker, report *SimReport) error {
 	// byConn maps every connection — original dials and fault-mode redials —
 	// to its worker; mu guards it against concurrent redial registration.
@@ -572,6 +586,11 @@ func scheduleTasksPipelined(cfg SimConfig, pool *SupervisorPool, workers []*simW
 	}
 
 	var opts []StreamOption
+	perTask := 1
+	if cfg.Spec.Kind == SchemeDoubleCheck {
+		perTask = cfg.replicaCount()
+		opts = append(opts, WithReplicas(perTask))
+	}
 	if cfg.faulty() {
 		reconnects := cfg.ReconnectLimit
 		if reconnects == 0 {
@@ -626,7 +645,7 @@ func scheduleTasksPipelined(cfg SimConfig, pool *SupervisorPool, workers []*simW
 	// pool (the serial scheduler stops cleanly there too); anything else
 	// means connections were lost beyond the reconnect budget, which must
 	// surface as a failure rather than a silently short report.
-	if len(completed) < cfg.Tasks {
+	if len(completed) < cfg.Tasks*perTask {
 		blacklistedAll := true
 		for _, w := range workers {
 			if !w.blacklisted {
@@ -635,13 +654,18 @@ func scheduleTasksPipelined(cfg SimConfig, pool *SupervisorPool, workers []*simW
 			}
 		}
 		if !blacklistedAll {
-			return fmt.Errorf("grid: pipelined run completed %d of %d tasks: participant connections lost beyond recovery",
-				len(completed), cfg.Tasks)
+			return fmt.Errorf("grid: pipelined run completed %d of %d task executions: participant connections lost beyond recovery",
+				len(completed), cfg.Tasks*perTask)
 		}
 	}
 
+	// Record in (task, replica) order — the serial schedulers' layout.
 	sort.Slice(completed, func(i, j int) bool {
-		return completed[i].outcome.Task.ID < completed[j].outcome.Task.ID
+		a, b := completed[i].outcome, completed[j].outcome
+		if a.Task.ID != b.Task.ID {
+			return a.Task.ID < b.Task.ID
+		}
+		return a.Replica < b.Replica
 	})
 	report.TasksAssigned = len(completed)
 	for _, c := range completed {

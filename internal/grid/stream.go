@@ -39,11 +39,42 @@ const defaultMaxReconnects = 4
 
 // ticket is the dispatcher's unit of work: a task, plus — once an attempt
 // exists — its resumable supervisor state. pin binds a mid-protocol attempt
-// to the slot whose participant holds the matching prover state.
+// to the slot whose participant holds the matching prover state. grp and
+// repIdx are set on double-check replica tickets: the ticket is one member
+// of a replicated group, pre-placed on its slot and settling through the
+// group rendezvous.
 type ticket struct {
-	task Task
-	at   *taskAttempt
-	pin  *connSlot
+	task   Task
+	at     *taskAttempt
+	pin    *connSlot
+	grp    *replicaGroup
+	repIdx int
+	// parked marks a replica ticket waiting for its rendezvous to settle:
+	// it occupies no worker and no window slot, and claim passes over it
+	// until the group's comparison has run. This is what keeps replica
+	// barriers deadlock-free — a blocked barrier never holds the scheduler
+	// resources its missing sibling needs.
+	parked bool
+}
+
+// replicaGroup is the dispatcher's view of one replicated task: the shared
+// rendezvous plus which slot currently hosts each replica, so placement and
+// re-placement keep the group on pairwise-distinct connections. slots is
+// guarded by dispatcher.mu after the workers start.
+type replicaGroup struct {
+	task  Task
+	rdv   *replicaRendezvous
+	slots []*connSlot
+}
+
+// hosts reports whether sl currently carries any member of the group.
+func (g *replicaGroup) hosts(sl *connSlot) bool {
+	for _, member := range g.slots {
+		if member == sl {
+			return true
+		}
+	}
+	return false
 }
 
 // Lease lifecycle (all transitions under dispatcher.mu).
@@ -113,12 +144,21 @@ type dispatcher struct {
 	// slots maps every connection a slot has owned (original and
 	// replacements) back to it, for Retire.
 	slots map[transport.Conn]*connSlot
+	// allSlots lists every slot in connection order, for replica
+	// re-placement; groups lists every replica rendezvous so a failing or
+	// cancelled run can release blocked barriers.
+	allSlots []*connSlot
+	groups   []*replicaGroup
 
 	eligible  func(transport.Conn) bool
 	pool      *SupervisorPool
 	cancelled bool
 	err       error
 	cancel    context.CancelFunc
+	// wake carries rendezvous-settled nudges from notifyReady to the waker
+	// goroutine, which re-broadcasts under mu so claim waiters re-scan for
+	// parked tickets that became claimable.
+	wake chan struct{}
 }
 
 func newDispatcher(pool *SupervisorPool, eligible func(transport.Conn) bool, cancel context.CancelFunc) *dispatcher {
@@ -131,9 +171,22 @@ func newDispatcher(pool *SupervisorPool, eligible func(transport.Conn) bool, can
 		eligible: eligible,
 		pool:     pool,
 		cancel:   cancel,
+		wake:     make(chan struct{}, 1),
 	}
 	d.cond = sync.NewCond(&d.mu)
 	return d
+}
+
+// notifyReady is the rendezvous onReady hook: a non-blocking nudge that a
+// parked replica may have become claimable. It takes no locks, so a
+// rendezvous may settle from any lock context (including under d.mu, as
+// quorum failure during markDead does); the waker goroutine converts the
+// nudge into a cond.Broadcast under the dispatcher lock.
+func (d *dispatcher) notifyReady() {
+	select {
+	case d.wake <- struct{}{}:
+	default:
+	}
 }
 
 // abandonAttempt closes the accounting of an attempt that will never reach
@@ -175,6 +228,7 @@ func (d *dispatcher) fail(err error) {
 		d.err = err
 	}
 	d.cancelled = true
+	d.abortGroupsLocked(err)
 	d.cond.Broadcast()
 	d.mu.Unlock()
 	d.cancel()
@@ -184,8 +238,18 @@ func (d *dispatcher) fail(err error) {
 func (d *dispatcher) stop() {
 	d.mu.Lock()
 	d.cancelled = true
+	d.abortGroupsLocked(context.Canceled)
 	d.cond.Broadcast()
 	d.mu.Unlock()
+}
+
+// abortGroupsLocked releases every replica barrier so no exchange stays
+// blocked waiting for siblings that will never arrive. Completed groups are
+// untouched (abort is a no-op once a rendezvous settled).
+func (d *dispatcher) abortGroupsLocked(err error) {
+	for _, g := range d.groups {
+		g.rdv.abort(err)
+	}
 }
 
 // firstErr returns the recorded failure, if any.
@@ -231,7 +295,8 @@ func (d *dispatcher) retireLocked(sl *connSlot) {
 
 // markDead declares the slot's link permanently gone: retire it and restart
 // everything still bound to it — queued pinned tickets and claimed pinned
-// leases — from scratch on the pending queue.
+// leases — from scratch on the pending queue (replica tickets are instead
+// re-placed on a connection free of their siblings, or declared lost).
 func (d *dispatcher) markDead(sl *connSlot) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -255,10 +320,39 @@ func (d *dispatcher) markDead(sl *connSlot) {
 // byte accounting) and requeues the bare task. The fresh attempt created on
 // the next claim re-derives its randomness from the task seed, so the
 // retried verdict is identical to a clean first run on whichever participant
-// picks it up.
+// picks it up. Replica tickets keep their group identity and route through
+// re-placement instead of the shared queue.
 func (d *dispatcher) restartTicketLocked(t ticket) {
+	if t.grp != nil {
+		d.replaceReplicaLocked(t, t.grp.slots[t.repIdx])
+		return
+	}
 	d.abandonAttempt(t.at)
 	d.pending = append(d.pending, ticket{task: t.task})
+}
+
+// replaceReplicaLocked moves a replica whose slot died onto a live,
+// non-retired connection that hosts none of its siblings, restarting it
+// from scratch there (the dead participant's protocol state is gone). When
+// no such connection exists the replica is declared lost and the group's
+// comparison degrades to a quorum over the remaining uploads.
+func (d *dispatcher) replaceReplicaLocked(t ticket, dead *connSlot) {
+	d.abandonAttempt(t.at)
+	grp := t.grp
+	var repl *connSlot
+	for _, cand := range d.allSlots {
+		if cand == dead || d.dead[cand] || d.retired[cand] || grp.hosts(cand) {
+			continue
+		}
+		repl = cand
+		break
+	}
+	if repl == nil {
+		grp.rdv.fail(t.repIdx)
+		return
+	}
+	grp.slots[t.repIdx] = repl
+	d.pinned[repl] = append(d.pinned[repl], ticket{task: t.task, grp: grp, repIdx: t.repIdx, pin: repl})
 }
 
 // claim blocks until the slot has work: its own pinned resume tickets first,
@@ -273,15 +367,30 @@ func (d *dispatcher) claim(sl *connSlot) (*lease, bool) {
 			return nil, false
 		}
 		if ts := d.pinned[sl]; len(ts) > 0 {
-			t := ts[len(ts)-1]
-			d.pinned[sl] = ts[:len(ts)-1]
-			return d.leaseLocked(t, sl), true
+			// FIFO over the claimable tickets; replicas parked at an
+			// unready rendezvous are passed over (they need no worker until
+			// the group settles — the waker re-broadcasts when it does).
+			for i, t := range ts {
+				if t.parked && !t.grp.rdv.ready() {
+					continue
+				}
+				d.pinned[sl] = append(append(make([]ticket, 0, len(ts)-1), ts[:i]...), ts[i+1:]...)
+				return d.leaseLocked(t, sl), true
+			}
 		}
 		if !d.retired[sl] && d.eligible != nil && !d.eligible(sl.currentConn()) {
 			d.retireLocked(sl)
 		}
 		if d.retired[sl] {
-			return nil, false
+			// A retired slot claims nothing fresh, but its workers must
+			// outlive any tickets still pinned to it — a replica parked at
+			// an unready barrier becomes claimable only when the group
+			// settles, and exiting now would strand it.
+			if len(d.pinned[sl]) == 0 {
+				return nil, false
+			}
+			d.cond.Wait()
+			continue
 		}
 		if len(d.pending) > 0 {
 			t := d.pending[0]
@@ -351,16 +460,38 @@ func (d *dispatcher) complete(l *lease) {
 	d.mu.Unlock()
 }
 
+// parkAtBarrier shelves a replica whose exchange reached an incomplete
+// rendezvous: the ticket keeps its attempt (upload submitted, protocol
+// state live on the participant) and waits, claimable again once the
+// group settles and the waker broadcasts.
+func (d *dispatcher) parkAtBarrier(l *lease) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	delete(d.leases, l)
+	t := l.ticket
+	t.pin = l.slot
+	t.parked = true
+	d.pinned[l.slot] = append(d.pinned[l.slot], t)
+	d.cond.Broadcast()
+}
+
 // parkForResume returns a quarantined lease's ticket to the scheduler: bound
 // mid-protocol attempts pin to their slot (to resume on the replacement
 // connection), unbound ones rejoin the shared queue for any connection, and
-// tickets whose slot is already dead restart from scratch.
+// tickets whose slot is already dead restart from scratch. Replica tickets
+// always stay with their slot — sibling distinctness is per slot — unless
+// the slot is dead, in which case they are re-placed.
 func (d *dispatcher) parkForResume(l *lease) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	delete(d.leases, l)
 	t := l.ticket
 	switch {
+	case t.grp != nil && d.dead[l.slot]:
+		d.replaceReplicaLocked(t, l.slot)
+	case t.grp != nil:
+		t.pin = l.slot
+		d.pinned[l.slot] = append(d.pinned[l.slot], t)
 	case t.at != nil && t.at.started() && d.dead[l.slot]:
 		d.restartTicketLocked(t)
 	case t.at != nil && t.at.started():
@@ -465,6 +596,17 @@ func (sl *connSlot) recover(gen int, d *dispatcher, p *SupervisorPool, cfg *stre
 // given (task, connection) pair is not. The pool's worker bound applies
 // across sessions: at most `workers` exchanges execute at once. The first
 // protocol-level error cancels the run and surfaces on TaskStream.Err.
+//
+// With the double-check scheme the stream runs replicated: every task fans
+// out to WithReplicas(R) pairwise-distinct connections (placed round-robin
+// over conns), each replica's upload phase pipelines freely inside its
+// session window, and the settle phase meets a cross-connection rendezvous
+// that compares the group's uploads and issues one verdict per replica — R
+// outcomes per task, ordered by (Task.ID, Replica) like the serial
+// RunReplicated slice, with verdicts byte-identical to it for equal seeds.
+// A replica reaching an incomplete rendezvous parks — holding no worker
+// and no window slot — and is re-claimed when the group settles, so
+// barriers can never deadlock the scheduler however tasks interleave.
 func (p *SupervisorPool) RunTasksStream(ctx context.Context, conns []transport.Conn, tasks []Task, window int, opts ...StreamOption) (*TaskStream, error) {
 	if len(conns) == 0 {
 		return nil, fmt.Errorf("%w: no connections", ErrBadConfig)
@@ -472,6 +614,20 @@ func (p *SupervisorPool) RunTasksStream(ctx context.Context, conns []transport.C
 	cfg := streamConfig{maxReconnects: defaultMaxReconnects}
 	for _, opt := range opts {
 		opt.applyStream(&cfg)
+	}
+	replicated := p.sup.cfg.Spec.Kind == SchemeDoubleCheck
+	replicas := cfg.replicas
+	switch {
+	case replicated && replicas == 0:
+		replicas = 2
+	case replicated && replicas < 2:
+		return nil, fmt.Errorf("%w: double-check needs >= 2 replicas, got %d", ErrBadConfig, replicas)
+	case !replicated && replicas != 0:
+		return nil, fmt.Errorf("%w: WithReplicas requires the double-check scheme", ErrBadConfig)
+	}
+	if replicated && len(conns) < replicas {
+		return nil, fmt.Errorf("%w: %d replicas need as many distinct connections, got %d",
+			ErrBadConfig, replicas, len(conns))
 	}
 
 	ctx, cancel := context.WithCancel(ctx)
@@ -489,8 +645,40 @@ func (p *SupervisorPool) RunTasksStream(ctx context.Context, conns []transport.C
 		slots[i] = newConnSlot(conn, sess)
 		d.registerConn(conn, slots[i])
 	}
-	for _, t := range tasks {
-		d.pending = append(d.pending, ticket{task: t})
+	d.allSlots = slots
+	if replicated {
+		// Pre-place every group round-robin with a single cursor, skipping
+		// connections already holding a sibling — the same walk the serial
+		// simulator's scheduler performs, so the task→replica→connection
+		// pairing (and with it every verdict) matches the dialogue run.
+		// Per-slot FIFO claiming then works all slots through the groups in
+		// the same global order, which keeps the barriers deadlock-free.
+		cursor := 0
+		for _, t := range tasks {
+			rdv := newReplicaRendezvous(replicas)
+			rdv.onReady = d.notifyReady
+			grp := &replicaGroup{task: t, rdv: rdv, slots: make([]*connSlot, replicas)}
+			d.groups = append(d.groups, grp)
+			for j := 0; j < replicas; j++ {
+				var sl *connSlot
+				for tries := 0; tries < len(slots); tries++ {
+					cand := slots[cursor%len(slots)]
+					cursor++
+					if !grp.hosts(cand) {
+						sl = cand
+						break
+					}
+				}
+				// len(conns) >= replicas guarantees a sibling-free
+				// connection within len(slots) candidates.
+				grp.slots[j] = sl
+				d.pinned[sl] = append(d.pinned[sl], ticket{task: t, grp: grp, repIdx: j, pin: sl})
+			}
+		}
+	} else {
+		for _, t := range tasks {
+			d.pending = append(d.pending, ticket{task: t})
+		}
 	}
 
 	stream := &TaskStream{
@@ -503,6 +691,22 @@ func (p *SupervisorPool) RunTasksStream(ctx context.Context, conns []transport.C
 	go func() {
 		<-ctx.Done()
 		d.stop()
+	}()
+	// The waker: rendezvous settle from arbitrary goroutines (and lock
+	// contexts); this loop turns their lock-free nudges into dispatcher
+	// broadcasts so claim waiters re-scan parked tickets. It ends with the
+	// run — d.stop's own broadcast covers the shutdown races.
+	go func() {
+		for {
+			select {
+			case <-d.wake:
+				d.mu.Lock()
+				d.cond.Broadcast()
+				d.mu.Unlock()
+			case <-ctx.Done():
+				return
+			}
+		}
 	}()
 
 	// The pool's worker bound applies across all sessions, exactly as in
@@ -576,7 +780,13 @@ func (p *SupervisorPool) streamWorker(ctx context.Context, d *dispatcher, sl *co
 			continue
 		}
 		if l.at == nil {
-			at, err := p.sup.NewAttempt(l.task)
+			var at *taskAttempt
+			var err error
+			if l.grp != nil {
+				at, err = p.sup.newReplicaAttempt(l.task, l.grp.rdv, l.repIdx)
+			} else {
+				at, err = p.sup.NewAttempt(l.task)
+			}
 			if err != nil {
 				d.complete(l)
 				d.fail(fmt.Errorf("grid: task %d: %w", l.task.ID, err))
@@ -593,14 +803,30 @@ func (p *SupervisorPool) streamWorker(ctx context.Context, d *dispatcher, sl *co
 			d.parkForResume(l)
 			return
 		}
+		// Replica exchanges share the worker bound safely because they
+		// never hold it across their group barrier: an unready rendezvous
+		// parks the attempt (errReplicaParked) instead of blocking.
 		outcome, err := sess.RunAttempt(l.at)
 		<-sem
 
 		if err != nil {
+			if errors.Is(err, errReplicaParked) {
+				// The replica reached its rendezvous before the group was
+				// complete; shelve it (no worker, no window slot) until the
+				// comparison runs, and claim other work meanwhile.
+				d.parkAtBarrier(l)
+				continue
+			}
 			if errors.Is(err, ErrConnQuarantined) {
 				d.parkForResume(l)
 				sl.recover(gen, d, p, cfg, window)
 				continue
+			}
+			if l.grp != nil && ctx.Err() != nil {
+				// The barrier was released by cancellation, not by a fault of
+				// this replica; park so accounting settles at teardown.
+				d.parkForResume(l)
+				return
 			}
 			// Terminal failure: the attempt never reaches an outcome, so
 			// close its eval and byte accounting here.

@@ -3,7 +3,6 @@ package grid
 import (
 	"crypto/sha256"
 	"encoding/binary"
-	"errors"
 	"fmt"
 	"math/rand"
 	"sync/atomic"
@@ -96,6 +95,11 @@ type TaskOutcome struct {
 	// CheatIndex is the convicting sample when Verdict rejects due to a
 	// detected cheat; -1 otherwise.
 	CheatIndex int64
+	// Replica is this execution's position in its double-check group; 0 for
+	// unreplicated schemes. Replicated runs emit one outcome per replica
+	// (same task ID), and (Task.ID, Replica) orders them like the serial
+	// RunReplicated outcome slice.
+	Replica int
 }
 
 // protoConn is the one-task view of a connection: ordered Send/Recv of a
@@ -137,6 +141,15 @@ type preparedTask struct {
 	ringers *baseline.RingerSet
 	outcome *TaskOutcome
 	st      *exchangeState
+
+	// rdv and repIdx are set on replica attempts (pipelined double-check):
+	// the settle phase submits the upload to the rendezvous as replica
+	// repIdx and takes the group verdict instead of deciding locally.
+	// parkable attempts detach from an unready rendezvous (errReplicaParked)
+	// so the dispatcher can reuse their worker; non-parkable ones block.
+	rdv      *replicaRendezvous
+	repIdx   int
+	parkable bool
 }
 
 // prepareTask runs the assignment phase: validate the task, instantiate the
@@ -183,6 +196,10 @@ type taskAttempt struct {
 	pt                   *preparedTask
 	bytesSent, bytesRecv int64
 	settled              bool
+	// attachedTo remembers the session the attempt last ran on. Re-running
+	// on the same live session (a replica re-claimed after parking at its
+	// barrier) must not re-announce: the participant still holds the task.
+	attachedTo *Session
 }
 
 // NewAttempt validates and prepares a task for execution without touching
@@ -193,6 +210,22 @@ func (s *Supervisor) NewAttempt(task Task) (*taskAttempt, error) {
 		return nil, err
 	}
 	return &taskAttempt{task: task, pt: pt}, nil
+}
+
+// newReplicaAttempt prepares one replica of a double-check group: an
+// ordinary attempt whose settle phase reports to the group rendezvous as
+// replica idx, parking (not blocking) while the group is incomplete. Each
+// replica draws its own task-seeded randomness stream, exactly like the
+// serial RunReplicated's per-connection runs.
+func (s *Supervisor) newReplicaAttempt(task Task, rdv *replicaRendezvous, idx int) (*taskAttempt, error) {
+	at, err := s.NewAttempt(task)
+	if err != nil {
+		return nil, err
+	}
+	at.pt.rdv, at.pt.repIdx = rdv, idx
+	at.pt.parkable = true
+	at.pt.outcome.Replica = idx
+	return at, nil
 }
 
 // started reports whether participant state binds this attempt to its
@@ -306,42 +339,30 @@ func (s *Supervisor) RunReplicated(conns []transport.Conn, task Task) ([]*TaskOu
 		if err != nil {
 			return nil, fmt.Errorf("grid: replica %d: %w", i, err)
 		}
+		outcome.Replica = i
 		outcomes[i] = outcome
 		uploads[i] = results
 	}
 
-	comparator, err := baseline.NewDoubleCheck(len(conns))
+	verdicts, err := compareReplicas(uploads)
 	if err != nil {
 		return nil, err
 	}
-	verdict, cmpErr := comparator.Compare(uploads)
-	switch {
-	case cmpErr == nil:
-		dissent := make(map[int]bool, len(verdict.Dissenters))
-		for _, r := range verdict.Dissenters {
-			dissent[r] = true
-		}
-		for i := range outcomes {
-			if dissent[i] {
-				outcomes[i].Verdict = Verdict{Reason: "disagrees with replica majority"}
-			} else {
-				outcomes[i].Verdict = Verdict{Accepted: true}
-			}
-		}
-	case errors.Is(cmpErr, baseline.ErrNoConsensus):
-		for i := range outcomes {
-			outcomes[i].Verdict = Verdict{Reason: cmpErr.Error()}
-		}
-	default:
-		return nil, cmpErr
+	for i := range outcomes {
+		outcomes[i].Verdict = verdicts[i]
 	}
 
 	for i, conn := range conns {
-		before := conn.Stats().BytesSent()
+		beforeSent := conn.Stats().BytesSent()
+		beforeRecv := conn.Stats().BytesRecv()
 		if err := s.sendVerdict(conn, outcomes[i]); err != nil {
 			return nil, fmt.Errorf("grid: replica %d verdict: %w", i, err)
 		}
-		outcomes[i].BytesSent += conn.Stats().BytesSent() - before
+		if _, err := expectMsg(conn, msgVerdictAck); err != nil {
+			return nil, fmt.Errorf("grid: replica %d verdict ack: %w", i, err)
+		}
+		outcomes[i].BytesSent += conn.Stats().BytesSent() - beforeSent
+		outcomes[i].BytesRecv += conn.Stats().BytesRecv() - beforeRecv
 	}
 	return outcomes, nil
 }

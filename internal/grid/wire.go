@@ -49,6 +49,13 @@ const (
 	// participant can re-derive its deterministic state and replay only what
 	// is missing. Supervisor → participant.
 	msgResume
+	// msgVerdictAck acknowledges a delivered verdict (empty payload). A
+	// verdict frame lost to a transport fault would otherwise leave the
+	// participant's accepted/rejected counters stale forever — the
+	// supervisor treats a task as finished only once the verdict is acked,
+	// and re-delivers unacked verdicts during the msgResume handshake.
+	// Participant → supervisor.
+	msgVerdictAck
 )
 
 // taggedMsg is one task-scoped protocol message inside a pipelined session:

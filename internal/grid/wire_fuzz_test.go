@@ -127,6 +127,52 @@ func FuzzDecodeResume(f *testing.F) {
 	})
 }
 
+// FuzzDecodeVerdict covers the ruling decoder the participant applies to
+// supervisor frames. (The verdict acknowledgement introduced alongside it
+// carries an empty payload — the supervisor rejects any non-empty ack — so
+// there is no ack codec to fuzz.)
+func FuzzDecodeVerdict(f *testing.F) {
+	f.Add(encodeVerdict(Verdict{Accepted: true}))
+	f.Add(encodeVerdict(Verdict{Reason: "disagrees with replica majority"}))
+	f.Add([]byte{0x02})
+	f.Add([]byte{0x01, 0x05, 'a'})
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		v, err := decodeVerdict(payload)
+		if err != nil {
+			return
+		}
+		again, err := decodeVerdict(encodeVerdict(v))
+		if err != nil {
+			t.Fatalf("re-decode of re-encoded verdict failed: %v", err)
+		}
+		if v != again {
+			t.Fatalf("round trip changed verdict: %+v != %+v", v, again)
+		}
+	})
+}
+
+// FuzzDecodeResults covers the full-upload decoder the replica comparison
+// consumes — attacker-controlled in every double-check run.
+func FuzzDecodeResults(f *testing.F) {
+	f.Add(encodeResults(nil))
+	f.Add(encodeResults([][]byte{{1, 2}, {}, {3}}))
+	f.Add([]byte{0x01})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0x0f})
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		results, err := decodeResults(payload)
+		if err != nil {
+			return
+		}
+		again, err := decodeResults(encodeResults(results))
+		if err != nil {
+			t.Fatalf("re-decode of re-encoded results failed: %v", err)
+		}
+		if len(results) != len(again) || (len(results) > 0 && !reflect.DeepEqual(results, again)) {
+			t.Fatalf("round trip changed results: %+v != %+v", results, again)
+		}
+	})
+}
+
 func FuzzDecodeBatch(f *testing.F) {
 	f.Add(encodeBatch(nil))
 	f.Add(encodeBatch([]taggedMsg{

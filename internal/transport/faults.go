@@ -7,9 +7,11 @@ import (
 )
 
 // FaultPlan describes injected failures for testing: messages may be
-// silently dropped or have one payload byte flipped in transit. Faults are
-// applied on the send path with a seeded generator, so failure tests are
-// reproducible.
+// silently dropped or have one payload byte flipped in transit. A garbled
+// frame is marked corrupted, so the receiving endpoint's per-frame CRC
+// check rejects it with ErrFrameCorrupt — exactly what a bit flip under
+// the framing checksum does on a real link. Faults are applied on the send
+// path with a seeded generator, so failure tests are reproducible.
 type FaultPlan struct {
 	// DropProb is the probability a sent message vanishes.
 	DropProb float64
@@ -82,10 +84,15 @@ func (c *faultConn) Send(m Message) error {
 		c.Conn.Stats().recordSend(m)
 		return nil
 	}
-	if garble && len(m.Payload) > 0 {
-		corrupted := append([]byte(nil), m.Payload...)
-		corrupted[garbleAt] ^= 1 << garbleBit
-		m = Message{Type: m.Type, Payload: corrupted}
+	if garble {
+		payload := m.Payload
+		if len(payload) > 0 {
+			payload = append([]byte(nil), m.Payload...)
+			payload[garbleAt] ^= 1 << garbleBit
+		}
+		// corrupted makes the receiver's CRC check fire even when the flip
+		// landed in the (unmodeled) frame header of an empty payload.
+		m = Message{Type: m.Type, Payload: payload, corrupted: true}
 	}
 	return c.Conn.Send(m)
 }

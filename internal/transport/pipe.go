@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"fmt"
 	"io"
 	"sync"
 	"time"
@@ -106,8 +107,7 @@ func (c *pipeConn) Recv() (Message, error) {
 	}
 	select {
 	case m := <-c.recv:
-		c.stats.recordRecv(m)
-		return m, nil
+		return c.deliver(m)
 	case <-c.closed:
 		return Message{}, ErrClosed
 	case <-timeout:
@@ -116,12 +116,22 @@ func (c *pipeConn) Recv() (Message, error) {
 		// Drain messages the peer queued before closing.
 		select {
 		case m := <-c.recv:
-			c.stats.recordRecv(m)
-			return m, nil
+			return c.deliver(m)
 		default:
 			return Message{}, io.EOF
 		}
 	}
+}
+
+// deliver accounts an arrived frame and applies the integrity check a
+// framed transport would: a frame garbled in transit fails its CRC and is
+// discarded with ErrFrameCorrupt after its bytes are counted.
+func (c *pipeConn) deliver(m Message) (Message, error) {
+	c.stats.recordRecv(m)
+	if m.corrupted {
+		return Message{}, fmt.Errorf("%w: frame garbled in transit", ErrFrameCorrupt)
+	}
+	return m, nil
 }
 
 // Close implements Conn.

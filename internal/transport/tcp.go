@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"net"
 	"sync"
@@ -58,7 +59,9 @@ func DialTimeout(addr string, d time.Duration) (Conn, error) {
 	return newTCPConn(c), nil
 }
 
-// tcpConn frames messages over a TCP stream: [type:1][len:4 BE][payload].
+// tcpConn frames messages over a TCP stream:
+// [type:1][len:4 BE][crc:4 BE][payload], where crc is CRC-32 (IEEE) over
+// the type byte and the payload.
 type tcpConn struct {
 	conn  net.Conn
 	br    *bufio.Reader
@@ -79,7 +82,14 @@ func (c *tcpConn) Send(m Message) error {
 	}
 	var header [frameOverhead]byte
 	header[0] = m.Type
-	binary.BigEndian.PutUint32(header[1:], uint32(len(m.Payload)))
+	binary.BigEndian.PutUint32(header[1:5], uint32(len(m.Payload)))
+	sum := frameChecksum(m)
+	if m.corrupted {
+		// A fault injector upstream garbled the frame; emit a broken CRC so
+		// the damage is real on the socket, not just a process-local flag.
+		sum = ^sum
+	}
+	binary.BigEndian.PutUint32(header[5:], sum)
 
 	c.wmu.Lock()
 	defer c.wmu.Unlock()
@@ -102,7 +112,7 @@ func (c *tcpConn) Recv() (Message, error) {
 		}
 		return Message{}, normalizeNetErr(drainEOF(err))
 	}
-	length := int(binary.BigEndian.Uint32(header[1:]))
+	length := int(binary.BigEndian.Uint32(header[1:5]))
 	if err := checkFrameSize(length); err != nil {
 		return Message{}, err
 	}
@@ -111,8 +121,20 @@ func (c *tcpConn) Recv() (Message, error) {
 		return Message{}, normalizeNetErr(drainEOF(err))
 	}
 	m := Message{Type: header[0], Payload: payload}
+	// The frame crossed the wire either way; count it before the integrity
+	// check so receiver accounting matches the link.
 	c.stats.recordRecv(m)
+	if got, want := frameChecksum(m), binary.BigEndian.Uint32(header[5:]); got != want {
+		return Message{}, fmt.Errorf("%w: frame crc %08x, want %08x", ErrFrameCorrupt, got, want)
+	}
 	return m, nil
+}
+
+// frameChecksum is the per-frame CRC-32 (IEEE) over the type byte and the
+// payload — the integrity check every framed transport carries.
+func frameChecksum(m Message) uint32 {
+	sum := crc32.Update(0, crc32.IEEETable, []byte{m.Type})
+	return crc32.Update(sum, crc32.IEEETable, m.Payload)
 }
 
 // Close implements Conn.

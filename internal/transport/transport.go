@@ -2,10 +2,14 @@
 // participants, with exact byte accounting so the experiments can measure
 // the paper's O(n) vs O(m log n) communication claim on real traffic.
 //
-// Two implementations share one frame format ([type:1][length:4][payload]):
-// an in-memory duplex pipe for simulations and a TCP transport (package
-// net) proving the protocol runs over real sockets. A fault-injection
-// wrapper drops or garbles frames for failure testing.
+// Two implementations share one frame format
+// ([type:1][length:4][crc:4][payload]): an in-memory duplex pipe for
+// simulations and a TCP transport (package net) proving the protocol runs
+// over real sockets. Every frame carries a CRC-32 computed at send time, so
+// link damage surfaces as ErrFrameCorrupt at the receiver in every wire
+// mode — dialogue exchanges included — instead of masquerading as a peer
+// protocol violation. A fault-injection wrapper drops or garbles frames for
+// failure testing.
 package transport
 
 import (
@@ -23,6 +27,11 @@ var (
 	ErrTimeout = errors.New("transport: receive timed out")
 	// ErrFrameTooLarge guards against absurd declared frame lengths.
 	ErrFrameTooLarge = errors.New("transport: frame exceeds size limit")
+	// ErrFrameCorrupt is returned by Recv when a frame fails its CRC-32 —
+	// link damage rather than peer misbehavior. The frame's bytes are still
+	// counted at the receiver (they crossed the wire) but its content is
+	// discarded.
+	ErrFrameCorrupt = errors.New("transport: frame failed integrity check")
 )
 
 // MaxFrameBytes bounds a single frame payload. Responses carry m proofs of
@@ -30,8 +39,9 @@ var (
 // large tasks must be chunked by the caller.
 const MaxFrameBytes = 64 << 20
 
-// frameOverhead is the per-message header: 1 type byte + 4 length bytes.
-const frameOverhead = 5
+// frameOverhead is the per-message header: 1 type byte + 4 length bytes +
+// 4 CRC-32 bytes.
+const frameOverhead = 9
 
 // Message is one protocol frame: an application-defined type tag plus an
 // opaque payload.
@@ -40,6 +50,13 @@ type Message struct {
 	Type uint8
 	// Payload is the encoded message body.
 	Payload []byte
+
+	// corrupted marks a frame damaged in transit. The TCP transport detects
+	// damage with the real on-wire CRC-32; the in-memory pipe has no byte
+	// stream to corrupt, so the fault injector sets this flag instead — the
+	// exact effect a bit flip under the frame CRC would have, since CRC-32
+	// catches every single-bit error. Recv surfaces it as ErrFrameCorrupt.
+	corrupted bool
 }
 
 // FrameSize reports the on-wire size of the message, header included. Both

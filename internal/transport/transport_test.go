@@ -69,7 +69,7 @@ func TestPipeStatsCountFrames(t *testing.T) {
 		t.Fatalf("Recv: %v", err)
 	}
 
-	wantBytes := int64(5 + len(payload))
+	wantBytes := int64(frameOverhead + len(payload))
 	if got := a.Stats().BytesSent(); got != wantBytes {
 		t.Errorf("a BytesSent = %d, want %d", got, wantBytes)
 	}
@@ -290,7 +290,7 @@ func TestFaultDropLosesMessages(t *testing.T) {
 	}
 }
 
-func TestFaultGarbleFlipsOneBit(t *testing.T) {
+func TestFaultGarbleDetectedByFrameChecksum(t *testing.T) {
 	a, b := Pipe(WithBuffer(2))
 	defer a.Close()
 	defer b.Close()
@@ -300,24 +300,59 @@ func TestFaultGarbleFlipsOneBit(t *testing.T) {
 	if err := garbler.Send(Message{Type: 1, Payload: original}); err != nil {
 		t.Fatalf("Send: %v", err)
 	}
-	got, err := b.Recv()
-	if err != nil {
-		t.Fatalf("Recv: %v", err)
+	// The damaged frame fails the per-frame integrity check — a link fault,
+	// not a delivered-but-wrong payload.
+	if _, err := b.Recv(); !errors.Is(err, ErrFrameCorrupt) {
+		t.Fatalf("Recv: err = %v, want ErrFrameCorrupt", err)
 	}
-	diff := 0
-	for i := range original {
-		if got.Payload[i] != original[i] {
-			diff++
-		}
-	}
-	if diff != 1 {
-		t.Fatalf("%d bytes differ, want exactly 1", diff)
+	// The frame still crossed the wire: both endpoints count it.
+	if b.Stats().MsgsRecv() != 1 || b.Stats().BytesRecv() != int64(frameOverhead+len(original)) {
+		t.Errorf("corrupt frame not accounted: msgs=%d bytes=%d",
+			b.Stats().MsgsRecv(), b.Stats().BytesRecv())
 	}
 	// The sender's buffer must not be mutated.
 	for _, v := range original {
 		if v != 0 {
 			t.Fatal("sender payload mutated in place")
 		}
+	}
+	// A clean frame after the garbled one delivers normally.
+	if err := a.Send(Message{Type: 2, Payload: []byte("ok")}); err != nil {
+		t.Fatalf("clean Send: %v", err)
+	}
+	if m, err := b.Recv(); err != nil || string(m.Payload) != "ok" {
+		t.Fatalf("clean Recv = %+v, %v", m, err)
+	}
+}
+
+func TestTCPGarbleDetectedByFrameChecksum(t *testing.T) {
+	l, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	defer l.Close()
+	accepted := make(chan Conn, 1)
+	go func() {
+		c, err := l.Accept()
+		if err == nil {
+			accepted <- c
+		}
+	}()
+	client, err := DialTimeout(l.Addr(), 2*time.Second)
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer client.Close()
+	server := <-accepted
+	defer server.Close()
+
+	garbler := WithFaults(client, FaultPlan{GarbleProb: 1, Seed: 4})
+	if err := garbler.Send(Message{Type: 5, Payload: []byte("damaged goods")}); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	// The corruption travels as a real broken CRC on the socket.
+	if _, err := server.Recv(); !errors.Is(err, ErrFrameCorrupt) {
+		t.Fatalf("Recv: err = %v, want ErrFrameCorrupt", err)
 	}
 }
 

@@ -328,6 +328,10 @@ var (
 	// WithStreamRecvTimeout arms the sessions' receive watchdog, turning
 	// silently dropped frames into reconnects.
 	WithStreamRecvTimeout = grid.WithStreamRecvTimeout
+	// WithStreamReplicas makes a double-check RunTasksStream fan every task
+	// out to n pairwise-distinct connections whose uploads meet at a
+	// comparison rendezvous — the pipelined form of RunReplicated.
+	WithStreamReplicas = grid.WithReplicas
 	// WithSessionRecvTimeout arms one session's receive watchdog.
 	WithSessionRecvTimeout = grid.WithSessionRecvTimeout
 )
@@ -335,6 +339,11 @@ var (
 // ErrConnQuarantined marks a transport fault that left the task's protocol
 // state resumable on a replacement connection.
 var ErrConnQuarantined = grid.ErrConnQuarantined
+
+// ErrFrameCorrupt marks a frame that failed the transport's per-frame
+// CRC-32 — link damage, distinguishable from peer misbehavior in every
+// wire mode, dialogue included.
+var ErrFrameCorrupt = transport.ErrFrameCorrupt
 
 // MaxFrameBytes bounds a single transport frame; larger uploads travel as
 // chunk streams.
