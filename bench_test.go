@@ -583,6 +583,115 @@ func BenchmarkReplicatedDoubleCheck(b *testing.B) {
 	}
 }
 
+// BenchmarkBrokerPipeline measures the GRACE relay hop: the same pipelined
+// NI-CBS workload run direct versus through a BrokerHub, with relay-hop
+// batching on and off. The topology models the GRACE deployment — the
+// supervisor↔broker leg is the WAN hop where every frame send pays a 500µs
+// link delay, the broker↔participant leg is the cheap grid-site LAN — so
+// direct and brokered runs cross one delayed hop per frame and are directly
+// comparable. Relay-hop batching shows up in the relayed-frames/op metric:
+// LAN-fast participant bursts queue at the hub behind the WAN sends and are
+// re-coalesced, so the batched hub forwards the same tagged traffic in
+// fewer delayed frames.
+func BenchmarkBrokerPipeline(b *testing.B) {
+	const tasks = 16
+	const window = 16
+	const taskSize = 1 << 10
+	const latency = 500 * time.Microsecond
+	modes := []struct {
+		name             string
+		broker, batching bool
+	}{
+		{"direct", false, false},
+		{"broker-batched", true, true},
+		{"broker-unbatched", true, false},
+	}
+	for _, mode := range modes {
+		b.Run(mode.name, func(b *testing.B) {
+			var relayed int64
+			for i := 0; i < b.N; i++ {
+				p, err := NewParticipant("p", HonestFactory)
+				if err != nil {
+					b.Fatal(err)
+				}
+				serveErr := make(chan error, 1)
+				var supConn Conn
+				var hub *BrokerHub
+				if mode.broker {
+					hub = NewBrokerHub(WithRelayBatching(mode.batching))
+					hubDown, partConn := Pipe(WithPipeBuffer(8))
+					if err := HelloWorker(partConn, "p"); err != nil {
+						b.Fatal(err)
+					}
+					if err := hub.Attach(hubDown); err != nil {
+						b.Fatal(err)
+					}
+					go func() { serveErr <- p.Serve(partConn) }()
+					sc, hubUp := Pipe(WithPipeBuffer(8))
+					supConn = WithLatency(sc, latency)
+					if err := HelloSupervisor(supConn, "p"); err != nil {
+						b.Fatal(err)
+					}
+					if err := hub.Attach(WithLatency(hubUp, latency)); err != nil {
+						b.Fatal(err)
+					}
+				} else {
+					sc, partConn := Pipe(WithPipeBuffer(8))
+					go func() { serveErr <- p.Serve(WithLatency(partConn, latency)) }()
+					supConn = WithLatency(sc, latency)
+				}
+				sup, err := NewSupervisor(SupervisorConfig{
+					Spec: SchemeSpec{Kind: SchemeNICBS, M: 20, ChainIters: 1},
+					Seed: int64(i),
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				sess, err := sup.OpenSession(supConn, window)
+				if err != nil {
+					b.Fatal(err)
+				}
+				var wg sync.WaitGroup
+				for j := 0; j < tasks; j++ {
+					wg.Add(1)
+					go func(j int) {
+						defer wg.Done()
+						outcome, err := sess.RunTask(Task{
+							ID: uint64(j), Start: uint64(j) * taskSize, N: taskSize,
+							Workload: "synthetic", Seed: 7,
+						})
+						if err != nil {
+							b.Error(err)
+							return
+						}
+						if !outcome.Verdict.Accepted {
+							b.Errorf("honest task %d rejected: %s", j, outcome.Verdict.Reason)
+						}
+					}(j)
+				}
+				wg.Wait()
+				if err := sess.Close(); err != nil {
+					b.Fatal(err)
+				}
+				_ = supConn.Close()
+				if err := <-serveErr; err != nil {
+					b.Fatal(err)
+				}
+				if hub != nil {
+					if err := hub.Close(); err != nil {
+						b.Fatal(err)
+					}
+					relayed += hub.RelayedMessages()
+				}
+			}
+			b.ReportMetric(float64(b.N*tasks)/b.Elapsed().Seconds(), "tasks/s")
+			if mode.broker {
+				b.ReportMetric(float64(relayed)/float64(b.N), "relayed-frames/op")
+			}
+		})
+	}
+}
+
 // BenchmarkChunkedUpload measures a naive-scheme task whose full result
 // upload exceeds MaxFrameBytes: 2^21 password digests encode to ~69 MiB and
 // must travel as an ordered chunk stream. Byte accounting stays exact — the

@@ -51,6 +51,7 @@ func run(w io.Writer, args []string) error {
 		crossCheck = fs.Bool("crosscheck", true, "cross-check screener reports on sampled inputs")
 		workers    = fs.Int("workers", runtime.NumCPU(), "concurrent verification workers (1 = serial)")
 		pipeline   = fs.Int("pipeline", 0, "pipelined session window per connection (0 = per-task dialogue)")
+		broker     = fs.Bool("broker", false, "route all traffic through a GRACE-style broker hub (identity-routed relay with relay-hop batching)")
 		drop       = fs.Float64("drop", 0, "probability a frame silently vanishes in transit (needs -pipeline)")
 		garble     = fs.Float64("garble", 0, "probability a frame has one bit flipped in transit (needs -pipeline)")
 		reconnect  = fs.Int("reconnect", 0, "max replacement connections per participant under faults (0 = default 8)")
@@ -100,6 +101,7 @@ func run(w io.Writer, args []string) error {
 		CrossCheckReports: *crossCheck,
 		Workers:           *workers,
 		PipelineWindow:    *pipeline,
+		Broker:            *broker,
 		DropProb:          *drop,
 		GarbleProb:        *garble,
 		ReconnectLimit:    *reconnect,
@@ -117,11 +119,18 @@ func printReport(w io.Writer, report *grid.SimReport) {
 	if report.PipelineWindow > 0 {
 		mode = fmt.Sprintf(" pipeline=%d", report.PipelineWindow)
 	}
+	if report.Brokered {
+		mode += " broker"
+	}
 	fmt.Fprintf(w, "scheme=%s%s tasks=%d detection=%d/%d honest-accused=%d\n",
 		report.Scheme, mode, report.TasksAssigned,
 		report.CheatersDetected, report.CheatersTotal, report.HonestAccused)
 	fmt.Fprintf(w, "supervisor: sent=%dB recv=%dB verify-evals=%d\n",
 		report.SupervisorBytesSent, report.SupervisorBytesRecv, report.SupervisorEvals)
+	if report.Brokered {
+		fmt.Fprintf(w, "broker: relayed=%d frames (%d B)\n",
+			report.BrokerRelayedMsgs, report.BrokerRelayedBytes)
+	}
 
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "participant\tbehavior\ttasks\taccepted\trejected\tf-evals\tsentB\trecvB\treconns\tblacklisted")

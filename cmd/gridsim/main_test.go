@@ -115,6 +115,46 @@ func TestRunPipelinedSimulation(t *testing.T) {
 	}
 }
 
+func TestRunBrokeredFaultySimulation(t *testing.T) {
+	// -broker routes everything through the hub; with faults on the
+	// supervisor↔hub leg, redials are re-bound to the same worker and the
+	// run converges with nothing lost and the cheater still detected.
+	out := runGridsim(t,
+		"-scheme", "cbs", "-tasks", "4", "-tasksize", "128",
+		"-honest", "0", "-semihonest", "1", "-m", "20", "-pipeline", "2",
+		"-broker", "-garble", "0.1", "-drop", "0.02",
+		"-reconnect", "100", "-faultwait", "250ms")
+	if !strings.Contains(out, "scheme=cbs pipeline=2 broker") {
+		t.Errorf("report header missing broker mode:\n%s", out)
+	}
+	if !strings.Contains(out, "tasks=4") {
+		t.Errorf("brokered faulty run lost tasks:\n%s", out)
+	}
+	if !strings.Contains(out, "detection=1/1") {
+		t.Errorf("cheater not detected through the broker:\n%s", out)
+	}
+	if !strings.Contains(out, "broker: relayed=") {
+		t.Errorf("report missing broker relay line:\n%s", out)
+	}
+}
+
+func TestRunBrokeredReplicatedSimulation(t *testing.T) {
+	// -broker composes with the replicated pipelined double-check mode.
+	out := runGridsim(t,
+		"-scheme", "double-check", "-replicas", "3", "-tasks", "3",
+		"-tasksize", "128", "-honest", "3", "-semihonest", "0", "-m", "1",
+		"-pipeline", "3", "-broker")
+	if !strings.Contains(out, "scheme=double-check pipeline=3 broker") {
+		t.Errorf("report header missing broker mode:\n%s", out)
+	}
+	if !strings.Contains(out, "tasks=9") {
+		t.Errorf("brokered replicated run lost executions:\n%s", out)
+	}
+	if !strings.Contains(out, "honest-accused=0") {
+		t.Errorf("honest replicas accused through the broker:\n%s", out)
+	}
+}
+
 func TestRunReplicatedPipelinedFaultySimulation(t *testing.T) {
 	// -pipeline now composes with -scheme double-check and the fault flags:
 	// replica uploads pipeline inside each connection's window, comparisons

@@ -39,20 +39,34 @@ func run() error {
 	fmt.Printf("NI-CBS sample chain: g = H^%d (Eq. 5: attack %.0f ≥ honest %.0f hash-units)\n\n",
 		int(k), cost.Cheating, cost.Honest)
 
-	// Supervisor ↔ broker ↔ participant, wired over in-memory pipes. The
-	// broker forwards frames obliviously; NI-CBS needs no challenge leg.
-	supConn, brokerUp := uncheatgrid.Pipe()
-	brokerDown, partConn := uncheatgrid.Pipe()
-	broker := uncheatgrid.NewBroker()
-	relayDone := make(chan error, 1)
-	go func() { relayDone <- broker.Relay(brokerUp, brokerDown) }()
+	// Supervisor ↔ broker hub ↔ participant, wired over in-memory pipes.
+	// The worker registers its identity with the hub; the supervisor's
+	// link names that identity and the hub binds the route. The hub relays
+	// without interpreting task payloads; NI-CBS needs no challenge leg.
+	hub := uncheatgrid.NewBrokerHub()
+	defer hub.Close()
 
 	participant, err := uncheatgrid.NewParticipant("screener-node", uncheatgrid.HonestFactory)
 	if err != nil {
 		return err
 	}
+	brokerDown, partConn := uncheatgrid.Pipe(uncheatgrid.WithPipeBuffer(8))
+	if err := uncheatgrid.HelloWorker(partConn, participant.ID()); err != nil {
+		return err
+	}
+	if err := hub.Attach(brokerDown); err != nil {
+		return err
+	}
 	serveDone := make(chan error, 1)
 	go func() { serveDone <- participant.Serve(partConn) }()
+
+	supConn, brokerUp := uncheatgrid.Pipe(uncheatgrid.WithPipeBuffer(8))
+	if err := uncheatgrid.HelloSupervisor(supConn, participant.ID()); err != nil {
+		return err
+	}
+	if err := hub.Attach(brokerUp); err != nil {
+		return err
+	}
 
 	supervisor, err := uncheatgrid.NewSupervisor(uncheatgrid.SupervisorConfig{
 		Spec: uncheatgrid.SchemeSpec{
@@ -87,13 +101,13 @@ func run() error {
 	if err := supConn.Close(); err != nil {
 		return err
 	}
-	if err := <-relayDone; err != nil {
-		return err
-	}
 	if err := <-serveDone; err != nil {
 		return err
 	}
+	if err := hub.Close(); err != nil {
+		return err
+	}
 	fmt.Printf("\nbroker relayed %d frames (%d B); zero supervisor→participant challenges.\n",
-		broker.RelayedMessages(), broker.RelayedBytes())
+		hub.RelayedMessages(), hub.RelayedBytes())
 	return nil
 }

@@ -1,83 +1,640 @@
 package grid
 
+// The GRACE broker hub.
+//
+// Section 4 of the paper motivates NI-CBS with the GRACE deployment: a Grid
+// Resource Broker sits between supervisor and participants, so the
+// supervisor cannot open interactive challenge rounds. The first cut of
+// this repo modeled that broker as a two-connection frame copier (one
+// relay goroutine pair per supervisor↔participant link, no identities, no
+// recovery). This file replaces it with a BrokerHub:
+//
+//   - Identity-routed multiplexing. Every link attached to the hub opens
+//     with a msgHello handshake (wire.go): participant links register under
+//     a worker identity, supervisor links name the worker they want, and
+//     the hub binds the pair into a route. One hub relays any number of
+//     supervisor↔worker routes concurrently.
+//
+//   - Resume-through-relay. Routing is by identity, not by physical link:
+//     when a transport fault kills a route, a supervisor redial whose hello
+//     names the same worker is re-bound to that worker's freshly registered
+//     link, so the msgResume machinery of PR 3/4 (mid-protocol resume,
+//     verdict re-delivery) works end-to-end through the relay. Faulty
+//     brokered verdicts are byte-identical to clean direct runs (pinned by
+//     TestRunSimBrokeredFaultyMatchesClean).
+//
+//   - Relay-hop batching. Frames bound for the same downstream link are
+//     re-coalesced at the hub: consecutive msgBatch frames queued behind a
+//     slow downstream send are decoded and merged into one larger batch
+//     frame, so a pipelined NI-CBS session pays the downstream link delay
+//     once per burst instead of once per frame — the Goodrich pipeline
+//     shape (arXiv:0906.1225) applied at the relay hop. Per-task tagged
+//     byte accounting is preserved exactly (a tagged message's wire size
+//     is independent of which frame carries it); only shared framing
+//     overhead differs between the two hops.
+//
+//   - Fault transparency. A CRC-corrupt frame crossing the relay
+//     (transport.ErrFrameCorrupt) quarantines the affected route — both
+//     endpoint links are closed, so each peer observes a dead connection
+//     and the session layer's quarantine/resume machinery takes over — and
+//     never kills the hub: other routes keep relaying.
+//
+// The hub is still protocol-oblivious where it matters: it never
+// interprets task payloads and forwards frames it cannot re-batch
+// untouched. It understands exactly two things — the hello handshake and
+// the msgBatch envelope.
+
 import (
 	"errors"
 	"fmt"
 	"io"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"uncheatgrid/internal/transport"
 )
 
-// Broker models the Grid Resource Broker of the GRACE architecture
-// (Section 4): a mediator that sits between supervisor and participant and
-// forwards protocol traffic in both directions. The supervisor never talks
-// to the participant directly — the deployment constraint that motivates
-// the non-interactive CBS scheme.
+// ErrBrokerClosed is returned for operations on a closed hub.
+var ErrBrokerClosed = errors.New("grid: broker hub closed")
+
+// defaultBindTimeout bounds how long a supervisor-role attach waits for the
+// named worker to register before the link is refused.
+const defaultBindTimeout = 10 * time.Second
+
+// brokerConfig collects NewBrokerHub options.
+type brokerConfig struct {
+	batching    bool
+	bindTimeout time.Duration
+}
+
+// BrokerOption configures NewBrokerHub.
+type BrokerOption interface {
+	applyBroker(*brokerConfig)
+}
+
+type relayBatchingOption bool
+
+func (o relayBatchingOption) applyBroker(c *brokerConfig) { c.batching = bool(o) }
+
+// WithRelayBatching toggles relay-hop batching (default on): when enabled,
+// msgBatch frames queued for the same downstream link are merged into one
+// larger batch frame before forwarding, so bursts pay the downstream send
+// cost once. Off, the hub forwards frame for frame like the original
+// oblivious relay.
+func WithRelayBatching(on bool) BrokerOption { return relayBatchingOption(on) }
+
+type bindTimeoutOption time.Duration
+
+func (o bindTimeoutOption) applyBroker(c *brokerConfig) { c.bindTimeout = time.Duration(o) }
+
+// WithBindTimeout bounds how long a supervisor link waits for its named
+// worker to register, and how long any attached link may take to send its
+// hello (default 10s for both). A timed-out bind or handshake closes the
+// link, which the peer's session layer treats like any other dead
+// connection.
+func WithBindTimeout(d time.Duration) BrokerOption { return bindTimeoutOption(d) }
+
+// RouteDirectionStats counts one direction of a worker's relayed traffic.
+// Ingress is measured as frames arrive at the hub on the direction's source
+// link; egress as frames leave it, after any relay-hop re-batching — with
+// batching on, egress carries the same tagged payload in fewer, larger
+// frames. Corrupt frames are attributed to the direction whose source link
+// they arrived on.
+type RouteDirectionStats struct {
+	IngressMsgs, IngressBytes   int64
+	EgressMsgs, EgressBytes     int64
+	CorruptFrames, CorruptBytes int64
+}
+
+// RouteStats aggregates one worker identity's relay traffic across every
+// route the hub ever bound for it (redials included). The counters
+// reconcile exactly with the hub-side endpoint counters per link side:
 //
-// The broker is deliberately oblivious: it copies frames without
-// interpreting them. The interactive CBS scheme still *works* through it
-// (frames flow both ways), but each challenge costs an extra mediated round
-// trip; NI-CBS completes with zero supervisor→participant messages after
-// the assignment, which is what the experiments demonstrate.
-type Broker struct {
+//	supervisor-facing endpoint bytes received ==
+//	    SupervisorHelloBytes + ToWorker ingress + ToWorker corrupt bytes
+//	worker-facing endpoint bytes received ==
+//	    WorkerHelloBytes + ToSupervisor ingress + ToSupervisor corrupt bytes
+//	each side's endpoint bytes sent == the direction's egress bytes
+type RouteStats struct {
+	// Worker is the identity the counters are keyed by.
+	Worker string
+	// Binds counts supervisor links bound to this worker.
+	Binds int64
+	// WorkerHelloBytes and SupervisorHelloBytes count handshake frames the
+	// hub consumed on this worker's links (never relayed).
+	WorkerHelloBytes, SupervisorHelloBytes int64
+	// CorruptFrames and CorruptBytes total the frames that failed the
+	// transport CRC crossing the relay, both directions; each one
+	// quarantined its route. Per-side counts live in the directions.
+	CorruptFrames, CorruptBytes int64
+	// ToWorker covers supervisor→participant relaying, ToSupervisor the
+	// reverse direction.
+	ToWorker, ToSupervisor RouteDirectionStats
+}
+
+// dirCounters is the mutable form of RouteDirectionStats.
+type dirCounters struct {
+	ingressMsgs, ingressBytes   atomic.Int64
+	egressMsgs, egressBytes     atomic.Int64
+	corruptFrames, corruptBytes atomic.Int64
+}
+
+func (d *dirCounters) snapshot() RouteDirectionStats {
+	return RouteDirectionStats{
+		IngressMsgs:   d.ingressMsgs.Load(),
+		IngressBytes:  d.ingressBytes.Load(),
+		EgressMsgs:    d.egressMsgs.Load(),
+		EgressBytes:   d.egressBytes.Load(),
+		CorruptFrames: d.corruptFrames.Load(),
+		CorruptBytes:  d.corruptBytes.Load(),
+	}
+}
+
+// workerCounters accumulates one worker identity's relay accounting across
+// every route bound for it.
+type workerCounters struct {
+	binds                atomic.Int64
+	workerHelloBytes     atomic.Int64
+	supervisorHelloBytes atomic.Int64
+	toWorker             dirCounters
+	toSupervisor         dirCounters
+}
+
+// BrokerHub is the session-aware GRACE broker: an identity-routed relay
+// multiplexing any number of supervisor↔worker routes, with relay-hop
+// batching and per-route exact byte accounting. Attach links with Attach
+// after their first frame (sent by HelloWorker / HelloSupervisor) names
+// their role and worker.
+type BrokerHub struct {
+	cfg brokerConfig
+
 	relayedMsgs  atomic.Int64
 	relayedBytes atomic.Int64
+	// rejected counts links (and their received bytes) whose handshake the
+	// hub refused: corrupt or malformed hellos, unknown frame types.
+	rejectedLinks atomic.Int64
+	rejectedBytes atomic.Int64
+
+	mu        sync.Mutex
+	cond      *sync.Cond
+	closed    bool
+	available map[string]transport.Conn
+	routes    map[*brokerRoute]struct{}
+	counters  map[string]*workerCounters
+	pumps     sync.WaitGroup
 }
 
-// NewBroker creates a relay.
-func NewBroker() *Broker {
-	return &Broker{}
-}
-
-// RelayedMessages reports how many frames the broker has forwarded in
-// total (both directions).
-func (b *Broker) RelayedMessages() int64 { return b.relayedMsgs.Load() }
-
-// RelayedBytes reports the forwarded traffic volume, frame headers
-// included.
-func (b *Broker) RelayedBytes() int64 { return b.relayedBytes.Load() }
-
-// Relay copies messages between the supervisor-facing and the
-// participant-facing connections until both directions reach EOF. It
-// returns the first unexpected error, or nil on clean shutdown. Relay
-// blocks; run it in its own goroutine.
-func (b *Broker) Relay(supervisorSide, participantSide transport.Conn) error {
-	var wg sync.WaitGroup
-	errs := make(chan error, 2)
-	copyDir := func(src, dst transport.Conn) {
-		defer wg.Done()
-		for {
-			msg, err := src.Recv()
-			if errors.Is(err, io.EOF) || errors.Is(err, transport.ErrClosed) {
-				// One side hung up: close the other so its reader drains.
-				_ = dst.Close()
-				return
-			}
-			if err != nil {
-				errs <- fmt.Errorf("grid: broker recv: %w", err)
-				_ = dst.Close()
-				return
-			}
-			if err := dst.Send(msg); err != nil {
-				if !errors.Is(err, transport.ErrClosed) {
-					errs <- fmt.Errorf("grid: broker send: %w", err)
-				}
-				return
-			}
-			b.relayedMsgs.Add(1)
-			b.relayedBytes.Add(msg.FrameSize())
-		}
+// NewBrokerHub creates an empty hub with relay-hop batching enabled.
+func NewBrokerHub(opts ...BrokerOption) *BrokerHub {
+	cfg := brokerConfig{batching: true, bindTimeout: defaultBindTimeout}
+	for _, opt := range opts {
+		opt.applyBroker(&cfg)
 	}
-	wg.Add(2)
-	go copyDir(supervisorSide, participantSide)
-	go copyDir(participantSide, supervisorSide)
-	wg.Wait()
-	select {
-	case err := <-errs:
+	h := &BrokerHub{
+		cfg:       cfg,
+		available: make(map[string]transport.Conn),
+		routes:    make(map[*brokerRoute]struct{}),
+		counters:  make(map[string]*workerCounters),
+	}
+	h.cond = sync.NewCond(&h.mu)
+	return h
+}
+
+// HelloWorker announces a participant identity on a link freshly dialed to
+// a hub: send it on the participant's endpoint before Serve, then hand the
+// hub's endpoint to Attach.
+func HelloWorker(conn transport.Conn, worker string) error {
+	return sendHello(conn, helloMsg{Role: helloRoleWorker, Worker: worker})
+}
+
+// HelloSupervisor asks the hub to route the link to the named registered
+// worker: send it on the supervisor's endpoint before opening the exchange
+// or session, then hand the hub's endpoint to Attach.
+func HelloSupervisor(conn transport.Conn, worker string) error {
+	return sendHello(conn, helloMsg{Role: helloRoleSupervisor, Worker: worker})
+}
+
+func sendHello(conn transport.Conn, m helloMsg) error {
+	if conn == nil {
+		return fmt.Errorf("%w: nil connection", ErrBadConfig)
+	}
+	if m.Worker == "" {
+		return fmt.Errorf("%w: empty worker identity", ErrBadConfig)
+	}
+	if len(m.Worker) > maxWorkerNameLen {
+		return fmt.Errorf("%w: worker identity of %d bytes (max %d)",
+			ErrBadConfig, len(m.Worker), maxWorkerNameLen)
+	}
+	return conn.Send(transport.Message{Type: msgHello, Payload: encodeHello(m)})
+}
+
+// RelayedMessages reports how many frames the hub has forwarded in total
+// (egress, both directions, all routes, after any re-batching).
+func (h *BrokerHub) RelayedMessages() int64 { return h.relayedMsgs.Load() }
+
+// RelayedBytes reports the forwarded traffic volume (egress frame bytes,
+// headers included). It equals the sum of the hub-side endpoints' sent-byte
+// counters exactly.
+func (h *BrokerHub) RelayedBytes() int64 { return h.relayedBytes.Load() }
+
+// RejectedHandshakes reports how many attached links the hub refused at the
+// hello (corrupt or malformed handshake).
+func (h *BrokerHub) RejectedHandshakes() int64 { return h.rejectedLinks.Load() }
+
+// RejectedHandshakeBytes reports the bytes received on refused links.
+func (h *BrokerHub) RejectedHandshakeBytes() int64 { return h.rejectedBytes.Load() }
+
+// Workers lists every worker identity the hub has seen a handshake for.
+func (h *BrokerHub) Workers() []string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	names := make([]string, 0, len(h.counters))
+	for name := range h.counters {
+		names = append(names, name)
+	}
+	return names
+}
+
+// WorkerStats snapshots one worker identity's cumulative relay accounting.
+func (h *BrokerHub) WorkerStats(worker string) (RouteStats, bool) {
+	h.mu.Lock()
+	wc := h.counters[worker]
+	h.mu.Unlock()
+	if wc == nil {
+		return RouteStats{}, false
+	}
+	st := RouteStats{
+		Worker:               worker,
+		Binds:                wc.binds.Load(),
+		WorkerHelloBytes:     wc.workerHelloBytes.Load(),
+		SupervisorHelloBytes: wc.supervisorHelloBytes.Load(),
+		ToWorker:             wc.toWorker.snapshot(),
+		ToSupervisor:         wc.toSupervisor.snapshot(),
+	}
+	st.CorruptFrames = st.ToWorker.CorruptFrames + st.ToSupervisor.CorruptFrames
+	st.CorruptBytes = st.ToWorker.CorruptBytes + st.ToSupervisor.CorruptBytes
+	return st, true
+}
+
+// maxBrokerIdentities caps how many distinct worker identities one hub
+// tracks (registry keys and per-worker counters). Identities are never
+// evicted — their counters are the accounting record — so a dialer cycling
+// fresh names must not grow the hub without bound: handshakes naming a new
+// identity past the cap are refused. A variable so tests can exercise the
+// bound.
+var maxBrokerIdentities = 1 << 16
+
+// countersFor returns the worker's cumulative counters, creating them on
+// first sight, or nil when the identity cap forbids tracking a new name.
+func (h *BrokerHub) countersFor(worker string) *workerCounters {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	wc := h.counters[worker]
+	if wc == nil {
+		if len(h.counters) >= maxBrokerIdentities {
+			return nil
+		}
+		wc = &workerCounters{}
+		h.counters[worker] = wc
+	}
+	return wc
+}
+
+// Attach hands one freshly dialed link to the hub. The link's first frame
+// must be a msgHello (HelloWorker / HelloSupervisor): worker links are
+// registered under their identity and served once a supervisor binds them;
+// supervisor links are bound to their named worker's registration — waiting
+// up to the bind timeout for it — on a background goroutine, so Attach
+// blocks only to read the hello frame (itself bounded by the bind timeout),
+// never for a bind or a route's lifetime: an accept loop may call it
+// synchronously per connection. A link whose handshake or bind is refused
+// is closed, which is how the failure surfaces to the dialing peer.
+func (h *BrokerHub) Attach(conn transport.Conn) error {
+	if conn == nil {
+		return fmt.Errorf("%w: nil connection", ErrBadConfig)
+	}
+	// The handshake gets a deadline: a peer that connects and never sends
+	// its hello must not wedge a synchronous accept loop, so the link is
+	// closed — unblocking Recv — when the bind timeout passes without one.
+	watchdog := time.AfterFunc(h.cfg.bindTimeout, func() { _ = conn.Close() })
+	before := conn.Stats().BytesRecv()
+	msg, err := conn.Recv()
+	stopped := watchdog.Stop()
+	arrived := conn.Stats().BytesRecv() - before
+	reject := func(err error) error {
+		h.rejectedLinks.Add(1)
+		h.rejectedBytes.Add(arrived)
+		_ = conn.Close()
 		return err
-	default:
+	}
+	if err != nil {
+		return reject(fmt.Errorf("grid: broker handshake: %w", err))
+	}
+	if !stopped {
+		// The watchdog already fired: the link is closed (or about to be),
+		// so a hello that squeaked in at the deadline must not register a
+		// dead link as a healthy one.
+		return reject(fmt.Errorf("%w: broker handshake timed out after %v", ErrBadConfig, h.cfg.bindTimeout))
+	}
+	if msg.Type != msgHello {
+		return reject(fmt.Errorf("%w: broker link opened with frame type %d, want hello",
+			ErrUnexpectedMessage, msg.Type))
+	}
+	hello, err := decodeHello(msg.Payload)
+	if err != nil {
+		return reject(err)
+	}
+	wc := h.countersFor(hello.Worker)
+	if wc == nil {
+		return reject(fmt.Errorf("%w: hub is at its %d-identity capacity; refusing new worker %q",
+			ErrBadConfig, maxBrokerIdentities, hello.Worker))
+	}
+	if hello.Role == helloRoleWorker {
+		wc.workerHelloBytes.Add(arrived)
+		return h.registerWorker(hello.Worker, conn)
+	}
+	wc.supervisorHelloBytes.Add(arrived)
+	go h.bindSupervisor(hello.Worker, wc, conn)
+	return nil
+}
+
+// registerWorker makes the link the worker's available (unbound) endpoint,
+// replacing — and closing — any stale unbound registration under the same
+// identity (a redialing harness re-registers before the hub necessarily
+// noticed the old link die).
+func (h *BrokerHub) registerWorker(worker string, conn transport.Conn) error {
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		_ = conn.Close()
+		return ErrBrokerClosed
+	}
+	stale := h.available[worker]
+	h.available[worker] = conn
+	h.cond.Broadcast()
+	h.mu.Unlock()
+	if stale != nil {
+		_ = stale.Close()
+	}
+	return nil
+}
+
+// bindSupervisor claims the named worker's registered link and starts the
+// route's relay pumps. Run on its own goroutine by Attach; a failed bind
+// closes the supervisor link, which is what its peer observes.
+func (h *BrokerHub) bindSupervisor(worker string, wc *workerCounters, conn transport.Conn) error {
+	down, err := h.claimWorker(worker)
+	if err != nil {
+		_ = conn.Close()
+		return err
+	}
+	r := &brokerRoute{hub: h, worker: worker, up: conn, down: down}
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		_ = conn.Close()
+		_ = down.Close()
+		return ErrBrokerClosed
+	}
+	h.routes[r] = struct{}{}
+	h.pumps.Add(2)
+	h.mu.Unlock()
+	wc.binds.Add(1)
+	go r.pump(r.up, r.down, &wc.toWorker)
+	go r.pump(r.down, r.up, &wc.toSupervisor)
+	return nil
+}
+
+// claimWorker blocks until the named worker has an available registered
+// link and claims it (removing it from the registry: a bound link is owned
+// by its route and never re-bound — resume stickiness comes from the
+// identity, not the physical link).
+func (h *BrokerHub) claimWorker(worker string) (transport.Conn, error) {
+	deadline := time.Now().Add(h.cfg.bindTimeout)
+	// cond has no timed wait; a timer broadcast wakes the loop so it can
+	// observe the deadline.
+	wake := time.AfterFunc(h.cfg.bindTimeout, func() {
+		h.mu.Lock()
+		h.cond.Broadcast()
+		h.mu.Unlock()
+	})
+	defer wake.Stop()
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for {
+		if h.closed {
+			return nil, ErrBrokerClosed
+		}
+		if conn, ok := h.available[worker]; ok {
+			delete(h.available, worker)
+			return conn, nil
+		}
+		if !time.Now().Before(deadline) {
+			return nil, fmt.Errorf("%w: no worker %q registered within %v",
+				ErrBadConfig, worker, h.cfg.bindTimeout)
+		}
+		h.cond.Wait()
+	}
+}
+
+func (h *BrokerHub) dropRoute(r *brokerRoute) {
+	h.mu.Lock()
+	delete(h.routes, r)
+	h.mu.Unlock()
+}
+
+// Close tears down every route and registered link and blocks until all
+// relay pumps have exited, so the hub's counters are final on return.
+func (h *BrokerHub) Close() error {
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		h.pumps.Wait()
 		return nil
 	}
+	h.closed = true
+	avail := h.available
+	h.available = make(map[string]transport.Conn)
+	routes := make([]*brokerRoute, 0, len(h.routes))
+	for r := range h.routes {
+		routes = append(routes, r)
+	}
+	h.cond.Broadcast()
+	h.mu.Unlock()
+	for _, conn := range avail {
+		_ = conn.Close()
+	}
+	for _, r := range routes {
+		r.quarantine()
+	}
+	h.pumps.Wait()
+	return nil
+}
+
+// brokerRoute is one bound supervisor↔worker pair: two relay pumps over the
+// two endpoint links, torn down as a unit.
+type brokerRoute struct {
+	hub      *BrokerHub
+	worker   string
+	up, down transport.Conn
+	once     sync.Once
+	done     atomic.Int32
+}
+
+// quarantine tears the route down: both endpoint links close, so each peer
+// observes a dead connection — the session layer's quarantine signal — and
+// recovers through its own redial machinery. The hub itself is unaffected;
+// other routes keep relaying.
+func (r *brokerRoute) quarantine() {
+	r.once.Do(func() {
+		_ = r.up.Close()
+		_ = r.down.Close()
+	})
+}
+
+// pump relays one direction of the route: a reader loop ingesting frames
+// from src feeds a queue drained by a forwarding goroutine that re-batches
+// toward dst. Any receive failure ends the route — but a clean close (EOF
+// or a closed connection) lets the forwarder drain everything the hub
+// already accepted before the route is torn down, matching the direct
+// transport's drain-after-close delivery; a transport fault (a CRC-corrupt
+// frame crossing the relay counts as link damage) quarantines immediately.
+func (r *brokerRoute) pump(src, dst transport.Conn, dir *dirCounters) {
+	defer func() {
+		if r.done.Add(1) == 2 {
+			r.hub.dropRoute(r)
+		}
+		r.hub.pumps.Done()
+	}()
+	frames := make(chan transport.Message, 64)
+	var fwd sync.WaitGroup
+	fwd.Add(1)
+	go func() {
+		defer fwd.Done()
+		r.forward(dst, dir, frames)
+	}()
+	clean := false
+	for {
+		before := src.Stats().BytesRecv()
+		msg, err := src.Recv()
+		arrived := src.Stats().BytesRecv() - before
+		if err != nil {
+			switch {
+			case errors.Is(err, io.EOF), errors.Is(err, transport.ErrClosed):
+				clean = true
+			case errors.Is(err, transport.ErrFrameCorrupt):
+				// Link damage crossing the relay: the frame's bytes arrived
+				// (and are counted) but its content is gone. Quarantine the
+				// route; the hub's copy loops for other routes are untouched.
+				dir.corruptFrames.Add(1)
+				dir.corruptBytes.Add(arrived)
+			}
+			break
+		}
+		dir.ingressMsgs.Add(1)
+		dir.ingressBytes.Add(msg.FrameSize())
+		frames <- msg
+	}
+	close(frames)
+	if !clean {
+		r.quarantine()
+	}
+	fwd.Wait()
+	r.quarantine()
+}
+
+// forward drains the direction's frame queue onto dst, merging consecutive
+// queued msgBatch frames into one larger batch frame when relay-hop
+// batching is on. After a send failure it keeps draining (and discarding)
+// so the reader can never wedge on a full queue.
+func (r *brokerRoute) forward(dst transport.Conn, dir *dirCounters, frames <-chan transport.Message) {
+	failed := false
+	var carry *transport.Message
+	for {
+		var out transport.Message
+		if carry != nil {
+			out, carry = *carry, nil
+		} else {
+			m, ok := <-frames
+			if !ok {
+				return
+			}
+			out = m
+		}
+		if failed {
+			continue
+		}
+		if r.hub.cfg.batching && out.Type == msgBatch {
+			out, carry = r.coalesce(out, frames)
+		}
+		if err := dst.Send(out); err != nil {
+			failed = true
+			r.quarantine()
+			continue
+		}
+		dir.egressMsgs.Add(1)
+		dir.egressBytes.Add(out.FrameSize())
+		r.hub.relayedMsgs.Add(1)
+		r.hub.relayedBytes.Add(out.FrameSize())
+	}
+}
+
+// coalesce greedily merges batch frames queued behind first into one larger
+// batch frame, stopping at the session layer's frame caps, at the first
+// non-mergeable frame (returned as the carry to preserve order), or when
+// the queue runs dry. Frames the hub cannot decode are forwarded untouched
+// — the hub is a relay, not a validator; the endpoint rules on them.
+func (r *brokerRoute) coalesce(first transport.Message, frames <-chan transport.Message) (transport.Message, *transport.Message) {
+	if len(frames) == 0 {
+		// Nothing queued behind this frame: skip the decode entirely. The
+		// uncongested relay path stays as cheap as oblivious forwarding; at
+		// worst a frame arriving this instant waits for the next send.
+		return first, nil
+	}
+	msgs, err := decodeBatch(first.Payload)
+	if err != nil {
+		return first, nil
+	}
+	var size int64
+	for _, tm := range msgs {
+		size += tm.wireSize()
+	}
+	merged := false
+	var carry *transport.Message
+gather:
+	for size < batchTargetBytes && len(msgs) < maxBatchMsgs {
+		select {
+		case m, ok := <-frames:
+			if !ok {
+				break gather
+			}
+			if m.Type != msgBatch {
+				carry = &m
+				break gather
+			}
+			more, err := decodeBatch(m.Payload)
+			if err != nil {
+				carry = &m
+				break gather
+			}
+			var moreSize int64
+			for _, tm := range more {
+				moreSize += tm.wireSize()
+			}
+			if size+moreSize > maxBatchPayload || len(msgs)+len(more) > maxBatchMsgs {
+				carry = &m
+				break gather
+			}
+			msgs = append(msgs, more...)
+			size += moreSize
+			merged = true
+		default:
+			break gather
+		}
+	}
+	if !merged {
+		return first, carry
+	}
+	return transport.Message{Type: msgBatch, Payload: encodeBatch(msgs)}, carry
 }

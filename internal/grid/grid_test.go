@@ -310,8 +310,8 @@ func TestCheaterSavesWork(t *testing.T) {
 }
 
 func TestBrokeredNICBS(t *testing.T) {
-	// GRACE deployment (Section 4): supervisor ↔ broker ↔ participant.
-	// NI-CBS completes through the oblivious relay.
+	// GRACE deployment (Section 4): supervisor ↔ broker hub ↔ participant.
+	// NI-CBS completes through the identity-routed relay.
 	supervisor, err := NewSupervisor(SupervisorConfig{
 		Spec: SchemeSpec{Kind: SchemeNICBS, M: 8, ChainIters: 2},
 		Seed: 5,
@@ -324,13 +324,25 @@ func TestBrokeredNICBS(t *testing.T) {
 		t.Fatalf("NewParticipant: %v", err)
 	}
 
-	supConn, brokerUp := transport.Pipe(transport.WithBuffer(8))
+	hub := NewBrokerHub()
+	defer hub.Close()
 	brokerDown, partConn := transport.Pipe(transport.WithBuffer(8))
-	broker := NewBroker()
-	relayDone := make(chan error, 1)
-	go func() { relayDone <- broker.Relay(brokerUp, brokerDown) }()
+	if err := HelloWorker(partConn, "p"); err != nil {
+		t.Fatalf("HelloWorker: %v", err)
+	}
+	if err := hub.Attach(brokerDown); err != nil {
+		t.Fatalf("Attach(worker): %v", err)
+	}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- participant.Serve(partConn) }()
+
+	supConn, brokerUp := transport.Pipe(transport.WithBuffer(8))
+	if err := HelloSupervisor(supConn, "p"); err != nil {
+		t.Fatalf("HelloSupervisor: %v", err)
+	}
+	if err := hub.Attach(brokerUp); err != nil {
+		t.Fatalf("Attach(supervisor): %v", err)
+	}
 
 	outcome, err := supervisor.RunTask(supConn, syntheticTask(128))
 	if err != nil {
@@ -341,14 +353,43 @@ func TestBrokeredNICBS(t *testing.T) {
 	}
 
 	_ = supConn.Close()
-	if err := <-relayDone; err != nil {
-		t.Fatalf("Relay: %v", err)
-	}
 	if err := <-serveErr; err != nil {
 		t.Fatalf("Serve: %v", err)
 	}
-	if broker.RelayedMessages() == 0 || broker.RelayedBytes() == 0 {
+	if err := hub.Close(); err != nil {
+		t.Fatalf("hub Close: %v", err)
+	}
+	if hub.RelayedMessages() == 0 || hub.RelayedBytes() == 0 {
 		t.Fatal("broker relayed nothing")
+	}
+	st, ok := hub.WorkerStats("p")
+	if !ok {
+		t.Fatal("no route stats for worker p")
+	}
+	if st.Binds != 1 {
+		t.Fatalf("Binds = %d, want 1", st.Binds)
+	}
+	if st.ToWorker.EgressMsgs == 0 || st.ToSupervisor.EgressMsgs == 0 {
+		t.Fatalf("one-way relay: %+v", st)
+	}
+	// The dialogue exchange crossed a clean relay frame for frame: both
+	// directions' ingress must equal their egress, and each side of the hub
+	// reconciles exactly with its endpoint counters (hello included).
+	if st.ToWorker.IngressBytes != st.ToWorker.EgressBytes ||
+		st.ToSupervisor.IngressBytes != st.ToSupervisor.EgressBytes {
+		t.Fatalf("clean dialogue relay not byte-preserving: %+v", st)
+	}
+	if got, want := supConn.Stats().BytesSent(), st.SupervisorHelloBytes+st.ToWorker.IngressBytes; got != want {
+		t.Fatalf("supervisor sent %dB, hub accounted %dB", got, want)
+	}
+	if got, want := partConn.Stats().BytesRecv(), st.ToWorker.EgressBytes; got != want {
+		t.Fatalf("participant received %dB, hub forwarded %dB", got, want)
+	}
+	if got, want := partConn.Stats().BytesSent(), st.WorkerHelloBytes+st.ToSupervisor.IngressBytes; got != want {
+		t.Fatalf("participant sent %dB, hub accounted %dB", got, want)
+	}
+	if got, want := supConn.Stats().BytesRecv(), st.ToSupervisor.EgressBytes; got != want {
+		t.Fatalf("supervisor received %dB, hub forwarded %dB", got, want)
 	}
 }
 

@@ -81,12 +81,35 @@ type Participant struct {
 	behavior string
 	// counted guards the per-task verdict counters against double counting:
 	// a verdict whose acknowledgement was lost to a fault is re-delivered on
-	// the resumed connection, and the re-run must not count it twice. A
-	// fresh (non-resume) assignment reusing an ID clears its tombstone, so
-	// only IDs never assigned again accumulate (one map entry per distinct
-	// task the participant ever finished).
-	counted map[uint64]bool
+	// the resumed connection, and the re-run must not count it twice. Each
+	// entry maps a counted task ID to the insertion sequence of its
+	// tombstone; countedOrder keeps those tombstones in insertion order so
+	// the memory can be capped (maxVerdictTombstones) by evicting the
+	// oldest — a long-lived worker serving unboundedly many distinct tasks
+	// stays bounded. A fresh (non-resume) assignment reusing an ID clears
+	// its tombstone (the order entry goes stale and is skipped or
+	// compacted away).
+	counted      map[uint64]uint64
+	countedOrder []countedTombstone
+	countedSeq   uint64
 }
+
+// countedTombstone is one entry of the participant's verdict-tombstone
+// queue: a task ID plus the insertion sequence that distinguishes it from a
+// stale entry for the same ID.
+type countedTombstone struct {
+	id  uint64
+	seq uint64
+}
+
+// maxVerdictTombstones caps how many counted-verdict tombstones a
+// participant retains. A tombstone is only needed while its verdict could
+// still be re-delivered — the window between delivery and the supervisor
+// observing the ack, which spans at most one resume round trip — so
+// evicting a tombstone after thousands of newer tasks completed cannot
+// realistically double-count. A variable so tests can exercise eviction
+// without running thousands of tasks.
+var maxVerdictTombstones = 4096
 
 // NewParticipant creates a worker. id labels it in reports; factory decides
 // its honesty.
@@ -97,7 +120,7 @@ func NewParticipant(id string, factory ProducerFactory, opts ...ParticipantOptio
 	if factory == nil {
 		return nil, fmt.Errorf("%w: nil producer factory", ErrBadConfig)
 	}
-	p := &Participant{id: id, factory: factory, counted: make(map[uint64]bool)}
+	p := &Participant{id: id, factory: factory, counted: make(map[uint64]uint64)}
 	for _, opt := range opts {
 		opt.applyParticipant(&p.cfg)
 	}
@@ -474,15 +497,42 @@ func (p *Participant) recordVerdict(taskID uint64, behavior string, verdict Verd
 	defer p.mu.Unlock()
 	p.behavior = behavior
 	p.evals += evals
-	if p.counted[taskID] {
+	if _, done := p.counted[taskID]; done {
 		return
 	}
-	p.counted[taskID] = true
+	p.countedSeq++
+	p.counted[taskID] = p.countedSeq
+	p.countedOrder = append(p.countedOrder, countedTombstone{id: taskID, seq: p.countedSeq})
+	p.pruneTombstonesLocked()
 	p.tasks++
 	if verdict.Accepted {
 		p.accepted++
 	} else {
 		p.rejected++
+	}
+}
+
+// pruneTombstonesLocked bounds the verdict-tombstone memory: the oldest
+// tombstones are released once more than maxVerdictTombstones distinct
+// counted tasks are retained, and the order queue is compacted when stale
+// entries (tombstones cleared by fresh-assignment ID reuse, or superseded
+// re-insertions) pile up. Caller holds p.mu.
+func (p *Participant) pruneTombstonesLocked() {
+	for len(p.counted) > maxVerdictTombstones && len(p.countedOrder) > 0 {
+		e := p.countedOrder[0]
+		p.countedOrder = p.countedOrder[1:]
+		if p.counted[e.id] == e.seq {
+			delete(p.counted, e.id)
+		}
+	}
+	if len(p.countedOrder) >= 2*maxVerdictTombstones {
+		live := p.countedOrder[:0]
+		for _, e := range p.countedOrder {
+			if p.counted[e.id] == e.seq {
+				live = append(live, e)
+			}
+		}
+		p.countedOrder = live
 	}
 }
 

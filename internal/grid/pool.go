@@ -210,6 +210,7 @@ type streamConfig struct {
 	maxReconnects int
 	recvTimeout   time.Duration
 	replicas      int
+	identity      func(transport.Conn) string
 }
 
 // StreamOption configures RunTasksStream.
@@ -270,6 +271,26 @@ func (o streamRecvTimeoutOption) applyStream(c *streamConfig) {
 // stream opens (see WithSessionRecvTimeout): silently dropped frames become
 // quarantines, and with WithRedial, resumes.
 func WithStreamRecvTimeout(d time.Duration) StreamOption { return streamRecvTimeoutOption(d) }
+
+type workerIdentityOption struct {
+	fn func(transport.Conn) string
+}
+
+func (o workerIdentityOption) applyStream(c *streamConfig) { c.identity = o.fn }
+
+// WithWorkerIdentity names the participant behind each connection. A
+// replicated stream then places replica groups on pairwise-distinct
+// *workers* rather than distinct connections — the distinction matters when
+// connections are routes through a relay (a BrokerHub) and two of them
+// could reach the same participant, which would void the double-check
+// comparison. The function is consulted under the dispatcher lock, so it
+// must be fast, must not call back into the pool, and must resolve
+// replacement (redialed) connections to the same identity as the originals.
+// An empty string means "unknown" and falls back to per-connection
+// distinctness for that connection.
+func WithWorkerIdentity(fn func(transport.Conn) string) StreamOption {
+	return workerIdentityOption{fn}
+}
 
 type replicasOption int
 

@@ -185,7 +185,7 @@ func TestDispatcherRevokesClaimOnRetire(t *testing.T) {
 	}
 	_, cancel := context.WithCancel(context.Background())
 	defer cancel()
-	d := newDispatcher(pool, nil, cancel)
+	d := newDispatcher(pool, &streamConfig{}, cancel)
 	connA, _ := transport.Pipe()
 	slotA := newConnSlot(connA, nil)
 	d.registerConn(connA, slotA)

@@ -71,6 +71,17 @@ type SimConfig struct {
 	// there — so replicated pipelined runs with Blacklist diverge from the
 	// serial scheduler's pairing.
 	PipelineWindow int
+	// Broker routes every supervisor↔participant link through one
+	// GRACE-style BrokerHub (Section 4): each participant registers a
+	// hub link under its identity, each supervisor connection carries a
+	// hello naming its worker, and the hub binds the pair and relays —
+	// re-coalescing batch frames at the relay hop. Faults (DropProb /
+	// GarbleProb) then apply to the supervisor↔hub leg, the WAN hop of the
+	// GRACE deployment: a quarantined route is recovered by redialing
+	// through the hub, whose identity routing re-binds the resumed
+	// exchange to the same participant, so verdicts remain byte-identical
+	// to a clean direct run.
+	Broker bool
 	// DropProb and GarbleProb inject transport faults on every connection
 	// (send side, both directions, seeded deterministically from Seed):
 	// frames silently vanish or have one bit flipped in transit. Faults
@@ -200,6 +211,11 @@ type SimReport struct {
 	SupervisorBytesSent, SupervisorBytesRecv int64
 	// SupervisorEvals counts supervisor-side f evaluations spent verifying.
 	SupervisorEvals int64
+	// Brokered reports whether the run was relayed through a BrokerHub;
+	// BrokerRelayedMsgs and BrokerRelayedBytes then total the frames the
+	// hub forwarded (egress, after relay-hop re-batching).
+	Brokered                              bool
+	BrokerRelayedMsgs, BrokerRelayedBytes int64
 }
 
 // DetectionRate is CheatersDetected / CheatersTotal (1 when no cheaters).
@@ -220,6 +236,9 @@ type simWorker struct {
 	cheater     bool
 	rejections  int
 	blacklisted bool
+	// hub, when set, routes every dial through the broker instead of a
+	// direct pipe.
+	hub *BrokerHub
 
 	mu        sync.Mutex
 	supConns  []transport.Conn // supervisor-side endpoints, in dial order
@@ -239,10 +258,15 @@ func faultSeed(seed uint64, worker, dial, direction int) int64 {
 	return int64(binary.LittleEndian.Uint64(sum[:8]))
 }
 
-// dial opens a fresh connection pair to the worker's participant, wraps both
-// ends with the configured fault plan, and starts a serve goroutine on the
-// participant side. It returns the supervisor-side endpoint.
+// dial opens a fresh connection to the worker's participant — direct, or
+// routed through the broker hub when the run is brokered — wraps the
+// supervisor-facing leg with the configured fault plan, and starts a serve
+// goroutine on the participant side. It returns the supervisor-side
+// endpoint.
 func (w *simWorker) dial(cfg SimConfig) transport.Conn {
+	if w.hub != nil {
+		return w.dialBrokered(cfg)
+	}
 	supConn, partConn := transport.Pipe(transport.WithBuffer(8))
 	var sup, part transport.Conn = supConn, partConn
 	w.mu.Lock()
@@ -265,6 +289,49 @@ func (w *simWorker) dial(cfg SimConfig) transport.Conn {
 	w.mu.Lock()
 	w.supConns = append(w.supConns, sup)
 	w.partConns = append(w.partConns, part)
+	w.serveErrs = append(w.serveErrs, serveErr)
+	w.mu.Unlock()
+	return sup
+}
+
+// dialBrokered opens a fresh identity-routed path through the broker hub:
+// a clean hub↔participant link registered under the participant's ID (the
+// LAN leg of the GRACE deployment) and a supervisor↔hub link — the WAN leg,
+// where the fault plan applies — whose hello asks the hub to bind it to
+// that worker. Registration is synchronous, so the subsequent bind never
+// waits; the supervisor-side attach runs on its own goroutine because a
+// dropped or garbled hello legitimately strands it until the supervisor's
+// watchdog kills the link. It returns the supervisor-side endpoint.
+func (w *simWorker) dialBrokered(cfg SimConfig) transport.Conn {
+	name := w.participant.ID()
+	hubDown, partConn := transport.Pipe(transport.WithBuffer(8))
+	_ = HelloWorker(partConn, name)
+	_ = w.hub.Attach(hubDown)
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- w.participant.Serve(partConn) }()
+
+	supConn, hubUp := transport.Pipe(transport.WithBuffer(8))
+	var sup, hubSide transport.Conn = supConn, hubUp
+	w.mu.Lock()
+	attempt := len(w.supConns)
+	w.mu.Unlock()
+	if cfg.faulty() {
+		sup = transport.WithFaults(sup, transport.FaultPlan{
+			DropProb:   cfg.DropProb,
+			GarbleProb: cfg.GarbleProb,
+			Seed:       faultSeed(cfg.Seed, w.idx, attempt, 0),
+		})
+		hubSide = transport.WithFaults(hubSide, transport.FaultPlan{
+			DropProb:   cfg.DropProb,
+			GarbleProb: cfg.GarbleProb,
+			Seed:       faultSeed(cfg.Seed, w.idx, attempt, 1),
+		})
+	}
+	go func() { _ = w.hub.Attach(hubSide) }()
+	_ = HelloSupervisor(sup, name)
+	w.mu.Lock()
+	w.supConns = append(w.supConns, sup)
+	w.partConns = append(w.partConns, partConn)
 	w.serveErrs = append(w.serveErrs, serveErr)
 	w.mu.Unlock()
 	return sup
@@ -319,9 +386,25 @@ func RunSim(cfg SimConfig) (*SimReport, error) {
 		CrossCheckReports: cfg.CrossCheckReports,
 	}
 
-	workers, err := buildPool(cfg)
+	var hub *BrokerHub
+	if cfg.Broker {
+		hub = NewBrokerHub()
+	}
+	workers, err := buildPool(cfg, hub)
 	if err != nil {
+		if hub != nil {
+			_ = hub.Close()
+		}
 		return nil, err
+	}
+	// Closing the hub first tears down every route (and any orphaned
+	// registered link a faulty handshake left behind), so the participants'
+	// serve loops — which shutdownPool joins — always observe EOF.
+	cleanup := func() error {
+		if hub != nil {
+			_ = hub.Close()
+		}
+		return shutdownPool(workers)
 	}
 
 	report := &SimReport{Scheme: cfg.Spec.Kind.String()}
@@ -331,7 +414,7 @@ func RunSim(cfg SimConfig) (*SimReport, error) {
 		report.PipelineWindow = cfg.PipelineWindow
 		pool, err := NewSupervisorPool(supCfg, cfg.participants()*cfg.PipelineWindow)
 		if err != nil {
-			shutdownPool(workers)
+			_ = cleanup()
 			return nil, err
 		}
 		scheduleErr = scheduleTasksPipelined(cfg, pool, workers, report)
@@ -339,7 +422,7 @@ func RunSim(cfg SimConfig) (*SimReport, error) {
 	} else if cfg.Workers > 1 && cfg.Spec.Kind != SchemeDoubleCheck {
 		pool, err := NewSupervisorPool(supCfg, cfg.Workers)
 		if err != nil {
-			shutdownPool(workers)
+			_ = cleanup()
 			return nil, err
 		}
 		scheduleErr = scheduleTasksPooled(cfg, pool, workers, report)
@@ -347,18 +430,24 @@ func RunSim(cfg SimConfig) (*SimReport, error) {
 	} else {
 		supervisor, err := NewSupervisor(supCfg)
 		if err != nil {
-			shutdownPool(workers)
+			_ = cleanup()
 			return nil, err
 		}
 		scheduleErr = scheduleTasks(cfg, supervisor, workers, report)
 		supervisorEvals = supervisor.VerifyEvals
 	}
 	if scheduleErr != nil {
-		shutdownPool(workers)
+		_ = cleanup()
 		return nil, scheduleErr
 	}
-	if err := shutdownPool(workers); err != nil {
+	if err := cleanup(); err != nil {
 		return nil, err
+	}
+	if hub != nil {
+		// Close blocked until every relay pump exited, so these are final.
+		report.Brokered = true
+		report.BrokerRelayedMsgs = hub.RelayedMessages()
+		report.BrokerRelayedBytes = hub.RelayedBytes()
 	}
 
 	for _, w := range workers {
@@ -396,15 +485,16 @@ func RunSim(cfg SimConfig) (*SimReport, error) {
 
 // buildPool constructs the participant pool — semi-honest cheaters first,
 // then malicious, then honest workers — and dials each worker's first
-// connection (starting its serve goroutine).
-func buildPool(cfg SimConfig) ([]*simWorker, error) {
+// connection (starting its serve goroutine). A non-nil hub routes every
+// connection through the broker.
+func buildPool(cfg SimConfig, hub *BrokerHub) ([]*simWorker, error) {
 	var workers []*simWorker
 	add := func(id string, factory ProducerFactory, cheater bool) error {
 		p, err := NewParticipant(id, factory)
 		if err != nil {
 			return err
 		}
-		w := &simWorker{participant: p, idx: len(workers), cheater: cheater}
+		w := &simWorker{participant: p, idx: len(workers), cheater: cheater, hub: hub}
 		w.dial(cfg)
 		workers = append(workers, w)
 		return nil
@@ -590,6 +680,19 @@ func scheduleTasksPipelined(cfg SimConfig, pool *SupervisorPool, workers []*simW
 	if cfg.Spec.Kind == SchemeDoubleCheck {
 		perTask = cfg.replicaCount()
 		opts = append(opts, WithReplicas(perTask))
+	}
+	if cfg.Broker {
+		// Connections are broker routes, not participants: key replica
+		// distinctness (and any future identity-aware scheduling) by the
+		// worker each route is bound to, redials included.
+		opts = append(opts, WithWorkerIdentity(func(c transport.Conn) string {
+			mu.Lock()
+			defer mu.Unlock()
+			if w := byConn[c]; w != nil {
+				return w.participant.ID()
+			}
+			return ""
+		}))
 	}
 	if cfg.faulty() {
 		reconnects := cfg.ReconnectLimit

@@ -67,16 +67,6 @@ type replicaGroup struct {
 	slots []*connSlot
 }
 
-// hosts reports whether sl currently carries any member of the group.
-func (g *replicaGroup) hosts(sl *connSlot) bool {
-	for _, member := range g.slots {
-		if member == sl {
-			return true
-		}
-	}
-	return false
-}
-
 // Lease lifecycle (all transitions under dispatcher.mu).
 const (
 	leaseClaimed int32 = iota
@@ -150,7 +140,12 @@ type dispatcher struct {
 	allSlots []*connSlot
 	groups   []*replicaGroup
 
-	eligible  func(transport.Conn) bool
+	eligible func(transport.Conn) bool
+	// identity, when set (WithWorkerIdentity), maps a connection to the
+	// participant behind it; replica distinctness is then per worker, not
+	// per connection slot. Consulted under mu — it must be fast and must
+	// not call back into the dispatcher.
+	identity  func(transport.Conn) string
 	pool      *SupervisorPool
 	cancelled bool
 	err       error
@@ -161,20 +156,56 @@ type dispatcher struct {
 	wake chan struct{}
 }
 
-func newDispatcher(pool *SupervisorPool, eligible func(transport.Conn) bool, cancel context.CancelFunc) *dispatcher {
+func newDispatcher(pool *SupervisorPool, cfg *streamConfig, cancel context.CancelFunc) *dispatcher {
 	d := &dispatcher{
 		pinned:   make(map[*connSlot][]ticket),
 		leases:   make(map[*lease]struct{}),
 		retired:  make(map[*connSlot]bool),
 		dead:     make(map[*connSlot]bool),
 		slots:    make(map[transport.Conn]*connSlot),
-		eligible: eligible,
+		eligible: cfg.eligible,
+		identity: cfg.identity,
 		pool:     pool,
 		cancel:   cancel,
 		wake:     make(chan struct{}, 1),
 	}
 	d.cond = sync.NewCond(&d.mu)
 	return d
+}
+
+// groupHosts reports whether sl already carries a member of g — directly,
+// or (with a WithWorkerIdentity mapping) through any connection routed to
+// the same worker. Pairwise-distinct placement keyed this way keeps replica
+// groups on distinct participants even when several connections (broker
+// routes, say) reach one worker. skip names a member index to ignore: a
+// replica being re-placed vacates its own position, so its dead slot's
+// worker must not veto a replacement route to that same worker (pass -1 to
+// consider every member).
+func (d *dispatcher) groupHosts(g *replicaGroup, sl *connSlot, skip int) bool {
+	for i, member := range g.slots {
+		if i == skip || member == nil {
+			continue
+		}
+		if member == sl {
+			return true
+		}
+	}
+	if d.identity == nil {
+		return false
+	}
+	id := d.identity(sl.currentConn())
+	if id == "" {
+		return false
+	}
+	for i, member := range g.slots {
+		if i == skip || member == nil {
+			continue
+		}
+		if d.identity(member.currentConn()) == id {
+			return true
+		}
+	}
+	return false
 }
 
 // notifyReady is the rendezvous onReady hook: a non-blocking nudge that a
@@ -341,7 +372,7 @@ func (d *dispatcher) replaceReplicaLocked(t ticket, dead *connSlot) {
 	grp := t.grp
 	var repl *connSlot
 	for _, cand := range d.allSlots {
-		if cand == dead || d.dead[cand] || d.retired[cand] || grp.hosts(cand) {
+		if cand == dead || d.dead[cand] || d.retired[cand] || d.groupHosts(grp, cand, t.repIdx) {
 			continue
 		}
 		repl = cand
@@ -629,9 +660,26 @@ func (p *SupervisorPool) RunTasksStream(ctx context.Context, conns []transport.C
 		return nil, fmt.Errorf("%w: %d replicas need as many distinct connections, got %d",
 			ErrBadConfig, replicas, len(conns))
 	}
+	if replicated && cfg.identity != nil {
+		// With identity-keyed distinctness the guarantee that pre-placement
+		// always finds a sibling-free connection needs as many distinct
+		// workers as replicas, not just connections.
+		distinct := make(map[string]struct{}, len(conns))
+		for i, conn := range conns {
+			id := cfg.identity(conn)
+			if id == "" {
+				id = fmt.Sprintf("\x00conn-%d", i) // unknown: distinct by connection
+			}
+			distinct[id] = struct{}{}
+		}
+		if len(distinct) < replicas {
+			return nil, fmt.Errorf("%w: %d replicas need as many distinct workers, got %d",
+				ErrBadConfig, replicas, len(distinct))
+		}
+	}
 
 	ctx, cancel := context.WithCancel(ctx)
-	d := newDispatcher(p, cfg.eligible, cancel)
+	d := newDispatcher(p, &cfg, cancel)
 	slots := make([]*connSlot, len(conns))
 	for i, conn := range conns {
 		sess, err := p.sup.OpenSession(conn, window, WithSessionRecvTimeout(cfg.recvTimeout))
@@ -664,13 +712,13 @@ func (p *SupervisorPool) RunTasksStream(ctx context.Context, conns []transport.C
 				for tries := 0; tries < len(slots); tries++ {
 					cand := slots[cursor%len(slots)]
 					cursor++
-					if !grp.hosts(cand) {
+					if !d.groupHosts(grp, cand, -1) {
 						sl = cand
 						break
 					}
 				}
-				// len(conns) >= replicas guarantees a sibling-free
-				// connection within len(slots) candidates.
+				// len(conns) >= replicas distinct workers guarantees a
+				// sibling-free connection within len(slots) candidates.
 				grp.slots[j] = sl
 				d.pinned[sl] = append(d.pinned[sl], ticket{task: t, grp: grp, repIdx: j, pin: sl})
 			}

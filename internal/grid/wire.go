@@ -56,7 +56,68 @@ const (
 	// and re-delivers unacked verdicts during the msgResume handshake.
 	// Participant → supervisor.
 	msgVerdictAck
+	// msgHello is the broker-hub identity handshake: the first frame on any
+	// link attached to a BrokerHub names the link's role and worker. A
+	// worker-role hello registers the participant link under that identity;
+	// a supervisor-role hello asks the hub to bind the link to the named
+	// registered worker, which is what makes routing sticky across redials
+	// (a replacement supervisor connection reaches the same participant, so
+	// the msgResume machinery works through the relay). Consumed by the
+	// hub, never relayed. Either endpoint → hub.
+	msgHello
 )
+
+// Hello roles carried in the msgHello payload.
+const (
+	// helloRoleWorker registers the sending link as the named participant.
+	helloRoleWorker uint8 = 1
+	// helloRoleSupervisor asks the hub to route the sending link to the
+	// named registered participant.
+	helloRoleSupervisor uint8 = 2
+)
+
+// maxWorkerNameLen bounds the identity string of a hub handshake.
+const maxWorkerNameLen = 256
+
+// helloMsg is the decoded msgHello payload.
+type helloMsg struct {
+	Role   uint8
+	Worker string
+}
+
+func encodeHello(m helloMsg) []byte {
+	var buf bytes.Buffer
+	buf.WriteByte(m.Role)
+	putString(&buf, m.Worker)
+	return buf.Bytes()
+}
+
+func decodeHello(payload []byte) (helloMsg, error) {
+	var m helloMsg
+	r := bytes.NewReader(payload)
+	role, err := r.ReadByte()
+	if err != nil {
+		return m, fmt.Errorf("%w: hello role: %v", ErrBadPayload, err)
+	}
+	if role != helloRoleWorker && role != helloRoleSupervisor {
+		return m, fmt.Errorf("%w: hello role %d", ErrBadPayload, role)
+	}
+	m.Role = role
+	if m.Worker, err = getString(r); err != nil {
+		return m, fmt.Errorf("%w: hello worker: %v", ErrBadPayload, err)
+	}
+	if m.Worker == "" {
+		return m, fmt.Errorf("%w: empty hello worker identity", ErrBadPayload)
+	}
+	if len(m.Worker) > maxWorkerNameLen {
+		return m, fmt.Errorf("%w: hello worker identity of %d bytes (max %d)",
+			ErrBadPayload, len(m.Worker), maxWorkerNameLen)
+	}
+	if r.Len() != 0 {
+		return m, fmt.Errorf("%w: %d trailing bytes", ErrBadPayload, r.Len())
+	}
+	return m, nil
+}
 
 // taggedMsg is one task-scoped protocol message inside a pipelined session:
 // an ordinary message kind plus the ID of the task that owns it, so both

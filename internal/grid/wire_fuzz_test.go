@@ -173,6 +173,34 @@ func FuzzDecodeResults(f *testing.F) {
 	})
 }
 
+// FuzzDecodeHello covers the broker hub's identity handshake — the one
+// frame the hub itself decodes from every attached link, so it faces
+// whatever a misbehaving endpoint dials in with.
+func FuzzDecodeHello(f *testing.F) {
+	f.Add(encodeHello(helloMsg{Role: helloRoleWorker, Worker: "participant-7"}))
+	f.Add(encodeHello(helloMsg{Role: helloRoleSupervisor, Worker: "p"}))
+	f.Add([]byte{})
+	f.Add([]byte{0x01})
+	f.Add([]byte{0x03, 0x01, 'x'})
+	f.Add([]byte{0x02, 0xff, 0xff, 0x7f})
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		m, err := decodeHello(payload)
+		if err != nil {
+			return
+		}
+		if m.Worker == "" || len(m.Worker) > maxWorkerNameLen {
+			t.Fatalf("decode accepted an invalid worker identity: %+v", m)
+		}
+		again, err := decodeHello(encodeHello(m))
+		if err != nil {
+			t.Fatalf("re-decode of re-encoded hello failed: %v", err)
+		}
+		if m != again {
+			t.Fatalf("round trip changed hello: %+v != %+v", m, again)
+		}
+	})
+}
+
 func FuzzDecodeBatch(f *testing.F) {
 	f.Add(encodeBatch(nil))
 	f.Add(encodeBatch([]taggedMsg{

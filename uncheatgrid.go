@@ -264,8 +264,17 @@ type (
 	ParticipantOption = grid.ParticipantOption
 	// ProducerFactory builds a participant behaviour per task.
 	ProducerFactory = grid.ProducerFactory
-	// Broker is the GRACE-style oblivious relay.
-	Broker = grid.Broker
+	// BrokerHub is the GRACE-style broker: an identity-routed relay that
+	// multiplexes supervisor↔worker routes, re-batches session frames at
+	// the relay hop, and re-binds redialed supervisor connections to the
+	// same registered worker so resume works through the relay.
+	BrokerHub = grid.BrokerHub
+	// BrokerOption configures NewBrokerHub.
+	BrokerOption = grid.BrokerOption
+	// BrokerRouteStats is one worker's cumulative relay accounting.
+	BrokerRouteStats = grid.RouteStats
+	// BrokerRouteDirectionStats covers one relay direction's traffic.
+	BrokerRouteDirectionStats = grid.RouteDirectionStats
 	// Task is one assigned domain window.
 	Task = grid.Task
 	// SchemeKind enumerates verification schemes.
@@ -300,8 +309,17 @@ var (
 	NewSupervisorPool = grid.NewSupervisorPool
 	// NewParticipant creates a worker.
 	NewParticipant = grid.NewParticipant
-	// NewBroker creates the GRACE relay.
-	NewBroker = grid.NewBroker
+	// NewBrokerHub creates the GRACE relay hub.
+	NewBrokerHub = grid.NewBrokerHub
+	// HelloWorker registers a participant identity on a hub link.
+	HelloWorker = grid.HelloWorker
+	// HelloSupervisor asks a hub to route a link to a registered worker.
+	HelloSupervisor = grid.HelloSupervisor
+	// WithRelayBatching toggles relay-hop batching on a hub (default on).
+	WithRelayBatching = grid.WithRelayBatching
+	// WithBrokerBindTimeout bounds how long a supervisor link waits for its
+	// worker to register.
+	WithBrokerBindTimeout = grid.WithBindTimeout
 	// RunSim executes a population simulation.
 	RunSim = grid.RunSim
 	// ParseScheme maps a scheme name to its kind.
@@ -332,6 +350,10 @@ var (
 	// out to n pairwise-distinct connections whose uploads meet at a
 	// comparison rendezvous — the pipelined form of RunReplicated.
 	WithStreamReplicas = grid.WithReplicas
+	// WithStreamWorkerIdentity names the participant behind each stream
+	// connection, so replica groups are placed on distinct workers even
+	// when connections are relay routes that could share one participant.
+	WithStreamWorkerIdentity = grid.WithWorkerIdentity
 	// WithSessionRecvTimeout arms one session's receive watchdog.
 	WithSessionRecvTimeout = grid.WithSessionRecvTimeout
 )
