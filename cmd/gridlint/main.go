@@ -1,0 +1,93 @@
+// Command gridlint runs the project's static analyzer suite (internal/lint)
+// over the module and exits non-zero on any finding. CI runs it as a hard
+// gate; run it locally with
+//
+//	go run ./cmd/gridlint ./...
+//
+// Flags:
+//
+//	-ci path    CI workflow file checked for fuzz-target registration
+//	            (default .github/workflows/ci.yml under the module root)
+//	-list       print the analyzer suite and exit
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+
+	"uncheatgrid/internal/lint"
+)
+
+func main() {
+	ciPath := flag.String("ci", "", "CI workflow file for fuzz-target registration checks")
+	list := flag.Bool("list", false, "print the analyzer suite and exit")
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.Analyzers() {
+			fmt.Printf("%-20s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fatal(err)
+	}
+	root := moduleRoot(cwd)
+
+	cfg := lint.RunConfig{Config: map[string]string{}}
+	workflow := *ciPath
+	if workflow == "" {
+		workflow = filepath.Join(root, ".github", "workflows", "ci.yml")
+	}
+	if data, err := os.ReadFile(workflow); err == nil {
+		cfg.Config["ci-workflow"] = string(data)
+	} else if *ciPath != "" {
+		fatal(fmt.Errorf("read %s: %v", *ciPath, err))
+	}
+
+	patterns := flag.Args()
+	pkgs, err := lint.Load(cwd, patterns...)
+	if err != nil {
+		fatal(err)
+	}
+	diags, err := lint.Run(pkgs, cfg)
+	if err != nil {
+		fatal(err)
+	}
+	for _, d := range diags {
+		fmt.Println(relativize(root, d.String()))
+	}
+	if n := len(diags); n > 0 {
+		fmt.Fprintf(os.Stderr, "gridlint: %d finding(s)\n", n)
+		os.Exit(1)
+	}
+}
+
+// moduleRoot resolves the enclosing module's directory; cwd on failure.
+func moduleRoot(cwd string) string {
+	out, err := exec.Command("go", "list", "-m", "-f", "{{.Dir}}").Output()
+	if err != nil {
+		return cwd
+	}
+	if dir := strings.TrimSpace(string(out)); dir != "" {
+		return dir
+	}
+	return cwd
+}
+
+// relativize shortens absolute fixture paths in a diagnostic line for
+// stable, readable output.
+func relativize(root, line string) string {
+	return strings.ReplaceAll(line, root+string(filepath.Separator), "")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "gridlint:", err)
+	os.Exit(1)
+}

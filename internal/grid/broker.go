@@ -175,6 +175,11 @@ type BrokerHub struct {
 	// hub refused: corrupt or malformed hellos, unknown frame types.
 	rejectedLinks atomic.Int64
 	rejectedBytes atomic.Int64
+	// evicted counts registered-but-unbound worker links whose monitor
+	// observed a read error before any supervisor bound them, and the bytes
+	// that died with them.
+	evictedLinks atomic.Int64
+	evictedBytes atomic.Int64
 
 	mu        sync.Mutex
 	cond      *sync.Cond
@@ -245,6 +250,13 @@ func (h *BrokerHub) RejectedHandshakes() int64 { return h.rejectedLinks.Load() }
 // RejectedHandshakeBytes reports the bytes received on refused links.
 func (h *BrokerHub) RejectedHandshakeBytes() int64 { return h.rejectedBytes.Load() }
 
+// EvictedWorkerLinks reports registered worker links evicted because their
+// monitor saw a read error before any supervisor bound them.
+func (h *BrokerHub) EvictedWorkerLinks() int64 { return h.evictedLinks.Load() }
+
+// EvictedWorkerBytes reports bytes received on evicted worker links.
+func (h *BrokerHub) EvictedWorkerBytes() int64 { return h.evictedBytes.Load() }
+
 // Workers lists every worker identity the hub has seen a handshake for.
 func (h *BrokerHub) Workers() []string {
 	h.mu.Lock()
@@ -310,6 +322,8 @@ func (h *BrokerHub) countersFor(worker string) *workerCounters {
 // never for a bind or a route's lifetime: an accept loop may call it
 // synchronously per connection. A link whose handshake or bind is refused
 // is closed, which is how the failure surfaces to the dialing peer.
+//
+//gridlint:credit accept boundary: hello and rejected-link bytes are only observable here
 func (h *BrokerHub) Attach(conn transport.Conn) error {
 	if conn == nil {
 		return fmt.Errorf("%w: nil connection", ErrBadConfig)
@@ -329,7 +343,9 @@ func (h *BrokerHub) Attach(conn transport.Conn) error {
 		return err
 	}
 	if err != nil {
-		return reject(fmt.Errorf("grid: broker handshake: %w", err))
+		// Classify before returning: a dropped or timed-out link is a
+		// quarantine-class fault to the accept loop, not a config error.
+		return reject(quarantineWrap(fmt.Errorf("grid: broker handshake: %w", err)))
 	}
 	if !stopped {
 		// The watchdog already fired: the link is closed (or about to be),
@@ -362,8 +378,11 @@ func (h *BrokerHub) Attach(conn transport.Conn) error {
 // registerWorker makes the link the worker's available (unbound) endpoint,
 // replacing — and closing — any stale unbound registration under the same
 // identity (a redialing harness re-registers before the hub necessarily
-// noticed the old link die).
+// noticed the old link die). Every registration gets a monitor goroutine so
+// a link that dies while parked is evicted eagerly instead of being handed
+// to the next supervisor as a healthy worker.
 func (h *BrokerHub) registerWorker(worker string, conn transport.Conn) error {
+	v := &vettedWorkerConn{Conn: conn, result: make(chan vetResult, 1)}
 	h.mu.Lock()
 	if h.closed {
 		h.mu.Unlock()
@@ -371,18 +390,103 @@ func (h *BrokerHub) registerWorker(worker string, conn transport.Conn) error {
 		return ErrBrokerClosed
 	}
 	stale := h.available[worker]
-	h.available[worker] = conn
+	h.available[worker] = v
+	h.pumps.Add(1)
 	h.cond.Broadcast()
 	h.mu.Unlock()
+	go h.monitorWorker(worker, v)
 	if stale != nil {
 		_ = stale.Close()
 	}
 	return nil
 }
 
+// vetResult is the outcome of a monitor's single Recv, handed to the
+// route's first read once the link is bound.
+type vetResult struct {
+	msg transport.Message
+	err error
+}
+
+// vettedWorkerConn wraps a registered worker link so the hub can watch it
+// while it waits unbound. The monitor goroutine owns the link's first Recv;
+// the route's first Recv consumes the monitor's result instead of racing it
+// with a second concurrent Recv, and later Recvs go straight through.
+type vettedWorkerConn struct {
+	transport.Conn
+	result chan vetResult
+
+	mu      sync.Mutex
+	drained bool  // the monitor's result has been claimed by a Recv
+	early   bool  // the last Recv returned the monitor's buffered result
+	pending int64 // connection-counter bytes the monitor's Recv consumed
+}
+
+func (v *vettedWorkerConn) Recv() (transport.Message, error) {
+	v.mu.Lock()
+	first := !v.drained
+	v.drained = true
+	v.mu.Unlock()
+	if first {
+		res := <-v.result
+		v.mu.Lock()
+		v.early = true
+		v.mu.Unlock()
+		return res.msg, res.err
+	}
+	//gridlint:ignore errclassify transport adapter: errors pass through verbatim; the relay pump classifies them
+	return v.Conn.Recv()
+}
+
+// takeEarly reports whether the last Recv returned the monitor's buffered
+// result, and the connection-counter bytes that result consumed. The pump
+// uses it to attribute bytes that arrived before its own counter snapshot.
+func (v *vettedWorkerConn) takeEarly() (int64, bool) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if !v.early {
+		return 0, false
+	}
+	v.early = false
+	return v.pending, true
+}
+
+// monitorWorker performs one Recv on a freshly registered link. A read
+// error while the link is still unbound evicts it — a supervisor arriving
+// later waits for a live registration instead of binding a corpse — and a
+// result on a link that was bound (or replaced) meanwhile is delivered to
+// the route through the vetted wrapper. Joined via h.pumps so Close waits
+// for monitors too.
+//
+//gridlint:credit eviction is the last observation point for a dead parked link's bytes
+func (h *BrokerHub) monitorWorker(worker string, v *vettedWorkerConn) {
+	defer h.pumps.Done()
+	before := v.Conn.Stats().BytesRecv()
+	msg, err := v.Conn.Recv()
+	delta := v.Conn.Stats().BytesRecv() - before
+	v.mu.Lock()
+	v.pending = delta
+	v.mu.Unlock()
+	if err != nil {
+		h.mu.Lock()
+		if !h.closed && h.available[worker] == v {
+			delete(h.available, worker)
+			h.mu.Unlock()
+			_ = v.Conn.Close()
+			h.evictedLinks.Add(1)
+			h.evictedBytes.Add(delta)
+			return
+		}
+		h.mu.Unlock()
+	}
+	v.result <- vetResult{msg: msg, err: err}
+}
+
 // bindSupervisor claims the named worker's registered link and starts the
 // route's relay pumps. Run on its own goroutine by Attach; a failed bind
 // closes the supervisor link, which is what its peer observes.
+//
+//gridlint:credit a route starting is the bind event the binds counter measures
 func (h *BrokerHub) bindSupervisor(worker string, wc *workerCounters, conn transport.Conn) error {
 	down, err := h.claimWorker(worker)
 	if err != nil {
@@ -500,6 +604,8 @@ func (r *brokerRoute) quarantine() {
 // already accepted before the route is torn down, matching the direct
 // transport's drain-after-close delivery; a transport fault (a CRC-corrupt
 // frame crossing the relay counts as link damage) quarantines immediately.
+//
+//gridlint:credit relay ingress and corrupt-frame bytes are credited as they leave the source link
 func (r *brokerRoute) pump(src, dst transport.Conn, dir *dirCounters) {
 	defer func() {
 		if r.done.Add(1) == 2 {
@@ -519,6 +625,14 @@ func (r *brokerRoute) pump(src, dst transport.Conn, dir *dirCounters) {
 		before := src.Stats().BytesRecv()
 		msg, err := src.Recv()
 		arrived := src.Stats().BytesRecv() - before
+		if v, ok := src.(*vettedWorkerConn); ok {
+			// The monitor's Recv consumed this frame's bytes, possibly
+			// before this pump's counter snapshot; the monitor's own
+			// measurement is the exact delta either way.
+			if pending, early := v.takeEarly(); early {
+				arrived = pending
+			}
+		}
 		if err != nil {
 			switch {
 			case errors.Is(err, io.EOF), errors.Is(err, transport.ErrClosed):
@@ -548,6 +662,8 @@ func (r *brokerRoute) pump(src, dst transport.Conn, dir *dirCounters) {
 // queued msgBatch frames into one larger batch frame when relay-hop
 // batching is on. After a send failure it keeps draining (and discarding)
 // so the reader can never wedge on a full queue.
+//
+//gridlint:credit relay egress is credited only after the onward send succeeds
 func (r *brokerRoute) forward(dst transport.Conn, dir *dirCounters, frames <-chan transport.Message) {
 	failed := false
 	var carry *transport.Message

@@ -785,3 +785,53 @@ func TestRunSimBrokeredCleanMatchesDirect(t *testing.T) {
 		}
 	}
 }
+
+// TestBrokerEvictsDeadRegisteredWorker pins the eager-eviction behaviour: a
+// worker link that dies while registered and unbound is evicted by its
+// monitor as soon as the read error surfaces, so a supervisor arriving
+// later waits for a live registration (and times out) instead of binding a
+// corpse and failing mid-exchange.
+func TestBrokerEvictsDeadRegisteredWorker(t *testing.T) {
+	hub := NewBrokerHub(WithBindTimeout(300 * time.Millisecond))
+	defer func() {
+		if err := hub.Close(); err != nil {
+			t.Errorf("hub close: %v", err)
+		}
+	}()
+
+	hubDown, partConn := transport.Pipe(transport.WithBuffer(8))
+	if err := HelloWorker(partConn, "w1"); err != nil {
+		t.Fatalf("HelloWorker: %v", err)
+	}
+	if err := hub.Attach(hubDown); err != nil {
+		t.Fatalf("Attach worker: %v", err)
+	}
+
+	// Kill the worker endpoint while its link sits parked in the registry.
+	_ = partConn.Close()
+
+	deadline := time.Now().Add(2 * time.Second)
+	for hub.EvictedWorkerLinks() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("dead registered link was never evicted")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := hub.EvictedWorkerLinks(); got != 1 {
+		t.Fatalf("EvictedWorkerLinks = %d, want 1", got)
+	}
+
+	// A supervisor naming the evicted identity must not bind: the hub waits
+	// out the bind timeout and closes the supervisor link, which is how the
+	// failure reaches the dialing peer.
+	supConn, hubUp := transport.Pipe(transport.WithBuffer(8))
+	if err := HelloSupervisor(supConn, "w1"); err != nil {
+		t.Fatalf("HelloSupervisor: %v", err)
+	}
+	if err := hub.Attach(hubUp); err != nil {
+		t.Fatalf("Attach supervisor: %v", err)
+	}
+	if _, err := supConn.Recv(); err == nil {
+		t.Fatal("supervisor bound to an evicted worker link")
+	}
+}

@@ -1,0 +1,13 @@
+package grid
+
+import (
+	"testing"
+
+	"uncheatgrid/internal/leakcheck"
+)
+
+// TestMain fails the package when any test leaves a goroutine behind:
+// session pullers, batch writers, broker pumps and monitors, bind waiters,
+// and stream workers must all be joined by the teardown paths they belong
+// to.
+func TestMain(m *testing.M) { leakcheck.VerifyTestMain(m) }

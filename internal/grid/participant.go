@@ -492,6 +492,8 @@ func (p *Participant) executeTask(conn protoConn, a assignment, res *resumeMsg) 
 // Evaluation effort is real work and accrues per execution; the per-task
 // verdict tallies count each task at most once, however many times a fault
 // forces its verdict to be re-delivered.
+//
+//gridlint:credit the participant's only tally point; exactly-once under verdict re-delivery
 func (p *Participant) recordVerdict(taskID uint64, behavior string, verdict Verdict, evals int64) {
 	p.mu.Lock()
 	defer p.mu.Unlock()

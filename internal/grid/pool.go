@@ -81,6 +81,8 @@ func (p *SupervisorPool) BytesRecv() int64 { return p.bytesRecv.Load() }
 // API. Detected cheats are not errors — they land in the outcome verdicts.
 // Cancelling ctx stops the pool before the next task on each connection;
 // in-flight exchanges finish first.
+//
+//gridlint:credit pool totals fold in each outcome's settled bytes as it completes
 func (p *SupervisorPool) RunTasks(ctx context.Context, assignments []Assignment) ([]*TaskOutcome, error) {
 	if p.sup.cfg.Spec.Kind == SchemeDoubleCheck {
 		return nil, fmt.Errorf("%w: double-check needs a replica barrier; use RunReplicated or a replicated RunTasksStream", ErrBadConfig)

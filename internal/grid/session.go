@@ -125,6 +125,11 @@ func (w *batchWriter) loop() {
 	}
 }
 
+// flush writes one coalesced batch frame and settles its messages: each
+// enqueue callback learns whether its bytes reached the wire, and the frame
+// overhead beyond the tagged payloads accrues to the writer.
+//
+//gridlint:credit flush time is the only point where sent bytes are real wire bytes
 func (w *batchWriter) flush(batch []outMsg) {
 	if w.failed() != nil {
 		// Drain mode: consume without sending so enqueuers never block. The
@@ -329,6 +334,8 @@ type sessionTaskConn struct {
 // Send implements protoConn. The message's bytes are credited when the
 // writer flushes it; awaitSends synchronizes with that before the task's
 // totals are read.
+//
+//gridlint:credit the settle callback runs at writer flush time, the sanctioned crediting point
 func (c *sessionTaskConn) Send(m transport.Message) error {
 	tm := taggedMsg{TaskID: c.id, Type: m.Type, Payload: m.Payload}
 	size := tm.wireSize()
@@ -360,6 +367,8 @@ func (c *sessionTaskConn) Recv() (transport.Message, error) {
 // dedicated reader goroutine: among the task goroutines blocked here, one
 // is elected to pull from the connection and route what arrives; the rest
 // wait on the condition variable. A session error wakes and fails everyone.
+//
+//gridlint:credit the elected puller attributes receive-side deltas as frames arrive
 func (s *Session) recvFor(c *sessionTaskConn) (transport.Message, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -418,6 +427,8 @@ func (s *Session) recvFor(c *sessionTaskConn) (transport.Message, error) {
 // routed) to session overhead, so receive-side accounting stays exact even
 // when the connection is about to be quarantined. arrived is the connection
 // counter's delta for this frame. Caller holds s.mu.
+//
+//gridlint:credit receive-side attribution: tagged bytes to tasks, the remainder to overhead
 func (s *Session) routeLocked(frame transport.Message, arrived int64) error {
 	if frame.Type != msgBatch {
 		s.recvOverhead += arrived
@@ -515,6 +526,8 @@ func (sess *Session) RunTask(task Task) (*TaskOutcome, error) {
 // session on a replacement connection (to the same participant once any
 // reply was received — see taskAttempt.started). Any other error is a
 // protocol-level failure and terminal.
+//
+//gridlint:credit folds the flushed per-connection totals into the attempt after awaitSends
 func (sess *Session) RunAttempt(at *taskAttempt) (*TaskOutcome, error) {
 	select {
 	case sess.slots <- struct{}{}:

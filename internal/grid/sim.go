@@ -376,6 +376,8 @@ func (w *simWorker) trafficTotals(participantSide bool) (sent, recv int64) {
 // report identical to the serial run. With PipelineWindow > 0 tasks flow
 // through pipelined multi-task sessions with work stealing instead (see
 // SimConfig.PipelineWindow for the reproducibility trade-off).
+//
+//gridlint:credit report assembly sums per-worker traffic totals once, at shutdown
 func RunSim(cfg SimConfig) (*SimReport, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err

@@ -226,6 +226,8 @@ func (d *dispatcher) notifyReady() {
 // connections to the pool counters — the only place that traffic can still
 // be reported. Settling is idempotent, so an attempt abandoned twice is
 // counted once.
+//
+//gridlint:credit last-resort crediting for traffic whose attempt cannot report an outcome
 func (d *dispatcher) abandonAttempt(at *taskAttempt) {
 	if at == nil || at.settled {
 		return
@@ -540,6 +542,8 @@ func (d *dispatcher) parkForResume(l *lease) {
 // (closing it and banking the dead session's framing overhead), redials, and
 // opens a replacement session; late arrivals wait for the outcome. It
 // returns false when the slot is permanently dead.
+//
+//gridlint:credit banks the dead session's framing overhead before the slot moves on
 func (sl *connSlot) recover(gen int, d *dispatcher, p *SupervisorPool, cfg *streamConfig, window int) bool {
 	sl.mu.Lock()
 	for {
@@ -638,6 +642,8 @@ func (sl *connSlot) recover(gen int, d *dispatcher, p *SupervisorPool, cfg *stre
 // A replica reaching an incomplete rendezvous parks — holding no worker
 // and no window slot — and is re-claimed when the group settles, so
 // barriers can never deadlock the scheduler however tasks interleave.
+//
+//gridlint:credit teardown folds each surviving session's framing overhead into the pool totals
 func (p *SupervisorPool) RunTasksStream(ctx context.Context, conns []transport.Conn, tasks []Task, window int, opts ...StreamOption) (*TaskStream, error) {
 	if len(conns) == 0 {
 		return nil, fmt.Errorf("%w: no connections", ErrBadConfig)
@@ -818,6 +824,8 @@ func (p *SupervisorPool) RunTasksStream(ctx context.Context, conns []transport.C
 // streamWorker is one of a slot's `window` exchange drivers: claim, start
 // (or yield to a revocation), run the attempt, and either stream the
 // outcome, park the attempt for resume, or fail the run.
+//
+//gridlint:credit pool totals fold in each streamed outcome's settled bytes
 func (p *SupervisorPool) streamWorker(ctx context.Context, d *dispatcher, sl *connSlot, cfg *streamConfig, window int, sem chan struct{}, stream *TaskStream) {
 	for {
 		l, ok := d.claim(sl)

@@ -156,6 +156,8 @@ type preparedTask struct {
 // workload and the task's private randomness stream, and (ringer scheme)
 // plant the secrets. No traffic is generated; ringer evaluations are charged
 // to the task's verification budget.
+//
+//gridlint:credit ringer planting charges its evaluations to the task's verify budget
 func (s *Supervisor) prepareTask(task Task) (*preparedTask, error) {
 	if err := task.validate(); err != nil {
 		return nil, err
@@ -246,6 +248,8 @@ func (at *taskAttempt) settle(s *Supervisor) {
 
 // settle closes the task's verification-eval accounting into its outcome
 // and the supervisor totals. Called exactly once per prepared task.
+//
+//gridlint:credit the single settle point for a task's verification evals
 func (s *Supervisor) settle(pt *preparedTask) {
 	pt.outcome.VerifyEvals = pt.tr.evals
 	s.evals.Add(pt.tr.evals)
@@ -279,6 +283,8 @@ func (s *Supervisor) sendVerdict(conn protoConn, outcome *TaskOutcome) error {
 // checkFuncFor builds the Step 4 output check: a cheap verifier when the
 // workload supports one, otherwise recomputation. Evaluations are charged
 // to the task's verification budget.
+//
+//gridlint:credit recomputation checks charge the task's verify budget per evaluation
 func (tr *taskRun) checkFuncFor(task Task, f workload.Function) core.CheckFunc {
 	if verifier, ok := workload.AsOutputVerifier(f); ok {
 		return func(index uint64, output []byte) error {
@@ -297,6 +303,8 @@ func (tr *taskRun) checkFuncFor(task Task, f workload.Function) core.CheckFunc {
 // crossCheckReports recomputes the screener on the sampled inputs and
 // confirms the participant's report list agrees — the sampled-index defense
 // against the malicious model of Section 2.2.
+//
+//gridlint:credit sampled-index recomputation charges the task's verify budget
 func (tr *taskRun) crossCheckReports(task Task, f workload.Function, indices []uint64, reports []Report) string {
 	screener := f.Screener()
 	reported := make(map[uint64]string, len(reports))
@@ -323,6 +331,8 @@ func (tr *taskRun) crossCheckReports(task Task, f workload.Function, indices []u
 // uploads index-wise (the double-check baseline). The i-th outcome carries
 // the verdict for the i-th replica. An ErrNoConsensus comparison rejects
 // every replica.
+//
+//gridlint:credit verdict-phase bytes are attributed per replica from connection deltas
 func (s *Supervisor) RunReplicated(conns []transport.Conn, task Task) ([]*TaskOutcome, error) {
 	if s.cfg.Spec.Kind != SchemeDoubleCheck {
 		return nil, fmt.Errorf("%w: RunReplicated requires the double-check scheme", ErrBadConfig)

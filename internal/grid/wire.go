@@ -67,6 +67,30 @@ const (
 	msgHello
 )
 
+// wireDecoderFor is the wire manifest: every message kind mapped to the
+// function that decodes its payload, "" for kinds whose payload is empty
+// (msgVerdictAck) or raw bytes routed without decoding here (msgCommit,
+// msgChallenge, msgProofs carry core-layer encodings; msgResultChunk data
+// is reassembled before decodeResults sees it — decodeChunk parses the
+// chunk envelope). gridlint's wireexhaustive analyzer checks the manifest
+// is total and that every named decoder exists and is fuzzed, so adding a
+// message kind without wiring up (and fuzzing) its decoder fails CI.
+var wireDecoderFor = map[uint8]string{
+	msgAssign:      "decodeAssignment",
+	msgCommit:      "",
+	msgChallenge:   "",
+	msgProofs:      "",
+	msgReports:     "decodeReports",
+	msgResults:     "decodeResults",
+	msgRingerHits:  "decodeIndices",
+	msgVerdict:     "decodeVerdict",
+	msgBatch:       "decodeBatch",
+	msgResultChunk: "decodeChunk",
+	msgResume:      "decodeResume",
+	msgVerdictAck:  "",
+	msgHello:       "decodeHello",
+}
+
 // Hello roles carried in the msgHello payload.
 const (
 	// helloRoleWorker registers the sending link as the named participant.

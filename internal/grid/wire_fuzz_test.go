@@ -230,3 +230,24 @@ func FuzzDecodeBatch(f *testing.F) {
 		}
 	})
 }
+
+func FuzzDecodeIndices(f *testing.F) {
+	f.Add(encodeIndices(nil))
+	f.Add(encodeIndices([]uint64{0, 1, 1<<63 - 1}))
+	f.Add(encodeIndices([]uint64{42}))
+	f.Add([]byte{0x01})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01})
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		indices, err := decodeIndices(payload)
+		if err != nil {
+			return
+		}
+		again, err := decodeIndices(encodeIndices(indices))
+		if err != nil {
+			t.Fatalf("re-decode of re-encoded indices failed: %v", err)
+		}
+		if len(indices) != len(again) || (len(indices) > 0 && !reflect.DeepEqual(indices, again)) {
+			t.Fatalf("round trip changed indices: %+v != %+v", indices, again)
+		}
+	})
+}

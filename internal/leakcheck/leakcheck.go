@@ -1,0 +1,142 @@
+// Package leakcheck fails a test binary that exits with stray goroutines —
+// the same job as go.uber.org/goleak, rebuilt on the standard library so
+// the tree keeps zero external dependencies. The grid layer spawns
+// goroutines aggressively (session pullers, broker pumps, bind waiters,
+// stream workers); every one of them is supposed to be joined by a Close or
+// a WaitGroup, and a leak means a teardown path lost track of one.
+//
+// Usage, from a package's TestMain:
+//
+//	func TestMain(m *testing.M) { leakcheck.VerifyTestMain(m) }
+package leakcheck
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// maxStackBytes bounds the runtime.Stack snapshot. 16 MiB holds thousands
+// of goroutine records; a test binary with more than that has bigger
+// problems than truncated diagnostics.
+const maxStackBytes = 16 << 20
+
+// ignorePrefixes lists function-name prefixes of goroutines that are
+// expected to outlive tests: the runtime's own workers, the testing
+// framework, and the fuzz coordinator.
+var ignorePrefixes = []string{
+	"testing.",
+	"runtime.goexit",
+	"runtime.MHeap_Scavenger",
+	"runtime.bgsweep",
+	"runtime.bgscavenge",
+	"runtime.forcegchelper",
+	"runtime.gcBgMarkWorker",
+	"runtime/trace.Start",
+	"internal/fuzz.",
+	"os/signal.signal_recv",
+	"os/signal.loop",
+}
+
+// goroutine is one parsed stack record.
+type goroutine struct {
+	header string // "goroutine 7 [chan receive]:"
+	stack  string // full record text
+}
+
+// snapshot parses runtime.Stack(all=true) into per-goroutine records,
+// excluding the caller's own goroutine (the first record) and anything
+// matching ignorePrefixes.
+func snapshot() []goroutine {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			buf = buf[:n]
+			break
+		}
+		if len(buf) >= maxStackBytes {
+			buf = buf[:n]
+			break
+		}
+		buf = make([]byte, len(buf)*2)
+	}
+	records := strings.Split(string(buf), "\n\n")
+	var out []goroutine
+	for i, rec := range records {
+		if i == 0 {
+			continue // the goroutine running the check
+		}
+		rec = strings.TrimSpace(rec)
+		if rec == "" {
+			continue
+		}
+		lines := strings.SplitN(rec, "\n", 2)
+		g := goroutine{header: lines[0], stack: rec}
+		if ignored(g) {
+			continue
+		}
+		out = append(out, g)
+	}
+	return out
+}
+
+// ignored reports whether the record belongs to the allowlist of benign
+// background goroutines.
+func ignored(g goroutine) bool {
+	body := g.stack
+	for _, p := range ignorePrefixes {
+		// Match the prefix at the top frame (first function line after the
+		// header) or anywhere a created-by line names it.
+		if strings.Contains(body, "\n"+p) || strings.Contains(body, "created by "+p) {
+			return true
+		}
+	}
+	return false
+}
+
+// Check returns an error describing goroutines still alive after deadline.
+// Goroutines legitimately mid-teardown get time to exit: the snapshot is
+// retried with backoff until it comes back empty or the deadline passes.
+func Check(deadline time.Duration) error {
+	var stale []goroutine
+	backoff := time.Millisecond
+	start := time.Now()
+	for {
+		stale = snapshot()
+		if len(stale) == 0 {
+			return nil
+		}
+		if time.Since(start) > deadline {
+			break
+		}
+		time.Sleep(backoff)
+		if backoff < 100*time.Millisecond {
+			backoff *= 2
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "leakcheck: %d goroutine(s) still running after %v:\n", len(stale), deadline)
+	for _, g := range stale {
+		b.WriteString("\n")
+		b.WriteString(g.stack)
+		b.WriteString("\n")
+	}
+	return fmt.Errorf("%s", b.String())
+}
+
+// VerifyTestMain runs the package's tests and fails the binary when
+// goroutines leak past the last test. Call it from TestMain.
+func VerifyTestMain(m *testing.M) {
+	code := m.Run()
+	if code == 0 {
+		if err := Check(5 * time.Second); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			code = 1
+		}
+	}
+	os.Exit(code)
+}

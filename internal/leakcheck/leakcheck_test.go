@@ -1,0 +1,33 @@
+package leakcheck
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestCheckCleanState(t *testing.T) {
+	if err := Check(2 * time.Second); err != nil {
+		t.Fatalf("clean state reported as leaking: %v", err)
+	}
+}
+
+func TestCheckCatchesLeak(t *testing.T) {
+	release := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		<-release
+	}()
+	err := Check(50 * time.Millisecond)
+	if err == nil {
+		t.Fatal("blocked goroutine not reported")
+	}
+	if !strings.Contains(err.Error(), "leakcheck:") {
+		t.Fatalf("unexpected error text: %v", err)
+	}
+	close(release)
+	<-done
+}
+
+func TestMain(m *testing.M) { VerifyTestMain(m) }

@@ -1,0 +1,352 @@
+package lint
+
+// chansendunderlock guards against the PR 4 rendezvous deadlock shape: a
+// goroutine that blocks — on a channel send or receive, a WaitGroup, a
+// select without default, or transport I/O — while still holding a
+// sync.Mutex/RWMutex it acquired in the same function. Every such wait can
+// deadlock the whole process the moment the unblocking party needs the same
+// lock (the window=1 replica rendezvous did exactly that), and even when it
+// cannot deadlock it serializes everything behind the lock for the duration
+// of the wait (the broker pump hazard).
+//
+// The analysis is intra-function and control-flow conservative: the held
+// set is tracked linearly through each block, branches are analyzed with a
+// copy (an unlock inside a branch does not clear the outer held set — the
+// usual shape is unlock-then-return), and function literals start with an
+// empty held set of their own. sync.Cond.Wait is exempt: calling it with
+// the mutex held is the condition-variable contract, not a hazard.
+
+import (
+	"bytes"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"go/types"
+)
+
+// ChanSendUnderLock is the blocking-under-mutex analyzer.
+var ChanSendUnderLock = &Analyzer{
+	Name: "chansendunderlock",
+	Doc:  "no channel operations, Wait()s, or blocking transport I/O while a mutex acquired in the same function is held",
+	Run:  runChanSendUnderLock,
+}
+
+func runChanSendUnderLock(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			w := &lockWalker{pass: pass}
+			w.walkStmts(fd.Body.List, map[string]token.Pos{})
+		}
+	}
+	return nil
+}
+
+// lockWalker tracks the set of mutexes held at each point of one function.
+type lockWalker struct {
+	pass *Pass
+}
+
+// walkStmts analyzes a statement sequence, mutating held as locks are
+// acquired and released in straight-line flow.
+func (w *lockWalker) walkStmts(stmts []ast.Stmt, held map[string]token.Pos) {
+	for _, s := range stmts {
+		w.walkStmt(s, held)
+	}
+}
+
+// copyHeld snapshots the held set for a branch.
+func copyHeld(held map[string]token.Pos) map[string]token.Pos {
+	out := make(map[string]token.Pos, len(held))
+	for k, v := range held {
+		out[k] = v
+	}
+	return out
+}
+
+func (w *lockWalker) walkStmt(s ast.Stmt, held map[string]token.Pos) {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		w.scanExpr(s.X, held)
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			w.scanExpr(e, held)
+		}
+		for _, e := range s.Lhs {
+			w.scanExpr(e, held)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, e := range vs.Values {
+						w.scanExpr(e, held)
+					}
+				}
+			}
+		}
+	case *ast.SendStmt:
+		if len(held) > 0 {
+			w.reportBlocked(s.Pos(), "channel send", held)
+		}
+		w.scanExpr(s.Chan, held)
+		w.scanExpr(s.Value, held)
+	case *ast.IncDecStmt:
+		w.scanExpr(s.X, held)
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			w.scanExpr(e, held)
+		}
+	case *ast.DeferStmt:
+		// A deferred unlock keeps the lock held for the rest of the
+		// function, so held is deliberately unchanged. A deferred function
+		// literal runs after the function's own locks are (normally)
+		// released; analyze it with a fresh held set.
+		if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+			w.walkStmts(lit.Body.List, map[string]token.Pos{})
+		}
+	case *ast.GoStmt:
+		if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+			w.walkStmts(lit.Body.List, map[string]token.Pos{})
+		}
+		for _, e := range s.Call.Args {
+			w.scanExpr(e, held)
+		}
+	case *ast.IfStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init, held)
+		}
+		w.scanExpr(s.Cond, held)
+		w.walkStmts(s.Body.List, copyHeld(held))
+		if s.Else != nil {
+			w.walkStmt(s.Else, copyHeld(held))
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init, held)
+		}
+		if s.Cond != nil {
+			w.scanExpr(s.Cond, held)
+		}
+		body := copyHeld(held)
+		w.walkStmts(s.Body.List, body)
+		if s.Post != nil {
+			w.walkStmt(s.Post, body)
+		}
+	case *ast.RangeStmt:
+		// Ranging over a channel is a blocking receive per iteration.
+		if len(held) > 0 && w.isChannel(s.X) {
+			w.reportBlocked(s.Pos(), "range over channel", held)
+		}
+		w.scanExpr(s.X, held)
+		w.walkStmts(s.Body.List, copyHeld(held))
+	case *ast.BlockStmt:
+		w.walkStmts(s.List, held)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init, held)
+		}
+		if s.Tag != nil {
+			w.scanExpr(s.Tag, held)
+		}
+		for _, clause := range s.Body.List {
+			if cc, ok := clause.(*ast.CaseClause); ok {
+				branch := copyHeld(held)
+				for _, e := range cc.List {
+					w.scanExpr(e, branch)
+				}
+				w.walkStmts(cc.Body, branch)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init, held)
+		}
+		for _, clause := range s.Body.List {
+			if cc, ok := clause.(*ast.CaseClause); ok {
+				w.walkStmts(cc.Body, copyHeld(held))
+			}
+		}
+	case *ast.SelectStmt:
+		hasDefault := false
+		for _, clause := range s.Body.List {
+			if cc, ok := clause.(*ast.CommClause); ok && cc.Comm == nil {
+				hasDefault = true
+			}
+		}
+		if !hasDefault && len(held) > 0 {
+			w.reportBlocked(s.Pos(), "blocking select", held)
+		}
+		for _, clause := range s.Body.List {
+			if cc, ok := clause.(*ast.CommClause); ok {
+				w.walkStmts(cc.Body, copyHeld(held))
+			}
+		}
+	case *ast.LabeledStmt:
+		w.walkStmt(s.Stmt, held)
+	}
+}
+
+// scanExpr inspects one expression in evaluation position: lock/unlock
+// calls mutate held, blocking operations are reported, and function
+// literals are analyzed independently with an empty held set.
+func (w *lockWalker) scanExpr(e ast.Expr, held map[string]token.Pos) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			w.walkStmts(n.Body.List, map[string]token.Pos{})
+			return false
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW && len(held) > 0 {
+				w.reportBlocked(n.Pos(), "channel receive", held)
+			}
+		case *ast.CallExpr:
+			w.scanCall(n, held)
+		}
+		return true
+	})
+}
+
+// scanCall classifies one call: mutex transitions, exempt cond waits, and
+// blocking calls under a held lock.
+func (w *lockWalker) scanCall(call *ast.CallExpr, held map[string]token.Pos) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		if w.isMutex(sel) {
+			held[exprString(sel.X)] = call.Pos()
+		}
+	case "Unlock", "RUnlock":
+		if w.isMutex(sel) {
+			delete(held, exprString(sel.X))
+		}
+	case "Wait":
+		if len(held) == 0 {
+			return
+		}
+		// sync.Cond.Wait is the condition-variable idiom and requires the
+		// lock; sync.WaitGroup.Wait under a lock is the deadlock shape.
+		if w.receiverNamed(sel, "sync", "WaitGroup") {
+			w.reportBlocked(call.Pos(), "WaitGroup.Wait", held)
+		}
+	case "Recv", "Send":
+		if len(held) > 0 && w.isConnLike(sel.X) {
+			w.reportBlocked(call.Pos(), "blocking transport "+sel.Sel.Name, held)
+		}
+	case "Sleep":
+		if len(held) > 0 && w.receiverIsPackage(sel, "time") {
+			w.reportBlocked(call.Pos(), "time.Sleep", held)
+		}
+	}
+}
+
+func (w *lockWalker) reportBlocked(pos token.Pos, what string, held map[string]token.Pos) {
+	for lock := range held {
+		w.pass.Reportf(pos, "%s while mutex %s is held (deadlock hazard: release the lock before blocking)", what, lock)
+		return // one representative lock per finding keeps the output readable
+	}
+}
+
+// isMutex reports whether the selector's Lock/Unlock resolves to
+// sync.Mutex or sync.RWMutex (directly or through embedding).
+func (w *lockWalker) isMutex(sel *ast.SelectorExpr) bool {
+	return w.receiverNamed(sel, "sync", "Mutex") || w.receiverNamed(sel, "sync", "RWMutex")
+}
+
+// receiverNamed reports whether the method selection's receiver is the
+// named type pkg.name, looking through pointers and embedded fields.
+func (w *lockWalker) receiverNamed(sel *ast.SelectorExpr, pkg, name string) bool {
+	if w.pass.TypesInfo != nil {
+		if s, ok := w.pass.TypesInfo.Selections[sel]; ok {
+			if fn, ok := s.Obj().(*types.Func); ok {
+				if recv := fn.Type().(*types.Signature).Recv(); recv != nil {
+					return typeNamed(recv.Type(), pkg, name)
+				}
+			}
+		}
+		if t := w.pass.TypeOf(sel.X); t != nil {
+			return typeNamed(t, pkg, name)
+		}
+	}
+	return false
+}
+
+// receiverIsPackage reports whether sel.X names the given imported package
+// (e.g. time.Sleep).
+func (w *lockWalker) receiverIsPackage(sel *ast.SelectorExpr, pkg string) bool {
+	id, ok := sel.X.(*ast.Ident)
+	return ok && id.Name == pkg
+}
+
+// isConnLike reports whether e's static type is a connection-shaped
+// interface: one declaring both Send and Recv methods (transport.Conn and
+// the grid package's protoConn both match structurally).
+func (w *lockWalker) isConnLike(e ast.Expr) bool {
+	return connLikeType(w.pass.TypeOf(e))
+}
+
+func (w *lockWalker) isChannel(e ast.Expr) bool {
+	t := w.pass.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Chan)
+	return ok
+}
+
+// connLikeType reports whether t is (or points to) an interface with both
+// Send and Recv methods.
+func connLikeType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	iface, ok := t.Underlying().(*types.Interface)
+	if !ok {
+		return false
+	}
+	hasSend, hasRecv := false, false
+	for i := 0; i < iface.NumMethods(); i++ {
+		switch iface.Method(i).Name() {
+		case "Send":
+			hasSend = true
+		case "Recv":
+			hasRecv = true
+		}
+	}
+	return hasSend && hasRecv
+}
+
+// typeNamed reports whether t (or its pointee) is the named type pkg.name.
+func typeNamed(t types.Type, pkg, name string) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == name && obj.Pkg() != nil && obj.Pkg().Name() == pkg
+}
+
+// exprString renders an expression as source text for use as a held-set
+// key and in diagnostics.
+func exprString(e ast.Expr) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, token.NewFileSet(), e); err != nil {
+		return "?"
+	}
+	return buf.String()
+}

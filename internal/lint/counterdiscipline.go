@@ -1,0 +1,149 @@
+package lint
+
+// counterdiscipline protects the byte/frame/message accounting that the
+// double-check scheme's billing depends on. PR 4 moved byte crediting from
+// enqueue time to flush time precisely because scattered `x.sent += n`
+// sites drifted out of agreement with what actually hit the wire. The rule:
+// accounting fields may only be accumulated inside functions explicitly
+// annotated as crediting sites with a
+//
+//	//gridlint:credit <reason>
+//
+// doc comment (for FuncDecls) or a directive on the line directly above a
+// func literal. Everything else that touches a counter — a new feature
+// incrementing sent bytes at enqueue time, a retry path double-crediting —
+// is flagged.
+//
+// "Accumulation" means compound assignment (+=, -=, ...), ++/--, and
+// atomic Add/Store calls on a matching field. Plain `=` assignments are
+// allowed: building a stats snapshot or zeroing a struct is assembly, not
+// crediting.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+)
+
+// CounterDiscipline is the accounting-mutation analyzer.
+var CounterDiscipline = &Analyzer{
+	Name: "counterdiscipline",
+	Doc:  "accounting counters (bytes, msgs, frames, evals, ...) may only be accumulated in //gridlint:credit functions",
+	Run:  runCounterDiscipline,
+}
+
+// counterFieldRx matches accounting field names by substring.
+var counterFieldRx = regexp.MustCompile(`(?i)(bytes|msgs|frames|overhead|evals)`)
+
+// counterFieldExact lists short accounting names matched exactly.
+var counterFieldExact = map[string]bool{
+	"sent":     true,
+	"recv":     true,
+	"tasks":    true,
+	"accepted": true,
+	"rejected": true,
+	"binds":    true,
+	"credited": true,
+}
+
+func isCounterField(name string) bool {
+	return counterFieldExact[name] || counterFieldRx.MatchString(name)
+}
+
+func runCounterDiscipline(pass *Pass) error {
+	creditLines := directiveLines(pass.Fset, pass.Files, "credit")
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			cw := &creditWalker{pass: pass, creditLines: creditLines}
+			cw.walk(fd.Body, hasDirective(fd.Doc, "credit"))
+		}
+	}
+	return nil
+}
+
+// creditWalker tracks whether any enclosing function is an annotated
+// crediting site while scanning for counter mutations.
+type creditWalker struct {
+	pass        *Pass
+	creditLines map[string]map[int]bool
+}
+
+func (cw *creditWalker) walk(body *ast.BlockStmt, credited bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			// A credit directive on the line above (or line of) the literal
+			// marks the closure itself as a crediting site; otherwise it
+			// inherits the enclosing function's status — a closure written
+			// inside a crediting function is part of that crediting site
+			// (the batchWriter settle callbacks are exactly this shape).
+			cw.walk(n.Body, credited || cw.litCredited(n))
+			return false
+		case *ast.AssignStmt:
+			if n.Tok == token.ASSIGN || n.Tok == token.DEFINE {
+				return true
+			}
+			for _, lhs := range n.Lhs {
+				if sel, name, ok := cw.counterSelector(lhs); ok && !credited {
+					cw.report(sel.Pos(), name)
+				}
+			}
+		case *ast.IncDecStmt:
+			if sel, name, ok := cw.counterSelector(n.X); ok && !credited {
+				cw.report(sel.Pos(), name)
+			}
+		case *ast.CallExpr:
+			// field.Add(n) / field.Store(n) on an accounting field.
+			fun, ok := n.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if fun.Sel.Name != "Add" && fun.Sel.Name != "Store" {
+				return true
+			}
+			if sel, name, ok := cw.counterSelector(fun.X); ok && !credited {
+				cw.report(sel.Pos(), name)
+			}
+		}
+		return true
+	})
+}
+
+// litCredited reports whether a //gridlint:credit directive sits on the
+// func literal's own line or the line directly above it.
+func (cw *creditWalker) litCredited(lit *ast.FuncLit) bool {
+	pos := cw.pass.Fset.Position(lit.Pos())
+	lines := cw.creditLines[pos.Filename]
+	if lines == nil {
+		return false
+	}
+	return lines[pos.Line] || lines[pos.Line-1]
+}
+
+func (cw *creditWalker) report(pos token.Pos, field string) {
+	cw.pass.Reportf(pos, "accounting field %s accumulated outside a crediting function; annotate the enclosing function with //gridlint:credit <reason> if this is a legitimate crediting site", field)
+}
+
+// counterSelector reports whether e is a selector onto an accounting field
+// and returns the selector and field name. Package-qualified names
+// (pkg.SomeBytesVar) are not field accesses and are skipped.
+func (cw *creditWalker) counterSelector(e ast.Expr) (*ast.SelectorExpr, string, bool) {
+	sel, ok := e.(*ast.SelectorExpr)
+	if !ok {
+		return nil, "", false
+	}
+	if !isCounterField(sel.Sel.Name) {
+		return nil, "", false
+	}
+	if id, ok := sel.X.(*ast.Ident); ok && cw.pass.TypesInfo != nil {
+		if _, isPkg := cw.pass.TypesInfo.Uses[id].(*types.PkgName); isPkg {
+			return nil, "", false
+		}
+	}
+	return sel, sel.Sel.Name, true
+}

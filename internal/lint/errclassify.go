@@ -1,0 +1,137 @@
+package lint
+
+// errclassify enforces the PR 3 error taxonomy at the transport boundary.
+// That PR split connection failures into three fates — quarantine the
+// connection and resume the exchange, retry in place, or fail the attempt —
+// and encoded the split in grid's quarantineWrap classifier. The invariant:
+// an exported function that performs transport I/O directly (calls Send or
+// Recv on a connection-shaped value) must classify the resulting errors
+// before they escape, either by routing them through a classifier such as
+// quarantineWrap or by discriminating with errors.Is/errors.As against the
+// transport sentinels. A raw `return err` from a transport call strips the
+// caller of the quarantine/resume/fatal decision and resurrects the
+// pre-PR 3 behaviour where every hiccup was fatal.
+//
+// The transport package itself is exempt: it produces the sentinels the
+// taxonomy is built from.
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// ErrClassify is the transport-error classification analyzer.
+var ErrClassify = &Analyzer{
+	Name: "errclassify",
+	Doc:  "exported functions doing transport I/O must classify errors (quarantine/resume/fatal) before returning them",
+	Run:  runErrClassify,
+}
+
+// defaultClassifiers names functions that count as classification sites.
+// Overridable per run via Config["errclassify-classifiers"] (comma list).
+var defaultClassifiers = []string{"quarantineWrap"}
+
+func runErrClassify(pass *Pass) error {
+	if strings.HasSuffix(pass.Path, "internal/transport") {
+		return nil
+	}
+	classifiers := defaultClassifiers
+	if s, ok := pass.Config["errclassify-classifiers"]; ok && s != "" {
+		classifiers = strings.Split(s, ",")
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !fd.Name.IsExported() {
+				continue
+			}
+			if !returnsError(fd) {
+				continue
+			}
+			ioPos := transportIOCalls(pass, fd.Body)
+			if len(ioPos) == 0 {
+				continue
+			}
+			if classifiesErrors(fd.Body, classifiers) {
+				continue
+			}
+			pass.Reportf(ioPos[0], "exported %s performs transport I/O but returns its errors unclassified; wrap them with quarantineWrap or discriminate with errors.Is/errors.As (quarantine vs resume vs fatal)", fd.Name.Name)
+		}
+	}
+	return nil
+}
+
+// returnsError reports whether the function's results include an error.
+func returnsError(fd *ast.FuncDecl) bool {
+	if fd.Type.Results == nil {
+		return false
+	}
+	for _, field := range fd.Type.Results.List {
+		if id, ok := field.Type.(*ast.Ident); ok && id.Name == "error" {
+			return true
+		}
+	}
+	return false
+}
+
+// transportIOCalls returns the positions of direct Send/Recv calls on
+// connection-shaped values (interfaces declaring both Send and Recv) inside
+// body, in source order.
+func transportIOCalls(pass *Pass, body *ast.BlockStmt) []token.Pos {
+	var out []token.Pos
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if sel.Sel.Name != "Send" && sel.Sel.Name != "Recv" {
+			return true
+		}
+		if connLikeType(pass.TypeOf(sel.X)) {
+			out = append(out, call.Pos())
+		}
+		return true
+	})
+	return out
+}
+
+// classifiesErrors reports whether the body contains a classification
+// site: a call to one of the named classifier functions, or a call to
+// errors.Is / errors.As.
+func classifiesErrors(body *ast.BlockStmt, classifiers []string) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch fun := call.Fun.(type) {
+		case *ast.Ident:
+			for _, c := range classifiers {
+				if fun.Name == c {
+					found = true
+				}
+			}
+		case *ast.SelectorExpr:
+			if id, ok := fun.X.(*ast.Ident); ok && id.Name == "errors" &&
+				(fun.Sel.Name == "Is" || fun.Sel.Name == "As") {
+				found = true
+			}
+			for _, c := range classifiers {
+				if fun.Sel.Name == c {
+					found = true
+				}
+			}
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,185 @@
+package lint
+
+// Package loading without golang.org/x/tools: `go list -json` discovers the
+// module's packages and their file sets, go/parser parses them, and go/types
+// checks them in dependency order. Standard-library imports resolve through
+// the source importer (go/importer "source" mode), which works offline; the
+// module's own packages resolve from the packages checked earlier in the
+// same run.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// listedPackage is the subset of `go list -json` output the loader needs.
+type listedPackage struct {
+	ImportPath  string
+	Dir         string
+	Name        string
+	GoFiles     []string
+	TestGoFiles []string
+	Imports     []string
+	Standard    bool
+}
+
+// CheckedPackage is one loaded, type-checked package ready for analysis.
+type CheckedPackage struct {
+	Path      string
+	Dir       string
+	Fset      *token.FileSet
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	Files     []*ast.File
+	TestFiles []*ast.File
+	// CheckErrors collects soft type-checking problems; analysis proceeds
+	// with partial information.
+	CheckErrors []error
+}
+
+// goList runs `go list -json` in dir and decodes the package stream.
+func goList(dir string, args ...string) ([]*listedPackage, error) {
+	cmd := exec.Command("go", append([]string{"list", "-e", "-json"}, args...)...)
+	cmd.Dir = dir
+	var out, errb bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &errb
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("lint: go list %s: %v\n%s", strings.Join(args, " "), err, errb.String())
+	}
+	var pkgs []*listedPackage
+	dec := json.NewDecoder(&out)
+	for dec.More() {
+		p := new(listedPackage)
+		if err := dec.Decode(p); err != nil {
+			return nil, fmt.Errorf("lint: decode go list output: %v", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// Load lists the packages matching patterns under dir, type-checks them (and
+// their in-module dependencies) in dependency order, and returns the
+// packages matching the patterns, sorted by import path.
+func Load(dir string, patterns ...string) ([]*CheckedPackage, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	roots, err := goList(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	all, err := goList(dir, append([]string{"-deps"}, patterns...)...)
+	if err != nil {
+		return nil, err
+	}
+	byPath := make(map[string]*listedPackage, len(all))
+	for _, p := range all {
+		byPath[p.ImportPath] = p
+	}
+
+	l := &loader{
+		fset:    token.NewFileSet(),
+		listed:  byPath,
+		checked: make(map[string]*CheckedPackage),
+		std:     importer.ForCompiler(token.NewFileSet(), "source", nil),
+	}
+
+	var out []*CheckedPackage
+	for _, root := range roots {
+		if root.Standard || root.Name == "" {
+			continue
+		}
+		cp, err := l.check(root.ImportPath)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, cp)
+	}
+	return out, nil
+}
+
+// loader memoizes type-checked packages for one Load call.
+type loader struct {
+	fset    *token.FileSet
+	listed  map[string]*listedPackage
+	checked map[string]*CheckedPackage
+	std     types.Importer
+}
+
+// Import implements types.Importer: module-local packages come from this
+// run's checked set, everything else falls back to the offline source
+// importer.
+func (l *loader) Import(path string) (*types.Package, error) {
+	if lp, ok := l.listed[path]; ok && !lp.Standard {
+		cp, err := l.check(path)
+		if err != nil {
+			return nil, err
+		}
+		return cp.Pkg, nil
+	}
+	return l.std.Import(path)
+}
+
+// check parses and type-checks one module-local package, memoized.
+func (l *loader) check(path string) (*CheckedPackage, error) {
+	if cp, ok := l.checked[path]; ok {
+		return cp, nil
+	}
+	lp, ok := l.listed[path]
+	if !ok {
+		return nil, fmt.Errorf("lint: package %s not listed", path)
+	}
+	cp := &CheckedPackage{Path: path, Dir: lp.Dir, Fset: l.fset}
+	// Install the entry before recursing so an import cycle (illegal in Go,
+	// but possible in a broken tree) cannot loop forever; the type checker
+	// reports the nil package as an error instead.
+	l.checked[path] = cp
+
+	for _, name := range lp.GoFiles {
+		f, err := parser.ParseFile(l.fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("lint: parse %s: %v", name, err)
+		}
+		cp.Files = append(cp.Files, f)
+	}
+	for _, name := range lp.TestGoFiles {
+		f, err := parser.ParseFile(l.fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("lint: parse %s: %v", name, err)
+		}
+		cp.TestFiles = append(cp.TestFiles, f)
+	}
+
+	cp.TypesInfo = newTypesInfo()
+	conf := types.Config{
+		Importer: l,
+		Error:    func(err error) { cp.CheckErrors = append(cp.CheckErrors, err) },
+	}
+	pkg, err := conf.Check(path, l.fset, cp.Files, cp.TypesInfo)
+	if err != nil && pkg == nil {
+		return nil, fmt.Errorf("lint: type-check %s: %v", path, err)
+	}
+	cp.Pkg = pkg
+	return cp, nil
+}
+
+func newTypesInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+}

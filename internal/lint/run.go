@@ -1,0 +1,154 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// RunConfig parameterizes one gridlint run.
+type RunConfig struct {
+	// Config is handed to every pass (e.g. the CI workflow text under
+	// "ci-workflow").
+	Config map[string]string
+	// Analyzers defaults to the full suite.
+	Analyzers []*Analyzer
+}
+
+// Run executes the analyzers over the loaded packages and returns the
+// surviving (non-suppressed) diagnostics, deterministically ordered.
+func Run(pkgs []*CheckedPackage, cfg RunConfig) ([]Diagnostic, error) {
+	analyzers := cfg.Analyzers
+	if analyzers == nil {
+		analyzers = Analyzers()
+	}
+	var diags []Diagnostic
+	for _, cp := range pkgs {
+		ignores := collectIgnores(cp.Fset, append(append([]*ast.File(nil), cp.Files...), cp.TestFiles...))
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      cp.Fset,
+				Path:      cp.Path,
+				Pkg:       cp.Pkg,
+				TypesInfo: cp.TypesInfo,
+				Files:     cp.Files,
+				TestFiles: cp.TestFiles,
+				Config:    cfg.Config,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, err
+			}
+			for _, d := range pass.diags {
+				if !ignores.suppressed(d) {
+					diags = append(diags, d)
+				}
+			}
+		}
+	}
+	sortDiagnostics(diags)
+	return diags, nil
+}
+
+// ignoreDirective marks one //gridlint:ignore comment.
+type ignoreDirective struct {
+	file      string
+	line      int
+	analyzers map[string]bool // nil means all analyzers
+}
+
+// ignoreSet indexes ignore directives by file and line.
+type ignoreSet map[string]map[int]*ignoreDirective
+
+// suppressed reports whether a directive on the diagnostic's line or the
+// line directly above covers it.
+func (s ignoreSet) suppressed(d Diagnostic) bool {
+	lines := s[d.Position.Filename]
+	if lines == nil {
+		return false
+	}
+	for _, line := range []int{d.Position.Line, d.Position.Line - 1} {
+		if dir := lines[line]; dir != nil {
+			if dir.analyzers == nil || dir.analyzers[d.Analyzer] {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// collectIgnores scans every comment for //gridlint:ignore directives. The
+// directive form is
+//
+//	//gridlint:ignore <analyzer>[,<analyzer>...] <reason>
+//
+// An analyzer list of "*" covers the whole suite.
+func collectIgnores(fset *token.FileSet, files []*ast.File) ignoreSet {
+	set := make(ignoreSet)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, "//gridlint:ignore")
+				if !ok {
+					continue
+				}
+				fields := strings.Fields(rest)
+				dir := &ignoreDirective{}
+				if len(fields) > 0 && fields[0] != "*" {
+					dir.analyzers = make(map[string]bool)
+					for _, name := range strings.Split(fields[0], ",") {
+						dir.analyzers[name] = true
+					}
+				}
+				pos := fset.Position(c.Pos())
+				dir.file, dir.line = pos.Filename, pos.Line
+				if set[dir.file] == nil {
+					set[dir.file] = make(map[int]*ignoreDirective)
+				}
+				set[dir.file][dir.line] = dir
+			}
+		}
+	}
+	return set
+}
+
+// hasDirective reports whether the comment group contains the given
+// //gridlint:<name> directive (e.g. "credit").
+func hasDirective(doc *ast.CommentGroup, name string) bool {
+	if doc == nil {
+		return false
+	}
+	prefix := "//gridlint:" + name
+	for _, c := range doc.List {
+		if rest, ok := strings.CutPrefix(c.Text, prefix); ok {
+			if rest == "" || rest[0] == ' ' || rest[0] == '\t' {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// directiveLines indexes, per file and line, every //gridlint:<name>
+// directive so directives attached to func literals (which carry no Doc
+// comment) can be found by the line preceding the literal.
+func directiveLines(fset *token.FileSet, files []*ast.File, name string) map[string]map[int]bool {
+	out := make(map[string]map[int]bool)
+	prefix := "//gridlint:" + name
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, prefix)
+				if !ok || (rest != "" && rest[0] != ' ' && rest[0] != '\t') {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				if out[pos.Filename] == nil {
+					out[pos.Filename] = make(map[int]bool)
+				}
+				out[pos.Filename][pos.Line] = true
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,62 @@
+// Package bad blocks while holding a mutex in every way the analyzer
+// recognizes: channel send, channel receive, blocking select, WaitGroup
+// wait, transport I/O, and ranging over a channel.
+package bad
+
+import "sync"
+
+type conn interface {
+	Send(v any) error
+	Recv() (any, error)
+}
+
+type hub struct {
+	mu    sync.Mutex
+	ch    chan int
+	wg    sync.WaitGroup
+	ready bool
+}
+
+func (h *hub) sendLocked() {
+	h.mu.Lock()
+	h.ch <- 1 // want "channel send while mutex h.mu is held"
+	h.mu.Unlock()
+}
+
+func (h *hub) recvDeferred() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return <-h.ch // want "channel receive while mutex h.mu is held"
+}
+
+func (h *hub) waitLocked() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.wg.Wait() // want "WaitGroup.Wait while mutex h.mu is held"
+}
+
+func (h *hub) selectLocked() {
+	h.mu.Lock()
+	select { // want "blocking select while mutex h.mu is held"
+	case v := <-h.ch:
+		_ = v
+	}
+	h.mu.Unlock()
+}
+
+func (h *hub) drainLocked() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	total := 0
+	for v := range h.ch { // want "range over channel while mutex h.mu is held"
+		total += v
+	}
+	return total
+}
+
+func pump(c conn, mu *sync.Mutex) error {
+	mu.Lock()
+	defer mu.Unlock()
+	_, err := c.Recv() // want "blocking transport Recv while mutex mu is held"
+	return err
+}

@@ -1,0 +1,74 @@
+// Package good shows the sanctioned shapes: copy state out under the lock
+// and block after releasing it, condition-variable waits, non-blocking
+// selects, goroutines with their own lock discipline, and an explicit
+// ignore for a send the author can prove non-blocking.
+package good
+
+import "sync"
+
+type conn interface {
+	Send(v any) error
+	Recv() (any, error)
+}
+
+type hub struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	ch      chan int
+	pending int
+	ready   bool
+}
+
+func (h *hub) sendUnlocked() {
+	h.mu.Lock()
+	v := h.pending
+	h.mu.Unlock()
+	h.ch <- v
+}
+
+func (h *hub) condWait() {
+	h.mu.Lock()
+	for !h.ready {
+		h.cond.Wait()
+	}
+	h.mu.Unlock()
+}
+
+func (h *hub) tryHandoff() bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	select {
+	case h.ch <- h.pending:
+		return true
+	default:
+		return false
+	}
+}
+
+func (h *hub) spawn(c conn) {
+	h.mu.Lock()
+	h.pending++
+	h.mu.Unlock()
+	go func() {
+		_, _ = c.Recv()
+		h.ch <- 1
+	}()
+}
+
+func (h *hub) relockThenBlock(c conn) error {
+	h.mu.Lock()
+	v := h.pending
+	h.mu.Unlock()
+	err := c.Send(v)
+	h.mu.Lock()
+	h.ready = err == nil
+	h.mu.Unlock()
+	return err
+}
+
+func (h *hub) provenNonBlocking() {
+	h.mu.Lock()
+	//gridlint:ignore chansendunderlock capacity-1 channel drained by the sole receiver before this point
+	h.ch <- 1
+	h.mu.Unlock()
+}

@@ -1,0 +1,34 @@
+// Package bad accumulates accounting fields from unannotated functions:
+// enqueue-time byte crediting, ad-hoc message counting, and atomic eval
+// bumps outside any crediting site.
+package bad
+
+import "sync/atomic"
+
+type stats struct {
+	sentBytes int64
+	msgs      int
+	evals     atomic.Int64
+	label     string
+}
+
+func enqueue(st *stats, n int64) {
+	st.sentBytes += n // want "accounting field sentBytes"
+	st.msgs++         // want "accounting field msgs"
+	st.evals.Add(1)   // want "accounting field evals"
+	st.label = "ok"   // non-counter field: not flagged
+}
+
+func resetHard(st *stats) {
+	st.evals.Store(0) // want "accounting field evals"
+}
+
+func closureLeak(st *stats) func(int64) {
+	return func(n int64) {
+		st.sentBytes += n // want "accounting field sentBytes"
+	}
+}
+
+var _ = enqueue
+var _ = resetHard
+var _ = closureLeak

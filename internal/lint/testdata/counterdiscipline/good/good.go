@@ -1,0 +1,41 @@
+// Package good confines counter accumulation to annotated crediting
+// functions; snapshots and plain assignments stay unflagged.
+package good
+
+import "sync/atomic"
+
+type stats struct {
+	sentBytes int64
+	msgs      int
+	evals     atomic.Int64
+}
+
+// settle credits bytes at flush time, once the frames are on the wire.
+//
+//gridlint:credit flush-time settle: bytes counted only after the write lands
+func settle(st *stats, n int64) {
+	st.sentBytes += n
+	st.msgs++
+	st.evals.Add(1)
+}
+
+// snapshot assembles a copy; plain assignment is not accumulation.
+func snapshot(st *stats) stats {
+	var out stats
+	out.sentBytes = st.sentBytes
+	out.msgs = st.msgs
+	return out
+}
+
+// makeSettler returns a crediting callback; the directive on the literal
+// marks it as a crediting site.
+func makeSettler(st *stats) func(int64) {
+	//gridlint:credit settle callback invoked by the flusher after each write
+	return func(n int64) {
+		st.sentBytes += n
+	}
+}
+
+var _ = settle
+var _ = snapshot
+var _ = makeSettler

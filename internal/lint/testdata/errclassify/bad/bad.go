@@ -1,0 +1,20 @@
+// Package bad returns raw transport errors from exported entry points,
+// stripping callers of the quarantine/resume/fatal decision.
+package bad
+
+type conn interface {
+	Send(v any) error
+	Recv() (any, error)
+}
+
+func Pull(c conn) (any, error) {
+	v, err := c.Recv() // want "unclassified"
+	if err != nil {
+		return nil, err
+	}
+	return v, nil
+}
+
+func Push(c conn, v any) error {
+	return c.Send(v) // want "unclassified"
+}

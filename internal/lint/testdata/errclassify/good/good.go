@@ -1,0 +1,55 @@
+// Package good classifies transport errors before they escape: either by
+// discriminating with errors.Is against the sentinels, or by routing the
+// error through a classifier. Unexported helpers are exempt — the
+// classification duty sits on the exported boundary.
+package good
+
+import (
+	"errors"
+	"io"
+)
+
+type conn interface {
+	Send(v any) error
+	Recv() (any, error)
+}
+
+// errQuarantined stands in for the grid package's ErrConnQuarantined.
+var errQuarantined = errors.New("connection quarantined")
+
+// quarantineWrap classifies a transport fault.
+func quarantineWrap(err error) error {
+	if err == nil {
+		return nil
+	}
+	if errors.Is(err, io.EOF) {
+		return errQuarantined
+	}
+	return err
+}
+
+func Pull(c conn) (any, error) {
+	v, err := c.Recv()
+	if err != nil {
+		if errors.Is(err, io.EOF) {
+			return nil, errQuarantined
+		}
+		return nil, err
+	}
+	return v, nil
+}
+
+func Push(c conn, v any) error {
+	if err := c.Send(v); err != nil {
+		return quarantineWrap(err)
+	}
+	return nil
+}
+
+// pull is unexported: raw errors are fine below the exported boundary.
+func pull(c conn) error {
+	_, err := c.Recv()
+	return err
+}
+
+var _ = pull

@@ -1,0 +1,32 @@
+// Package bad violates every wireexhaustive clause: an undispatched wire
+// constant, no decoder manifest, a decoder with no fuzz target, and a
+// fuzzed decoder missing from the CI workflow.
+package bad
+
+const (
+	msgPing uint8 = iota + 1 // want "no wireDecoderFor manifest"
+	msgPong                  // want "never matched"
+)
+
+func dispatch(kind uint8) bool {
+	switch kind {
+	case msgPing:
+		return true
+	}
+	return false
+}
+
+func decodePing(b []byte) (byte, error) { // want "no FuzzDecodePing fuzz target"
+	if len(b) == 0 {
+		return 0, nil
+	}
+	return b[0], nil
+}
+
+func decodeSettle(b []byte) (int, error) { // want "not registered in the CI workflow"
+	return len(b), nil
+}
+
+var _ = dispatch
+var _ = decodePing
+var _ = decodeSettle

@@ -1,0 +1,42 @@
+// Package good satisfies wireexhaustive: every constant is dispatched
+// (including via a boolean-switch comparison), the manifest is total, and
+// every decoder has a fuzz target registered in CI.
+package good
+
+const (
+	msgPing uint8 = iota + 1
+	msgPong
+	msgSettle
+)
+
+// wireDecoderFor maps each wire kind to its payload decoder; "" marks kinds
+// whose payload is empty.
+var wireDecoderFor = map[uint8]string{
+	msgPing:   "decodePing",
+	msgPong:   "",
+	msgSettle: "decodeSettle",
+}
+
+func dispatch(kind uint8) bool {
+	switch kind {
+	case msgPing, msgPong:
+		return true
+	}
+	return kind == msgSettle
+}
+
+func decodePing(b []byte) (byte, error) {
+	if len(b) == 0 {
+		return 0, nil
+	}
+	return b[0], nil
+}
+
+func decodeSettle(b []byte) (int, error) {
+	return len(b), nil
+}
+
+var _ = dispatch
+var _ = wireDecoderFor
+var _ = decodePing
+var _ = decodeSettle

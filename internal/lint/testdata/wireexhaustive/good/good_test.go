@@ -1,0 +1,15 @@
+package good
+
+import "testing"
+
+func FuzzDecodePing(f *testing.F) {
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_, _ = decodePing(data)
+	})
+}
+
+func FuzzDecodeSettle(f *testing.F) {
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_, _ = decodeSettle(data)
+	})
+}

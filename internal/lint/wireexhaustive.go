@@ -1,0 +1,238 @@
+package lint
+
+// wireexhaustive guards the wire-protocol surface. PR 4 and PR 5 both
+// extended the wire (header CRCs, hello handshakes) and each time the fuzz
+// targets and dispatch switches were extended by hand, with review as the
+// only check. This analyzer closes that loop mechanically. For every
+// package that declares msgXxx wire constants it enforces:
+//
+//  1. Every msgXxx constant is matched somewhere in non-test code — as a
+//     switch case or in an ==/!= comparison — so an unhandled kind cannot
+//     reach a default: branch as a silent protocol violation.
+//  2. The package declares a wireDecoderFor manifest mapping every msgXxx
+//     constant to the in-package decoder that parses its payload ("" for
+//     kinds whose payload is empty or decoded by another package), and the
+//     manifest is total.
+//  3. Every declared decode function (decodeXxx) has a FuzzDecode* fuzz
+//     target declared in the package's test files AND registered in the CI
+//     workflow, so a new decoder cannot ship unfuzzed.
+
+import (
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// WireExhaustive is the wire-protocol exhaustiveness analyzer.
+var WireExhaustive = &Analyzer{
+	Name: "wireexhaustive",
+	Doc:  "wire message constants must be dispatched, listed in the decoder manifest, and their decoders fuzzed in CI",
+	Run:  runWireExhaustive,
+}
+
+// wireConstRx matches wire message kind constants.
+var wireConstRx = regexp.MustCompile(`^msg[A-Z]`)
+
+// decoderRx matches payload decode entry points.
+var decoderRx = regexp.MustCompile(`^decode[A-Z]`)
+
+// wireManifestName is the required decoder manifest variable.
+const wireManifestName = "wireDecoderFor"
+
+func runWireExhaustive(pass *Pass) error {
+	consts := wireConstants(pass.Files)
+	decoders := declaredFuncs(pass.Files, decoderRx)
+	if len(consts) == 0 && len(decoders) == 0 {
+		return nil
+	}
+
+	dispatched := dispatchedIdents(pass.Files)
+	manifest, manifestPos := wireManifest(pass.Files)
+
+	for _, c := range consts {
+		if !dispatched[c.Name] {
+			pass.Reportf(c.Pos, "wire constant %s is never matched in a dispatch switch or comparison; an incoming frame of this kind would hit a default branch", c.Name)
+		}
+	}
+	if len(consts) > 0 {
+		if manifest == nil {
+			pass.Reportf(consts[0].Pos, "package declares wire message constants but no %s manifest mapping each kind to its payload decoder", wireManifestName)
+		} else {
+			for _, c := range consts {
+				if _, ok := manifest[c.Name]; !ok {
+					pass.Reportf(manifestPos, "%s manifest is missing wire constant %s", wireManifestName, c.Name)
+				}
+			}
+			for name, entry := range manifest {
+				if entry.decoder != "" {
+					if _, ok := decoders[entry.decoder]; !ok {
+						pass.Reportf(entry.pos, "%s names decoder %q for %s, but no such function is declared in this package", wireManifestName, entry.decoder, name)
+					}
+				}
+			}
+		}
+	}
+
+	// Every decoder must be fuzzed: a FuzzDecodeXxx target in the package's
+	// test files, registered in the CI workflow's fuzz step.
+	fuzzDecls := declaredFuncs(pass.TestFiles, regexp.MustCompile(`^FuzzDecode`))
+	ci, haveCI := pass.Config["ci-workflow"]
+	for name, pos := range decoders {
+		target := "FuzzDecode" + strings.TrimPrefix(name, "decode")
+		if _, ok := fuzzDecls[target]; !ok {
+			pass.Reportf(pos, "decoder %s has no %s fuzz target; wire decoders face attacker-controlled bytes and must be fuzzed", name, target)
+			continue
+		}
+		if haveCI && !fuzzTargetRegistered(ci, target) {
+			pass.Reportf(pos, "fuzz target %s exists but is not registered in the CI workflow's fuzz step", target)
+		}
+	}
+	return nil
+}
+
+// wireConst is one msgXxx constant declaration.
+type wireConst struct {
+	Name string
+	Pos  token.Pos
+}
+
+func wireConstants(files []*ast.File) []wireConst {
+	var out []wireConst
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.CONST {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, name := range vs.Names {
+					if wireConstRx.MatchString(name.Name) {
+						out = append(out, wireConst{Name: name.Name, Pos: name.Pos()})
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// declaredFuncs maps names of top-level functions matching rx to their
+// positions.
+func declaredFuncs(files []*ast.File, rx *regexp.Regexp) map[string]token.Pos {
+	out := make(map[string]token.Pos)
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv != nil {
+				continue
+			}
+			if rx.MatchString(fd.Name.Name) {
+				out[fd.Name.Name] = fd.Name.Pos()
+			}
+		}
+	}
+	return out
+}
+
+// dispatchedIdents collects identifiers appearing in dispatch positions:
+// switch case expressions and ==/!= comparisons. Both forms occur in this
+// codebase — tag switches over msg.Type and boolean switches whose cases
+// compare phase and type.
+func dispatchedIdents(files []*ast.File) map[string]bool {
+	out := make(map[string]bool)
+	record := func(e ast.Expr) {
+		// A dispatch expression may itself be a comparison (boolean switch
+		// cases); collect idents from comparisons at any depth.
+		ast.Inspect(e, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok {
+				out[id.Name] = true
+			}
+			return true
+		})
+	}
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CaseClause:
+				for _, e := range n.List {
+					record(e)
+				}
+			case *ast.BinaryExpr:
+				if n.Op == token.EQL || n.Op == token.NEQ {
+					record(n.X)
+					record(n.Y)
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// manifestEntry is one wireDecoderFor key/value pair.
+type manifestEntry struct {
+	decoder string
+	pos     token.Pos
+}
+
+// wireManifest locates the wireDecoderFor map literal and decodes its
+// entries: keys must be msgXxx identifiers, values string literals naming
+// in-package decoders (or "" for kinds without one).
+func wireManifest(files []*ast.File) (map[string]manifestEntry, token.Pos) {
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					if name.Name != wireManifestName || i >= len(vs.Values) {
+						continue
+					}
+					cl, ok := vs.Values[i].(*ast.CompositeLit)
+					if !ok {
+						continue
+					}
+					out := make(map[string]manifestEntry)
+					for _, elt := range cl.Elts {
+						kv, ok := elt.(*ast.KeyValueExpr)
+						if !ok {
+							continue
+						}
+						key, ok := kv.Key.(*ast.Ident)
+						if !ok {
+							continue
+						}
+						entry := manifestEntry{pos: kv.Pos()}
+						if lit, ok := kv.Value.(*ast.BasicLit); ok && lit.Kind == token.STRING {
+							if s, err := strconv.Unquote(lit.Value); err == nil {
+								entry.decoder = s
+							}
+						}
+						out[key.Name] = entry
+					}
+					return out, name.Pos()
+				}
+			}
+		}
+	}
+	return nil, token.NoPos
+}
+
+// fuzzTargetRegistered reports whether the CI workflow text invokes the
+// given fuzz target (e.g. `-fuzz FuzzDecodeHello`).
+func fuzzTargetRegistered(workflow, target string) bool {
+	rx := regexp.MustCompile(`\b` + regexp.QuoteMeta(target) + `\b`)
+	return rx.MatchString(workflow)
+}

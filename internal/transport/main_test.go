@@ -1,0 +1,11 @@
+package transport
+
+import (
+	"testing"
+
+	"uncheatgrid/internal/leakcheck"
+)
+
+// TestMain fails the package when any test leaves a goroutine behind: pipe
+// shovels and TCP accept loops must be joined by Close.
+func TestMain(m *testing.M) { leakcheck.VerifyTestMain(m) }

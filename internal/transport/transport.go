@@ -101,11 +101,17 @@ func (s *Stats) MsgsSent() int64 { return s.msgsSent.Load() }
 // MsgsRecv reports the number of messages received.
 func (s *Stats) MsgsRecv() int64 { return s.msgsRecv.Load() }
 
+// recordSend credits one sent frame to the connection counters.
+//
+//gridlint:credit the transport layer owns its connection counters
 func (s *Stats) recordSend(m Message) {
 	s.bytesSent.Add(m.FrameSize())
 	s.msgsSent.Add(1)
 }
 
+// recordRecv credits one received frame to the connection counters.
+//
+//gridlint:credit the transport layer owns its connection counters
 func (s *Stats) recordRecv(m Message) {
 	s.bytesRecv.Add(m.FrameSize())
 	s.msgsRecv.Add(1)
