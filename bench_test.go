@@ -9,7 +9,6 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
-	"runtime"
 	"sync"
 	"testing"
 	"time"
@@ -245,7 +244,9 @@ func BenchmarkTreeBuild(b *testing.B) {
 // BenchmarkMerkleBuildParallel compares the sequential and parallel tree
 // builders at n = 2^16 and 2^18 — the bottom layer of the concurrent
 // verification engine. The parallel root is bit-identical to the
-// sequential one; only the construction schedule differs.
+// sequential one; only the construction schedule differs. Allocation
+// counts are part of the contract: the arena-backed build allocates
+// O(tree depth), not O(n).
 func BenchmarkMerkleBuildParallel(b *testing.B) {
 	f := benchWorkload(6)
 	for _, n := range []int{1 << 16, 1 << 18} {
@@ -255,20 +256,62 @@ func BenchmarkMerkleBuildParallel(b *testing.B) {
 		}
 		at := func(i int) []byte { return values[i] }
 		b.Run(fmt.Sprintf("n=%d/sequential", n), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := BuildMerkleTreeFunc(n, at); err != nil {
 					b.Fatal(err)
 				}
 			}
 		})
-		b.Run(fmt.Sprintf("n=%d/parallel-p%d", n, runtime.NumCPU()), func(b *testing.B) {
+		for _, p := range []int{1, 2, 4} {
+			b.Run(fmt.Sprintf("n=%d/parallel-p%d", n, p), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := BuildMerkleTreeFunc(n, at,
+						WithMerkleParallelism(p)); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkMerkleStreamBuild measures the one-pass commitment stream — the
+// participant path that never holds the leaf set in memory — serial versus
+// sharded across worker goroutines. Roots are bit-identical in every mode.
+// The serial fast path is allocation-free per Add; build-wide allocations
+// stay O(depth + shards).
+func BenchmarkMerkleStreamBuild(b *testing.B) {
+	f := benchWorkload(6)
+	for _, n := range []int{1 << 16, 1 << 18} {
+		values := make([][]byte, n)
+		for i := range values {
+			values[i] = f.Eval(uint64(i))
+		}
+		run := func(b *testing.B, opts ...MerkleOption) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				if _, err := BuildMerkleTreeFunc(n, at,
-					WithMerkleParallelism(runtime.NumCPU())); err != nil {
+				sb, err := NewMerkleStreamBuilder(n, opts...)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, v := range values {
+					if err := sb.Add(v); err != nil {
+						b.Fatal(err)
+					}
+				}
+				if _, err := sb.Root(); err != nil {
 					b.Fatal(err)
 				}
 			}
-		})
+		}
+		b.Run(fmt.Sprintf("n=%d/serial", n), func(b *testing.B) { run(b) })
+		for _, p := range []int{1, 2, 4} {
+			b.Run(fmt.Sprintf("n=%d/sharded-p%d", n, p), func(b *testing.B) {
+				run(b, WithMerkleParallelism(p))
+			})
+		}
 	}
 }
 

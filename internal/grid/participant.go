@@ -296,6 +296,9 @@ func (ps *participantSession) handleFrame(frame transport.Message) error {
 			ErrUnexpectedMessage, ps.p.id, frame.Type)
 	}
 	msgs, err := decodeBatch(frame.Payload)
+	// decodeBatch copies every sub-payload out of the frame buffer, so the
+	// buffer is dead on both outcomes and goes back to the receive pool.
+	transport.RecyclePayload(frame.Payload)
 	if err != nil {
 		return fmt.Errorf("grid: participant %s: %w", ps.p.id, err)
 	}

@@ -73,6 +73,12 @@ type batchWriter struct {
 	mu       sync.Mutex
 	err      error
 	overhead int64
+
+	// batchScratch and msgScratch are reused across loop iterations and
+	// flushes. Only the writer goroutine touches them, and flush copies
+	// every byte into the encoded frame before returning, so reuse is safe.
+	batchScratch []outMsg
+	msgScratch   []taggedMsg
 }
 
 func newBatchWriter(conn transport.Conn, onFail func(error)) *batchWriter {
@@ -99,7 +105,7 @@ func (w *batchWriter) loop() {
 				return
 			}
 		}
-		batch := []outMsg{first}
+		batch := append(w.batchScratch[:0], first)
 		size := first.tm.wireSize()
 	coalesce:
 		for len(batch) < maxBatchMsgs && size < batchTargetBytes {
@@ -122,6 +128,7 @@ func (w *batchWriter) loop() {
 			}
 		}
 		w.flush(batch)
+		w.batchScratch = batch[:0]
 	}
 }
 
@@ -139,10 +146,11 @@ func (w *batchWriter) flush(batch []outMsg) {
 		}
 		return
 	}
-	msgs := make([]taggedMsg, len(batch))
-	for i, m := range batch {
-		msgs[i] = m.tm
+	msgs := w.msgScratch[:0]
+	for _, m := range batch {
+		msgs = append(msgs, m.tm)
 	}
+	w.msgScratch = msgs[:0]
 	frame := transport.Message{Type: msgBatch, Payload: encodeBatch(msgs)}
 	if err := w.conn.Send(frame); err != nil {
 		w.fail(err)
@@ -435,6 +443,11 @@ func (s *Session) routeLocked(frame transport.Message, arrived int64) error {
 		return fmt.Errorf("%w: session got frame type %d, want batch", ErrUnexpectedMessage, frame.Type)
 	}
 	msgs, err := decodeBatch(frame.Payload)
+	// decodeBatch copies every sub-payload out of the frame buffer, so the
+	// buffer is dead on both outcomes and goes back to the receive pool.
+	// The arrived bytes were credited from the connection counter before
+	// this point; recycling never touches accounting.
+	transport.RecyclePayload(frame.Payload)
 	if err != nil {
 		s.recvOverhead += arrived
 		return err

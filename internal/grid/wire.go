@@ -169,16 +169,25 @@ const maxBatchMsgs = 1 << 16
 // a peer protocol violation.
 const batchChecksumLen = 4
 
+// encodeBatch writes the frame in one exact-size allocation: wireSize is an
+// exact encoder-length oracle, so no bytes.Buffer growth, no checksum
+// placeholder, and no copy-out are needed. Batch encoding sits on the flush
+// hot path of every pipelined session.
 func encodeBatch(msgs []taggedMsg) []byte {
-	var buf bytes.Buffer
-	buf.Write(make([]byte, batchChecksumLen)) // checksum placeholder
-	putUvarint(&buf, uint64(len(msgs)))
+	size := batchChecksumLen + uvarintLen(uint64(len(msgs)))
 	for _, m := range msgs {
-		putUvarint(&buf, m.TaskID)
-		buf.WriteByte(m.Type)
-		putBytes(&buf, m.Payload)
+		size += int(m.wireSize())
 	}
-	out := buf.Bytes()
+	out := make([]byte, size)
+	off := batchChecksumLen
+	off += binary.PutUvarint(out[off:], uint64(len(msgs)))
+	for _, m := range msgs {
+		off += binary.PutUvarint(out[off:], m.TaskID)
+		out[off] = m.Type
+		off++
+		off += binary.PutUvarint(out[off:], uint64(len(m.Payload)))
+		off += copy(out[off:], m.Payload)
+	}
 	binary.LittleEndian.PutUint32(out[:batchChecksumLen], crc32.ChecksumIEEE(out[batchChecksumLen:]))
 	return out
 }

@@ -1,0 +1,130 @@
+//go:build !race
+
+package merkle
+
+import (
+	"bytes"
+	"testing"
+)
+
+// The allocation regressions pinned here are the point of the arena /
+// reusable-digest design: combine-per-node and StreamBuilder.Add must stay
+// allocation-free in steady state, and a full Build must allocate O(depth),
+// not O(leaves). The file is excluded from race builds because the race
+// runtime adds its own allocations.
+
+func TestCombineIntoZeroAlloc(t *testing.T) {
+	hs := newHashers(buildOptions(nil))
+	if hs.fixedLen == 0 {
+		t.Fatal("default hasher should have a fixed digest size")
+	}
+	nh := hs.node()
+	left := bytes.Repeat([]byte{0x11}, hs.fixedLen)
+	right := bytes.Repeat([]byte{0x22}, hs.fixedLen)
+	dst := make([]byte, 0, hs.fixedLen)
+	allocs := testing.AllocsPerRun(100, func() {
+		dst = nh.combineInto(dst[:0], left, right)
+	})
+	if allocs != 0 {
+		t.Fatalf("combineInto allocates %.1f per call, want 0", allocs)
+	}
+	if want := hs.combine(left, right); !bytes.Equal(dst, want) {
+		t.Fatalf("combineInto digest %x != combine digest %x", dst, want)
+	}
+}
+
+func TestCombineIntoAliasedDst(t *testing.T) {
+	// The merge cascade reuses a row that may alias an input; both children
+	// are absorbed into the hash state before dst is written, so the digest
+	// must not change when dst overlaps left.
+	hs := newHashers(buildOptions(nil))
+	nh := hs.node()
+	left := bytes.Repeat([]byte{0x33}, hs.fixedLen)
+	right := bytes.Repeat([]byte{0x44}, hs.fixedLen)
+	want := hs.combine(left, right)
+	got := nh.combineInto(left[:0], left, right)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("aliased combineInto %x != combine %x", got, want)
+	}
+}
+
+func TestStreamBuilderAddZeroAllocSteadyState(t *testing.T) {
+	const n = 1 << 10
+	values := leafValues(n)
+	// AllocsPerRun calls the function runs+1 times (one warm-up); each call
+	// consumes one pre-built builder so Add's own cost is all that is
+	// measured.
+	const runs = 5
+	builders := make([]*StreamBuilder, runs+1)
+	for i := range builders {
+		b, err := NewStreamBuilder(n)
+		if err != nil {
+			t.Fatalf("NewStreamBuilder: %v", err)
+		}
+		builders[i] = b
+	}
+	idx := 0
+	allocs := testing.AllocsPerRun(runs, func() {
+		b := builders[idx]
+		idx++
+		for _, v := range values {
+			if err := b.Add(v); err != nil {
+				t.Fatalf("Add: %v", err)
+			}
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("StreamBuilder.Add allocates %.1f per %d-leaf stream, want 0", allocs, n)
+	}
+}
+
+func TestBuildAllocsAreDepthBound(t *testing.T) {
+	const n = 1 << 14
+	values := leafValues(n)
+	at := func(i int) []byte { return values[i] }
+	allocs := testing.AllocsPerRun(3, func() {
+		if _, err := BuildFunc(n, at); err != nil {
+			t.Fatalf("BuildFunc: %v", err)
+		}
+	})
+	// A handful of fixed allocations (nodes slice, arena slab, tree header,
+	// hash states) — O(depth) at worst, never O(leaves). The seed build
+	// allocated ~4 per leaf (65536+ here).
+	if allocs > 16 {
+		t.Fatalf("Build of %d leaves allocates %.0f, want <= 16", n, allocs)
+	}
+}
+
+func TestVariableHasherFallbackStillCorrect(t *testing.T) {
+	// Custom hashers with variable digest sizes take the allocating path;
+	// tree, stream, and proofs must stay mutually consistent there.
+	const n = 37
+	values := leafValues(n)
+	tree, err := Build(values, WithHasher(newVariableHash))
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	b, err := NewStreamBuilder(n, WithHasher(newVariableHash))
+	if err != nil {
+		t.Fatalf("NewStreamBuilder: %v", err)
+	}
+	for _, v := range values {
+		if err := b.Add(v); err != nil {
+			t.Fatalf("Add: %v", err)
+		}
+	}
+	streamRoot, err := b.Root()
+	if err != nil {
+		t.Fatalf("Root: %v", err)
+	}
+	if !bytes.Equal(streamRoot, tree.Root()) {
+		t.Fatalf("fallback stream root %x != tree root %x", streamRoot, tree.Root())
+	}
+	proof, err := tree.Prove(n / 2)
+	if err != nil {
+		t.Fatalf("Prove: %v", err)
+	}
+	if err := Verify(tree.Root(), proof, WithHasher(newVariableHash)); err != nil {
+		t.Fatalf("fallback proof rejected: %v", err)
+	}
+}

@@ -36,9 +36,13 @@ type PartialTree struct {
 	// the experiments use it to measure rco.
 	rebuiltLeaves atomic.Int64
 
-	mu sync.Mutex // serializes the scratch buffer below
-	// scratch is a reusable buffer for subtree rebuilds (2*blockSize slots).
-	scratch [][]byte
+	mu sync.Mutex // serializes the scratch state below
+	// scratch is a reusable buffer for subtree rebuilds (2*blockSize slots);
+	// with a fixed-size hash its internal-node digests live in scratchArena
+	// rows and nh is the reusable hash state, so a rebuild allocates nothing.
+	scratch      [][]byte
+	scratchArena []byte
+	nh           *nodeHasher
 }
 
 // NewPartial builds a partial tree over n leaves whose values are produced
@@ -147,10 +151,11 @@ func (p *PartialTree) Prove(i int) (*Proof, error) {
 }
 
 // subtreeRoot computes the root of block b. When counted is true the leaf
-// evaluations are added to the rebuild accounting.
+// evaluations are added to the rebuild accounting. The root is cloned out of
+// the scratch state, which the next rebuild overwrites.
 func (p *PartialTree) subtreeRoot(b int, counted bool) []byte {
 	sub := p.fillSubtree(b, counted)
-	return sub[1]
+	return cloneBytes(sub[1])
 }
 
 // rebuildSubtree recomputes the full node set of block b into the scratch
@@ -175,10 +180,26 @@ func rebuildWorkers(requested, blockSize int) int {
 	return requested
 }
 
+// ensureScratch lazily builds the reusable rebuild state: the node-slot
+// buffer, the arena rows backing internal digests, and the hash state. Lazy
+// so snapshot-restored trees get it on first use under p.mu.
+func (p *PartialTree) ensureScratch() {
+	if p.scratch == nil {
+		p.scratch = make([][]byte, 2*p.blockSize)
+	}
+	if p.nh == nil {
+		p.nh = p.hs.node()
+	}
+	if p.scratchArena == nil {
+		p.scratchArena = newNodeArena(p.hs, p.blockSize)
+	}
+}
+
 // fillSubtree populates the scratch buffer with the heap-layout subtree of
 // block b. Leaves beyond n take the pad digest. Callers must hold p.mu (or
 // be the constructor, which runs before the tree is shared).
 func (p *PartialTree) fillSubtree(b int, counted bool) [][]byte {
+	p.ensureScratch()
 	sub := p.scratch
 	base := b * p.blockSize
 	if p.workers > 1 {
@@ -197,7 +218,7 @@ func (p *PartialTree) fillSubtree(b int, counted bool) [][]byte {
 		}
 	}
 	for i := p.blockSize - 1; i >= 1; i-- {
-		sub[i] = p.hs.combine(sub[2*i], sub[2*i+1])
+		sub[i] = p.nh.combineInto(arenaRow(p.scratchArena, p.hs.fixedLen, i), sub[2*i], sub[2*i+1])
 	}
 	return sub
 }
@@ -219,6 +240,9 @@ func (p *PartialTree) fillSubtreeParallel(sub [][]byte, base int, counted bool) 
 	for s := 0; s < shards; s++ {
 		go func(s int) {
 			defer wg.Done()
+			// Per-goroutine hash state; the arena rows written here are the
+			// shard's own subtree nodes, disjoint from every other shard.
+			nh := p.hs.node()
 			lo := s * span
 			for j := lo; j < lo+span; j++ {
 				idx := base + j
@@ -234,14 +258,14 @@ func (p *PartialTree) fillSubtreeParallel(sub [][]byte, base int, counted bool) 
 			root := (p.blockSize + lo) / span
 			for w := span / 2; w >= 1; w /= 2 {
 				for q := root * w; q < (root+1)*w; q++ {
-					sub[q] = p.hs.combine(sub[2*q], sub[2*q+1])
+					sub[q] = nh.combineInto(arenaRow(p.scratchArena, p.hs.fixedLen, q), sub[2*q], sub[2*q+1])
 				}
 			}
 		}(s)
 	}
 	wg.Wait()
 	for i := shards - 1; i >= 1; i-- {
-		sub[i] = p.hs.combine(sub[2*i], sub[2*i+1])
+		sub[i] = p.nh.combineInto(arenaRow(p.scratchArena, p.hs.fixedLen, i), sub[2*i], sub[2*i+1])
 	}
 }
 

@@ -41,15 +41,27 @@ func RootFromProof(p *Proof, opts ...Option) ([]byte, error) {
 		return nil, err
 	}
 	hs := newHashers(buildOptions(opts))
+	nh := hs.node()
+	// One scratch digest serves the whole climb: combineInto absorbs its
+	// inputs before writing, so cur may alias the scratch it is rewritten
+	// into. The fallback (fixedLen == 0) allocates per level as before.
+	var scratch []byte
+	if hs.fixedLen > 0 {
+		scratch = make([]byte, 0, hs.fixedLen)
+	}
 	cur := p.Value
 	pos := nextPow2(p.N) + p.Index
 	for _, sib := range p.Siblings {
 		if pos&1 == 0 {
-			cur = hs.combine(cur, sib)
+			cur = nh.combineInto(scratch, cur, sib)
 		} else {
-			cur = hs.combine(sib, cur)
+			cur = nh.combineInto(scratch, sib, cur)
 		}
 		pos /= 2
+	}
+	if hs.fixedLen > 0 && len(p.Siblings) > 0 {
+		// Detach the result from the scratch buffer before handing it out.
+		cur = cloneBytes(cur)
 	}
 	return cur, nil
 }

@@ -141,10 +141,17 @@ func ReadSnapshot(r io.Reader, leafAt func(i int) []byte, opts ...Option) (*Part
 		scratch:   make([][]byte, 2*blockSize),
 	}
 	// Validate internal consistency of the persisted top levels: every
-	// stored internal node must hash its children.
+	// stored internal node must hash its children. One reusable digest
+	// serves the whole sweep — each value is compared before the next
+	// overwrite.
+	nh := hs.node()
+	var scratch []byte
+	if hs.fixedLen > 0 {
+		scratch = make([]byte, 0, hs.fixedLen)
+	}
 	numBlocks := len(top) / 2
 	for i := numBlocks - 1; i >= 1; i-- {
-		want := hs.combine(top[2*i], top[2*i+1])
+		want := nh.combineInto(scratch, top[2*i], top[2*i+1])
 		if !bytes.Equal(top[i], want) {
 			return nil, fmt.Errorf("%w: node %d does not hash its children", ErrBadSnapshot, i)
 		}

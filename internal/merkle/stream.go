@@ -14,39 +14,120 @@ var (
 	ErrIncomplete = errors.New("merkle: not all declared leaves were added")
 )
 
+// streamShardBuffer is the per-shard channel depth of a sharded builder:
+// deep enough to keep workers busy while the producer runs ahead, shallow
+// enough to bound buffered leaf references.
+const streamShardBuffer = 256
+
 // StreamBuilder computes the Merkle root of an n-leaf tree in a single
 // left-to-right pass using O(log n) memory. Participants with domains far
 // larger than RAM (the paper discusses |D| = 2^40) use it to produce the
 // commitment without materializing the tree; proofs are then served by a
 // PartialTree that rebuilds subtrees on demand (Section 3.3).
+//
+// With the default fixed-size hash the builder is allocation-free in steady
+// state: every internal digest is written into one of two ping-pong rows per
+// level of a small arena allocated up front. Leaf values are retained by
+// reference until absorbed into a digest (at the latest, the next Add), so
+// callers must not mutate a value after passing it to Add.
 type StreamBuilder struct {
 	n     int
 	added int
 	cap   int
-	// stack holds pending subtree roots in strictly descending height
-	// order; levels[i] is the height of the subtree rooted at stack[i].
-	// Adjacent completed subtrees of equal height merge eagerly, so the
-	// stack never exceeds log2(cap)+1 entries.
+	depth int
+	hs    hashers
+	root  []byte
+
+	// Serial fast path (fixed-size digests). pending[L] holds the root of a
+	// completed height-L subtree awaiting its right sibling; slot occupancy
+	// mirrors the binary representation of added (bit L set <=> pending[L]
+	// occupied), exactly the classic binary-counter formulation of the
+	// O(log n) stack. Digests for levels >= 1 live in two alternating arena
+	// rows per level, so a merge cascade never writes a row that still holds
+	// a live pending digest.
+	pending [][]byte
+	flip    []uint8
+	arena   []byte
+	nh      *nodeHasher
+
+	// Allocating fallback for variable-size hashers: pending subtree roots
+	// in strictly descending height order; levels[i] is the height of the
+	// subtree rooted at stack[i].
 	stack  [][]byte
 	levels []int
-	hs     hashers
-	root   []byte
+
+	// Sharded mode (WithParallelism): the padded leaf range is split into
+	// aligned power-of-two spans, each consumed by a worker running its own
+	// serial builder; Root merges the shard frontiers. closed records that
+	// the shard inputs have been closed, so a retried finalization can never
+	// close a channel twice.
+	shards   []*streamShard
+	span     int
+	padTable [][]byte
+	closed   bool
 }
 
 // NewStreamBuilder prepares a builder for exactly n leaves.
+//
+// WithParallelism(p) shards the stream: the padded leaf range is split into
+// nextPow2(p) aligned power-of-two subtree spans, each fed over a buffered
+// channel to a worker goroutine running the serial O(log n) builder on its
+// span, and Root merges the shard roots. The root is bit-identical to the
+// serial builder's. Unlike Build there is no NumCPU clamp or minimum size —
+// sharding is an explicit per-builder opt-in — but a sharded builder owns
+// worker goroutines: callers must finish the stream and call Root to release
+// them. Leaf values are absorbed asynchronously in sharded mode, so a caller
+// must never mutate a value after Add, even on the next iteration.
 func NewStreamBuilder(n int, opts ...Option) (*StreamBuilder, error) {
 	if n <= 0 {
 		return nil, ErrEmptyTree
 	}
+	o := buildOptions(opts)
+	hs := newHashers(o)
+	capacity := nextPow2(n)
+	if shards := streamShards(o.parallelism, capacity); shards > 1 {
+		b := &StreamBuilder{n: n, cap: capacity, depth: log2(capacity), hs: hs}
+		b.startShards(shards)
+		return b, nil
+	}
+	return newSerialStream(n, hs), nil
+}
+
+// newSerialStream builds the serial engine (fast pending-slot path for
+// fixed-size digests, allocating stack fallback otherwise).
+func newSerialStream(n int, hs hashers) *StreamBuilder {
 	capacity := nextPow2(n)
 	depth := log2(capacity)
-	return &StreamBuilder{
-		n:      n,
-		cap:    capacity,
-		stack:  make([][]byte, 0, depth+1),
-		levels: make([]int, 0, depth+1),
-		hs:     newHashers(buildOptions(opts)),
-	}, nil
+	b := &StreamBuilder{n: n, cap: capacity, depth: depth, hs: hs}
+	if hs.fixedLen > 0 {
+		b.pending = make([][]byte, depth+1)
+		b.flip = make([]uint8, depth+1)
+		if depth > 0 {
+			b.arena = make([]byte, 2*depth*hs.fixedLen)
+		}
+		b.nh = hs.node()
+	} else {
+		b.stack = make([][]byte, 0, depth+1)
+		b.levels = make([]int, 0, depth+1)
+	}
+	return b
+}
+
+// streamShards resolves the shard count for a sharded stream build: the
+// requested parallelism rounded up to a power of two (spans must be aligned
+// subtrees), clamped so every shard owns at least two leaves.
+func streamShards(requested, capacity int) int {
+	if requested <= 1 {
+		return 1
+	}
+	s := nextPow2(requested)
+	if s > capacity/2 {
+		s = capacity / 2
+	}
+	if s < 2 {
+		return 1
+	}
+	return s
 }
 
 // Add appends the next leaf value (leaves must arrive in index order).
@@ -57,7 +138,16 @@ func (b *StreamBuilder) Add(value []byte) error {
 	if b.added >= b.n {
 		return ErrTooManyLeaves
 	}
-	b.push(value, 0)
+	switch {
+	case b.shards != nil:
+		// Leaves arrive in index order, so shards fill strictly left to
+		// right; validation above means shard Adds cannot fail.
+		b.shards[b.added/b.span].ch <- value
+	case b.pending != nil:
+		b.pushFast(value)
+	default:
+		b.push(value, 0)
+	}
 	b.added++
 	return nil
 }
@@ -73,6 +163,22 @@ func (b *StreamBuilder) Root() ([]byte, error) {
 		return nil, fmt.Errorf("%w: have %d of %d", ErrIncomplete, b.added, b.n)
 	}
 	if b.root == nil {
+		root, err := b.finalize()
+		if err != nil {
+			return nil, err
+		}
+		b.root = root
+	}
+	return cloneBytes(b.root), nil
+}
+
+func (b *StreamBuilder) finalize() ([]byte, error) {
+	switch {
+	case b.shards != nil:
+		return b.finalizeShards()
+	case b.pending != nil:
+		return b.finalizeFast(), nil
+	default:
 		for i := b.n; i < b.cap; i++ {
 			b.push(b.hs.pad, 0)
 		}
@@ -80,11 +186,159 @@ func (b *StreamBuilder) Root() ([]byte, error) {
 			// Unreachable for a complete tree; guards internal invariants.
 			return nil, fmt.Errorf("merkle: internal error: %d pending subtrees after padding", len(b.stack))
 		}
-		b.root = b.stack[0]
+		return b.stack[0], nil
 	}
-	out := make([]byte, len(b.root))
-	copy(out, b.root)
-	return out, nil
+}
+
+// pushFast is the allocation-free twin of push. The trailing 1-bits of added
+// say exactly which levels already hold a pending left sibling, so the new
+// leaf merges upward once per trailing 1-bit and parks at the first 0-bit.
+func (b *StreamBuilder) pushFast(value []byte) {
+	cur := value
+	level := 0
+	for b.added>>uint(level)&1 == 1 {
+		cur = b.nh.combineInto(b.levelRow(level+1), b.pending[level], cur)
+		b.pending[level] = nil
+		level++
+	}
+	b.pending[level] = cur
+}
+
+// levelRow hands out the next of level's two alternating arena rows. A
+// level-L digest is produced once per 2^L leaves and consumed one production
+// later at most, so at any moment a level has at most one live digest (the
+// pending one) plus the one being written — and they always land in
+// different rows. combineInto additionally absorbs its inputs before writing
+// dst, so even the cascade's transient values never conflict.
+func (b *StreamBuilder) levelRow(level int) []byte {
+	f := b.flip[level]
+	b.flip[level] = 1 - f
+	base := (2*(level-1) + int(f)) * b.hs.fixedLen
+	return b.arena[base : base : base+b.hs.fixedLen]
+}
+
+// finalizeFast folds the pending slots with all-pad subtree roots: the root
+// of a height-L subtree whose leaves are all pads is padAt(L) from
+// hashers.padTable, so finishing costs O(depth) hashes instead of cap-n pad
+// pushes. The result is byte-identical to pushing each pad leaf (induction
+// on L: pushing 2^L pads yields exactly padAt(L)).
+func (b *StreamBuilder) finalizeFast() []byte {
+	if b.cap == 1 {
+		return b.pending[0]
+	}
+	pads := b.hs.padTable(b.depth - 1)
+	// cur is the root of the padded subtree covering the tail of the level,
+	// or nil while the tail is still all-pad (absorbed by higher padAt).
+	var cur []byte
+	for level := 0; level < b.depth; level++ {
+		have := b.added>>uint(level)&1 == 1
+		switch {
+		case have && cur != nil:
+			cur = b.hs.combine(b.pending[level], cur)
+		case have:
+			cur = b.hs.combine(b.pending[level], pads[level])
+		case cur != nil:
+			cur = b.hs.combine(cur, pads[level])
+		}
+	}
+	if cur == nil {
+		// n is a power of two: the lone pending slot at the top is the root.
+		cur = b.pending[b.depth]
+	}
+	return cur
+}
+
+// streamShard is one worker of a sharded builder: a serial engine over the
+// shard's real leaves, fed over ch, whose root is lifted to span height.
+type streamShard struct {
+	ch   chan []byte
+	done chan struct{}
+	eng  *StreamBuilder
+	root []byte
+	err  error
+}
+
+// startShards switches the builder into sharded mode with the given
+// power-of-two shard count. Shards that contain no real leaf get no worker;
+// their span roots are all-pad digests taken from the pad table.
+func (b *StreamBuilder) startShards(shards int) {
+	b.span = b.cap / shards
+	spanDepth := log2(b.span)
+	b.padTable = b.hs.padTable(spanDepth)
+	live := (b.n + b.span - 1) / b.span
+	b.shards = make([]*streamShard, live)
+	for s := range b.shards {
+		count := b.n - s*b.span
+		if count > b.span {
+			count = b.span
+		}
+		sh := &streamShard{
+			ch:   make(chan []byte, streamShardBuffer),
+			done: make(chan struct{}),
+			eng:  newSerialStream(count, b.hs),
+		}
+		b.shards[s] = sh
+		go sh.run(b.padTable, spanDepth)
+	}
+}
+
+// run consumes the shard's leaves and computes its span root. A shard whose
+// real leaves fill only a prefix of its span is topped up with all-pad right
+// siblings: combine(root, padAt(h)) for each level between the serial
+// engine's own height and the span height — byte-identical to streaming the
+// pad leaves individually.
+func (sh *streamShard) run(pads [][]byte, spanDepth int) {
+	defer close(sh.done)
+	for v := range sh.ch {
+		if sh.err == nil {
+			sh.err = sh.eng.Add(v)
+		}
+	}
+	if sh.err != nil {
+		return
+	}
+	root, err := sh.eng.Root()
+	if err != nil {
+		sh.err = err
+		return
+	}
+	for h := sh.eng.depth; h < spanDepth; h++ {
+		root = sh.eng.hs.combine(root, pads[h])
+	}
+	sh.root = root
+}
+
+// finalizeShards closes the shard inputs, collects the span roots (all-pad
+// spans contribute padAt(spanDepth) directly), and merges the frontier
+// pairwise into the root — the same top-of-heap schedule as the full tree.
+func (b *StreamBuilder) finalizeShards() ([]byte, error) {
+	if !b.closed {
+		b.closed = true
+		for _, sh := range b.shards {
+			close(sh.ch)
+		}
+	}
+	spanDepth := log2(b.span)
+	roots := make([][]byte, b.cap/b.span)
+	for s := range roots {
+		if s >= len(b.shards) {
+			roots[s] = b.padTable[spanDepth]
+			continue
+		}
+		sh := b.shards[s]
+		<-sh.done
+		if sh.err != nil {
+			// Unreachable: Add validates before routing to a shard.
+			return nil, fmt.Errorf("merkle: internal error: shard %d: %w", s, sh.err)
+		}
+		roots[s] = sh.root
+	}
+	for m := len(roots); m > 1; m /= 2 {
+		for i := 0; i < m; i += 2 {
+			roots[i/2] = b.hs.combine(roots[i], roots[i+1])
+		}
+	}
+	return roots[0], nil
 }
 
 // push places a subtree root of the given height on the stack and merges

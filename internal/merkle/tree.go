@@ -94,7 +94,8 @@ func (o parallelismOption) apply(opts *options) { opts.parallelism = o.p }
 // unaffected: slice indexing is always safe.
 //
 // Parallelism only affects construction; proofs and verification are
-// unchanged.
+// unchanged. NewStreamBuilder and NewPartial interpret the same option with
+// their own clamping rules — see their docs.
 func WithParallelism(p int) Option { return parallelismOption{p: p} }
 
 func buildOptions(opts []Option) options {
@@ -110,13 +111,22 @@ func buildOptions(opts []Option) options {
 type hashers struct {
 	newHash Hasher
 	pad     []byte
+	// fixedLen is the digest length when the hash produces fixed-size
+	// output (every standard hash does). 0 selects the allocating fallback
+	// for custom hashers whose Sum length disagrees with Size().
+	fixedLen int
 }
 
 func newHashers(o options) hashers {
 	h := o.hasher()
 	h.Write([]byte{padPrefix})
 	h.Write([]byte("uncheatgrid/merkle: pad leaf"))
-	return hashers{newHash: o.hasher, pad: h.Sum(nil)}
+	pad := h.Sum(nil)
+	fixedLen := 0
+	if h.Size() == len(pad) {
+		fixedLen = len(pad)
+	}
+	return hashers{newHash: o.hasher, pad: pad, fixedLen: fixedLen}
 }
 
 // combine computes the Φ value of an internal node from its two children,
@@ -134,6 +144,57 @@ func (hs hashers) combine(left, right []byte) []byte {
 	return h.Sum(nil)
 }
 
+// padTable returns padAt(0..maxLevel), where padAt(L) is the root of a
+// height-L subtree whose every leaf is the pad digest: padAt(0) = pad,
+// padAt(L) = combine(padAt(L-1), padAt(L-1)).
+func (hs hashers) padTable(maxLevel int) [][]byte {
+	pads := make([][]byte, maxLevel+1)
+	pads[0] = hs.pad
+	for l := 1; l <= maxLevel; l++ {
+		pads[l] = hs.combine(pads[l-1], pads[l-1])
+	}
+	return pads
+}
+
+// nodeHasher is a reusable hashing state for the build hot paths: one hash
+// instance reset per node instead of allocated per node, with digests written
+// into caller-provided rows. The scratch buffer is a struct field so the
+// slices handed to hash.Write never escape per call. A nodeHasher is not safe
+// for concurrent use — each goroutine takes its own from hashers.node().
+type nodeHasher struct {
+	hs  hashers
+	h   hash.Hash // nil selects the allocating fallback (variable-size digests)
+	buf [1 + binary.MaxVarintLen64]byte
+}
+
+func (hs hashers) node() *nodeHasher {
+	nh := &nodeHasher{hs: hs}
+	if hs.fixedLen > 0 {
+		nh.h = hs.newHash()
+	}
+	return nh
+}
+
+// combineInto computes combine(left, right) into dst, which must have
+// capacity fixedLen. dst may alias left or right: both are absorbed into the
+// hash state before dst is written. With a variable-size hasher dst is
+// ignored and a fresh digest is allocated, preserving combine's semantics.
+func (nh *nodeHasher) combineInto(dst, left, right []byte) []byte {
+	if nh.h == nil {
+		return nh.hs.combine(left, right)
+	}
+	h := nh.h
+	h.Reset()
+	nh.buf[0] = nodePrefix
+	n := binary.PutUvarint(nh.buf[1:], uint64(len(left)))
+	h.Write(nh.buf[:1+n])
+	h.Write(left)
+	n = binary.PutUvarint(nh.buf[:], uint64(len(right)))
+	h.Write(nh.buf[:n])
+	h.Write(right)
+	return h.Sum(dst[:0])
+}
+
 // Tree is a fully materialized Merkle tree over n leaf values. It is the
 // participant-side data structure of the CBS scheme (Step 1, Section 3.1).
 // A Tree is immutable after construction and safe for concurrent reads.
@@ -142,6 +203,11 @@ type Tree struct {
 	cap   int      // leaves after padding; power of two, cap >= n
 	nodes [][]byte // heap layout; nodes[1] is the root, nodes[cap+i] leaf i
 	hs    hashers
+	// arena backs every internal-node digest in one contiguous slab
+	// (nodes[i] = arena[i*fixedLen:(i+1)*fixedLen] for 1 <= i < cap), so a
+	// materialized tree costs O(1) allocations instead of one per node. nil
+	// for variable-size hashers, where each digest is allocated individually.
+	arena []byte
 }
 
 // Build constructs the tree over the given leaf values. values[i] holds the
@@ -167,13 +233,14 @@ func BuildFunc(n int, at func(i int) []byte, opts ...Option) (*Tree, error) {
 	hs := newHashers(o)
 	capacity := nextPow2(n)
 	nodes := make([][]byte, 2*capacity)
+	arena := newNodeArena(hs, capacity)
 
 	workers := buildWorkers(o.parallelism, capacity)
 	if workers > 1 {
-		if err := fillParallel(nodes, n, capacity, at, hs, workers); err != nil {
+		if err := fillParallel(nodes, arena, n, capacity, at, hs, workers); err != nil {
 			return nil, err
 		}
-		return &Tree{n: n, cap: capacity, nodes: nodes, hs: hs}, nil
+		return &Tree{n: n, cap: capacity, nodes: nodes, hs: hs, arena: arena}, nil
 	}
 
 	for i := 0; i < n; i++ {
@@ -186,10 +253,31 @@ func BuildFunc(n int, at func(i int) []byte, opts ...Option) (*Tree, error) {
 	for i := n; i < capacity; i++ {
 		nodes[capacity+i] = hs.pad
 	}
+	nh := hs.node()
 	for i := capacity - 1; i >= 1; i-- {
-		nodes[i] = hs.combine(nodes[2*i], nodes[2*i+1])
+		nodes[i] = nh.combineInto(arenaRow(arena, hs.fixedLen, i), nodes[2*i], nodes[2*i+1])
 	}
-	return &Tree{n: n, cap: capacity, nodes: nodes, hs: hs}, nil
+	return &Tree{n: n, cap: capacity, nodes: nodes, hs: hs, arena: arena}, nil
+}
+
+// newNodeArena allocates the contiguous slab backing all internal-node
+// digests of a capacity-leaf tree; nil when digests are variable-size (or the
+// degenerate one-leaf tree, which has no internal nodes).
+func newNodeArena(hs hashers, capacity int) []byte {
+	if hs.fixedLen == 0 || capacity < 2 {
+		return nil
+	}
+	return make([]byte, capacity*hs.fixedLen)
+}
+
+// arenaRow returns internal node i's slab row as an empty slice with exactly
+// one digest of capacity, ready for combineInto. Rows are capacity-bounded so
+// adjacent nodes can never bleed into each other.
+func arenaRow(arena []byte, size, i int) []byte {
+	if arena == nil {
+		return nil
+	}
+	return arena[i*size : i*size : (i+1)*size]
 }
 
 // parallelMinLeaves is the tree size below which goroutine startup costs
@@ -220,7 +308,7 @@ func buildWorkers(requested, capacity int) int {
 // combined sequentially — shards-1 nodes, a negligible tail. The node
 // values are bit-identical to the sequential schedule because the tree
 // structure, padding, and hash inputs are unchanged.
-func fillParallel(nodes [][]byte, n, capacity int, at func(i int) []byte, hs hashers, workers int) error {
+func fillParallel(nodes [][]byte, arena []byte, n, capacity int, at func(i int) []byte, hs hashers, workers int) error {
 	shards := nextPow2(workers)
 	if shards > capacity/2 {
 		shards = capacity / 2
@@ -243,6 +331,10 @@ func fillParallel(nodes [][]byte, n, capacity int, at func(i int) []byte, hs has
 
 	worker := func() {
 		defer wg.Done()
+		// Hash state is per-goroutine; the arena rows each worker writes are
+		// disjoint (its own subtree's node indices), so no synchronization is
+		// needed beyond the WaitGroup.
+		nh := hs.node()
 		for s := range next {
 			if failed.Load() {
 				return
@@ -274,7 +366,7 @@ func fillParallel(nodes [][]byte, n, capacity int, at func(i int) []byte, hs has
 			root := (capacity + lo) / span
 			for w := span / 2; w >= 1; w /= 2 {
 				for q := root * w; q < (root+1)*w; q++ {
-					nodes[q] = hs.combine(nodes[2*q], nodes[2*q+1])
+					nodes[q] = nh.combineInto(arenaRow(arena, hs.fixedLen, q), nodes[2*q], nodes[2*q+1])
 				}
 			}
 		}
@@ -291,8 +383,9 @@ func fillParallel(nodes [][]byte, n, capacity int, at func(i int) []byte, hs has
 	}
 
 	// Shard roots occupy [shards, 2*shards); finish the top of the heap.
+	nh := hs.node()
 	for i := shards - 1; i >= 1; i-- {
-		nodes[i] = hs.combine(nodes[2*i], nodes[2*i+1])
+		nodes[i] = nh.combineInto(arenaRow(arena, hs.fixedLen, i), nodes[2*i], nodes[2*i+1])
 	}
 	return nil
 }

@@ -25,10 +25,11 @@ func buildParallelDirect(t *testing.T, n, workers int, at func(i int) []byte, op
 		workers = 1
 	}
 	nodes := make([][]byte, 2*capacity)
-	if err := fillParallel(nodes, n, capacity, at, hs, workers); err != nil {
+	arena := newNodeArena(hs, capacity)
+	if err := fillParallel(nodes, arena, n, capacity, at, hs, workers); err != nil {
 		t.Fatalf("fillParallel(n=%d, workers=%d): %v", n, workers, err)
 	}
-	return &Tree{n: n, cap: capacity, nodes: nodes, hs: hs}
+	return &Tree{n: n, cap: capacity, nodes: nodes, hs: hs, arena: arena}
 }
 
 // TestParallelRootsMatchSequentialQuick is the core equivalence property:

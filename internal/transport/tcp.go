@@ -116,8 +116,9 @@ func (c *tcpConn) Recv() (Message, error) {
 	if err := checkFrameSize(length); err != nil {
 		return Message{}, err
 	}
-	payload := make([]byte, length)
+	payload := getPayload(length)
 	if _, err := io.ReadFull(c.br, payload); err != nil {
+		RecyclePayload(payload)
 		return Message{}, normalizeNetErr(drainEOF(err))
 	}
 	m := Message{Type: header[0], Payload: payload}
@@ -125,6 +126,9 @@ func (c *tcpConn) Recv() (Message, error) {
 	// check so receiver accounting matches the link.
 	c.stats.recordRecv(m)
 	if got, want := frameChecksum(m), binary.BigEndian.Uint32(header[5:]); got != want {
+		// The corrupt payload is dropped here, never delivered; its buffer
+		// can go straight back to the pool (its bytes were already counted).
+		RecyclePayload(payload)
 		return Message{}, fmt.Errorf("%w: frame crc %08x, want %08x", ErrFrameCorrupt, got, want)
 	}
 	return m, nil

@@ -119,9 +119,10 @@ var (
 	// WithMerkleParallelism shards tree construction across a worker pool;
 	// roots are bit-identical to the sequential build. The leaf function
 	// is then called from multiple goroutines, so it must be safe for
-	// concurrent use. It applies to BuildMerkleTree/BuildMerkleTreeFunc;
-	// the storage-bounded (WithSubtreeHeight) prover builds sequentially
-	// and ignores it.
+	// concurrent use. It applies to BuildMerkleTree/BuildMerkleTreeFunc
+	// and, as a sharded streaming mode, to NewMerkleStreamBuilder; the
+	// storage-bounded (WithSubtreeHeight) prover builds sequentially and
+	// ignores it.
 	WithMerkleParallelism = merkle.WithParallelism
 )
 
