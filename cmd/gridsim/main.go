@@ -15,6 +15,7 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"sort"
 	"text/tabwriter"
 
 	"uncheatgrid/internal/analysis"
@@ -52,6 +53,7 @@ func run(w io.Writer, args []string) error {
 		workers    = fs.Int("workers", runtime.NumCPU(), "concurrent verification workers (1 = serial)")
 		pipeline   = fs.Int("pipeline", 0, "pipelined session window per connection (0 = per-task dialogue)")
 		broker     = fs.Bool("broker", false, "route all traffic through a GRACE-style broker hub (identity-routed relay with relay-hop batching)")
+		routes     = fs.Int("routes", 0, "total multiplexed supervisor routes (0 = one per participant; needs -broker and -pipeline)")
 		drop       = fs.Float64("drop", 0, "probability a frame silently vanishes in transit (needs -pipeline)")
 		garble     = fs.Float64("garble", 0, "probability a frame has one bit flipped in transit (needs -pipeline)")
 		reconnect  = fs.Int("reconnect", 0, "max replacement connections per participant under faults (0 = default 8)")
@@ -102,6 +104,7 @@ func run(w io.Writer, args []string) error {
 		Workers:           *workers,
 		PipelineWindow:    *pipeline,
 		Broker:            *broker,
+		Routes:            *routes,
 		DropProb:          *drop,
 		GarbleProb:        *garble,
 		ReconnectLimit:    *reconnect,
@@ -130,6 +133,30 @@ func printReport(w io.Writer, report *grid.SimReport) {
 	if report.Brokered {
 		fmt.Fprintf(w, "broker: relayed=%d frames (%d B)\n",
 			report.BrokerRelayedMsgs, report.BrokerRelayedBytes)
+		if report.BrokerMuxLinks > 0 {
+			fmt.Fprintf(w, "broker mux: links=%d routes=%d control=%d frames (%d B) envelope-overhead in=%dB out=%dB\n",
+				report.BrokerMuxLinks, report.BrokerRoutesOpened,
+				report.BrokerControlMsgs, report.BrokerControlBytes,
+				report.BrokerMuxOverheadIngress, report.BrokerMuxOverheadEgress)
+		}
+		if len(report.BrokerRoutes) > 0 {
+			names := make([]string, 0, len(report.BrokerRoutes))
+			for name := range report.BrokerRoutes {
+				names = append(names, name)
+			}
+			sort.Strings(names)
+			rt := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+			fmt.Fprintln(rt, "route\tbinds\tto-worker\tto-supervisor\tcorrupt")
+			for _, name := range names {
+				rs := report.BrokerRoutes[name]
+				fmt.Fprintf(rt, "%s\t%d\t%d msgs %dB\t%d msgs %dB\t%d\n",
+					name, rs.Binds,
+					rs.ToWorker.EgressMsgs, rs.ToWorker.EgressBytes,
+					rs.ToSupervisor.EgressMsgs, rs.ToSupervisor.EgressBytes,
+					rs.CorruptFrames)
+			}
+			_ = rt.Flush()
+		}
 	}
 
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)

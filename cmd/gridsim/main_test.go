@@ -177,3 +177,34 @@ func TestRunReplicatedPipelinedFaultySimulation(t *testing.T) {
 		t.Errorf("honest replicas accused under faults:\n%s", out)
 	}
 }
+
+func TestRunMuxedRoutesSimulation(t *testing.T) {
+	// -routes widens the supervisor fan-out beyond one-per-participant;
+	// all routes are multiplexed over one physical supervisor link, so the
+	// report gains the mux summary and per-route relay table.
+	out := runGridsim(t,
+		"-scheme", "ni-cbs", "-chainiters", "1", "-tasks", "8",
+		"-tasksize", "256", "-honest", "2", "-semihonest", "1", "-m", "8",
+		"-pipeline", "2", "-broker", "-routes", "6")
+	if !strings.Contains(out, "tasks=8") {
+		t.Errorf("muxed fan-out run lost tasks:\n%s", out)
+	}
+	if !strings.Contains(out, "broker mux: links=1 routes=6") {
+		t.Errorf("report missing mux summary line:\n%s", out)
+	}
+	if !strings.Contains(out, "to-worker") || !strings.Contains(out, "to-supervisor") {
+		t.Errorf("report missing per-route relay table:\n%s", out)
+	}
+	for _, name := range []string{"honest-0", "honest-1", "semihonest-0"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("per-route table missing %s:\n%s", name, out)
+		}
+	}
+	if err := run(&bytes.Buffer{}, []string{"-routes", "4"}); err == nil {
+		t.Error("-routes without -broker accepted")
+	}
+	if err := run(&bytes.Buffer{}, []string{
+		"-routes", "1", "-broker", "-pipeline", "2"}); err == nil {
+		t.Error("-routes below the participant pool accepted")
+	}
+}

@@ -100,7 +100,13 @@ func WithBindTimeout(d time.Duration) BrokerOption { return bindTimeoutOption(d)
 // link; egress as frames leave it, after any relay-hop re-batching — with
 // batching on, egress carries the same tagged payload in fewer, larger
 // frames. Corrupt frames are attributed to the direction whose source link
-// they arrived on.
+// they arrived on. On a multiplexed supervisor link the supervisor-side
+// measurements are denominated in inner frame sizes (what the frame would
+// have cost on a dedicated link): ToWorker ingress and ToSupervisor egress
+// count inner frames, while the worker-link side still counts physical
+// frames, so per-route numbers stay comparable across link kinds and the
+// shared-envelope framing difference is carried by the hub's signed mux
+// overhead ledgers instead.
 type RouteDirectionStats struct {
 	IngressMsgs, IngressBytes   int64
 	EgressMsgs, EgressBytes     int64
@@ -108,14 +114,26 @@ type RouteDirectionStats struct {
 }
 
 // RouteStats aggregates one worker identity's relay traffic across every
-// route the hub ever bound for it (redials included). The counters
-// reconcile exactly with the hub-side endpoint counters per link side:
+// route the hub ever bound for it (redials included). For dedicated
+// (non-muxed) links the counters reconcile exactly with the hub-side
+// endpoint counters per link side:
 //
 //	supervisor-facing endpoint bytes received ==
 //	    SupervisorHelloBytes + ToWorker ingress + ToWorker corrupt bytes
 //	worker-facing endpoint bytes received ==
 //	    WorkerHelloBytes + ToSupervisor ingress + ToSupervisor corrupt bytes
 //	each side's endpoint bytes sent == the direction's egress bytes
+//
+// On a muxed supervisor link the per-worker counters cover the inner
+// frames and the open/close handshakes; the physical link's remaining
+// bytes are the hub's link-level ledgers, so for a hub whose supervisor
+// traffic all rides muxed links:
+//
+//	muxed endpoint bytes received at the hub ==
+//	    MuxHelloBytes + Σ SupervisorHelloBytes + Σ ToWorker ingress
+//	    + MuxOverheadIngressBytes + OrphanedBytes + MuxCorruptBytes
+//	muxed endpoint bytes sent by the hub ==
+//	    Σ ToSupervisor egress + MuxOverheadEgressBytes + ControlBytes
 type RouteStats struct {
 	// Worker is the identity the counters are keyed by.
 	Worker string
@@ -164,8 +182,10 @@ type workerCounters struct {
 // BrokerHub is the session-aware GRACE broker: an identity-routed relay
 // multiplexing any number of supervisor↔worker routes, with relay-hop
 // batching and per-route exact byte accounting. Attach links with Attach
-// after their first frame (sent by HelloWorker / HelloSupervisor) names
-// their role and worker.
+// after their first frame (sent by HelloWorker / HelloSupervisor /
+// OpenMux) names their role and worker. A muxed supervisor link carries
+// any number of routes over one physical connection; the hub runs one
+// reader and one writer goroutine per physical link, never per route.
 type BrokerHub struct {
 	cfg brokerConfig
 
@@ -181,13 +201,42 @@ type BrokerHub struct {
 	evictedLinks atomic.Int64
 	evictedBytes atomic.Int64
 
-	mu        sync.Mutex
-	cond      *sync.Cond
-	closed    bool
-	available map[string]transport.Conn
-	routes    map[*brokerRoute]struct{}
-	counters  map[string]*workerCounters
-	pumps     sync.WaitGroup
+	// Mux-link ledgers. Data relayed on muxed links is attributed to
+	// per-worker counters in inner frame sizes; everything else about the
+	// shared physical link lands here so the endpoint byte counters still
+	// reconcile exactly (see RouteStats).
+	muxLinks      atomic.Int64 // muxed supervisor links ever attached
+	routesOpened  atomic.Int64 // routes ever opened on muxed links
+	muxHelloBytes atomic.Int64 // mux-attach handshake frames consumed
+	// ctrlMsgs/ctrlBytes count hub-originated control frames on muxed
+	// links: credit grants and close notices. Never part of RelayedBytes.
+	ctrlMsgs  atomic.Int64
+	ctrlBytes atomic.Int64
+	// muxOverheadIn/muxOverheadOut are signed envelope ledgers: physical
+	// frame bytes minus the inner frame bytes they carried. Egress overhead
+	// goes negative when cross-worker coalescing saves more in per-frame
+	// headers than the route tags cost.
+	muxOverheadIn  atomic.Int64
+	muxOverheadOut atomic.Int64
+	// orphanFrames/orphanBytes count routed entries addressed to routes the
+	// hub does not know (already closed, never opened, or refused), dropped
+	// on the floor; bytes are inner frame sizes.
+	orphanFrames atomic.Int64
+	orphanBytes  atomic.Int64
+	// muxCorrupt counts CRC-corrupt frames arriving on a muxed supervisor
+	// link. A corrupt frame on a shared link cannot be attributed to any
+	// single route, so it quarantines the whole physical link (every route
+	// on it) and is counted here instead of per worker.
+	muxCorruptFrames atomic.Int64
+	muxCorruptBytes  atomic.Int64
+
+	mu           sync.Mutex
+	closed       bool
+	available    map[string]transport.Conn
+	links        map[*supLink]struct{}
+	pendingBinds map[string][]*hubRoute
+	counters     map[string]*workerCounters
+	pumps        sync.WaitGroup
 }
 
 // NewBrokerHub creates an empty hub with relay-hop batching enabled.
@@ -196,14 +245,13 @@ func NewBrokerHub(opts ...BrokerOption) *BrokerHub {
 	for _, opt := range opts {
 		opt.applyBroker(&cfg)
 	}
-	h := &BrokerHub{
-		cfg:       cfg,
-		available: make(map[string]transport.Conn),
-		routes:    make(map[*brokerRoute]struct{}),
-		counters:  make(map[string]*workerCounters),
+	return &BrokerHub{
+		cfg:          cfg,
+		available:    make(map[string]transport.Conn),
+		links:        make(map[*supLink]struct{}),
+		pendingBinds: make(map[string][]*hubRoute),
+		counters:     make(map[string]*workerCounters),
 	}
-	h.cond = sync.NewCond(&h.mu)
-	return h
 }
 
 // HelloWorker announces a participant identity on a link freshly dialed to
@@ -256,6 +304,44 @@ func (h *BrokerHub) EvictedWorkerLinks() int64 { return h.evictedLinks.Load() }
 
 // EvictedWorkerBytes reports bytes received on evicted worker links.
 func (h *BrokerHub) EvictedWorkerBytes() int64 { return h.evictedBytes.Load() }
+
+// MuxLinks reports how many multiplexed supervisor links ever attached.
+func (h *BrokerHub) MuxLinks() int64 { return h.muxLinks.Load() }
+
+// RoutesOpened reports how many routes were ever opened on muxed links.
+func (h *BrokerHub) RoutesOpened() int64 { return h.routesOpened.Load() }
+
+// ControlMessages reports hub-originated control frames on muxed links
+// (credit grants and close notices).
+func (h *BrokerHub) ControlMessages() int64 { return h.ctrlMsgs.Load() }
+
+// ControlBytes reports the bytes of hub-originated control frames. Control
+// traffic is never part of RelayedBytes.
+func (h *BrokerHub) ControlBytes() int64 { return h.ctrlBytes.Load() }
+
+// MuxOverheadIngressBytes reports the signed difference between physical
+// bytes received on muxed links and the inner-frame plus handshake bytes
+// they carried.
+func (h *BrokerHub) MuxOverheadIngressBytes() int64 { return h.muxOverheadIn.Load() }
+
+// MuxOverheadEgressBytes reports the signed difference between physical
+// data bytes sent on muxed links and the inner-frame bytes they carried;
+// negative when cross-worker coalescing saves more than route tags cost.
+func (h *BrokerHub) MuxOverheadEgressBytes() int64 { return h.muxOverheadOut.Load() }
+
+// OrphanedFrames reports routed entries dropped because their route was
+// unknown or already finished.
+func (h *BrokerHub) OrphanedFrames() int64 { return h.orphanFrames.Load() }
+
+// OrphanedBytes reports the inner-frame bytes of orphaned routed entries.
+func (h *BrokerHub) OrphanedBytes() int64 { return h.orphanBytes.Load() }
+
+// MuxCorruptFrames reports CRC-corrupt frames on muxed supervisor links;
+// each one quarantined its whole physical link.
+func (h *BrokerHub) MuxCorruptFrames() int64 { return h.muxCorruptFrames.Load() }
+
+// MuxCorruptBytes reports the received bytes of mux-link corrupt frames.
+func (h *BrokerHub) MuxCorruptBytes() int64 { return h.muxCorruptBytes.Load() }
 
 // Workers lists every worker identity the hub has seen a handshake for.
 func (h *BrokerHub) Workers() []string {
@@ -361,18 +447,34 @@ func (h *BrokerHub) Attach(conn transport.Conn) error {
 	if err != nil {
 		return reject(err)
 	}
-	wc := h.countersFor(hello.Worker)
-	if wc == nil {
-		return reject(fmt.Errorf("%w: hub is at its %d-identity capacity; refusing new worker %q",
-			ErrBadConfig, maxBrokerIdentities, hello.Worker))
-	}
-	if hello.Role == helloRoleWorker {
+	switch hello.Role {
+	case helloRoleWorker:
+		wc := h.countersFor(hello.Worker)
+		if wc == nil {
+			return reject(fmt.Errorf("%w: hub is at its %d-identity capacity; refusing new worker %q",
+				ErrBadConfig, maxBrokerIdentities, hello.Worker))
+		}
 		wc.workerHelloBytes.Add(arrived)
 		return h.registerWorker(hello.Worker, conn)
+	case helloRoleSupervisor:
+		wc := h.countersFor(hello.Worker)
+		if wc == nil {
+			return reject(fmt.Errorf("%w: hub is at its %d-identity capacity; refusing new worker %q",
+				ErrBadConfig, maxBrokerIdentities, hello.Worker))
+		}
+		wc.supervisorHelloBytes.Add(arrived)
+		return h.attachSupervisorLink(conn, hello.Worker, wc, false)
+	case helloRoleMux:
+		// Mux labels name a supervisor, not a worker: they get link-level
+		// accounting, not a slot in the per-worker identity registry.
+		h.muxHelloBytes.Add(arrived)
+		h.muxLinks.Add(1)
+		return h.attachSupervisorLink(conn, hello.Worker, nil, true)
+	default:
+		// Open/close hellos are only meaningful on an attached muxed link.
+		return reject(fmt.Errorf("%w: hello role %d cannot open a link",
+			ErrUnexpectedMessage, hello.Role))
 	}
-	wc.supervisorHelloBytes.Add(arrived)
-	go h.bindSupervisor(hello.Worker, wc, conn)
-	return nil
 }
 
 // registerWorker makes the link the worker's available (unbound) endpoint,
@@ -392,12 +494,12 @@ func (h *BrokerHub) registerWorker(worker string, conn transport.Conn) error {
 	stale := h.available[worker]
 	h.available[worker] = v
 	h.pumps.Add(1)
-	h.cond.Broadcast()
 	h.mu.Unlock()
 	go h.monitorWorker(worker, v)
 	if stale != nil {
 		_ = stale.Close()
 	}
+	h.matchPending(worker)
 	return nil
 }
 
@@ -482,74 +584,1160 @@ func (h *BrokerHub) monitorWorker(worker string, v *vettedWorkerConn) {
 	v.result <- vetResult{msg: msg, err: err}
 }
 
-// bindSupervisor claims the named worker's registered link and starts the
-// route's relay pumps. Run on its own goroutine by Attach; a failed bind
-// closes the supervisor link, which is what its peer observes.
-//
-//gridlint:credit a route starting is the bind event the binds counter measures
-func (h *BrokerHub) bindSupervisor(worker string, wc *workerCounters, conn transport.Conn) error {
-	down, err := h.claimWorker(worker)
-	if err != nil {
-		_ = conn.Close()
-		return err
+// creditWindowBytes is the per-route receive window on a muxed link: the
+// supervisor may have this many unacknowledged bytes (inner frame sizes)
+// queued at the hub before it must wait for a credit grant, so one slow
+// worker bounds its own route's hub memory instead of the whole link's. A
+// variable so tests can shrink the window.
+var creditWindowBytes int64 = 256 << 10
+
+// legacyRouteQueueBytes bounds the supervisor→worker queue of a dedicated
+// (non-muxed) supervisor link, where backpressure is applied by blocking
+// the link reader instead of by credits.
+var legacyRouteQueueBytes int64 = 1 << 20
+
+// toWorkerQueueBytes bounds the worker→supervisor queue of any route; a
+// full queue blocks the worker-link reader, which is the natural
+// backpressure toward the (clean, LAN-side) participant leg.
+var toWorkerQueueBytes int64 = 1 << 20
+
+// muxInnerPayloadCap bounds a single inner frame relayed through a mux
+// envelope so the envelope itself stays under transport.MaxFrameBytes.
+const muxInnerPayloadCap = int64(transport.MaxFrameBytes) - 64
+
+// Route lifecycle states, guarded by the owning link's mutex.
+const (
+	routePending = iota // waiting for the named worker to register
+	routeActive         // bound to a worker link, relaying
+	routeDead           // torn down; late entries are orphans
+)
+
+// frameQ is one direction's frame queue, guarded by the owning link's
+// mutex. closed means no more puts arrive but queued frames still drain
+// (clean-close semantics); discard drops queued frames and refuses puts
+// (fault semantics).
+type frameQ struct {
+	frames  []transport.Message
+	bytes   int64
+	closed  bool
+	discard bool
+}
+
+//gridlint:credit queue-occupancy ledger: put is the single enqueue site
+func (q *frameQ) put(m transport.Message) bool {
+	if q.closed || q.discard {
+		return false
 	}
-	r := &brokerRoute{hub: h, worker: worker, up: conn, down: down}
+	q.frames = append(q.frames, m)
+	q.bytes += m.FrameSize()
+	return true
+}
+
+//gridlint:credit queue-occupancy ledger: pop is the single dequeue site
+func (q *frameQ) pop() (transport.Message, bool) {
+	if len(q.frames) == 0 || q.discard {
+		return transport.Message{}, false
+	}
+	m := q.frames[0]
+	q.frames[0] = transport.Message{}
+	q.frames = q.frames[1:]
+	q.bytes -= m.FrameSize()
+	if len(q.frames) == 0 {
+		q.frames = nil
+	}
+	return m, true
+}
+
+func (q *frameQ) peek() (transport.Message, bool) {
+	if len(q.frames) == 0 || q.discard {
+		return transport.Message{}, false
+	}
+	return q.frames[0], true
+}
+
+func (q *frameQ) empty() bool { return len(q.frames) == 0 || q.discard }
+
+func (q *frameQ) drop() {
+	q.frames = nil
+	q.bytes = 0
+	q.discard = true
+}
+
+// supLink is one physical supervisor↔hub connection: a dedicated link
+// carrying exactly one route (the pre-mux wire protocol, preserved
+// bit-for-bit), or a muxed link carrying any number of routes inside
+// msgRouted envelopes. Each link runs exactly two goroutines — readLoop
+// and writeLoop — regardless of route count.
+type supLink struct {
+	hub   *BrokerHub
+	conn  transport.Conn
+	muxed bool
+
+	mu   sync.Mutex
+	cond *sync.Cond // wakes writeLoop: data queued, control queued, stop
+	// routes holds live routes by ID (a dedicated link uses ID 0).
+	routes map[uint64]*hubRoute
+	// ready is the round-robin drain order: routes with queued
+	// supervisor-bound frames, each present at most once (inReady).
+	ready []*hubRoute
+	// ctrl queues hub-originated control frames (credits, close notices),
+	// sent ahead of data.
+	ctrl []transport.Message
+	// failed: the link is quarantined — all queues dropped, no more sends.
+	// stopWriter: writeLoop exits once set (set by failure, clean shutdown,
+	// and dedicated-link completion).
+	failed     bool
+	stopWriter bool
+}
+
+// hubRoute is one supervisor↔worker route on a supLink. All mutable state
+// is guarded by the link's mutex; the per-route cond wakes the route's
+// worker-side writer and any capacity waiters.
+type hubRoute struct {
+	link   *supLink
+	id     uint64
+	worker string
+	wc     *workerCounters
+
+	wcond *sync.Cond // shares the link mutex
+	down  transport.Conn
+	vet   *vettedWorkerConn
+
+	toWorker frameQ // supervisor → worker
+	toSup    frameQ // worker → supervisor
+
+	state     int
+	bindTimer *time.Timer
+	inReady   bool
+	// noticeDue/noticeSent sequence the hub→supervisor close notice on a
+	// muxed link: due once the worker side ended while the supervisor side
+	// is still alive, sent after toSup drains.
+	noticeDue  bool
+	noticeSent bool
+	// creditDebt accumulates drained toWorker bytes not yet granted back;
+	// flushed as a msgCredit once it reaches half the window.
+	creditDebt int64
+	// loops counts the route's live worker-side goroutines; the last one to
+	// exit removes the route from the link's maps.
+	loops int
+}
+
+// attachSupervisorLink starts the link loops for a freshly helloed
+// supervisor connection. A dedicated link opens its single route
+// immediately; a muxed link waits for open hellos.
+func (h *BrokerHub) attachSupervisorLink(conn transport.Conn, worker string, wc *workerCounters, muxed bool) error {
+	l := &supLink{hub: h, conn: conn, muxed: muxed, routes: make(map[uint64]*hubRoute)}
+	l.cond = sync.NewCond(&l.mu)
 	h.mu.Lock()
 	if h.closed {
 		h.mu.Unlock()
 		_ = conn.Close()
-		_ = down.Close()
 		return ErrBrokerClosed
 	}
-	h.routes[r] = struct{}{}
+	h.links[l] = struct{}{}
 	h.pumps.Add(2)
 	h.mu.Unlock()
-	wc.binds.Add(1)
-	go r.pump(r.up, r.down, &wc.toWorker)
-	go r.pump(r.down, r.up, &wc.toSupervisor)
+	if !muxed {
+		r := l.newRouteLocked(0, worker, wc)
+		l.mu.Lock()
+		l.routes[0] = r
+		l.mu.Unlock()
+		h.scheduleBind(r)
+	}
+	go l.readLoop()
+	go l.writeLoop()
 	return nil
 }
 
-// claimWorker blocks until the named worker has an available registered
-// link and claims it (removing it from the registry: a bound link is owned
-// by its route and never re-bound — resume stickiness comes from the
-// identity, not the physical link).
-func (h *BrokerHub) claimWorker(worker string) (transport.Conn, error) {
-	deadline := time.Now().Add(h.cfg.bindTimeout)
-	// cond has no timed wait; a timer broadcast wakes the loop so it can
-	// observe the deadline.
-	wake := time.AfterFunc(h.cfg.bindTimeout, func() {
-		h.mu.Lock()
-		h.cond.Broadcast()
-		h.mu.Unlock()
-	})
-	defer wake.Stop()
+// newRouteLocked builds a pending route (callers insert it into l.routes).
+func (l *supLink) newRouteLocked(id uint64, worker string, wc *workerCounters) *hubRoute {
+	r := &hubRoute{link: l, id: id, worker: worker, wc: wc, state: routePending}
+	r.wcond = sync.NewCond(&l.mu)
+	return r
+}
+
+// scheduleBind claims the route's worker if one is registered, or parks the
+// route in pendingBinds with a timeout; binds are event-driven (completed
+// by registerWorker), so no goroutine waits on them.
+func (h *BrokerHub) scheduleBind(r *hubRoute) {
 	h.mu.Lock()
-	defer h.mu.Unlock()
+	if h.closed {
+		h.mu.Unlock()
+		r.fail(false)
+		return
+	}
+	if conn, ok := h.available[r.worker]; ok {
+		delete(h.available, r.worker)
+		h.mu.Unlock()
+		if !r.tryBind(conn) {
+			h.returnWorker(r.worker, conn)
+		}
+		return
+	}
+	h.pendingBinds[r.worker] = append(h.pendingBinds[r.worker], r)
+	h.mu.Unlock()
+	l := r.link
+	l.mu.Lock()
+	if r.state == routePending {
+		r.bindTimer = time.AfterFunc(h.cfg.bindTimeout, func() { h.bindExpired(r) })
+	}
+	l.mu.Unlock()
+}
+
+// matchPending hands a fresh registration to routes waiting on the
+// identity, oldest first, until one accepts it or none remain.
+func (h *BrokerHub) matchPending(worker string) {
 	for {
+		h.mu.Lock()
 		if h.closed {
-			return nil, ErrBrokerClosed
+			h.mu.Unlock()
+			return
 		}
-		if conn, ok := h.available[worker]; ok {
-			delete(h.available, worker)
-			return conn, nil
+		pend := h.pendingBinds[worker]
+		conn, ok := h.available[worker]
+		if len(pend) == 0 || !ok {
+			h.mu.Unlock()
+			return
 		}
-		if !time.Now().Before(deadline) {
-			return nil, fmt.Errorf("%w: no worker %q registered within %v",
-				ErrBadConfig, worker, h.cfg.bindTimeout)
+		r := pend[0]
+		if len(pend) == 1 {
+			delete(h.pendingBinds, worker)
+		} else {
+			h.pendingBinds[worker] = pend[1:]
 		}
-		h.cond.Wait()
+		delete(h.available, worker)
+		h.mu.Unlock()
+		if r.tryBind(conn) {
+			return
+		}
+		// The route died while parked; put the registration back (its
+		// monitor is still watching it) and try the next waiter.
+		if !h.returnWorker(worker, conn) {
+			return
+		}
 	}
 }
 
-func (h *BrokerHub) dropRoute(r *brokerRoute) {
+// returnWorker re-registers a claimed-but-unused worker link. Reports false
+// when the link could not be returned (hub closed or a newer registration
+// took the slot), in which case the conn is closed.
+func (h *BrokerHub) returnWorker(worker string, conn transport.Conn) bool {
 	h.mu.Lock()
-	delete(h.routes, r)
+	if h.closed {
+		h.mu.Unlock()
+		_ = conn.Close()
+		return false
+	}
+	if _, exists := h.available[worker]; exists {
+		h.mu.Unlock()
+		_ = conn.Close()
+		return false
+	}
+	h.available[worker] = conn
+	h.mu.Unlock()
+	return true
+}
+
+// bindExpired is the pending-bind watchdog: if the route is still parked
+// when the bind timeout fires, it is failed exactly like a refused bind.
+// Presence in pendingBinds is the claim arbiter — if matchPending already
+// popped the route, the timer is a no-op. The supervisor side of the link
+// is alive and well — only the bind expired — so a muxed route owes its
+// supervisor the close notice that tells its session the route is dead
+// (on a dedicated link the refusal closes the physical link instead).
+func (h *BrokerHub) bindExpired(r *hubRoute) {
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		return
+	}
+	pend := h.pendingBinds[r.worker]
+	found := false
+	for i, cand := range pend {
+		if cand == r {
+			h.pendingBinds[r.worker] = append(pend[:i:i], pend[i+1:]...)
+			if len(h.pendingBinds[r.worker]) == 0 {
+				delete(h.pendingBinds, r.worker)
+			}
+			found = true
+			break
+		}
+	}
+	h.mu.Unlock()
+	if found {
+		r.fail(true)
+	}
+}
+
+// tryBind binds a claimed worker link to the route and starts the route's
+// worker-side loops. Reports false if the route is no longer pending.
+//
+//gridlint:credit a route starting is the bind event the binds counter measures
+func (r *hubRoute) tryBind(conn transport.Conn) bool {
+	l := r.link
+	h := l.hub
+	// The pump reservation must be ordered against Close: reserving under
+	// h.mu while the hub is open guarantees Close's Wait observes it.
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		return false
+	}
+	h.pumps.Add(2)
+	h.mu.Unlock()
+	l.mu.Lock()
+	if r.state != routePending {
+		l.mu.Unlock()
+		h.pumps.Done()
+		h.pumps.Done()
+		return false
+	}
+	r.state = routeActive
+	r.down = conn
+	r.vet, _ = conn.(*vettedWorkerConn)
+	if r.bindTimer != nil {
+		r.bindTimer.Stop()
+		r.bindTimer = nil
+	}
+	r.loops = 2
+	r.wcond.Broadcast()
+	l.mu.Unlock()
+	if r.wc != nil {
+		r.wc.binds.Add(1)
+	}
+	go r.workerReadLoop()
+	go r.workerWriteLoop()
+	return true
+}
+
+// fail quarantines one route: both queues dropped, the worker link closed,
+// a close notice queued for a muxed supervisor (supAlive) — and, on a
+// dedicated link, the whole link failed, because there the route IS the
+// link. The hub and every other route keep running.
+func (r *hubRoute) fail(supAlive bool) {
+	l := r.link
+	if !l.muxed {
+		l.fail()
+		return
+	}
+	l.mu.Lock()
+	if r.state == routeDead {
+		l.mu.Unlock()
+		return
+	}
+	down := r.down
+	r.teardownLocked()
+	if supAlive && !r.noticeSent && !l.failed && !l.stopWriter {
+		l.queueNoticeLocked(r)
+	}
+	if r.loops == 0 {
+		delete(l.routes, r.id)
+	}
+	l.mu.Unlock()
+	if down != nil {
+		_ = down.Close()
+	}
+}
+
+// teardownLocked marks the route dead and wakes everything parked on it.
+func (r *hubRoute) teardownLocked() {
+	r.state = routeDead
+	r.toWorker.drop()
+	r.toSup.drop()
+	if r.bindTimer != nil {
+		r.bindTimer.Stop()
+		r.bindTimer = nil
+	}
+	r.wcond.Broadcast()
+	r.link.cond.Broadcast()
+}
+
+// queueNoticeLocked queues the hub→supervisor close notice for a route on
+// a muxed link and finalizes the route: everything the worker sent has been
+// relayed, so from here on the route's ID is retired and late entries
+// addressed to it are orphans.
+func (l *supLink) queueNoticeLocked(r *hubRoute) {
+	r.noticeSent = true
+	r.noticeDue = false
+	l.ctrl = append(l.ctrl, transport.Message{
+		Type:    msgHello,
+		Payload: encodeHello(helloMsg{Role: helloRoleClose, Worker: r.worker, Route: r.id}),
+	})
+	if r.state != routeDead {
+		r.teardownLocked()
+	}
+	if r.loops == 0 {
+		delete(l.routes, r.id)
+	}
+	l.cond.Broadcast()
+}
+
+// loopDone retires one worker-side goroutine; the last one out removes a
+// dead route from the link's map so late envelope entries become orphans.
+func (r *hubRoute) loopDone() {
+	l := r.link
+	l.mu.Lock()
+	r.loops--
+	if r.loops == 0 && r.state == routeDead {
+		delete(l.routes, r.id)
+	}
+	l.mu.Unlock()
+	l.hub.pumps.Done()
+}
+
+// fail quarantines the whole physical link: every route is torn down and
+// every endpoint closed. Dedicated links land here for any route fault
+// (preserving the pre-mux semantics); muxed links land here for faults
+// that cannot be attributed to a single route — a corrupt frame on the
+// shared link, a protocol violation, or a dead physical connection.
+func (l *supLink) fail() {
+	l.mu.Lock()
+	if l.failed {
+		l.mu.Unlock()
+		return
+	}
+	l.failed = true
+	l.stopWriter = true
+	var downs []transport.Conn
+	dead := make([]*hubRoute, 0, len(l.routes))
+	for id, r := range l.routes {
+		if r.down != nil {
+			downs = append(downs, r.down)
+		}
+		dead = append(dead, r)
+		r.teardownLocked()
+		if r.loops == 0 {
+			delete(l.routes, id)
+		}
+	}
+	l.ready = nil
+	l.ctrl = nil
+	l.cond.Broadcast()
+	l.mu.Unlock()
+	for _, c := range downs {
+		_ = c.Close()
+	}
+	_ = l.conn.Close()
+	l.hub.unpark(dead)
+}
+
+// cleanShutdown handles the supervisor endpoint closing the physical link
+// cleanly: every route drains what the hub already accepted toward its
+// worker (matching the direct transport's drain-after-close delivery),
+// while the supervisor-bound direction is discarded — the peer is gone.
+func (l *supLink) cleanShutdown() {
+	l.mu.Lock()
+	if l.failed {
+		l.mu.Unlock()
+		return
+	}
+	l.stopWriter = true
+	dead := make([]*hubRoute, 0, len(l.routes))
+	for id, r := range l.routes {
+		switch r.state {
+		case routePending:
+			dead = append(dead, r)
+			r.teardownLocked()
+			if r.loops == 0 {
+				delete(l.routes, id)
+			}
+		case routeActive:
+			r.toWorker.closed = true
+			r.toSup.drop()
+			r.wcond.Broadcast()
+		}
+	}
+	l.cond.Broadcast()
+	l.mu.Unlock()
+	_ = l.conn.Close()
+	l.hub.unpark(dead)
+}
+
+// unpark removes failed routes from the pending-bind registry so a later
+// registration is not handed to a corpse first.
+func (h *BrokerHub) unpark(routes []*hubRoute) {
+	if len(routes) == 0 {
+		return
+	}
+	stale := make(map[*hubRoute]struct{}, len(routes))
+	for _, r := range routes {
+		stale[r] = struct{}{}
+	}
+	h.mu.Lock()
+	for worker, pend := range h.pendingBinds {
+		kept := pend[:0]
+		for _, r := range pend {
+			if _, dead := stale[r]; !dead {
+				kept = append(kept, r)
+			}
+		}
+		if len(kept) == 0 {
+			delete(h.pendingBinds, worker)
+		} else {
+			h.pendingBinds[worker] = kept
+		}
+	}
 	h.mu.Unlock()
 }
 
-// Close tears down every route and registered link and blocks until all
-// relay pumps have exited, so the hub's counters are final on return.
+// dropLink forgets a finished link.
+func (h *BrokerHub) dropLink(l *supLink) {
+	h.mu.Lock()
+	delete(h.links, l)
+	h.mu.Unlock()
+}
+
+// readLoop is the physical link's only reader: it ingests every frame the
+// supervisor endpoint sends — raw route traffic on a dedicated link, mux
+// envelopes and open/close hellos on a muxed one — and parks frames on
+// per-route queues. It never blocks on a muxed route's queue (credits
+// bound those), so one slow worker cannot head-of-line-block the link.
+//
+//gridlint:credit relay ingress, handshake, orphan, and corrupt-frame bytes are credited as they leave the source link
+func (l *supLink) readLoop() {
+	h := l.hub
+	defer func() {
+		h.dropLink(l)
+		h.pumps.Done()
+	}()
+	for {
+		before := l.conn.Stats().BytesRecv()
+		msg, err := l.conn.Recv()
+		arrived := l.conn.Stats().BytesRecv() - before
+		if err != nil {
+			switch {
+			case errors.Is(err, io.EOF), errors.Is(err, transport.ErrClosed):
+				l.cleanShutdown()
+			case errors.Is(err, transport.ErrFrameCorrupt):
+				if l.muxed {
+					// Unattributable link damage: no route tag survived, so
+					// the whole physical link is quarantined.
+					h.muxCorruptFrames.Add(1)
+					h.muxCorruptBytes.Add(arrived)
+				} else if r := l.soleRoute(); r != nil && r.wc != nil {
+					r.wc.toWorker.corruptFrames.Add(1)
+					r.wc.toWorker.corruptBytes.Add(arrived)
+				}
+				l.fail()
+			default:
+				l.fail()
+			}
+			return
+		}
+		if !l.muxed {
+			r := l.soleRoute()
+			if r == nil {
+				return // link already torn down
+			}
+			if r.wc != nil {
+				r.wc.toWorker.ingressMsgs.Add(1)
+				r.wc.toWorker.ingressBytes.Add(msg.FrameSize())
+			}
+			if !l.putToWorkerBlocking(r, msg) {
+				return
+			}
+			continue
+		}
+		switch msg.Type {
+		case msgRouted:
+			if !l.ingestEnvelope(msg, arrived) {
+				return
+			}
+		case msgHello:
+			if !l.handleHello(msg, arrived) {
+				return
+			}
+		case msgCredit:
+			// The hub grants credits; it never receives them.
+			l.fail()
+			return
+		default:
+			// Raw data frames are not valid on a muxed link.
+			l.fail()
+			return
+		}
+	}
+}
+
+// soleRoute returns a dedicated link's single route, if still present.
+func (l *supLink) soleRoute() *hubRoute {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.routes[0]
+}
+
+// putToWorkerBlocking queues one supervisor frame on a dedicated link's
+// route, blocking (backpressure on the physical link) while the queue is
+// over its bound. Reports false when the link is done.
+func (l *supLink) putToWorkerBlocking(r *hubRoute, msg transport.Message) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for r.toWorker.bytes >= legacyRouteQueueBytes && !r.toWorker.closed && !r.toWorker.discard && !l.failed {
+		r.wcond.Wait()
+	}
+	if !r.toWorker.put(msg) {
+		return false
+	}
+	r.wcond.Broadcast()
+	return true
+}
+
+// ingestEnvelope distributes a mux envelope's entries onto route queues.
+// Reports false when the envelope was malformed and the link failed.
+//
+//gridlint:credit envelope ingress is attributed inner-frame-exact as it arrives
+func (l *supLink) ingestEnvelope(msg transport.Message, arrived int64) bool {
+	h := l.hub
+	entries, err := decodeRouted(msg.Payload)
+	if err != nil {
+		// The frame passed the transport CRC, so this is a peer protocol
+		// violation, not line noise; the link is done either way.
+		h.muxOverheadIn.Add(arrived)
+		l.fail()
+		return false
+	}
+	transport.RecyclePayload(msg.Payload)
+	var inner int64
+	l.mu.Lock()
+	for _, e := range entries {
+		size := e.innerFrameSize()
+		inner += size
+		r := l.routes[e.Route]
+		if r == nil || r.state == routeDead {
+			h.orphanFrames.Add(1)
+			h.orphanBytes.Add(size)
+			continue
+		}
+		if r.toWorker.bytes > creditWindowBytes+int64(transport.MaxFrameBytes) {
+			// The peer is ignoring the credit protocol; that is a link-level
+			// violation (the shared reader must never block on one route).
+			l.mu.Unlock()
+			l.fail()
+			return false
+		}
+		if r.wc != nil {
+			r.wc.toWorker.ingressMsgs.Add(1)
+			r.wc.toWorker.ingressBytes.Add(size)
+		}
+		if r.toWorker.put(transport.Message{Type: e.Type, Payload: e.Payload}) {
+			r.wcond.Broadcast()
+		} else {
+			h.orphanFrames.Add(1)
+			h.orphanBytes.Add(size)
+		}
+	}
+	l.mu.Unlock()
+	h.muxOverheadIn.Add(arrived - inner)
+	return true
+}
+
+// handleHello processes an open or close hello on a muxed link. Reports
+// false when the hello was invalid and the link failed.
+//
+//gridlint:credit route handshake bytes are only observable at the link reader
+func (l *supLink) handleHello(msg transport.Message, arrived int64) bool {
+	h := l.hub
+	hello, err := decodeHello(msg.Payload)
+	if err != nil {
+		h.muxOverheadIn.Add(arrived)
+		l.fail()
+		return false
+	}
+	switch hello.Role {
+	case helloRoleOpen:
+		wc := h.countersFor(hello.Worker)
+		if wc == nil {
+			// Identity capacity: refuse the route, keep the link.
+			h.muxOverheadIn.Add(arrived)
+			l.mu.Lock()
+			if !l.failed && !l.stopWriter {
+				l.ctrl = append(l.ctrl, transport.Message{
+					Type:    msgHello,
+					Payload: encodeHello(helloMsg{Role: helloRoleClose, Worker: hello.Worker, Route: hello.Route}),
+				})
+				l.cond.Broadcast()
+			}
+			l.mu.Unlock()
+			return true
+		}
+		wc.supervisorHelloBytes.Add(arrived)
+		l.mu.Lock()
+		if _, dup := l.routes[hello.Route]; dup || l.failed {
+			l.mu.Unlock()
+			l.fail()
+			return false
+		}
+		r := l.newRouteLocked(hello.Route, hello.Worker, wc)
+		l.routes[hello.Route] = r
+		l.mu.Unlock()
+		h.routesOpened.Add(1)
+		h.scheduleBind(r)
+		return true
+	case helloRoleClose:
+		l.mu.Lock()
+		r := l.routes[hello.Route]
+		var wc *workerCounters
+		if r != nil {
+			wc = r.wc
+		}
+		if wc != nil {
+			wc.supervisorHelloBytes.Add(arrived)
+		} else {
+			h.muxOverheadIn.Add(arrived)
+		}
+		if r == nil || r.state == routeDead {
+			l.mu.Unlock()
+			return true
+		}
+		if r.state == routePending {
+			dead := r
+			r.teardownLocked()
+			if r.loops == 0 {
+				delete(l.routes, r.id)
+			}
+			l.mu.Unlock()
+			h.unpark([]*hubRoute{dead})
+			return true
+		}
+		// Active route: the supervisor is done sending — drain what the hub
+		// holds toward the worker, discard the return direction.
+		r.toWorker.closed = true
+		r.toSup.drop()
+		r.noticeDue = false
+		r.wcond.Broadcast()
+		l.cond.Broadcast()
+		l.mu.Unlock()
+		return true
+	default:
+		// worker/supervisor/mux hellos are link-opening frames, invalid
+		// mid-link.
+		h.muxOverheadIn.Add(arrived)
+		l.fail()
+		return false
+	}
+}
+
+// writeLoop is the physical link's only writer. Control frames (credits,
+// close notices) go first; then data is drained route by route in rotating
+// round-robin order, with consecutive batch frames of the same route
+// coalesced and — on a muxed link — units from several routes packed into
+// one envelope, so re-batching spans workers, not just tasks.
+//
+//gridlint:credit relay egress, control, and envelope-overhead bytes are credited after the onward send succeeds
+func (l *supLink) writeLoop() {
+	h := l.hub
+	defer h.pumps.Done()
+	for {
+		l.mu.Lock()
+		for !l.stopWriter && len(l.ctrl) == 0 && len(l.ready) == 0 {
+			l.cond.Wait()
+		}
+		if l.stopWriter && (l.failed || (len(l.ctrl) == 0 && len(l.ready) == 0)) {
+			l.mu.Unlock()
+			return
+		}
+		var out transport.Message
+		var isCtrl, finishLink bool
+		var egress []routeEgress
+		switch {
+		case len(l.ctrl) > 0:
+			out = l.ctrl[0]
+			l.ctrl = l.ctrl[1:]
+			isCtrl = true
+		case !l.muxed:
+			r := l.ready[0]
+			unit, ok, last := l.popUnitLocked(r)
+			if !ok {
+				// A dedicated link is done once its single route's worker
+				// side ended cleanly and the queue is fully drained — which
+				// can be observed on an empty pop when the worker closed
+				// without ever sending.
+				if last {
+					l.stopWriter = true
+					l.mu.Unlock()
+					_ = l.conn.Close()
+					return
+				}
+				l.mu.Unlock()
+				continue
+			}
+			out = unit
+			egress = []routeEgress{{r: r, inner: out.FrameSize()}}
+			finishLink = last
+		default:
+			entries, acct := l.gatherEnvelopeLocked()
+			if len(entries) == 0 {
+				l.mu.Unlock()
+				continue
+			}
+			out = transport.Message{Type: msgRouted, Payload: encodeRouted(entries)}
+			egress = acct
+		}
+		l.mu.Unlock()
+		if err := l.conn.Send(out); err != nil {
+			l.fail()
+			return
+		}
+		switch {
+		case isCtrl:
+			h.ctrlMsgs.Add(1)
+			h.ctrlBytes.Add(out.FrameSize())
+		case !l.muxed:
+			for _, e := range egress {
+				if e.r.wc != nil {
+					e.r.wc.toSupervisor.egressMsgs.Add(1)
+					e.r.wc.toSupervisor.egressBytes.Add(e.inner)
+				}
+			}
+			h.relayedMsgs.Add(1)
+			h.relayedBytes.Add(out.FrameSize())
+		default:
+			var inner int64
+			for _, e := range egress {
+				inner += e.inner
+				if e.r.wc != nil {
+					e.r.wc.toSupervisor.egressMsgs.Add(1)
+					e.r.wc.toSupervisor.egressBytes.Add(e.inner)
+				}
+			}
+			h.relayedMsgs.Add(1)
+			h.relayedBytes.Add(out.FrameSize())
+			h.muxOverheadOut.Add(out.FrameSize() - inner)
+		}
+		if finishLink {
+			l.mu.Lock()
+			l.stopWriter = true
+			l.mu.Unlock()
+			_ = l.conn.Close()
+			return
+		}
+	}
+}
+
+// routeEgress attributes one sent unit to its route (inner frame size).
+type routeEgress struct {
+	r     *hubRoute
+	inner int64
+}
+
+// popUnitLocked pops the head route's next supervisor-bound unit, merging
+// consecutive queued msgBatch frames when relay batching is on. Reports
+// whether a unit was produced and — for dedicated links — whether it was
+// the route's final frame (worker side cleanly ended, queue drained).
+func (l *supLink) popUnitLocked(r *hubRoute) (transport.Message, bool, bool) {
+	l.dequeueReadyLocked(r)
+	first, ok := r.toSup.pop()
+	if !ok {
+		l.routeDrainedLocked(r)
+		return transport.Message{}, false, l.legacyFinishedLocked(r)
+	}
+	out := first
+	if l.hub.cfg.batching && first.Type == msgBatch && !r.toSup.empty() {
+		out = l.coalesceLocked(r, first)
+	}
+	if !r.toSup.empty() {
+		l.enqueueReadyLocked(r)
+	} else {
+		l.routeDrainedLocked(r)
+	}
+	r.wcond.Broadcast() // capacity waiters on toSup
+	return out, true, l.legacyFinishedLocked(r)
+}
+
+// routeDrainedLocked runs the drained-queue transitions: emit a due close
+// notice (muxed) once everything the worker sent has been relayed.
+func (l *supLink) routeDrainedLocked(r *hubRoute) {
+	if l.muxed && r.noticeDue && !r.noticeSent && r.toSup.closed && r.toSup.empty() {
+		l.queueNoticeLocked(r)
+	}
+}
+
+// legacyFinishedLocked reports whether a dedicated link has relayed its
+// route's final supervisor-bound frame.
+func (l *supLink) legacyFinishedLocked(r *hubRoute) bool {
+	return !l.muxed && r.toSup.closed && r.toSup.empty() && !r.toSup.discard
+}
+
+// gatherEnvelopeLocked packs units from the ready routes, round-robin, into
+// one envelope up to the batch target.
+func (l *supLink) gatherEnvelopeLocked() ([]routedEntry, []routeEgress) {
+	var entries []routedEntry
+	var acct []routeEgress
+	var total int64
+	for len(l.ready) > 0 && total < batchTargetBytes && len(entries) < maxRoutedEntries {
+		r := l.ready[0]
+		unit, ok, _ := l.popUnitLocked(r)
+		if !ok {
+			continue
+		}
+		entries = append(entries, routedEntry{Route: r.id, Type: unit.Type, Payload: unit.Payload})
+		acct = append(acct, routeEgress{r: r, inner: unit.FrameSize()})
+		total += unit.FrameSize()
+	}
+	return entries, acct
+}
+
+// enqueueReadyLocked appends the route to the round-robin drain order once.
+func (l *supLink) enqueueReadyLocked(r *hubRoute) {
+	if r.inReady || r.state == routeDead {
+		return
+	}
+	r.inReady = true
+	l.ready = append(l.ready, r)
+	l.cond.Broadcast()
+}
+
+// dequeueReadyLocked removes the route from the head of the drain order.
+func (l *supLink) dequeueReadyLocked(r *hubRoute) {
+	if len(l.ready) > 0 && l.ready[0] == r {
+		l.ready = l.ready[1:]
+		r.inReady = false
+	}
+}
+
+// coalesceLocked greedily merges batch frames queued behind first into one
+// larger batch frame, stopping at the session layer's frame caps, at the
+// first non-mergeable frame (left queued to preserve order), or when the
+// queue runs dry. Frames the hub cannot decode are forwarded untouched —
+// the hub is a relay, not a validator; the endpoint rules on them.
+func (l *supLink) coalesceLocked(r *hubRoute, first transport.Message) transport.Message {
+	msgs, err := decodeBatch(first.Payload)
+	if err != nil {
+		return first
+	}
+	var size int64
+	for _, tm := range msgs {
+		size += tm.wireSize()
+	}
+	limit := int64(maxBatchPayload)
+	if l.muxed && limit > muxInnerPayloadCap {
+		limit = muxInnerPayloadCap
+	}
+	merged := false
+	for size < batchTargetBytes && len(msgs) < maxBatchMsgs {
+		next, ok := r.toSup.peek()
+		if !ok || next.Type != msgBatch {
+			break
+		}
+		more, err := decodeBatch(next.Payload)
+		if err != nil {
+			break
+		}
+		var moreSize int64
+		for _, tm := range more {
+			moreSize += tm.wireSize()
+		}
+		if size+moreSize > limit || len(msgs)+len(more) > maxBatchMsgs {
+			break
+		}
+		r.toSup.pop()
+		msgs = append(msgs, more...)
+		size += moreSize
+		merged = true
+	}
+	if !merged {
+		return first
+	}
+	return transport.Message{Type: msgBatch, Payload: encodeBatch(msgs)}
+}
+
+// workerReadLoop is the worker link's reader for one bound route: frames
+// from the participant are queued for the supervisor-side writer. A full
+// queue blocks here — backpressure lands on the worker's own link, never
+// on the shared supervisor link.
+//
+//gridlint:credit worker-leg ingress and corrupt-frame bytes are credited as they leave the source link
+func (r *hubRoute) workerReadLoop() {
+	defer r.loopDone()
+	l := r.link
+	for {
+		before := r.down.Stats().BytesRecv()
+		msg, err := r.down.Recv()
+		arrived := r.down.Stats().BytesRecv() - before
+		if r.vet != nil {
+			// The monitor's Recv consumed this frame's bytes, possibly
+			// before this loop's counter snapshot; the monitor's own
+			// measurement is the exact delta either way.
+			if pending, early := r.vet.takeEarly(); early {
+				arrived = pending
+			}
+		}
+		if err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, transport.ErrClosed) {
+				r.workerSideClosed()
+				return
+			}
+			if errors.Is(err, transport.ErrFrameCorrupt) && r.wc != nil {
+				// Worker-leg damage is attributable to this route alone:
+				// quarantine the route, not the link.
+				r.wc.toSupervisor.corruptFrames.Add(1)
+				r.wc.toSupervisor.corruptBytes.Add(arrived)
+			}
+			r.fail(true)
+			return
+		}
+		if r.wc != nil {
+			r.wc.toSupervisor.ingressMsgs.Add(1)
+			r.wc.toSupervisor.ingressBytes.Add(msg.FrameSize())
+		}
+		l.mu.Lock()
+		for r.toSup.bytes >= toWorkerQueueBytes && !r.toSup.closed && !r.toSup.discard {
+			r.wcond.Wait()
+		}
+		if r.toSup.put(msg) {
+			l.enqueueReadyLocked(r)
+		}
+		l.mu.Unlock()
+	}
+}
+
+// workerSideClosed handles the participant ending its link cleanly: the
+// supervisor-bound queue drains, then — on a muxed link — the supervisor
+// gets a close notice; a dedicated link closes its supervisor conn after
+// the drain (writeLoop's finishLink), exactly the pre-mux semantics.
+func (r *hubRoute) workerSideClosed() {
+	l := r.link
+	l.mu.Lock()
+	if r.state == routeDead {
+		l.mu.Unlock()
+		return
+	}
+	// If the supervisor side already finished (route close or link
+	// shutdown), there is nothing left to relay in either direction and no
+	// notice is owed — finalize the route on the spot.
+	supDone := r.toWorker.closed || l.stopWriter
+	r.toSup.closed = true
+	// The worker is gone, so frames still queued toward it are
+	// undeliverable.
+	r.toWorker.drop()
+	down := r.down
+	if supDone {
+		r.teardownLocked()
+		if r.loops == 0 {
+			delete(l.routes, r.id)
+		}
+	} else {
+		r.noticeDue = true
+		l.routeDrainedLocked(r)
+		if !l.muxed {
+			// Wake the link writer even with an empty queue so it can
+			// observe the drained-and-closed route and finish the link.
+			l.enqueueReadyLocked(r)
+		}
+	}
+	r.wcond.Broadcast()
+	l.cond.Broadcast()
+	l.mu.Unlock()
+	if down != nil {
+		_ = down.Close()
+	}
+}
+
+// workerWriteLoop is the worker link's writer for one bound route: it
+// drains the route's supervisor→worker queue, coalescing consecutive batch
+// frames, and grants credit back (muxed links) as bytes leave the queue.
+//
+//gridlint:credit relay egress toward the worker is credited after the onward send succeeds
+func (r *hubRoute) workerWriteLoop() {
+	l := r.link
+	h := l.hub
+	defer r.loopDone()
+	for {
+		l.mu.Lock()
+		for r.toWorker.empty() && !r.toWorker.closed && !r.toWorker.discard {
+			r.wcond.Wait()
+		}
+		if r.toWorker.discard {
+			l.mu.Unlock()
+			return
+		}
+		first, ok := r.toWorker.pop()
+		if !ok {
+			// closed && drained: the supervisor side ended cleanly and
+			// everything it sent was delivered — finish the worker leg.
+			l.mu.Unlock()
+			if r.down != nil {
+				_ = r.down.Close()
+			}
+			return
+		}
+		popped := first.FrameSize()
+		out := first
+		if h.cfg.batching && first.Type == msgBatch && !r.toWorker.empty() {
+			before := r.toWorker.bytes
+			out = l.coalesceToWorkerLocked(r, first)
+			popped += before - r.toWorker.bytes
+		}
+		grant := int64(0)
+		if l.muxed {
+			r.creditDebt += popped
+			if r.creditDebt >= creditWindowBytes/2 && !l.failed && !l.stopWriter && !r.toWorker.closed {
+				grant = r.creditDebt
+				r.creditDebt = 0
+				l.ctrl = append(l.ctrl, transport.Message{
+					Type:    msgCredit,
+					Payload: encodeCredit(creditMsg{Route: r.id, Bytes: uint64(grant)}),
+				})
+				l.cond.Broadcast()
+			}
+		}
+		r.wcond.Broadcast() // capacity waiters (dedicated-link reader)
+		l.mu.Unlock()
+		if err := r.down.Send(out); err != nil {
+			r.fail(true)
+			return
+		}
+		if r.wc != nil {
+			r.wc.toWorker.egressMsgs.Add(1)
+			r.wc.toWorker.egressBytes.Add(out.FrameSize())
+		}
+		h.relayedMsgs.Add(1)
+		h.relayedBytes.Add(out.FrameSize())
+	}
+}
+
+// coalesceToWorkerLocked merges consecutive queued batch frames bound for
+// the worker, the downstream mirror of coalesceLocked.
+func (l *supLink) coalesceToWorkerLocked(r *hubRoute, first transport.Message) transport.Message {
+	msgs, err := decodeBatch(first.Payload)
+	if err != nil {
+		return first
+	}
+	var size int64
+	for _, tm := range msgs {
+		size += tm.wireSize()
+	}
+	merged := false
+	for size < batchTargetBytes && len(msgs) < maxBatchMsgs {
+		next, ok := r.toWorker.peek()
+		if !ok || next.Type != msgBatch {
+			break
+		}
+		more, err := decodeBatch(next.Payload)
+		if err != nil {
+			break
+		}
+		var moreSize int64
+		for _, tm := range more {
+			moreSize += tm.wireSize()
+		}
+		if size+moreSize > maxBatchPayload || len(msgs)+len(more) > maxBatchMsgs {
+			break
+		}
+		r.toWorker.pop()
+		msgs = append(msgs, more...)
+		size += moreSize
+		merged = true
+	}
+	if !merged {
+		return first
+	}
+	return transport.Message{Type: msgBatch, Payload: encodeBatch(msgs)}
+}
+
+// Close tears down every link, route, and registered worker and blocks
+// until all hub goroutines have exited, so the counters are final on
+// return.
 func (h *BrokerHub) Close() error {
 	h.mu.Lock()
 	if h.closed {
@@ -560,197 +1748,18 @@ func (h *BrokerHub) Close() error {
 	h.closed = true
 	avail := h.available
 	h.available = make(map[string]transport.Conn)
-	routes := make([]*brokerRoute, 0, len(h.routes))
-	for r := range h.routes {
-		routes = append(routes, r)
+	h.pendingBinds = make(map[string][]*hubRoute)
+	links := make([]*supLink, 0, len(h.links))
+	for l := range h.links {
+		links = append(links, l)
 	}
-	h.cond.Broadcast()
 	h.mu.Unlock()
 	for _, conn := range avail {
 		_ = conn.Close()
 	}
-	for _, r := range routes {
-		r.quarantine()
+	for _, l := range links {
+		l.fail()
 	}
 	h.pumps.Wait()
 	return nil
-}
-
-// brokerRoute is one bound supervisor↔worker pair: two relay pumps over the
-// two endpoint links, torn down as a unit.
-type brokerRoute struct {
-	hub      *BrokerHub
-	worker   string
-	up, down transport.Conn
-	once     sync.Once
-	done     atomic.Int32
-}
-
-// quarantine tears the route down: both endpoint links close, so each peer
-// observes a dead connection — the session layer's quarantine signal — and
-// recovers through its own redial machinery. The hub itself is unaffected;
-// other routes keep relaying.
-func (r *brokerRoute) quarantine() {
-	r.once.Do(func() {
-		_ = r.up.Close()
-		_ = r.down.Close()
-	})
-}
-
-// pump relays one direction of the route: a reader loop ingesting frames
-// from src feeds a queue drained by a forwarding goroutine that re-batches
-// toward dst. Any receive failure ends the route — but a clean close (EOF
-// or a closed connection) lets the forwarder drain everything the hub
-// already accepted before the route is torn down, matching the direct
-// transport's drain-after-close delivery; a transport fault (a CRC-corrupt
-// frame crossing the relay counts as link damage) quarantines immediately.
-//
-//gridlint:credit relay ingress and corrupt-frame bytes are credited as they leave the source link
-func (r *brokerRoute) pump(src, dst transport.Conn, dir *dirCounters) {
-	defer func() {
-		if r.done.Add(1) == 2 {
-			r.hub.dropRoute(r)
-		}
-		r.hub.pumps.Done()
-	}()
-	frames := make(chan transport.Message, 64)
-	var fwd sync.WaitGroup
-	fwd.Add(1)
-	go func() {
-		defer fwd.Done()
-		r.forward(dst, dir, frames)
-	}()
-	clean := false
-	for {
-		before := src.Stats().BytesRecv()
-		msg, err := src.Recv()
-		arrived := src.Stats().BytesRecv() - before
-		if v, ok := src.(*vettedWorkerConn); ok {
-			// The monitor's Recv consumed this frame's bytes, possibly
-			// before this pump's counter snapshot; the monitor's own
-			// measurement is the exact delta either way.
-			if pending, early := v.takeEarly(); early {
-				arrived = pending
-			}
-		}
-		if err != nil {
-			switch {
-			case errors.Is(err, io.EOF), errors.Is(err, transport.ErrClosed):
-				clean = true
-			case errors.Is(err, transport.ErrFrameCorrupt):
-				// Link damage crossing the relay: the frame's bytes arrived
-				// (and are counted) but its content is gone. Quarantine the
-				// route; the hub's copy loops for other routes are untouched.
-				dir.corruptFrames.Add(1)
-				dir.corruptBytes.Add(arrived)
-			}
-			break
-		}
-		dir.ingressMsgs.Add(1)
-		dir.ingressBytes.Add(msg.FrameSize())
-		frames <- msg
-	}
-	close(frames)
-	if !clean {
-		r.quarantine()
-	}
-	fwd.Wait()
-	r.quarantine()
-}
-
-// forward drains the direction's frame queue onto dst, merging consecutive
-// queued msgBatch frames into one larger batch frame when relay-hop
-// batching is on. After a send failure it keeps draining (and discarding)
-// so the reader can never wedge on a full queue.
-//
-//gridlint:credit relay egress is credited only after the onward send succeeds
-func (r *brokerRoute) forward(dst transport.Conn, dir *dirCounters, frames <-chan transport.Message) {
-	failed := false
-	var carry *transport.Message
-	for {
-		var out transport.Message
-		if carry != nil {
-			out, carry = *carry, nil
-		} else {
-			m, ok := <-frames
-			if !ok {
-				return
-			}
-			out = m
-		}
-		if failed {
-			continue
-		}
-		if r.hub.cfg.batching && out.Type == msgBatch {
-			out, carry = r.coalesce(out, frames)
-		}
-		if err := dst.Send(out); err != nil {
-			failed = true
-			r.quarantine()
-			continue
-		}
-		dir.egressMsgs.Add(1)
-		dir.egressBytes.Add(out.FrameSize())
-		r.hub.relayedMsgs.Add(1)
-		r.hub.relayedBytes.Add(out.FrameSize())
-	}
-}
-
-// coalesce greedily merges batch frames queued behind first into one larger
-// batch frame, stopping at the session layer's frame caps, at the first
-// non-mergeable frame (returned as the carry to preserve order), or when
-// the queue runs dry. Frames the hub cannot decode are forwarded untouched
-// — the hub is a relay, not a validator; the endpoint rules on them.
-func (r *brokerRoute) coalesce(first transport.Message, frames <-chan transport.Message) (transport.Message, *transport.Message) {
-	if len(frames) == 0 {
-		// Nothing queued behind this frame: skip the decode entirely. The
-		// uncongested relay path stays as cheap as oblivious forwarding; at
-		// worst a frame arriving this instant waits for the next send.
-		return first, nil
-	}
-	msgs, err := decodeBatch(first.Payload)
-	if err != nil {
-		return first, nil
-	}
-	var size int64
-	for _, tm := range msgs {
-		size += tm.wireSize()
-	}
-	merged := false
-	var carry *transport.Message
-gather:
-	for size < batchTargetBytes && len(msgs) < maxBatchMsgs {
-		select {
-		case m, ok := <-frames:
-			if !ok {
-				break gather
-			}
-			if m.Type != msgBatch {
-				carry = &m
-				break gather
-			}
-			more, err := decodeBatch(m.Payload)
-			if err != nil {
-				carry = &m
-				break gather
-			}
-			var moreSize int64
-			for _, tm := range more {
-				moreSize += tm.wireSize()
-			}
-			if size+moreSize > maxBatchPayload || len(msgs)+len(more) > maxBatchMsgs {
-				carry = &m
-				break gather
-			}
-			msgs = append(msgs, more...)
-			size += moreSize
-			merged = true
-		default:
-			break gather
-		}
-	}
-	if !merged {
-		return first, carry
-	}
-	return transport.Message{Type: msgBatch, Payload: encodeBatch(msgs)}, carry
 }

@@ -1,0 +1,602 @@
+package grid
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"uncheatgrid/internal/transport"
+)
+
+// openTestMux dials one physical supervisor link to the hub and attaches it
+// as a mux, returning the hub-side endpoint too so tests can reconcile the
+// physical byte counters.
+func openTestMux(t *testing.T, hub *BrokerHub, label string) (*SupervisorMux, transport.Conn) {
+	t.Helper()
+	supConn, hubUp := transport.Pipe(transport.WithBuffer(8))
+	m, err := OpenMux(supConn, label)
+	if err != nil {
+		t.Fatalf("OpenMux(%s): %v", label, err)
+	}
+	if err := hub.Attach(hubUp); err != nil {
+		t.Fatalf("Attach mux %s: %v", label, err)
+	}
+	return m, hubUp
+}
+
+// serveTestWorker registers a participant link under name and serves it.
+func serveTestWorker(t *testing.T, hub *BrokerHub, name string, factory ProducerFactory) (transport.Conn, chan error) {
+	t.Helper()
+	p, err := NewParticipant(name, factory)
+	if err != nil {
+		t.Fatalf("NewParticipant(%s): %v", name, err)
+	}
+	hubDown, partConn := transport.Pipe(transport.WithBuffer(8))
+	if err := HelloWorker(partConn, name); err != nil {
+		t.Fatalf("HelloWorker(%s): %v", name, err)
+	}
+	if err := hub.Attach(hubDown); err != nil {
+		t.Fatalf("Attach worker %s: %v", name, err)
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- p.Serve(partConn) }()
+	return partConn, serveErr
+}
+
+// waitBinds polls until the worker has been bound n times.
+func waitBinds(t *testing.T, hub *BrokerHub, worker string, n int64) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if st, ok := hub.WorkerStats(worker); ok && st.Binds >= n {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("worker %s never reached %d binds", worker, n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestMuxOneLinkCarriesManyRoutes is the tentpole contract: ONE physical
+// supervisor link multiplexes a route per worker, each route reaches
+// exactly the worker it was opened to (proven by personas over interactive
+// CBS, both relay directions), and the hub counts one mux link however many
+// routes ride it.
+func TestMuxOneLinkCarriesManyRoutes(t *testing.T) {
+	hub := NewBrokerHub()
+	defer hub.Close()
+	const n = 8
+	serveErrs := make([]chan error, n)
+	for i := 0; i < n; i++ {
+		factory := HonestFactory
+		if i%2 == 1 {
+			factory = SemiHonestFactory(0, uint64(i))
+		}
+		_, serveErrs[i] = serveTestWorker(t, hub, fmt.Sprintf("w-%d", i), factory)
+	}
+	m, _ := openTestMux(t, hub, "supervisor")
+	routes := make([]transport.Conn, n)
+	for i := range routes {
+		var err error
+		if routes[i], err = m.OpenRoute(fmt.Sprintf("w-%d", i)); err != nil {
+			t.Fatalf("OpenRoute(w-%d): %v", i, err)
+		}
+	}
+
+	sup, err := NewSupervisor(SupervisorConfig{Spec: SchemeSpec{Kind: SchemeCBS, M: 8}, Seed: 3})
+	if err != nil {
+		t.Fatalf("NewSupervisor: %v", err)
+	}
+	outcomes := make([]*TaskOutcome, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := range routes {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			task := syntheticTask(128)
+			task.ID = uint64(i)
+			outcomes[i], errs[i] = sup.RunTask(routes[i], task)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("RunTask over route %d: %v", i, err)
+		}
+	}
+	for i, o := range outcomes {
+		if cheater := i%2 == 1; o.Verdict.Accepted == cheater {
+			t.Errorf("route %d (cheater=%v) got verdict %+v — routed to the wrong worker?", i, cheater, o.Verdict)
+		}
+	}
+
+	for _, r := range routes {
+		_ = r.Close()
+	}
+	for i, ch := range serveErrs {
+		if err := <-ch; err != nil {
+			t.Errorf("participant w-%d serve: %v", i, err)
+		}
+	}
+	if err := m.Close(); err != nil {
+		t.Fatalf("mux close: %v", err)
+	}
+	if err := hub.Close(); err != nil {
+		t.Fatalf("hub close: %v", err)
+	}
+
+	if got := hub.MuxLinks(); got != 1 {
+		t.Errorf("hub counted %d mux links for one physical connection", got)
+	}
+	if got := hub.RoutesOpened(); got != n {
+		t.Errorf("hub counted %d routes opened, want %d", got, n)
+	}
+	for i := 0; i < n; i++ {
+		st, ok := hub.WorkerStats(fmt.Sprintf("w-%d", i))
+		if !ok || st.Binds != 1 || st.ToWorker.EgressMsgs == 0 || st.ToSupervisor.EgressMsgs == 0 {
+			t.Errorf("route stats for w-%d: %+v (ok=%v)", i, st, ok)
+		}
+	}
+}
+
+// TestMuxHubGoroutineBudget is the scaling regression test: routes on a
+// multiplexed link must not cost the hub goroutines — one reader and one
+// writer per PHYSICAL link, never per route. 256 pending routes on one
+// link leave the hub's goroutine count where two goroutines plus the mux's
+// own reader put it; before the mux rewrite the same shape cost two pump
+// goroutines per route.
+func TestMuxHubGoroutineBudget(t *testing.T) {
+	base := runtime.NumGoroutine()
+	hub := NewBrokerHub(WithBindTimeout(time.Minute))
+	m, _ := openTestMux(t, hub, "supervisor")
+	const routes = 256
+	conns := make([]transport.Conn, routes)
+	for i := range conns {
+		var err error
+		if conns[i], err = m.OpenRoute(fmt.Sprintf("pending-%d", i)); err != nil {
+			t.Fatalf("OpenRoute %d: %v", i, err)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for hub.RoutesOpened() < routes {
+		if time.Now().After(deadline) {
+			t.Fatalf("hub registered %d of %d routes", hub.RoutesOpened(), routes)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if grown := runtime.NumGoroutine() - base; grown > 10 {
+		t.Errorf("%d routes on one physical link grew the goroutine count by %d; the hub must run O(physical links) goroutines", routes, grown)
+	}
+	for _, c := range conns {
+		_ = c.Close()
+	}
+	if err := m.Close(); err != nil {
+		t.Fatalf("mux close: %v", err)
+	}
+	if err := hub.Close(); err != nil {
+		t.Fatalf("hub close: %v", err)
+	}
+}
+
+// TestMuxAccountingReconcilesExactly pins the muxed-link ledger identities
+// from the RouteStats contract: per-route conn counters (dedicated-link-
+// equivalent sizes) equal the hub's per-worker ingress/egress exactly, and
+// the physical endpoint's byte counters decompose into hellos + inner
+// frames + envelope overhead + control traffic with nothing unaccounted.
+// The credit window is shrunk so grants actually flow.
+func TestMuxAccountingReconcilesExactly(t *testing.T) {
+	oldWindow := creditWindowBytes
+	creditWindowBytes = 128
+	defer func() { creditWindowBytes = oldWindow }()
+
+	hub := NewBrokerHub()
+	defer hub.Close()
+	const nw = 3
+	serveErrs := make([]chan error, nw)
+	for i := 0; i < nw; i++ {
+		_, serveErrs[i] = serveTestWorker(t, hub, fmt.Sprintf("w-%d", i), HonestFactory)
+	}
+	m, hubUp := openTestMux(t, hub, "supervisor")
+	routes := make([]transport.Conn, nw)
+	for i := range routes {
+		var err error
+		if routes[i], err = m.OpenRoute(fmt.Sprintf("w-%d", i)); err != nil {
+			t.Fatalf("OpenRoute(w-%d): %v", i, err)
+		}
+	}
+
+	sup, err := NewSupervisor(SupervisorConfig{Spec: SchemeSpec{Kind: SchemeNICBS, M: 8, ChainIters: 1}, Seed: 17})
+	if err != nil {
+		t.Fatalf("NewSupervisor: %v", err)
+	}
+	for i, route := range routes {
+		sess, err := sup.OpenSession(route, 2)
+		if err != nil {
+			t.Fatalf("OpenSession route %d: %v", i, err)
+		}
+		var taskSent, taskRecv int64
+		for j := 0; j < 3; j++ {
+			task := Task{ID: uint64(i*10 + j), Start: uint64(j) * 256, N: 256, Workload: "synthetic", Seed: 5}
+			outcome, err := sess.RunTask(task)
+			if err != nil {
+				t.Fatalf("route %d task %d: %v", i, j, err)
+			}
+			if !outcome.Verdict.Accepted {
+				t.Errorf("honest route %d task %d rejected: %s", i, j, outcome.Verdict.Reason)
+			}
+			taskSent += outcome.BytesSent
+			taskRecv += outcome.BytesRecv
+		}
+		if err := sess.Close(); err != nil {
+			t.Fatalf("route %d session close: %v", i, err)
+		}
+		// No hello rides the route conn — the open handshake is physical-
+		// link traffic — so task + overhead bytes alone must equal the
+		// virtual endpoint counters.
+		ovSent, ovRecv := sess.OverheadBytes()
+		if got, want := route.Stats().BytesSent(), taskSent+ovSent; got != want {
+			t.Errorf("route %d sent %dB; tasks+overhead = %dB", i, got, want)
+		}
+		if got, want := route.Stats().BytesRecv(), taskRecv+ovRecv; got != want {
+			t.Errorf("route %d received %dB; tasks+overhead = %dB", i, got, want)
+		}
+	}
+	for _, route := range routes {
+		_ = route.Close()
+	}
+	for i, ch := range serveErrs {
+		if err := <-ch; err != nil {
+			t.Errorf("participant w-%d serve: %v", i, err)
+		}
+	}
+	if err := m.Close(); err != nil {
+		t.Fatalf("mux close: %v", err)
+	}
+	if err := hub.Close(); err != nil {
+		t.Fatalf("hub close: %v", err)
+	}
+	if m.OrphanedFrames() != 0 {
+		t.Fatalf("clean run orphaned %d frames at the supervisor mux", m.OrphanedFrames())
+	}
+
+	var supHello, toWorkerIn, toSupEgress int64
+	for i := 0; i < nw; i++ {
+		name := fmt.Sprintf("w-%d", i)
+		st, ok := hub.WorkerStats(name)
+		if !ok {
+			t.Fatalf("no route stats for %s", name)
+		}
+		supHello += st.SupervisorHelloBytes
+		toWorkerIn += st.ToWorker.IngressBytes
+		toSupEgress += st.ToSupervisor.EgressBytes
+		// Per-route exactness: the virtual endpoints and the hub agree to
+		// the byte even though every frame crossed a shared envelope.
+		if got := routes[i].Stats().BytesSent(); got != st.ToWorker.IngressBytes {
+			t.Errorf("%s: route sent %dB, hub ToWorker ingress %dB", name, got, st.ToWorker.IngressBytes)
+		}
+		if got := routes[i].Stats().BytesRecv(); got != st.ToSupervisor.EgressBytes {
+			t.Errorf("%s: route received %dB, hub ToSupervisor egress %dB", name, got, st.ToSupervisor.EgressBytes)
+		}
+	}
+	if hub.ControlBytes() == 0 {
+		t.Error("no credit grants flowed under a 128-byte window; the flow-control path went unexercised")
+	}
+	muxHello := transport.Message{Type: msgHello, Payload: encodeHello(helloMsg{Role: helloRoleMux, Worker: "supervisor"})}.FrameSize()
+	physRecv := hubUp.Stats().BytesRecv()
+	if want := muxHello + supHello + toWorkerIn + hub.MuxOverheadIngressBytes() + hub.OrphanedBytes() + hub.MuxCorruptBytes(); physRecv != want {
+		t.Errorf("physical ingress %dB does not decompose: hellos %d+%d, inner %d, overhead %d, orphans %d, corrupt %d",
+			physRecv, muxHello, supHello, toWorkerIn, hub.MuxOverheadIngressBytes(), hub.OrphanedBytes(), hub.MuxCorruptBytes())
+	}
+	physSent := hubUp.Stats().BytesSent()
+	if want := toSupEgress + hub.MuxOverheadEgressBytes() + hub.ControlBytes(); physSent != want {
+		t.Errorf("physical egress %dB does not decompose: inner %d, overhead %d, control %d",
+			physSent, toSupEgress, hub.MuxOverheadEgressBytes(), hub.ControlBytes())
+	}
+}
+
+// TestMuxCorruptLinkQuarantinesLinkNotHub pins the shared-link fault rule:
+// a CRC-corrupt frame on a multiplexed link is unattributable to any one
+// route, so the whole physical link — every route on it — is quarantined
+// and counted in the hub's mux-corrupt ledger, never against a worker; an
+// unrelated physical link keeps relaying and the hub survives.
+func TestMuxCorruptLinkQuarantinesLinkNotHub(t *testing.T) {
+	hub := NewBrokerHub()
+	defer hub.Close()
+
+	// Worker a: a raw registered link this test holds.
+	aDown, aConn := transport.Pipe(transport.WithBuffer(8))
+	if err := HelloWorker(aConn, "a"); err != nil {
+		t.Fatalf("HelloWorker(a): %v", err)
+	}
+	if err := hub.Attach(aDown); err != nil {
+		t.Fatalf("Attach worker a: %v", err)
+	}
+	_, bServe := serveTestWorker(t, hub, "b", HonestFactory)
+
+	// Link 1: the raw mux wire protocol, so a corrupt frame can be injected
+	// after the handshakes went through clean.
+	sup1, hubUp1 := transport.Pipe(transport.WithBuffer(8))
+	if err := sendHello(sup1, helloMsg{Role: helloRoleMux, Worker: "sup-1"}); err != nil {
+		t.Fatalf("mux hello: %v", err)
+	}
+	if err := hub.Attach(hubUp1); err != nil {
+		t.Fatalf("Attach mux link 1: %v", err)
+	}
+	if err := sendHello(sup1, helloMsg{Role: helloRoleOpen, Worker: "a", Route: 1}); err != nil {
+		t.Fatalf("open hello: %v", err)
+	}
+	waitBinds(t, hub, "a", 1)
+
+	// Link 2: a healthy mux with a route to b.
+	m2, _ := openTestMux(t, hub, "sup-2")
+	routeB, err := m2.OpenRoute("b")
+	if err != nil {
+		t.Fatalf("OpenRoute(b): %v", err)
+	}
+
+	// One garbled envelope on link 1.
+	garbler := transport.WithFaults(sup1, transport.FaultPlan{GarbleProb: 1, Seed: 99})
+	if err := garbler.Send(transport.Message{
+		Type:    msgRouted,
+		Payload: encodeRouted([]routedEntry{{Route: 1, Type: msgVerdict, Payload: []byte{1}}}),
+	}); err != nil {
+		t.Fatalf("send corrupt frame: %v", err)
+	}
+
+	// Worker a's route dies with its physical link.
+	if _, err := aConn.Recv(); err == nil {
+		t.Fatal("worker a's link survived corruption on its shared supervisor link")
+	}
+
+	// Link 2 still relays: a full interactive task completes after the
+	// quarantine.
+	sup, err := NewSupervisor(SupervisorConfig{Spec: SchemeSpec{Kind: SchemeCBS, M: 8}, Seed: 3})
+	if err != nil {
+		t.Fatalf("NewSupervisor: %v", err)
+	}
+	outcome, err := sup.RunTask(routeB, syntheticTask(128))
+	if err != nil {
+		t.Fatalf("RunTask over surviving link: %v", err)
+	}
+	if !outcome.Verdict.Accepted {
+		t.Errorf("honest task rejected after unrelated link quarantine: %s", outcome.Verdict.Reason)
+	}
+
+	if got := hub.MuxCorruptFrames(); got != 1 {
+		t.Errorf("hub counted %d mux-corrupt frames, want 1", got)
+	}
+	if st, _ := hub.WorkerStats("a"); st.CorruptFrames != 0 {
+		t.Errorf("unattributable link damage was charged to worker a: %+v", st)
+	}
+
+	_ = routeB.Close()
+	if err := <-bServe; err != nil {
+		t.Errorf("participant b serve: %v", err)
+	}
+	_ = m2.Close()
+	_ = sup1.Close()
+	_ = aConn.Close()
+}
+
+// TestMuxCreditBackpressureIsolatesSlowRoute pins per-route flow control
+// and cross-route fairness on one shared link: a route whose worker stops
+// reading runs out of credit and blocks its own sender a handful of frames
+// in, while a sibling route pushes its full load through the same physical
+// link; draining the slow worker releases the stalled sender.
+func TestMuxCreditBackpressureIsolatesSlowRoute(t *testing.T) {
+	oldWindow := creditWindowBytes
+	creditWindowBytes = 4096
+	defer func() { creditWindowBytes = oldWindow }()
+
+	hub := NewBrokerHub()
+	defer hub.Close()
+	slowDown, slowConn := transport.Pipe(transport.WithBuffer(8))
+	if err := HelloWorker(slowConn, "slow"); err != nil {
+		t.Fatalf("HelloWorker(slow): %v", err)
+	}
+	if err := hub.Attach(slowDown); err != nil {
+		t.Fatalf("Attach slow: %v", err)
+	}
+	fastDown, fastConn := transport.Pipe(transport.WithBuffer(8))
+	if err := HelloWorker(fastConn, "fast"); err != nil {
+		t.Fatalf("HelloWorker(fast): %v", err)
+	}
+	if err := hub.Attach(fastDown); err != nil {
+		t.Fatalf("Attach fast: %v", err)
+	}
+	m, _ := openTestMux(t, hub, "supervisor")
+	slowRoute, err := m.OpenRoute("slow")
+	if err != nil {
+		t.Fatalf("OpenRoute(slow): %v", err)
+	}
+	fastRoute, err := m.OpenRoute("fast")
+	if err != nil {
+		t.Fatalf("OpenRoute(fast): %v", err)
+	}
+	waitBinds(t, hub, "slow", 1)
+	waitBinds(t, hub, "fast", 1)
+
+	const frames = 100
+	payload := make([]byte, 1024)
+	var slowSent atomic.Int64
+	slowDone := make(chan error, 1)
+	go func() {
+		for i := 0; i < frames; i++ {
+			if err := slowRoute.Send(transport.Message{Type: msgResultChunk, Payload: payload}); err != nil {
+				slowDone <- err
+				return
+			}
+			slowSent.Add(1)
+		}
+		slowDone <- nil
+	}()
+
+	fastRecvd := make(chan error, 1)
+	go func() {
+		for i := 0; i < frames; i++ {
+			if _, err := fastConn.Recv(); err != nil {
+				fastRecvd <- err
+				return
+			}
+		}
+		fastRecvd <- nil
+	}()
+	for i := 0; i < frames; i++ {
+		if err := fastRoute.Send(transport.Message{Type: msgResultChunk, Payload: payload}); err != nil {
+			t.Fatalf("fast route send %d: %v", i, err)
+		}
+	}
+	if err := <-fastRecvd; err != nil {
+		t.Fatalf("fast worker receive: %v", err)
+	}
+	// The fast route pushed 100KiB through the shared link while the slow
+	// route's sender ran out of credit: no head-of-line blocking, and the
+	// stalled route holds only a window's worth (plus the worker pipe's
+	// buffer) at the hub instead of growing without bound.
+	if got := slowSent.Load(); got >= frames/2 {
+		t.Fatalf("slow route sent %d of %d frames with no reader; credit flow control is not engaging", got, frames)
+	}
+
+	for i := 0; i < frames; i++ {
+		if _, err := slowConn.Recv(); err != nil {
+			t.Fatalf("slow worker drain %d: %v", i, err)
+		}
+	}
+	if err := <-slowDone; err != nil {
+		t.Fatalf("slow route sender: %v", err)
+	}
+	if got := slowSent.Load(); got != frames {
+		t.Fatalf("slow route sent %d of %d frames after its worker drained", got, frames)
+	}
+
+	_ = slowRoute.Close()
+	_ = fastRoute.Close()
+	_ = m.Close()
+	_ = slowConn.Close()
+	_ = fastConn.Close()
+}
+
+// TestRunSimBrokeredMuxReport pins the sim-level mux surface: a clean
+// brokered pipelined run rides exactly one physical supervisor link, the
+// report's mux ledgers are populated, and the per-worker route snapshots
+// reconcile with the supervisor's endpoint totals.
+func TestRunSimBrokeredMuxReport(t *testing.T) {
+	cfg := SimConfig{
+		Spec:           SchemeSpec{Kind: SchemeNICBS, M: 8, ChainIters: 1},
+		Workload:       "synthetic",
+		Seed:           13,
+		TaskSize:       128,
+		Tasks:          6,
+		Honest:         3,
+		PipelineWindow: 2,
+		Broker:         true,
+	}
+	report, err := RunSim(cfg)
+	if err != nil {
+		t.Fatalf("RunSim: %v", err)
+	}
+	if !report.Brokered || report.BrokerRelayedMsgs == 0 {
+		t.Fatalf("broker accounting empty: %+v", report)
+	}
+	if report.BrokerMuxLinks != 1 {
+		t.Errorf("clean run used %d physical supervisor links, want 1", report.BrokerMuxLinks)
+	}
+	if report.BrokerRoutesOpened != int64(cfg.participants()) {
+		t.Errorf("opened %d routes, want one per participant (%d)", report.BrokerRoutesOpened, cfg.participants())
+	}
+	if len(report.BrokerRoutes) != cfg.participants() {
+		t.Fatalf("report carries %d route snapshots, want %d", len(report.BrokerRoutes), cfg.participants())
+	}
+	var toWorkerIn, toSupEgress int64
+	for name, st := range report.BrokerRoutes {
+		if st.Binds != 1 || st.ToWorker.IngressBytes == 0 || st.ToSupervisor.EgressBytes == 0 {
+			t.Errorf("route snapshot for %s looks empty: %+v", name, st)
+		}
+		toWorkerIn += st.ToWorker.IngressBytes
+		toSupEgress += st.ToSupervisor.EgressBytes
+	}
+	// Route conns credit dedicated-link-equivalent sizes, so the endpoint
+	// totals must equal the hub's inner-frame ledgers exactly.
+	if report.SupervisorBytesSent != toWorkerIn {
+		t.Errorf("supervisor sent %dB, hub ToWorker ingress %dB", report.SupervisorBytesSent, toWorkerIn)
+	}
+	if report.SupervisorBytesRecv != toSupEgress {
+		t.Errorf("supervisor received %dB, hub ToSupervisor egress %dB", report.SupervisorBytesRecv, toSupEgress)
+	}
+}
+
+// TestRunSimRoutesFanOut pins the -routes surface: a brokered pipelined run
+// with Routes > participants opens the surplus round-robin as extra
+// multiplexed routes to the same workers, all tasks complete, and the extra
+// dials are not misreported as reconnects.
+func TestRunSimRoutesFanOut(t *testing.T) {
+	cfg := SimConfig{
+		Spec:           SchemeSpec{Kind: SchemeNICBS, M: 8, ChainIters: 1},
+		Workload:       "synthetic",
+		Seed:           13,
+		TaskSize:       128,
+		Tasks:          8,
+		Honest:         2,
+		PipelineWindow: 2,
+		Broker:         true,
+		Routes:         6,
+	}
+	report, err := RunSim(cfg)
+	if err != nil {
+		t.Fatalf("RunSim: %v", err)
+	}
+	if report.TasksAssigned != cfg.Tasks {
+		t.Errorf("completed %d of %d tasks", report.TasksAssigned, cfg.Tasks)
+	}
+	for _, tv := range report.TaskVerdicts {
+		if !tv.Verdict.Accepted {
+			t.Errorf("honest task %d rejected: %s", tv.TaskID, tv.Verdict.Reason)
+		}
+	}
+	if report.BrokerMuxLinks != 1 {
+		t.Errorf("clean fan-out used %d physical supervisor links, want 1", report.BrokerMuxLinks)
+	}
+	if report.BrokerRoutesOpened != int64(cfg.Routes) {
+		t.Errorf("opened %d routes, want %d", report.BrokerRoutesOpened, cfg.Routes)
+	}
+	for _, p := range report.Participants {
+		if p.Reconnects != 0 {
+			t.Errorf("participant %s reports %d reconnects in a clean run; extra routes must not count", p.ID, p.Reconnects)
+		}
+	}
+}
+
+// TestSimConfigRoutesValidation pins the Routes preconditions.
+func TestSimConfigRoutesValidation(t *testing.T) {
+	base := SimConfig{
+		Spec:     SchemeSpec{Kind: SchemeCBS, M: 4},
+		Workload: "synthetic",
+		TaskSize: 16,
+		Tasks:    1,
+		Honest:   2,
+	}
+	noBroker := base
+	noBroker.Routes = 2
+	noBroker.PipelineWindow = 2
+	if _, err := RunSim(noBroker); err == nil {
+		t.Error("Routes without Broker was accepted")
+	}
+	noWindow := base
+	noWindow.Routes = 2
+	noWindow.Broker = true
+	if _, err := RunSim(noWindow); err == nil {
+		t.Error("Routes without PipelineWindow was accepted")
+	}
+	tooFew := base
+	tooFew.Broker = true
+	tooFew.PipelineWindow = 2
+	tooFew.Routes = 1
+	if _, err := RunSim(tooFew); err == nil {
+		t.Error("Routes below the participant count was accepted")
+	}
+}

@@ -1,0 +1,420 @@
+package grid
+
+// Supervisor-side route multiplexing.
+//
+// The hub side of PR 8 (broker.go) runs one reader and one writer per
+// physical link no matter how many routes ride it; this file is the
+// matching supervisor endpoint. A SupervisorMux owns one physical
+// supervisor↔hub connection attached with a mux hello and opens any number
+// of named routes over it. Each route is a transport.Conn — the session,
+// pool, and stream layers use it exactly like a dedicated link — whose
+// frames travel inside msgRouted envelopes:
+//
+//	supervisor                         hub
+//	  session A ──┐                ┌── route A ── worker A
+//	  session B ──┤ one phys link  ├── route B ── worker B
+//	  session C ──┘   (msgRouted)  └── route C ── worker C
+//
+// Flow control is credit-based and per route: a route starts with
+// creditWindowBytes of send budget (denominated in dedicated-link frame
+// sizes), spends it as it sends, and is replenished by msgCredit grants the
+// hub issues as the worker-side writer drains the route's queue. A route
+// that outruns its slow worker blocks in Send while every other route keeps
+// flowing — backpressure never idles the shared link.
+//
+// Route conns keep honest endpoint counters via Stats().CreditSend/Recv,
+// denominated in the frame sizes their traffic would have cost on a
+// dedicated link, so per-route accounting reconciles exactly with the hub's
+// RouteStats; envelope framing differences live in the hub's mux overhead
+// ledgers.
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+
+	"uncheatgrid/internal/transport"
+)
+
+// ErrMuxClosed is returned for operations on a closed SupervisorMux.
+var ErrMuxClosed = errors.New("grid: supervisor mux closed")
+
+// SupervisorMux multiplexes any number of supervisor↔worker routes over one
+// physical hub link. Open routes with OpenRoute; each is an independent
+// transport.Conn. Safe for concurrent use by any number of route owners.
+type SupervisorMux struct {
+	conn  transport.Conn
+	label string
+
+	// sendMu serializes writes to the shared physical link (the transport
+	// contract allows one concurrent sender); it is a leaf lock — nothing
+	// else is acquired under it.
+	sendMu sync.Mutex
+
+	mu      sync.Mutex
+	routes  map[uint64]*muxRouteConn
+	nextID  uint64
+	closed  bool
+	linkErr error
+
+	// orphanFrames/orphanBytes count inner frames that arrived for a route
+	// this endpoint no longer has (closed locally before the hub learned);
+	// bytes are dedicated-link-equivalent frame sizes.
+	orphanFrames atomic.Int64
+	orphanBytes  atomic.Int64
+
+	readerDone chan struct{}
+}
+
+// OpenMux attaches conn to a BrokerHub as a multiplexed supervisor link and
+// returns the mux. The label names the supervisor for diagnostics — it is
+// not a worker identity and takes no slot in the hub's identity registry.
+// The mux owns the connection from here on; Close it through the mux.
+func OpenMux(conn transport.Conn, label string) (*SupervisorMux, error) {
+	if conn == nil {
+		return nil, fmt.Errorf("%w: nil connection", ErrBadConfig)
+	}
+	if err := sendHello(conn, helloMsg{Role: helloRoleMux, Worker: label}); err != nil {
+		return nil, err
+	}
+	m := &SupervisorMux{
+		conn:       conn,
+		label:      label,
+		routes:     make(map[uint64]*muxRouteConn),
+		readerDone: make(chan struct{}),
+	}
+	go m.readLoop()
+	return m, nil
+}
+
+// Label reports the supervisor label the mux attached with.
+func (m *SupervisorMux) Label() string { return m.label }
+
+// OrphanedFrames reports inner frames delivered for routes this endpoint
+// had already closed.
+func (m *SupervisorMux) OrphanedFrames() int64 { return m.orphanFrames.Load() }
+
+// OrphanedBytes reports the dedicated-link-equivalent bytes of orphaned
+// inner frames.
+func (m *SupervisorMux) OrphanedBytes() int64 { return m.orphanBytes.Load() }
+
+// OpenRoutes reports how many routes are currently open on the mux.
+func (m *SupervisorMux) OpenRoutes() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.routes)
+}
+
+// Failed reports whether the physical link has died (or the mux was
+// closed); a failed mux opens no further routes and the owner must dial a
+// fresh link.
+func (m *SupervisorMux) Failed() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.closed || m.linkErr != nil
+}
+
+// OpenRoute opens a new route to the named registered worker and returns
+// its connection. The route behaves like a dedicated supervisor link dialed
+// through the hub: it binds to the worker's registration (waiting up to the
+// hub's bind timeout), relays frames both ways, and surfaces route or link
+// death as a closed connection that the session layer's quarantine/resume
+// machinery recovers from.
+func (m *SupervisorMux) OpenRoute(worker string) (transport.Conn, error) {
+	if worker == "" {
+		return nil, fmt.Errorf("%w: empty worker identity", ErrBadConfig)
+	}
+	if len(worker) > maxWorkerNameLen {
+		return nil, fmt.Errorf("%w: worker identity of %d bytes (max %d)",
+			ErrBadConfig, len(worker), maxWorkerNameLen)
+	}
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil, ErrMuxClosed
+	}
+	if m.linkErr != nil {
+		err := m.linkErr
+		m.mu.Unlock()
+		return nil, fmt.Errorf("grid: mux link down: %w", err)
+	}
+	id := m.nextID
+	m.nextID++
+	r := &muxRouteConn{mux: m, id: id, worker: worker, credit: creditWindowBytes}
+	r.cond = sync.NewCond(&r.mu)
+	m.routes[id] = r
+	m.mu.Unlock()
+	if err := m.sendFrame(transport.Message{
+		Type:    msgHello,
+		Payload: encodeHello(helloMsg{Role: helloRoleOpen, Worker: worker, Route: id}),
+	}); err != nil {
+		m.mu.Lock()
+		delete(m.routes, id)
+		m.mu.Unlock()
+		return nil, err
+	}
+	return r, nil
+}
+
+// sendFrame writes one frame to the shared physical link.
+func (m *SupervisorMux) sendFrame(msg transport.Message) error {
+	m.sendMu.Lock()
+	defer m.sendMu.Unlock()
+	//gridlint:ignore chansendunderlock sendMu is a leaf mutex whose only job is serializing this send; no other lock or queue is touched under it
+	return m.conn.Send(msg)
+}
+
+// route looks up a live route by ID.
+func (m *SupervisorMux) route(id uint64) *muxRouteConn {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.routes[id]
+}
+
+// dropRoute forgets a locally closed route; later deliveries to the ID are
+// counted as orphans.
+func (m *SupervisorMux) dropRoute(id uint64) {
+	m.mu.Lock()
+	delete(m.routes, id)
+	m.mu.Unlock()
+}
+
+// readLoop is the physical link's only reader: it distributes envelope
+// entries to route inboxes, applies credit grants, and marks routes the hub
+// closed. Any receive failure — or a protocol-violating frame — kills the
+// whole link: damage on a shared link is not attributable to one route, the
+// exact mirror of the hub's quarantine rule.
+//
+//gridlint:credit orphaned-delivery accounting on the shared link is only observable at its single reader
+func (m *SupervisorMux) readLoop() {
+	defer close(m.readerDone)
+	for {
+		msg, err := m.conn.Recv()
+		if err != nil {
+			m.fail(err)
+			return
+		}
+		switch msg.Type {
+		case msgRouted:
+			entries, err := decodeRouted(msg.Payload)
+			if err != nil {
+				m.fail(fmt.Errorf("%w: malformed mux envelope: %v", transport.ErrClosed, err))
+				return
+			}
+			transport.RecyclePayload(msg.Payload)
+			for _, e := range entries {
+				r := m.route(e.Route)
+				if r == nil || !r.deliver(transport.Message{Type: e.Type, Payload: e.Payload}) {
+					m.orphanFrames.Add(1)
+					m.orphanBytes.Add(e.innerFrameSize())
+				}
+			}
+		case msgCredit:
+			c, err := decodeCredit(msg.Payload)
+			if err != nil {
+				m.fail(fmt.Errorf("%w: malformed credit grant: %v", transport.ErrClosed, err))
+				return
+			}
+			if r := m.route(c.Route); r != nil {
+				r.grant(int64(c.Bytes))
+			}
+		case msgHello:
+			hello, err := decodeHello(msg.Payload)
+			if err != nil || hello.Role != helloRoleClose {
+				m.fail(fmt.Errorf("%w: unexpected hello on mux link", transport.ErrClosed))
+				return
+			}
+			if r := m.route(hello.Route); r != nil {
+				r.remoteClosed()
+			}
+		default:
+			m.fail(fmt.Errorf("%w: frame type %d invalid on mux link", transport.ErrClosed, msg.Type))
+			return
+		}
+	}
+}
+
+// fail records the link-fatal error, closes the physical connection, and
+// wakes every route with it.
+func (m *SupervisorMux) fail(err error) {
+	m.mu.Lock()
+	if m.linkErr == nil {
+		m.linkErr = err
+	}
+	routes := make([]*muxRouteConn, 0, len(m.routes))
+	for _, r := range m.routes {
+		routes = append(routes, r)
+	}
+	m.mu.Unlock()
+	_ = m.conn.Close()
+	for _, r := range routes {
+		r.linkFailed(err)
+	}
+}
+
+// Close tears down the mux: the physical link closes, every open route
+// observes a dead connection, and Close blocks until the reader has exited
+// so the mux holds no goroutines afterwards.
+func (m *SupervisorMux) Close() error {
+	m.mu.Lock()
+	already := m.closed
+	m.closed = true
+	m.mu.Unlock()
+	if !already {
+		_ = m.conn.Close()
+	}
+	<-m.readerDone
+	return nil
+}
+
+// muxRouteConn is one route's supervisor endpoint: a transport.Conn whose
+// frames ride the shared physical link. Send blocks while the route is out
+// of credit; Recv drains the inbox the mux reader fills. Its Stats are
+// credited in dedicated-link-equivalent frame sizes.
+type muxRouteConn struct {
+	mux    *SupervisorMux
+	id     uint64
+	worker string
+	stats  transport.Stats
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	inbox  []transport.Message
+	credit int64
+	closed bool // Close called locally
+	// remote is set by the hub's close notice: the worker side of the route
+	// is finished. Recv drains the inbox then reports io.EOF, mirroring a
+	// dedicated link's drain-after-peer-close contract.
+	remote  bool
+	linkErr error
+}
+
+var _ transport.Conn = (*muxRouteConn)(nil)
+
+// Worker reports the worker identity the route was opened to.
+func (r *muxRouteConn) Worker() string { return r.worker }
+
+// Stats implements transport.Conn.
+func (r *muxRouteConn) Stats() *transport.Stats { return &r.stats }
+
+// Send implements transport.Conn: it spends route credit (blocking while
+// exhausted), wraps the frame in a single-entry envelope, and writes it to
+// the shared link. The debit may push the balance negative for one frame
+// larger than the whole window — the hub's queue bound allows exactly that
+// overshoot, so oversized-but-legal frames cannot deadlock.
+func (r *muxRouteConn) Send(m transport.Message) error {
+	if int64(len(m.Payload)) > muxInnerPayloadCap {
+		return fmt.Errorf("%w: %d-byte payload cannot cross a multiplexed link",
+			transport.ErrFrameTooLarge, len(m.Payload))
+	}
+	size := m.FrameSize()
+	r.mu.Lock()
+	for r.credit <= 0 && !r.closed && !r.remote && r.linkErr == nil {
+		r.cond.Wait()
+	}
+	if r.closed || r.remote || r.linkErr != nil {
+		r.mu.Unlock()
+		return transport.ErrClosed
+	}
+	r.credit -= size
+	r.mu.Unlock()
+	payload := encodeRouted([]routedEntry{{Route: r.id, Type: m.Type, Payload: m.Payload}})
+	if err := r.mux.sendFrame(transport.Message{Type: msgRouted, Payload: payload}); err != nil {
+		return err
+	}
+	r.stats.CreditSend(size)
+	return nil
+}
+
+// Recv implements transport.Conn: inbox frames first, then the route's
+// terminal condition — ErrClosed after a local Close, the link error after
+// a link failure, io.EOF once the hub announced the worker side finished.
+func (r *muxRouteConn) Recv() (transport.Message, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for {
+		if len(r.inbox) > 0 {
+			m := r.inbox[0]
+			r.inbox[0] = transport.Message{}
+			r.inbox = r.inbox[1:]
+			if len(r.inbox) == 0 {
+				r.inbox = nil
+			}
+			r.stats.CreditRecv(m.FrameSize())
+			return m, nil
+		}
+		switch {
+		case r.closed:
+			return transport.Message{}, transport.ErrClosed
+		case r.linkErr != nil:
+			return transport.Message{}, r.linkErr
+		case r.remote:
+			return transport.Message{}, io.EOF
+		}
+		r.cond.Wait()
+	}
+}
+
+// Close implements transport.Conn: the route is retired locally, pending
+// Send/Recv calls unblock, and — when the link is still healthy — a
+// best-effort close hello tells the hub to drain and retire the route.
+func (r *muxRouteConn) Close() error {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return nil
+	}
+	r.closed = true
+	notify := r.linkErr == nil && !r.remote
+	r.cond.Broadcast()
+	r.mu.Unlock()
+	r.mux.dropRoute(r.id)
+	if notify {
+		_ = r.mux.sendFrame(transport.Message{
+			Type:    msgHello,
+			Payload: encodeHello(helloMsg{Role: helloRoleClose, Worker: r.worker, Route: r.id}),
+		})
+	}
+	return nil
+}
+
+// deliver appends one inner frame to the inbox; false means the route is
+// closed and the frame is the caller's orphan to count.
+func (r *muxRouteConn) deliver(m transport.Message) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return false
+	}
+	r.inbox = append(r.inbox, m)
+	r.cond.Broadcast()
+	return true
+}
+
+// grant adds a hub credit grant to the send budget.
+func (r *muxRouteConn) grant(n int64) {
+	r.mu.Lock()
+	r.credit += n
+	r.cond.Broadcast()
+	r.mu.Unlock()
+}
+
+// remoteClosed records the hub's close notice for the route.
+func (r *muxRouteConn) remoteClosed() {
+	r.mu.Lock()
+	r.remote = true
+	r.cond.Broadcast()
+	r.mu.Unlock()
+}
+
+// linkFailed records the shared link's death on the route.
+func (r *muxRouteConn) linkFailed(err error) {
+	r.mu.Lock()
+	if r.linkErr == nil {
+		r.linkErr = err
+	}
+	r.cond.Broadcast()
+	r.mu.Unlock()
+}

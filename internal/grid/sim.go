@@ -82,6 +82,14 @@ type SimConfig struct {
 	// exchange to the same participant, so verdicts remain byte-identical
 	// to a clean direct run.
 	Broker bool
+	// Routes, when > 0, sets how many concurrent supervisor routes a
+	// brokered pipelined run opens — at least one per participant, with any
+	// surplus distributed round-robin as extra routes to the same
+	// participants, all multiplexed over the supervisor's physical hub
+	// link(s) and fed from the shared work-stealing queue. 0 keeps the
+	// default of exactly one route per participant. Requires Broker and
+	// PipelineWindow > 0; values below the participant count are rejected.
+	Routes int
 	// DropProb and GarbleProb inject transport faults on every connection
 	// (send side, both directions, seeded deterministically from Seed):
 	// frames silently vanish or have one bit flipped in transit. Faults
@@ -129,6 +137,18 @@ func (c SimConfig) validate() error {
 	}
 	if c.faulty() && c.PipelineWindow < 1 {
 		return fmt.Errorf("%w: fault injection requires pipelined sessions (PipelineWindow > 0)", ErrBadConfig)
+	}
+	if c.Routes < 0 {
+		return fmt.Errorf("%w: negative route count %d", ErrBadConfig, c.Routes)
+	}
+	if c.Routes > 0 {
+		if !c.Broker || c.PipelineWindow < 1 {
+			return fmt.Errorf("%w: Routes requires Broker and PipelineWindow > 0", ErrBadConfig)
+		}
+		if c.Routes < c.participants() {
+			return fmt.Errorf("%w: Routes = %d below the %d-participant pool (need one route each)",
+				ErrBadConfig, c.Routes, c.participants())
+		}
 	}
 	if c.ReconnectLimit < 0 {
 		return fmt.Errorf("%w: negative reconnect limit %d", ErrBadConfig, c.ReconnectLimit)
@@ -216,6 +236,20 @@ type SimReport struct {
 	// hub forwarded (egress, after relay-hop re-batching).
 	Brokered                              bool
 	BrokerRelayedMsgs, BrokerRelayedBytes int64
+	// BrokerMuxLinks counts physical multiplexed supervisor links the hub
+	// accepted over the run; BrokerRoutesOpened counts the routes carried on
+	// them. A clean brokered run shows every route sharing one link; a
+	// faulty run adds one link per quarantine-and-redial.
+	BrokerMuxLinks, BrokerRoutesOpened int64
+	// BrokerControlMsgs/Bytes total the hub's mux control traffic (credit
+	// grants and route-close notices); BrokerMuxOverheadIngress/Egress are
+	// the signed envelope-framing ledgers. None of these bytes appear in
+	// BrokerRelayedBytes or any RouteStats direction.
+	BrokerControlMsgs, BrokerControlBytes             int64
+	BrokerMuxOverheadIngress, BrokerMuxOverheadEgress int64
+	// BrokerRoutes snapshots the hub's per-worker relay accounting at
+	// shutdown, keyed by participant identity.
+	BrokerRoutes map[string]RouteStats
 }
 
 // DetectionRate is CheatersDetected / CheatersTotal (1 when no cheaters).
@@ -237,13 +271,119 @@ type simWorker struct {
 	rejections  int
 	blacklisted bool
 	// hub, when set, routes every dial through the broker instead of a
-	// direct pipe.
-	hub *BrokerHub
+	// direct pipe; muxes then owns the supervisor-side physical link(s) the
+	// routes are multiplexed over.
+	hub   *BrokerHub
+	muxes *muxManager
 
 	mu        sync.Mutex
 	supConns  []transport.Conn // supervisor-side endpoints, in dial order
 	partConns []transport.Conn // participant-side endpoints, in dial order
 	serveErrs []chan error
+	// extraRoutes counts dials made to widen the route fan-out (SimConfig
+	// Routes) rather than to replace a quarantined connection, so the
+	// reconnect tally stays honest.
+	extraRoutes int
+}
+
+// muxManager owns the supervisor-side physical hub links of a brokered run.
+// Every supervisor route is multiplexed: a clean run shares ONE physical
+// link — the tentpole topology, all routes riding one reader/writer pair at
+// each end — while a faulty run opens one muxed link per dial so each dial
+// keeps its own deterministic fault plan and its own quarantine-and-redial
+// lifecycle, exactly like the dedicated links it replaces.
+type muxManager struct {
+	hub *BrokerHub
+
+	mu     sync.Mutex
+	shared *SupervisorMux
+	muxes  []*SupervisorMux
+}
+
+func newMuxManager(hub *BrokerHub) *muxManager { return &muxManager{hub: hub} }
+
+// sharedMux lazily dials the run's single clean physical link.
+func (mm *muxManager) sharedMux() *SupervisorMux {
+	mm.mu.Lock()
+	defer mm.mu.Unlock()
+	if mm.shared == nil {
+		supConn, hubUp := transport.Pipe(transport.WithBuffer(8))
+		go func() { _ = mm.hub.Attach(hubUp) }()
+		m, err := OpenMux(supConn, "supervisor")
+		if err != nil {
+			_ = supConn.Close()
+			return nil
+		}
+		mm.shared = m
+		mm.muxes = append(mm.muxes, m)
+	}
+	return mm.shared
+}
+
+// openRoute opens one supervisor route to the named worker. Clean runs open
+// it on the shared link; faulty runs dial a fresh muxed link wrapped with
+// the (worker, attempt)-seeded fault plan on both ends, preserving the
+// per-dial fault determinism and reconnect budgets of the pre-mux topology.
+// Dial-time failures yield a dead connection — the session layer's
+// quarantine machinery treats it like any lost link and redials.
+func (mm *muxManager) openRoute(cfg SimConfig, w *simWorker, attempt int, worker string) transport.Conn {
+	if !cfg.faulty() {
+		if m := mm.sharedMux(); m != nil {
+			if conn, err := m.OpenRoute(worker); err == nil {
+				return conn
+			}
+		}
+		return deadConn()
+	}
+	supConn, hubUp := transport.Pipe(transport.WithBuffer(8))
+	sup := transport.WithFaults(supConn, transport.FaultPlan{
+		DropProb:   cfg.DropProb,
+		GarbleProb: cfg.GarbleProb,
+		Seed:       faultSeed(cfg.Seed, w.idx, attempt, 0),
+	})
+	hubSide := transport.WithFaults(hubUp, transport.FaultPlan{
+		DropProb:   cfg.DropProb,
+		GarbleProb: cfg.GarbleProb,
+		Seed:       faultSeed(cfg.Seed, w.idx, attempt, 1),
+	})
+	// The hub-side attach runs on its own goroutine: a dropped or garbled
+	// mux hello legitimately strands the handshake until the hub's bind
+	// watchdog (or the supervisor's receive watchdog) kills the link.
+	go func() { _ = mm.hub.Attach(hubSide) }()
+	m, err := OpenMux(sup, fmt.Sprintf("sup-%s-%d", worker, attempt))
+	if err != nil {
+		_ = sup.Close()
+		return deadConn()
+	}
+	mm.mu.Lock()
+	mm.muxes = append(mm.muxes, m)
+	mm.mu.Unlock()
+	conn, err := m.OpenRoute(worker)
+	if err != nil {
+		return deadConn()
+	}
+	return conn
+}
+
+// close tears down every physical link the run opened, joining the mux
+// readers so no goroutine outlives the simulation.
+func (mm *muxManager) close() {
+	mm.mu.Lock()
+	muxes := mm.muxes
+	mm.muxes, mm.shared = nil, nil
+	mm.mu.Unlock()
+	for _, m := range muxes {
+		_ = m.Close()
+	}
+}
+
+// deadConn returns a connection that is already closed, for dial paths that
+// failed before producing a usable endpoint.
+func deadConn() transport.Conn {
+	a, b := transport.Pipe()
+	_ = b.Close()
+	_ = a.Close()
+	return a
 }
 
 // faultSeed derives a distinct, reproducible fault-plan seed per (run,
@@ -296,12 +436,11 @@ func (w *simWorker) dial(cfg SimConfig) transport.Conn {
 
 // dialBrokered opens a fresh identity-routed path through the broker hub:
 // a clean hub↔participant link registered under the participant's ID (the
-// LAN leg of the GRACE deployment) and a supervisor↔hub link — the WAN leg,
-// where the fault plan applies — whose hello asks the hub to bind it to
-// that worker. Registration is synchronous, so the subsequent bind never
-// waits; the supervisor-side attach runs on its own goroutine because a
-// dropped or garbled hello legitimately strands it until the supervisor's
-// watchdog kills the link. It returns the supervisor-side endpoint.
+// LAN leg of the GRACE deployment) and a supervisor route multiplexed over
+// a physical supervisor↔hub link — the WAN leg, where the fault plan
+// applies — whose open hello asks the hub to bind it to that worker.
+// Registration is synchronous, so the subsequent bind never waits. It
+// returns the supervisor-side route endpoint.
 func (w *simWorker) dialBrokered(cfg SimConfig) transport.Conn {
 	name := w.participant.ID()
 	hubDown, partConn := transport.Pipe(transport.WithBuffer(8))
@@ -310,25 +449,10 @@ func (w *simWorker) dialBrokered(cfg SimConfig) transport.Conn {
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- w.participant.Serve(partConn) }()
 
-	supConn, hubUp := transport.Pipe(transport.WithBuffer(8))
-	var sup, hubSide transport.Conn = supConn, hubUp
 	w.mu.Lock()
 	attempt := len(w.supConns)
 	w.mu.Unlock()
-	if cfg.faulty() {
-		sup = transport.WithFaults(sup, transport.FaultPlan{
-			DropProb:   cfg.DropProb,
-			GarbleProb: cfg.GarbleProb,
-			Seed:       faultSeed(cfg.Seed, w.idx, attempt, 0),
-		})
-		hubSide = transport.WithFaults(hubSide, transport.FaultPlan{
-			DropProb:   cfg.DropProb,
-			GarbleProb: cfg.GarbleProb,
-			Seed:       faultSeed(cfg.Seed, w.idx, attempt, 1),
-		})
-	}
-	go func() { _ = w.hub.Attach(hubSide) }()
-	_ = HelloSupervisor(sup, name)
+	sup := w.muxes.openRoute(cfg, w, attempt, name)
 	w.mu.Lock()
 	w.supConns = append(w.supConns, sup)
 	w.partConns = append(w.partConns, partConn)
@@ -389,11 +513,16 @@ func RunSim(cfg SimConfig) (*SimReport, error) {
 	}
 
 	var hub *BrokerHub
+	var muxes *muxManager
 	if cfg.Broker {
 		hub = NewBrokerHub()
+		muxes = newMuxManager(hub)
 	}
-	workers, err := buildPool(cfg, hub)
+	workers, err := buildPool(cfg, hub, muxes)
 	if err != nil {
+		if muxes != nil {
+			muxes.close()
+		}
 		if hub != nil {
 			_ = hub.Close()
 		}
@@ -401,10 +530,14 @@ func RunSim(cfg SimConfig) (*SimReport, error) {
 	}
 	// Closing the hub first tears down every route (and any orphaned
 	// registered link a faulty handshake left behind), so the participants'
-	// serve loops — which shutdownPool joins — always observe EOF.
+	// serve loops — which shutdownPool joins — always observe EOF; the mux
+	// links close next, joining their readers before the serve joins.
 	cleanup := func() error {
 		if hub != nil {
 			_ = hub.Close()
+		}
+		if muxes != nil {
+			muxes.close()
 		}
 		return shutdownPool(workers)
 	}
@@ -450,6 +583,20 @@ func RunSim(cfg SimConfig) (*SimReport, error) {
 		report.Brokered = true
 		report.BrokerRelayedMsgs = hub.RelayedMessages()
 		report.BrokerRelayedBytes = hub.RelayedBytes()
+		report.BrokerMuxLinks = hub.MuxLinks()
+		report.BrokerRoutesOpened = hub.RoutesOpened()
+		report.BrokerControlMsgs = hub.ControlMessages()
+		report.BrokerControlBytes = hub.ControlBytes()
+		report.BrokerMuxOverheadIngress = hub.MuxOverheadIngressBytes()
+		report.BrokerMuxOverheadEgress = hub.MuxOverheadEgressBytes()
+		names := hub.Workers()
+		sort.Strings(names)
+		report.BrokerRoutes = make(map[string]RouteStats, len(names))
+		for _, name := range names {
+			if rs, ok := hub.WorkerStats(name); ok {
+				report.BrokerRoutes[name] = rs
+			}
+		}
 	}
 
 	for _, w := range workers {
@@ -466,7 +613,7 @@ func RunSim(cfg SimConfig) (*SimReport, error) {
 			BytesSent:   partSent,
 			BytesRecv:   partRecv,
 			Blacklisted: w.blacklisted,
-			Reconnects:  w.dials() - 1,
+			Reconnects:  w.dials() - 1 - w.extraRoutes,
 		}
 		report.Participants = append(report.Participants, summary)
 		if w.cheater {
@@ -488,15 +635,15 @@ func RunSim(cfg SimConfig) (*SimReport, error) {
 // buildPool constructs the participant pool — semi-honest cheaters first,
 // then malicious, then honest workers — and dials each worker's first
 // connection (starting its serve goroutine). A non-nil hub routes every
-// connection through the broker.
-func buildPool(cfg SimConfig, hub *BrokerHub) ([]*simWorker, error) {
+// connection through the broker as a multiplexed route on muxes.
+func buildPool(cfg SimConfig, hub *BrokerHub, muxes *muxManager) ([]*simWorker, error) {
 	var workers []*simWorker
 	add := func(id string, factory ProducerFactory, cheater bool) error {
 		p, err := NewParticipant(id, factory)
 		if err != nil {
 			return err
 		}
-		w := &simWorker{participant: p, idx: len(workers), cheater: cheater, hub: hub}
+		w := &simWorker{participant: p, idx: len(workers), cheater: cheater, hub: hub, muxes: muxes}
 		w.dial(cfg)
 		workers = append(workers, w)
 		return nil
@@ -671,6 +818,43 @@ func scheduleTasksPipelined(cfg SimConfig, pool *SupervisorPool, workers []*simW
 	for i, w := range workers {
 		conns[i] = w.supConn()
 		byConn[w.supConn()] = w
+	}
+	// Routes beyond one-per-participant widen the fan-out round-robin: each
+	// extra dial is another multiplexed route (plus a fresh participant-side
+	// serve link) claiming tasks from the same work-stealing queue. The hub
+	// parks only ONE registration per identity, and every dial re-registers
+	// the worker — so before dialing an identity again, wait for its earlier
+	// routes to bind and consume their registrations, or the new one would
+	// replace (and close) a parked link and starve a pending route until the
+	// bind timeout. Faulty runs skip the wait: their hellos may legitimately
+	// be lost, and the stream's redial machinery recovers.
+	binds := make(map[string]int64, len(workers))
+	for j := len(workers); j < cfg.Routes; j++ {
+		w := workers[j%len(workers)]
+		name := w.participant.ID()
+		if binds[name] == 0 {
+			binds[name] = 1 // buildPool's initial dial
+		}
+		if !cfg.faulty() {
+			deadline := time.Now().Add(5 * time.Second)
+			for {
+				st, ok := w.hub.WorkerStats(name)
+				if ok && st.Binds >= binds[name] {
+					break
+				}
+				if time.Now().After(deadline) {
+					break // surface as a dead route, not a hang
+				}
+				time.Sleep(100 * time.Microsecond)
+			}
+		}
+		c := w.dial(cfg)
+		binds[name]++
+		w.mu.Lock()
+		w.extraRoutes++
+		w.mu.Unlock()
+		conns = append(conns, c)
+		byConn[c] = w
 	}
 	tasks := make([]Task, cfg.Tasks)
 	for i := range tasks {

@@ -62,9 +62,24 @@ const (
 	// a supervisor-role hello asks the hub to bind the link to the named
 	// registered worker, which is what makes routing sticky across redials
 	// (a replacement supervisor connection reaches the same participant, so
-	// the msgResume machinery works through the relay). Consumed by the
-	// hub, never relayed. Either endpoint → hub.
+	// the msgResume machinery works through the relay). The mux/open/close
+	// roles ride the same frame kind: a mux-role hello attaches a
+	// multiplexed supervisor link, and open/close hellos manage that link's
+	// routes dynamically. Consumed by the hub, never relayed. Either
+	// endpoint → hub (close notices also hub → supervisor).
 	msgHello
+	// msgRouted is the mux envelope of a multiplexed supervisor↔hub link:
+	// one physical frame carrying one or more route-tagged inner frames, so
+	// all of a supervisor's worker routes share a single connection and the
+	// hub's writer can coalesce traffic across workers, not just tasks.
+	// Either direction on a muxed link.
+	msgRouted
+	// msgCredit grants receive-window bytes back to a route's sender: the
+	// hub returns credit as a route's queued frames drain toward the
+	// worker, so one slow worker exerts backpressure on its own route
+	// instead of ballooning hub memory or head-of-line-blocking the shared
+	// link. Hub → supervisor on a muxed link.
+	msgCredit
 )
 
 // wireDecoderFor is the wire manifest: every message kind mapped to the
@@ -89,6 +104,8 @@ var wireDecoderFor = map[uint8]string{
 	msgResume:      "decodeResume",
 	msgVerdictAck:  "",
 	msgHello:       "decodeHello",
+	msgRouted:      "decodeRouted",
+	msgCredit:      "decodeCredit",
 }
 
 // Hello roles carried in the msgHello payload.
@@ -98,21 +115,37 @@ const (
 	// helloRoleSupervisor asks the hub to route the sending link to the
 	// named registered participant.
 	helloRoleSupervisor uint8 = 2
+	// helloRoleMux attaches the sending link as a multiplexed supervisor
+	// link carrying many routes; Worker names the supervisor for stats.
+	helloRoleMux uint8 = 3
+	// helloRoleOpen opens route Route → registered participant Worker on an
+	// already-attached muxed link.
+	helloRoleOpen uint8 = 4
+	// helloRoleClose announces that route Route (bound to Worker) is done:
+	// supervisor → hub it means "no more frames for this route", hub →
+	// supervisor it means "this route is finished or failed at the hub".
+	helloRoleClose uint8 = 5
 )
 
 // maxWorkerNameLen bounds the identity string of a hub handshake.
 const maxWorkerNameLen = 256
 
-// helloMsg is the decoded msgHello payload.
+// helloMsg is the decoded msgHello payload. Route is meaningful only for
+// the mux-family roles (mux/open/close); the worker and supervisor role
+// encodings are byte-identical to the pre-mux wire format.
 type helloMsg struct {
 	Role   uint8
 	Worker string
+	Route  uint64
 }
 
 func encodeHello(m helloMsg) []byte {
 	var buf bytes.Buffer
 	buf.WriteByte(m.Role)
 	putString(&buf, m.Worker)
+	if m.Role >= helloRoleMux {
+		putUvarint(&buf, m.Route)
+	}
 	return buf.Bytes()
 }
 
@@ -123,7 +156,7 @@ func decodeHello(payload []byte) (helloMsg, error) {
 	if err != nil {
 		return m, fmt.Errorf("%w: hello role: %v", ErrBadPayload, err)
 	}
-	if role != helloRoleWorker && role != helloRoleSupervisor {
+	if role < helloRoleWorker || role > helloRoleClose {
 		return m, fmt.Errorf("%w: hello role %d", ErrBadPayload, role)
 	}
 	m.Role = role
@@ -136,6 +169,131 @@ func decodeHello(payload []byte) (helloMsg, error) {
 	if len(m.Worker) > maxWorkerNameLen {
 		return m, fmt.Errorf("%w: hello worker identity of %d bytes (max %d)",
 			ErrBadPayload, len(m.Worker), maxWorkerNameLen)
+	}
+	if role >= helloRoleMux {
+		if m.Route, err = binary.ReadUvarint(r); err != nil {
+			return m, fmt.Errorf("%w: hello route: %v", ErrBadPayload, err)
+		}
+	}
+	if r.Len() != 0 {
+		return m, fmt.Errorf("%w: %d trailing bytes", ErrBadPayload, r.Len())
+	}
+	return m, nil
+}
+
+// routedEntry is one route-tagged inner frame inside a msgRouted envelope:
+// the frame that would have traveled alone on a dedicated per-route link,
+// prefixed with the route it belongs to. Envelopes carry no checksum of
+// their own — the transport CRC covers the physical frame, and batch inner
+// frames keep their session-layer CRC.
+type routedEntry struct {
+	Route   uint64
+	Type    uint8
+	Payload []byte
+}
+
+// innerFrameSize reports what the inner frame would have cost as a physical
+// frame on a dedicated link (transport header + payload). Per-route
+// ingress/egress accounting and credit grants on muxed links are all
+// denominated in this size so RouteStats stay comparable with legacy
+// per-route links and both mux endpoints debit/credit identical amounts.
+func (e routedEntry) innerFrameSize() int64 {
+	return frameOverheadBytes + int64(len(e.Payload))
+}
+
+// frameOverheadBytes mirrors transport.frameOverhead (type byte + length +
+// CRC) for inner-frame accounting without exporting transport internals.
+const frameOverheadBytes = 9
+
+// maxRoutedEntries bounds the entry count of one envelope, mirroring
+// maxBatchMsgs for the same attacker-controlled-count reason.
+const maxRoutedEntries = maxBatchMsgs
+
+// encodeRouted writes the envelope in one exact-size allocation; like
+// encodeBatch it sits on the relay hot path of every muxed link.
+func encodeRouted(entries []routedEntry) []byte {
+	size := uvarintLen(uint64(len(entries)))
+	for _, e := range entries {
+		size += uvarintLen(e.Route) + 1 + uvarintLen(uint64(len(e.Payload))) + len(e.Payload)
+	}
+	out := make([]byte, size)
+	off := binary.PutUvarint(out, uint64(len(entries)))
+	for _, e := range entries {
+		off += binary.PutUvarint(out[off:], e.Route)
+		out[off] = e.Type
+		off++
+		off += binary.PutUvarint(out[off:], uint64(len(e.Payload)))
+		off += copy(out[off:], e.Payload)
+	}
+	return out
+}
+
+// decodeRouted parses a msgRouted envelope. Inner payloads are copied out
+// of the envelope (getBytes allocates), so the caller may recycle the
+// envelope buffer through the transport payload pool as soon as decode
+// returns.
+func decodeRouted(payload []byte) ([]routedEntry, error) {
+	r := bytes.NewReader(payload)
+	count, err := binary.ReadUvarint(r)
+	if err != nil {
+		return nil, fmt.Errorf("%w: routed count: %v", ErrBadPayload, err)
+	}
+	if count > maxRoutedEntries {
+		return nil, fmt.Errorf("%w: %d routed entries", ErrBadPayload, count)
+	}
+	if count == 0 {
+		return nil, fmt.Errorf("%w: empty routed envelope", ErrBadPayload)
+	}
+	entries := make([]routedEntry, 0, count)
+	for i := uint64(0); i < count; i++ {
+		var e routedEntry
+		if e.Route, err = binary.ReadUvarint(r); err != nil {
+			return nil, fmt.Errorf("%w: routed entry %d route: %v", ErrBadPayload, i, err)
+		}
+		if e.Type, err = r.ReadByte(); err != nil {
+			return nil, fmt.Errorf("%w: routed entry %d type: %v", ErrBadPayload, i, err)
+		}
+		if e.Payload, err = getBytes(r); err != nil {
+			return nil, fmt.Errorf("%w: routed entry %d payload: %v", ErrBadPayload, i, err)
+		}
+		entries = append(entries, e)
+	}
+	if r.Len() != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrBadPayload, r.Len())
+	}
+	return entries, nil
+}
+
+// maxCreditGrant bounds a single credit grant so a hostile peer cannot
+// overflow the receiver's signed credit balance with a handful of frames.
+const maxCreditGrant = 1 << 40
+
+// creditMsg is the decoded msgCredit payload: Bytes of receive window
+// granted back to route Route's sender.
+type creditMsg struct {
+	Route uint64
+	Bytes uint64
+}
+
+func encodeCredit(m creditMsg) []byte {
+	var buf bytes.Buffer
+	putUvarint(&buf, m.Route)
+	putUvarint(&buf, m.Bytes)
+	return buf.Bytes()
+}
+
+func decodeCredit(payload []byte) (creditMsg, error) {
+	var m creditMsg
+	r := bytes.NewReader(payload)
+	var err error
+	if m.Route, err = binary.ReadUvarint(r); err != nil {
+		return m, fmt.Errorf("%w: credit route: %v", ErrBadPayload, err)
+	}
+	if m.Bytes, err = binary.ReadUvarint(r); err != nil {
+		return m, fmt.Errorf("%w: credit bytes: %v", ErrBadPayload, err)
+	}
+	if m.Bytes == 0 || m.Bytes > maxCreditGrant {
+		return m, fmt.Errorf("%w: credit grant of %d bytes", ErrBadPayload, m.Bytes)
 	}
 	if r.Len() != 0 {
 		return m, fmt.Errorf("%w: %d trailing bytes", ErrBadPayload, r.Len())

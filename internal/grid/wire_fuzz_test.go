@@ -179,10 +179,14 @@ func FuzzDecodeResults(f *testing.F) {
 func FuzzDecodeHello(f *testing.F) {
 	f.Add(encodeHello(helloMsg{Role: helloRoleWorker, Worker: "participant-7"}))
 	f.Add(encodeHello(helloMsg{Role: helloRoleSupervisor, Worker: "p"}))
+	f.Add(encodeHello(helloMsg{Role: helloRoleMux, Worker: "supervisor-0", Route: 0}))
+	f.Add(encodeHello(helloMsg{Role: helloRoleOpen, Worker: "participant-7", Route: 41}))
+	f.Add(encodeHello(helloMsg{Role: helloRoleClose, Worker: "participant-7", Route: 1 << 40}))
 	f.Add([]byte{})
 	f.Add([]byte{0x01})
 	f.Add([]byte{0x03, 0x01, 'x'})
 	f.Add([]byte{0x02, 0xff, 0xff, 0x7f})
+	f.Add([]byte{0x05, 0x01, 'w'})
 	f.Fuzz(func(t *testing.T, payload []byte) {
 		m, err := decodeHello(payload)
 		if err != nil {
@@ -227,6 +231,63 @@ func FuzzDecodeBatch(f *testing.F) {
 		}
 		if len(msgs) != len(again) || (len(msgs) > 0 && !reflect.DeepEqual(msgs, again)) {
 			t.Fatalf("round trip changed batch: %+v != %+v", msgs, again)
+		}
+	})
+}
+
+// FuzzDecodeRouted covers the multiplexed-link envelope both the hub and
+// the supervisor mux decode from their shared physical link — every muxed
+// data frame crosses it, in both directions.
+func FuzzDecodeRouted(f *testing.F) {
+	f.Add(encodeRouted([]routedEntry{{Route: 0, Type: msgCommit, Payload: []byte{0xaa, 0xbb}}}))
+	f.Add(encodeRouted([]routedEntry{
+		{Route: 3, Type: msgBatch, Payload: nil},
+		{Route: 1 << 33, Type: msgVerdict, Payload: []byte{0x01}},
+		{Route: 3, Type: msgReports, Payload: []byte{0x00}},
+	}))
+	f.Add([]byte{})
+	f.Add([]byte{0x00})
+	f.Add([]byte{0x01, 0x00, 0x07, 0xff, 0xff, 0xff, 0x0f})
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		entries, err := decodeRouted(payload)
+		if err != nil {
+			return
+		}
+		if len(entries) == 0 {
+			t.Fatal("decode accepted an empty envelope")
+		}
+		again, err := decodeRouted(encodeRouted(entries))
+		if err != nil {
+			t.Fatalf("re-decode of re-encoded envelope failed: %v", err)
+		}
+		if !reflect.DeepEqual(entries, again) {
+			t.Fatalf("round trip changed envelope: %+v != %+v", entries, again)
+		}
+	})
+}
+
+// FuzzDecodeCredit covers the flow-control grant the supervisor mux decodes
+// from the hub.
+func FuzzDecodeCredit(f *testing.F) {
+	f.Add(encodeCredit(creditMsg{Route: 0, Bytes: 1}))
+	f.Add(encodeCredit(creditMsg{Route: 999, Bytes: 256 << 10}))
+	f.Add([]byte{})
+	f.Add([]byte{0x00})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01, 0x00})
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		m, err := decodeCredit(payload)
+		if err != nil {
+			return
+		}
+		if m.Bytes == 0 || m.Bytes > maxCreditGrant {
+			t.Fatalf("decode accepted an out-of-range grant: %+v", m)
+		}
+		again, err := decodeCredit(encodeCredit(m))
+		if err != nil {
+			t.Fatalf("re-decode of re-encoded credit failed: %v", err)
+		}
+		if m != again {
+			t.Fatalf("round trip changed credit: %+v != %+v", m, again)
 		}
 	})
 }

@@ -9,17 +9,17 @@ import (
 )
 
 // TestWireDecoderManifestTotal pins the manifest's totality at runtime too:
-// every message kind from msgAssign through msgHello has an entry. The
+// every message kind from msgAssign through msgCredit has an entry. The
 // static side — each named decoder existing and being fuzzed — is enforced
 // by gridlint's wireexhaustive analyzer.
 func TestWireDecoderManifestTotal(t *testing.T) {
-	for kind := msgAssign; kind <= msgHello; kind++ {
+	for kind := msgAssign; kind <= msgCredit; kind++ {
 		if _, ok := wireDecoderFor[kind]; !ok {
 			t.Errorf("wireDecoderFor has no entry for message kind %d", kind)
 		}
 	}
-	if len(wireDecoderFor) != int(msgHello-msgAssign)+1 {
-		t.Errorf("wireDecoderFor has %d entries, want %d", len(wireDecoderFor), int(msgHello-msgAssign)+1)
+	if len(wireDecoderFor) != int(msgCredit-msgAssign)+1 {
+		t.Errorf("wireDecoderFor has %d entries, want %d", len(wireDecoderFor), int(msgCredit-msgAssign)+1)
 	}
 }
 
@@ -75,7 +75,25 @@ func wireCorpusSeeds() map[string][][]byte {
 		"FuzzDecodeHello": {
 			encodeHello(helloMsg{Role: helloRoleWorker, Worker: "participant-7"}),
 			encodeHello(helloMsg{Role: helloRoleSupervisor, Worker: "p"}),
+			encodeHello(helloMsg{Role: helloRoleMux, Worker: "supervisor-0", Route: 0}),
+			encodeHello(helloMsg{Role: helloRoleOpen, Worker: "participant-7", Route: 41}),
+			encodeHello(helloMsg{Role: helloRoleClose, Worker: "participant-7", Route: 1 << 40}),
 			{0x02, 0xff, 0xff, 0x7f},
+			{0x05, 0x01, 'w'},
+		},
+		"FuzzDecodeRouted": {
+			encodeRouted([]routedEntry{{Route: 0, Type: msgCommit, Payload: []byte{0xaa, 0xbb}}}),
+			encodeRouted([]routedEntry{
+				{Route: 3, Type: msgBatch, Payload: nil},
+				{Route: 1 << 33, Type: msgVerdict, Payload: []byte{0x01}},
+				{Route: 3, Type: msgReports, Payload: []byte{0x00}},
+			}),
+			{0x01, 0x00, 0x07, 0xff, 0xff, 0xff, 0x0f},
+		},
+		"FuzzDecodeCredit": {
+			encodeCredit(creditMsg{Route: 0, Bytes: 1}),
+			encodeCredit(creditMsg{Route: 999, Bytes: 256 << 10}),
+			{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01, 0x00},
 		},
 		"FuzzDecodeBatch": {
 			encodeBatch(nil),

@@ -117,6 +117,27 @@ func (s *Stats) recordRecv(m Message) {
 	s.msgsRecv.Add(1)
 }
 
+// CreditSend credits n bytes and one message to the sent counters. It
+// exists for virtual connections layered above transport — a multiplexed
+// route that shares a physical link still owes its endpoint honest
+// counters, denominated in the frame sizes its traffic would have cost on
+// a dedicated link.
+//
+//gridlint:credit virtual conns above transport credit their own endpoint counters
+func (s *Stats) CreditSend(n int64) {
+	s.bytesSent.Add(n)
+	s.msgsSent.Add(1)
+}
+
+// CreditRecv credits n bytes and one message to the received counters; the
+// receive-side counterpart of CreditSend.
+//
+//gridlint:credit virtual conns above transport credit their own endpoint counters
+func (s *Stats) CreditRecv(n int64) {
+	s.bytesRecv.Add(n)
+	s.msgsRecv.Add(1)
+}
+
 // checkFrameSize validates a payload length against MaxFrameBytes.
 func checkFrameSize(n int) error {
 	if n > MaxFrameBytes {

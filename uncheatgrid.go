@@ -276,6 +276,9 @@ type (
 	BrokerRouteStats = grid.RouteStats
 	// BrokerRouteDirectionStats covers one relay direction's traffic.
 	BrokerRouteDirectionStats = grid.RouteDirectionStats
+	// SupervisorMux multiplexes many supervisor↔worker routes over one
+	// physical hub link with per-route credit flow control.
+	SupervisorMux = grid.SupervisorMux
 	// Task is one assigned domain window.
 	Task = grid.Task
 	// SchemeKind enumerates verification schemes.
@@ -316,6 +319,11 @@ var (
 	HelloWorker = grid.HelloWorker
 	// HelloSupervisor asks a hub to route a link to a registered worker.
 	HelloSupervisor = grid.HelloSupervisor
+	// OpenMux turns one hub link into a multiplexed carrier for many
+	// routes (see SupervisorMux.OpenRoute).
+	OpenMux = grid.OpenMux
+	// ErrMuxClosed reports use of a closed supervisor mux.
+	ErrMuxClosed = grid.ErrMuxClosed
 	// WithRelayBatching toggles relay-hop batching on a hub (default on).
 	WithRelayBatching = grid.WithRelayBatching
 	// WithBrokerBindTimeout bounds how long a supervisor link waits for its
