@@ -58,6 +58,12 @@ func run(w io.Writer, args []string) error {
 		garble     = fs.Float64("garble", 0, "probability a frame has one bit flipped in transit (needs -pipeline)")
 		reconnect  = fs.Int("reconnect", 0, "max replacement connections per participant under faults (0 = default 8)")
 		faultWait  = fs.Duration("faultwait", 0, "receive watchdog that converts dropped frames into reconnects (0 = default 2s)")
+		stream     = fs.Bool("stream", false, "long-horizon streaming mode: tasks drawn lazily from a source under bounded look-ahead (needs -pipeline)")
+		windowT    = fs.Int("windowtasks", 0, "tasks per rolling commitment window (needs -stream; 0 = no window commitments)")
+		windowM    = fs.Int("windowsamples", 0, "membership proofs sampled per window commit (needs -windowtasks)")
+		checkEvery = fs.Int("checkevery", 0, "tasks per durable checkpoint segment (needs -stream and -checkpoint)")
+		checkDir   = fs.String("checkpoint", "", "directory for durable supervisor/participant checkpoints")
+		killAfter  = fs.Int("killafter", 0, "inject a crash after this many settled tasks and restart from the last checkpoint (needs -checkevery)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -88,6 +94,8 @@ func run(w io.Writer, args []string) error {
 			M:             samples,
 			ChainIters:    *chainIters,
 			SubtreeHeight: *subtree,
+			WindowTasks:   *windowT,
+			WindowSamples: *windowM,
 		},
 		Workload:          *wlName,
 		Seed:              *seed,
@@ -109,6 +117,10 @@ func run(w io.Writer, args []string) error {
 		GarbleProb:        *garble,
 		ReconnectLimit:    *reconnect,
 		FaultRecvTimeout:  *faultWait,
+		Stream:            *stream,
+		CheckpointEvery:   *checkEvery,
+		CheckpointDir:     *checkDir,
+		KillAfter:         *killAfter,
 	})
 	if err != nil {
 		return err
@@ -130,6 +142,10 @@ func printReport(w io.Writer, report *grid.SimReport) {
 		report.CheatersDetected, report.CheatersTotal, report.HonestAccused)
 	fmt.Fprintf(w, "supervisor: sent=%dB recv=%dB verify-evals=%d\n",
 		report.SupervisorBytesSent, report.SupervisorBytesRecv, report.SupervisorEvals)
+	if report.WindowsSettled > 0 || report.WindowsPending > 0 || report.WindowViolations > 0 {
+		fmt.Fprintf(w, "windows: settled=%d violations=%d pending-tasks=%d\n",
+			report.WindowsSettled, report.WindowViolations, report.WindowsPending)
+	}
 	if report.Brokered {
 		fmt.Fprintf(w, "broker: relayed=%d frames (%d B)\n",
 			report.BrokerRelayedMsgs, report.BrokerRelayedBytes)

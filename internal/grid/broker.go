@@ -64,8 +64,9 @@ const defaultBindTimeout = 10 * time.Second
 
 // brokerConfig collects NewBrokerHub options.
 type brokerConfig struct {
-	batching    bool
-	bindTimeout time.Duration
+	batching     bool
+	bindTimeout  time.Duration
+	creditWindow int64
 }
 
 // BrokerOption configures NewBrokerHub.
@@ -94,6 +95,37 @@ func (o bindTimeoutOption) applyBroker(c *brokerConfig) { c.bindTimeout = time.D
 // link, which the peer's session layer treats like any other dead
 // connection.
 func WithBindTimeout(d time.Duration) BrokerOption { return bindTimeoutOption(d) }
+
+// LinkOption configures both endpoints of a multiplexed hub link: it is
+// accepted by NewBrokerHub and OpenMux, so a parameter both sides must
+// agree on can be passed from one value.
+type LinkOption interface {
+	BrokerOption
+	MuxOption
+}
+
+type routeCreditWindowOption int64
+
+func (o routeCreditWindowOption) applyBroker(c *brokerConfig) {
+	if o > 0 {
+		c.creditWindow = int64(o)
+	}
+}
+
+func (o routeCreditWindowOption) applyMux(c *muxConfig) {
+	if o > 0 {
+		c.creditWindow = int64(o)
+	}
+}
+
+// WithRouteCreditWindow sets the per-route credit window of a multiplexed
+// link, in dedicated-link-equivalent frame bytes (default 256 KiB): the
+// supervisor may have this many unacknowledged bytes queued at the hub per
+// route before its sender must wait for a credit grant, so one slow worker
+// bounds its own route's hub memory instead of the whole link's. Both
+// endpoints must use the same window — pass the option to NewBrokerHub and
+// to every OpenMux on that hub. Values below 1 select the default.
+func WithRouteCreditWindow(n int64) LinkOption { return routeCreditWindowOption(n) }
 
 // RouteDirectionStats counts one direction of a worker's relayed traffic.
 // Ingress is measured as frames arrive at the hub on the direction's source
@@ -241,7 +273,7 @@ type BrokerHub struct {
 
 // NewBrokerHub creates an empty hub with relay-hop batching enabled.
 func NewBrokerHub(opts ...BrokerOption) *BrokerHub {
-	cfg := brokerConfig{batching: true, bindTimeout: defaultBindTimeout}
+	cfg := brokerConfig{batching: true, bindTimeout: defaultBindTimeout, creditWindow: defaultCreditWindowBytes}
 	for _, opt := range opts {
 		opt.applyBroker(&cfg)
 	}
@@ -584,12 +616,12 @@ func (h *BrokerHub) monitorWorker(worker string, v *vettedWorkerConn) {
 	v.result <- vetResult{msg: msg, err: err}
 }
 
-// creditWindowBytes is the per-route receive window on a muxed link: the
-// supervisor may have this many unacknowledged bytes (inner frame sizes)
-// queued at the hub before it must wait for a credit grant, so one slow
-// worker bounds its own route's hub memory instead of the whole link's. A
-// variable so tests can shrink the window.
-var creditWindowBytes int64 = 256 << 10
+// defaultCreditWindowBytes is the per-route receive window on a muxed link
+// when WithRouteCreditWindow is not given: the supervisor may have this
+// many unacknowledged bytes (inner frame sizes) queued at the hub before
+// it must wait for a credit grant, so one slow worker bounds its own
+// route's hub memory instead of the whole link's.
+const defaultCreditWindowBytes int64 = 256 << 10
 
 // legacyRouteQueueBytes bounds the supervisor→worker queue of a dedicated
 // (non-muxed) supervisor link, where backpressure is applied by blocking
@@ -1208,7 +1240,7 @@ func (l *supLink) ingestEnvelope(msg transport.Message, arrived int64) bool {
 			h.orphanBytes.Add(size)
 			continue
 		}
-		if r.toWorker.bytes > creditWindowBytes+int64(transport.MaxFrameBytes) {
+		if r.toWorker.bytes > h.cfg.creditWindow+int64(transport.MaxFrameBytes) {
 			// The peer is ignoring the credit protocol; that is a link-level
 			// violation (the shared reader must never block on one route).
 			l.mu.Unlock()
@@ -1671,7 +1703,7 @@ func (r *hubRoute) workerWriteLoop() {
 		grant := int64(0)
 		if l.muxed {
 			r.creditDebt += popped
-			if r.creditDebt >= creditWindowBytes/2 && !l.failed && !l.stopWriter && !r.toWorker.closed {
+			if r.creditDebt >= h.cfg.creditWindow/2 && !l.failed && !l.stopWriter && !r.toWorker.closed {
 				grant = r.creditDebt
 				r.creditDebt = 0
 				l.ctrl = append(l.ctrl, transport.Message{

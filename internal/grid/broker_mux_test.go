@@ -14,10 +14,10 @@ import (
 // openTestMux dials one physical supervisor link to the hub and attaches it
 // as a mux, returning the hub-side endpoint too so tests can reconcile the
 // physical byte counters.
-func openTestMux(t *testing.T, hub *BrokerHub, label string) (*SupervisorMux, transport.Conn) {
+func openTestMux(t *testing.T, hub *BrokerHub, label string, opts ...MuxOption) (*SupervisorMux, transport.Conn) {
 	t.Helper()
 	supConn, hubUp := transport.Pipe(transport.WithBuffer(8))
-	m, err := OpenMux(supConn, label)
+	m, err := OpenMux(supConn, label, opts...)
 	if err != nil {
 		t.Fatalf("OpenMux(%s): %v", label, err)
 	}
@@ -190,18 +190,15 @@ func TestMuxHubGoroutineBudget(t *testing.T) {
 // frames + envelope overhead + control traffic with nothing unaccounted.
 // The credit window is shrunk so grants actually flow.
 func TestMuxAccountingReconcilesExactly(t *testing.T) {
-	oldWindow := creditWindowBytes
-	creditWindowBytes = 128
-	defer func() { creditWindowBytes = oldWindow }()
-
-	hub := NewBrokerHub()
+	window := WithRouteCreditWindow(128)
+	hub := NewBrokerHub(window)
 	defer hub.Close()
 	const nw = 3
 	serveErrs := make([]chan error, nw)
 	for i := 0; i < nw; i++ {
 		_, serveErrs[i] = serveTestWorker(t, hub, fmt.Sprintf("w-%d", i), HonestFactory)
 	}
-	m, hubUp := openTestMux(t, hub, "supervisor")
+	m, hubUp := openTestMux(t, hub, "supervisor", window)
 	routes := make([]transport.Conn, nw)
 	for i := range routes {
 		var err error
@@ -389,11 +386,8 @@ func TestMuxCorruptLinkQuarantinesLinkNotHub(t *testing.T) {
 // in, while a sibling route pushes its full load through the same physical
 // link; draining the slow worker releases the stalled sender.
 func TestMuxCreditBackpressureIsolatesSlowRoute(t *testing.T) {
-	oldWindow := creditWindowBytes
-	creditWindowBytes = 4096
-	defer func() { creditWindowBytes = oldWindow }()
-
-	hub := NewBrokerHub()
+	window := WithRouteCreditWindow(4096)
+	hub := NewBrokerHub(window)
 	defer hub.Close()
 	slowDown, slowConn := transport.Pipe(transport.WithBuffer(8))
 	if err := HelloWorker(slowConn, "slow"); err != nil {
@@ -409,7 +403,7 @@ func TestMuxCreditBackpressureIsolatesSlowRoute(t *testing.T) {
 	if err := hub.Attach(fastDown); err != nil {
 		t.Fatalf("Attach fast: %v", err)
 	}
-	m, _ := openTestMux(t, hub, "supervisor")
+	m, _ := openTestMux(t, hub, "supervisor", window)
 	slowRoute, err := m.OpenRoute("slow")
 	if err != nil {
 		t.Fatalf("OpenRoute(slow): %v", err)

@@ -404,6 +404,7 @@ func (pt *preparedTask) ingestProofs(payload []byte) error {
 // the decision is the group rendezvous: parkable attempts detach while it
 // is unready, others block for it.
 func (pt *preparedTask) decide(replicaResults *[][]byte) error {
+	pt.recordStreamDigest()
 	st := pt.st
 	tr := pt.tr
 	task := pt.assign.Task

@@ -97,6 +97,14 @@ type SchemeSpec struct {
 	// SubtreeHeight enables the Section 3.3 storage-bounded prover when
 	// positive (CBS/NI-CBS only).
 	SubtreeHeight int
+	// WindowTasks, when positive, enables rolling window commitments on a
+	// long-horizon stream: every WindowTasks settled tasks the participant
+	// commits a Merkle root over the window's per-task stream digests and
+	// answers the hash-chain-derived challenge for it.
+	WindowTasks int
+	// WindowSamples is the per-window sample count m of the rolling
+	// commitment challenge. Required (>= 1) when WindowTasks > 0.
+	WindowSamples int
 }
 
 // validate checks the spec ahead of a run.
@@ -114,6 +122,20 @@ func (s SchemeSpec) validate() error {
 	}
 	if s.SubtreeHeight < 0 {
 		return fmt.Errorf("%w: negative subtree height", ErrBadConfig)
+	}
+	if s.WindowTasks < 0 || s.WindowTasks > maxWindowCommitTasks {
+		return fmt.Errorf("%w: window of %d tasks (max %d)", ErrBadConfig, s.WindowTasks, maxWindowCommitTasks)
+	}
+	if s.WindowTasks > 0 {
+		if s.WindowSamples < 1 || s.WindowSamples > s.WindowTasks {
+			return fmt.Errorf("%w: %d window samples for a %d-task window",
+				ErrBadConfig, s.WindowSamples, s.WindowTasks)
+		}
+		if s.WindowSamples > maxWindowCommitProofs {
+			return fmt.Errorf("%w: %d window samples (max %d)", ErrBadConfig, s.WindowSamples, maxWindowCommitProofs)
+		}
+	} else if s.WindowSamples != 0 {
+		return fmt.Errorf("%w: window samples without a window", ErrBadConfig)
 	}
 	return nil
 }

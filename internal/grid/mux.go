@@ -15,9 +15,10 @@ package grid
 //	  session B ──┤ one phys link  ├── route B ── worker B
 //	  session C ──┘   (msgRouted)  └── route C ── worker C
 //
-// Flow control is credit-based and per route: a route starts with
-// creditWindowBytes of send budget (denominated in dedicated-link frame
-// sizes), spends it as it sends, and is replenished by msgCredit grants the
+// Flow control is credit-based and per route: a route starts with a
+// window of send budget (WithRouteCreditWindow, denominated in
+// dedicated-link frame sizes), spends it as it sends, and is replenished
+// by msgCredit grants the
 // hub issues as the worker-side writer drains the route's queue. A route
 // that outruns its slow worker blocks in Send while every other route keeps
 // flowing — backpressure never idles the shared link.
@@ -41,12 +42,24 @@ import (
 // ErrMuxClosed is returned for operations on a closed SupervisorMux.
 var ErrMuxClosed = errors.New("grid: supervisor mux closed")
 
+// muxConfig collects OpenMux options.
+type muxConfig struct {
+	creditWindow int64
+}
+
+// MuxOption configures OpenMux. Options both link endpoints must agree on
+// (see WithRouteCreditWindow) also implement BrokerOption.
+type MuxOption interface {
+	applyMux(*muxConfig)
+}
+
 // SupervisorMux multiplexes any number of supervisor↔worker routes over one
 // physical hub link. Open routes with OpenRoute; each is an independent
 // transport.Conn. Safe for concurrent use by any number of route owners.
 type SupervisorMux struct {
-	conn  transport.Conn
-	label string
+	conn         transport.Conn
+	label        string
+	creditWindow int64
 
 	// sendMu serializes writes to the shared physical link (the transport
 	// contract allows one concurrent sender); it is a leaf lock — nothing
@@ -72,18 +85,25 @@ type SupervisorMux struct {
 // returns the mux. The label names the supervisor for diagnostics — it is
 // not a worker identity and takes no slot in the hub's identity registry.
 // The mux owns the connection from here on; Close it through the mux.
-func OpenMux(conn transport.Conn, label string) (*SupervisorMux, error) {
+// Options both endpoints must agree on (WithRouteCreditWindow) must match
+// what the hub was built with.
+func OpenMux(conn transport.Conn, label string, opts ...MuxOption) (*SupervisorMux, error) {
 	if conn == nil {
 		return nil, fmt.Errorf("%w: nil connection", ErrBadConfig)
+	}
+	cfg := muxConfig{creditWindow: defaultCreditWindowBytes}
+	for _, opt := range opts {
+		opt.applyMux(&cfg)
 	}
 	if err := sendHello(conn, helloMsg{Role: helloRoleMux, Worker: label}); err != nil {
 		return nil, err
 	}
 	m := &SupervisorMux{
-		conn:       conn,
-		label:      label,
-		routes:     make(map[uint64]*muxRouteConn),
-		readerDone: make(chan struct{}),
+		conn:         conn,
+		label:        label,
+		creditWindow: cfg.creditWindow,
+		routes:       make(map[uint64]*muxRouteConn),
+		readerDone:   make(chan struct{}),
 	}
 	go m.readLoop()
 	return m, nil
@@ -142,7 +162,7 @@ func (m *SupervisorMux) OpenRoute(worker string) (transport.Conn, error) {
 	}
 	id := m.nextID
 	m.nextID++
-	r := &muxRouteConn{mux: m, id: id, worker: worker, credit: creditWindowBytes}
+	r := &muxRouteConn{mux: m, id: id, worker: worker, credit: m.creditWindow}
 	r.cond = sync.NewCond(&r.mu)
 	m.routes[id] = r
 	m.mu.Unlock()

@@ -42,6 +42,7 @@ func MaliciousFactory(corruptProb float64, seed uint64) ProducerFactory {
 // participantConfig collects construction options.
 type participantConfig struct {
 	proverParallelism int
+	checkpointDir     string
 }
 
 // ParticipantOption customizes a participant.
@@ -62,6 +63,19 @@ func (o proverParallelismOption) applyParticipant(c *participantConfig) {
 // tree construction fans out. p <= 1, non-CBS schemes, and storage-bounded
 // (SubtreeHeight > 0) assignments build sequentially.
 func WithProverParallelism(p int) ParticipantOption { return proverParallelismOption(p) }
+
+type checkpointDirOption string
+
+func (o checkpointDirOption) applyParticipant(c *participantConfig) {
+	c.checkpointDir = string(o)
+}
+
+// WithCheckpointDir makes the participant durable: on every checkpoint
+// request (msgCheckpoint) it serializes its counters and rolling-window
+// state to a versioned, CRC-guarded file under dir before acknowledging,
+// and RestoreCheckpoint resurrects that state after a crash. Without a
+// directory, checkpoint requests are acknowledged without persisting.
+func WithCheckpointDir(dir string) ParticipantOption { return checkpointDirOption(dir) }
 
 // Participant is a grid worker: it receives task assignments over a
 // connection, evaluates its (possibly cheating) results, and speaks the
@@ -92,6 +106,10 @@ type Participant struct {
 	counted      map[uint64]uint64
 	countedOrder []countedTombstone
 	countedSeq   uint64
+	// windows holds the rolling-commitment state once the first windowed
+	// assignment arrives; all windowed tasks of one participant must share
+	// a spec, since the commitment chain is a single history.
+	windows *participantWindows
 }
 
 // countedTombstone is one entry of the participant's verdict-tombstone
@@ -314,6 +332,9 @@ func (ps *participantSession) handleFrame(frame transport.Message) error {
 // start a new concurrent task execution, everything else lands in the owning
 // task's inbox.
 func (ps *participantSession) dispatch(tm taggedMsg) error {
+	if tm.TaskID == ctrlTaskID {
+		return ps.handleCtrl(tm)
+	}
 	switch tm.Type {
 	case msgAssign:
 		a, err := decodeAssignment(tm.Payload)
@@ -348,6 +369,33 @@ func (ps *participantSession) dispatch(tm taggedMsg) error {
 		return nil
 	default:
 		return fmt.Errorf("%w: task %d inbox overflow", ErrUnexpectedMessage, tm.TaskID)
+	}
+}
+
+// sendCtrl enqueues one session-scoped control message through the batch
+// writer, FIFO with the per-task traffic already queued there.
+func (ps *participantSession) sendCtrl(typ uint8, payload []byte) error {
+	return ps.writer.enqueue(taggedMsg{TaskID: ctrlTaskID, Type: typ, Payload: payload}, nil)
+}
+
+// handleCtrl serves one session-scoped control message. A checkpoint
+// request persists the participant's durable state (when a checkpoint
+// directory is configured) and is always acknowledged — the ack is the
+// supervisor's barrier, so it must not depend on local configuration.
+func (ps *participantSession) handleCtrl(tm taggedMsg) error {
+	switch tm.Type {
+	case msgCheckpoint:
+		cp, err := decodeCheckpoint(tm.Payload)
+		if err != nil {
+			return fmt.Errorf("grid: participant %s: %w", ps.p.id, err)
+		}
+		if err := ps.p.WriteCheckpoint(cp.Seq); err != nil {
+			return fmt.Errorf("grid: participant %s checkpoint: %w", ps.p.id, err)
+		}
+		return ps.sendCtrl(msgCheckpointAck, nil)
+	default:
+		return fmt.Errorf("%w: participant %s got ctrl message type %d",
+			ErrUnexpectedMessage, ps.p.id, tm.Type)
 	}
 }
 
@@ -483,7 +531,23 @@ func (p *Participant) executeTask(conn protoConn, a assignment, res *resumeMsg) 
 	if err != nil {
 		return err
 	}
-	p.recordVerdict(a.Task.ID, producer.Name(), verdict, counted.Evals())
+	first := p.recordVerdict(a.Task.ID, producer.Name(), verdict, counted.Evals())
+	// A windowed task joins the rolling commitment exactly when its verdict
+	// first counts, and the window commit (if this task fills one) must be
+	// enqueued before the verdict ack: the batch writer is FIFO, so the
+	// supervisor always processes the commit before it settles the task.
+	if first && a.Spec.WindowTasks > 0 && exec.digest != nil {
+		if tc, ok := conn.(*participantTaskConn); ok {
+			pw, err := p.windowsFor(a.Spec)
+			if err != nil {
+				return err
+			}
+			digest := streamDigest(a.Task.ID, a.Spec.Kind, exec.digest)
+			if err := pw.settle(a.Task.ID, digest, tc.ps.sendCtrl); err != nil {
+				return err
+			}
+		}
+	}
 	// Acknowledge so the supervisor knows the ruling landed; a verdict
 	// frame lost to a fault is re-delivered on the resumed connection until
 	// acked (recordVerdict keeps the counters exactly-once under
@@ -491,19 +555,44 @@ func (p *Participant) executeTask(conn protoConn, a assignment, res *resumeMsg) 
 	return conn.Send(transport.Message{Type: msgVerdictAck})
 }
 
+// windowsFor returns the participant's rolling-commitment state, creating
+// it from the first windowed spec seen. One participant runs one window
+// history; a conflicting spec is a configuration error.
+func (p *Participant) windowsFor(spec SchemeSpec) (*participantWindows, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.windows == nil {
+		pw, err := newParticipantWindows(spec)
+		if err != nil {
+			return nil, err
+		}
+		p.windows = pw
+		return pw, nil
+	}
+	if p.windows.w != spec.WindowTasks || p.windows.m != spec.WindowSamples {
+		return nil, fmt.Errorf("%w: participant %s saw window spec %d/%d after %d/%d",
+			ErrBadConfig, p.id, spec.WindowTasks, spec.WindowSamples, p.windows.w, p.windows.m)
+	}
+	return p.windows, nil
+}
+
 // recordVerdict folds one task's outcome into the participant's counters.
 // Evaluation effort is real work and accrues per execution; the per-task
 // verdict tallies count each task at most once, however many times a fault
 // forces its verdict to be re-delivered.
 //
+// It reports whether this is the first time the task's verdict counted —
+// the signal that downstream exactly-once work (the rolling window append)
+// should run.
+//
 //gridlint:credit the participant's only tally point; exactly-once under verdict re-delivery
-func (p *Participant) recordVerdict(taskID uint64, behavior string, verdict Verdict, evals int64) {
+func (p *Participant) recordVerdict(taskID uint64, behavior string, verdict Verdict, evals int64) bool {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.behavior = behavior
 	p.evals += evals
 	if _, done := p.counted[taskID]; done {
-		return
+		return false
 	}
 	p.countedSeq++
 	p.counted[taskID] = p.countedSeq
@@ -515,6 +604,7 @@ func (p *Participant) recordVerdict(taskID uint64, behavior string, verdict Verd
 	} else {
 		p.rejected++
 	}
+	return true
 }
 
 // pruneTombstonesLocked bounds the verdict-tombstone memory: the oldest
@@ -548,6 +638,10 @@ type taskExecution struct {
 	producer    cheat.Producer
 	screener    workload.Screener
 	parallelism int
+	// digest is the scheme's primary payload reduced for the rolling window
+	// commitment (commitment root, hashed upload, or hashed hit list), set
+	// by the scheme runner once that payload is fixed.
+	digest []byte
 }
 
 // claimAndScreen evaluates the participant's claimed value for domain index
@@ -602,6 +696,7 @@ func (e *taskExecution) runCBS(conn protoConn, nonInteractive bool, chain *hashc
 	if err != nil {
 		return err
 	}
+	e.digest = prover.Commitment().Root
 	commitPayload, err := prover.Commitment().MarshalBinary()
 	if err != nil {
 		return err
@@ -667,6 +762,7 @@ func (e *taskExecution) runUpload(conn protoConn, res *resumeMsg) error {
 	for i := uint64(0); i < e.task.N; i++ {
 		results[i] = e.claimAndScreen(i, &reports)
 	}
+	e.digest = hashResults(results)
 	if res == nil || !res.ResultsDone {
 		var from uint64
 		if res != nil {
@@ -727,6 +823,7 @@ func (e *taskExecution) runRinger(conn protoConn, images [][]byte, res *resumeMs
 			hits = append(hits, e.task.Start+i)
 		}
 	}
+	e.digest = hashIndices(hits)
 	if res == nil || !res.HaveHits {
 		if err := conn.Send(transport.Message{Type: msgRingerHits, Payload: encodeIndices(hits)}); err != nil {
 			return err

@@ -205,6 +205,24 @@ func (s *TaskStream) Retire(conn transport.Conn) {
 	s.d.retireConn(conn)
 }
 
+// TaskSource feeds a streaming run one task at a time: it returns the i-th
+// task of the run (i counts from 0) and reports false once the stream is
+// exhausted. Sources are consulted lazily under the dispatcher lock — only
+// a bounded look-ahead of tickets is ever materialized, so a source backed
+// by a generator can describe runs far larger than memory. A source must be
+// deterministic in i: checkpoint restore re-reads the same indices.
+type TaskSource func(i uint64) (Task, bool)
+
+// SliceTaskSource adapts a finite task slice to a TaskSource.
+func SliceTaskSource(tasks []Task) TaskSource {
+	return func(i uint64) (Task, bool) {
+		if i >= uint64(len(tasks)) {
+			return Task{}, false
+		}
+		return tasks[i], true
+	}
+}
+
 // streamConfig collects RunTasksStream options.
 type streamConfig struct {
 	eligible      func(transport.Conn) bool
@@ -213,6 +231,12 @@ type streamConfig struct {
 	recvTimeout   time.Duration
 	replicas      int
 	identity      func(transport.Conn) string
+	ledgers       []*WindowLedger
+	highWater     int
+	pinned        bool
+	sourceBase    uint64
+	drainCkpt     uint64
+	doDrainCkpt   bool
 }
 
 // StreamOption configures RunTasksStream.
@@ -305,3 +329,68 @@ func (o replicasOption) applyStream(c *streamConfig) { c.replicas = int(o) }
 // turn requires at least n connections. The stream emits n outcomes per
 // task, one per replica.
 func WithReplicas(n int) StreamOption { return replicasOption(n) }
+
+type windowSettleOption struct {
+	ledgers []*WindowLedger
+}
+
+func (o windowSettleOption) applyStream(c *streamConfig) { c.ledgers = o.ledgers }
+
+// WithWindowSettle arms rolling-window verification on a stream: ledgers[i]
+// (nil entries allowed) verifies the window commits arriving on conns[i],
+// banking each task's stream digest at decision time and auditing the
+// sampled Merkle paths of every commit against them. Ledgers outlive the
+// stream — pass the same ledger for the same participant across successive
+// streams (checkpoint segments) and the commitment chain continues
+// seamlessly. Requires a spec with WindowTasks > 0.
+func WithWindowSettle(ledgers []*WindowLedger) StreamOption {
+	return windowSettleOption{ledgers}
+}
+
+type highWaterOption int
+
+func (o highWaterOption) applyStream(c *streamConfig) { c.highWater = int(o) }
+
+// WithHighWater bounds how many tasks a source-fed stream materializes as
+// tickets ahead of execution (default 2 × window × connections). Memory for
+// an unbounded run is O(high water + in-flight), independent of stream
+// length.
+func WithHighWater(n int) StreamOption { return highWaterOption(n) }
+
+type pinnedPlacementOption struct{}
+
+func (o pinnedPlacementOption) applyStream(c *streamConfig) { c.pinned = true }
+
+// WithPinnedPlacement replaces work stealing with deterministic placement:
+// task i runs on connection i mod len(conns), independent of scheduling
+// timing. Checkpoint/restore runs use this so a restarted run re-executes
+// each task on the same participant the clean run would have used, keeping
+// verdicts and per-participant tallies byte-identical.
+func WithPinnedPlacement() StreamOption { return pinnedPlacementOption{} }
+
+type sourceBaseOption uint64
+
+func (o sourceBaseOption) applyStream(c *streamConfig) { c.sourceBase = uint64(o) }
+
+// WithSourceBase starts the task source's index walk at base instead of 0:
+// the source is consulted with absolute indices base, base+1, … — and, under
+// WithPinnedPlacement, task index i maps to connection i mod len(conns)
+// using that absolute index. Segmented runs (checkpoint/restore) pass each
+// segment's first task index here so placement is a pure function of the
+// task's position in the whole stream, not of where segment boundaries fall.
+func WithSourceBase(base uint64) StreamOption { return sourceBaseOption(base) }
+
+type drainCheckpointOption uint64
+
+func (o drainCheckpointOption) applyStream(c *streamConfig) {
+	c.drainCkpt = uint64(o)
+	c.doDrainCkpt = true
+}
+
+// WithDrainCheckpoint makes the stream end with a checkpoint barrier: after
+// every task settles and before the sessions close, each surviving
+// connection receives a msgCheckpoint carrying seq and the stream completes
+// only after all of them acknowledge (having persisted their durable state,
+// see WithCheckpointDir). Dead connections are skipped — their participants
+// restore from the previous checkpoint.
+func WithDrainCheckpoint(seq uint64) StreamOption { return drainCheckpointOption(seq) }

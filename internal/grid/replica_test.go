@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"reflect"
+	"sync"
 	"testing"
 	"time"
 
@@ -249,6 +250,111 @@ func TestStreamReplicaReplacedWhenSlotDies(t *testing.T) {
 		if len(seen[task.ID]) != replicas {
 			t.Errorf("task %d delivered %d replica outcomes, want %d", task.ID, len(seen[task.ID]), replicas)
 		}
+	}
+}
+
+// gatedAssignConn holds back the first frame carrying a task assignment
+// until release is closed, so the test controls which replica reaches the
+// rendezvous first. Session handshaking and verdict traffic pass freely.
+type gatedAssignConn struct {
+	transport.Conn
+	release <-chan struct{}
+}
+
+func (c *gatedAssignConn) Send(msg transport.Message) error {
+	if msg.Type == msgBatch {
+		if msgs, err := decodeBatch(msg.Payload); err == nil {
+			for _, tm := range msgs {
+				if tm.Type == msgAssign {
+					<-c.release
+					break
+				}
+			}
+		}
+	}
+	return c.Conn.Send(msg)
+}
+
+// uploadSignalConn closes uploaded the first time a result upload passes
+// through Recv — the moment the replica's submission is in the supervisor's
+// hands and killing the link can no longer lose it.
+type uploadSignalConn struct {
+	transport.Conn
+	uploaded chan struct{}
+	once     sync.Once
+}
+
+func (c *uploadSignalConn) Recv() (transport.Message, error) {
+	msg, err := c.Conn.Recv()
+	if err == nil && msg.Type == msgBatch {
+		if msgs, derr := decodeBatch(msg.Payload); derr == nil {
+			for _, tm := range msgs {
+				if tm.Type == msgResults || tm.Type == msgResultChunk {
+					c.once.Do(func() { close(c.uploaded) })
+				}
+			}
+		}
+	}
+	return msg, err
+}
+
+// TestStreamReplicaBankedWhenSlotDiesAfterUpload kills a replica's link
+// after its upload reached the supervisor but before the group settled. The
+// banked upload must still vote and yield a synthesized outcome attributed
+// to the dead link — not be re-run (with only two connections a re-run is
+// impossible: the sole survivor hosts the sibling), and not be dropped.
+func TestStreamReplicaBankedWhenSlotDiesAfterUpload(t *testing.T) {
+	const replicas = 2
+	doomed := newRedialableParticipant(t, HonestFactory)
+	defer doomed.shutdown()
+	partner := newRedialableParticipant(t, HonestFactory)
+	defer partner.shutdown()
+
+	uploaded := make(chan struct{})
+	release := make(chan struct{})
+	doomedConn := &uploadSignalConn{Conn: doomed.dial(), uploaded: uploaded}
+	partnerConn := &gatedAssignConn{Conn: partner.dial(), release: release}
+
+	pool, err := NewSupervisorPool(SupervisorConfig{Spec: SchemeSpec{Kind: SchemeDoubleCheck, M: 1}, Seed: 11}, 4)
+	if err != nil {
+		t.Fatalf("NewSupervisorPool: %v", err)
+	}
+	stream, err := pool.RunTasksStream(context.Background(),
+		[]transport.Conn{doomedConn, partnerConn}, poolTasks(1, 64), 2, WithReplicas(replicas))
+	if err != nil {
+		t.Fatalf("RunTasksStream: %v", err)
+	}
+	// Replica 0 uploads while replica 1 is still gated, then its link dies;
+	// only then may replica 1 proceed and complete the rendezvous.
+	go func() {
+		<-uploaded
+		_ = doomedConn.Conn.Close()
+		close(release)
+	}()
+
+	outcomes := make(map[int]StreamedOutcome)
+	for so := range stream.Outcomes() {
+		if _, dup := outcomes[so.Outcome.Replica]; dup {
+			t.Errorf("replica %d delivered twice", so.Outcome.Replica)
+		}
+		outcomes[so.Outcome.Replica] = so
+	}
+	if err := stream.Err(); err != nil {
+		t.Fatalf("stream error: %v", err)
+	}
+	if len(outcomes) != replicas {
+		t.Fatalf("streamed %d outcomes, want %d: the banked upload's outcome was dropped", len(outcomes), replicas)
+	}
+	for rep, so := range outcomes {
+		if !so.Outcome.Verdict.Accepted {
+			t.Errorf("honest replica %d rejected: %s", rep, so.Outcome.Verdict.Reason)
+		}
+	}
+	if got := outcomes[0].Conn; got != transport.Conn(doomedConn) {
+		t.Errorf("banked outcome attributed to the wrong connection (re-run instead of banked?)")
+	}
+	if doomed.dials() != 1 {
+		t.Errorf("doomed participant dialed %d times, want 1 (no redial configured)", doomed.dials())
 	}
 }
 

@@ -195,6 +195,17 @@ func (w *batchWriter) overheadBytes() int64 {
 	return w.overhead
 }
 
+// creditOverhead folds flushed bytes that belong to no task — ctrl-tagged
+// messages — into the writer's overhead ledger, keeping the connection
+// total exactly Σ task bytes + overhead.
+//
+//gridlint:credit ctrl messages have no owning task; their flushed bytes are session overhead
+func (w *batchWriter) creditOverhead(n int64) {
+	w.mu.Lock()
+	w.overhead += n
+	w.mu.Unlock()
+}
+
 // enqueue queues one tagged message for (possibly coalesced) sending. It
 // returns quickly; transmission errors surface on later calls and at close.
 // settle, if non-nil, is called exactly once when the message is flushed
@@ -264,11 +275,13 @@ type Session struct {
 	writer      *batchWriter
 
 	// mu guards the demultiplexer: per-task inboxes, the elected-puller
-	// flag, the terminal error, and receive-side overhead accounting.
+	// flag, the ctrl handler, the terminal error, and receive-side overhead
+	// accounting.
 	mu           sync.Mutex
 	cond         *sync.Cond
 	tasks        map[uint64]*sessionTaskConn
 	used         map[uint64]struct{}
+	ctrl         func(taggedMsg) error
 	pulling      bool
 	err          error
 	recvOverhead int64
@@ -390,39 +403,82 @@ func (s *Session) recvFor(c *sessionTaskConn) (transport.Message, error) {
 			return transport.Message{}, s.err
 		}
 		if !s.pulling {
-			s.pulling = true
-			s.mu.Unlock()
-			// The watchdog converts a silently dropped frame (the peer will
-			// never answer) into a dead connection the quarantine machinery
-			// already handles. Closing the connection is the only way to
-			// unblock a pending Recv on every transport.
-			var watchdog *time.Timer
-			if s.cfg.recvTimeout > 0 {
-				watchdog = time.AfterFunc(s.cfg.recvTimeout, func() { _ = s.conn.Close() })
-			}
-			// Receive-side attribution works on the connection counter's
-			// delta rather than the frame header math, so bytes that arrive
-			// but never yield a routable frame — a corrupt frame the
-			// transport CRC rejected — still land in session overhead and
-			// the counters stay exact.
-			before := s.conn.Stats().BytesRecv()
-			frame, err := s.conn.Recv()
-			if watchdog != nil {
-				watchdog.Stop()
-			}
-			s.mu.Lock()
-			s.pulling = false
-			arrived := s.conn.Stats().BytesRecv() - before
-			if err != nil {
-				s.recvOverhead += arrived
-				err = fmt.Errorf("grid: session recv: %w", err)
-			} else {
-				err = s.routeLocked(frame, arrived)
-			}
-			if err != nil && s.err == nil {
-				s.err = err
-			}
-			s.cond.Broadcast()
+			s.pullOnceLocked(s.cfg.recvTimeout)
+			continue
+		}
+		s.cond.Wait()
+	}
+}
+
+// pullOnceLocked performs one elected pull: release the lock, receive one
+// frame (with a watchdog when timeout > 0), re-acquire, route, record any
+// terminal error, and wake the waiters. Caller holds s.mu and has observed
+// s.pulling == false.
+//
+//gridlint:credit bytes that arrive without yielding a routable frame (CRC-rejected damage) are credited to session overhead at the single receive site
+func (s *Session) pullOnceLocked(timeout time.Duration) {
+	s.pulling = true
+	s.mu.Unlock()
+	// The watchdog converts a silently dropped frame (the peer will
+	// never answer) into a dead connection the quarantine machinery
+	// already handles. Closing the connection is the only way to
+	// unblock a pending Recv on every transport.
+	var watchdog *time.Timer
+	if timeout > 0 {
+		watchdog = time.AfterFunc(timeout, func() { _ = s.conn.Close() })
+	}
+	// Receive-side attribution works on the connection counter's
+	// delta rather than the frame header math, so bytes that arrive
+	// but never yield a routable frame — a corrupt frame the
+	// transport CRC rejected — still land in session overhead and
+	// the counters stay exact.
+	before := s.conn.Stats().BytesRecv()
+	frame, err := s.conn.Recv()
+	if watchdog != nil {
+		watchdog.Stop()
+	}
+	s.mu.Lock()
+	s.pulling = false
+	arrived := s.conn.Stats().BytesRecv() - before
+	if err != nil {
+		s.recvOverhead += arrived
+		err = fmt.Errorf("grid: session recv: %w", err)
+	} else {
+		err = s.routeLocked(frame, arrived)
+	}
+	if err != nil && s.err == nil {
+		s.err = err
+	}
+	s.cond.Broadcast()
+}
+
+// ctrlPullTimeout bounds each pull of a drain-time ctrl exchange (the
+// checkpoint barrier): with no task Recv pending, nobody else would notice
+// a peer that went silent, so the ctrl puller carries its own watchdog when
+// the session has none. A variable so tests can shorten it.
+var ctrlPullTimeout = 30 * time.Second
+
+// pullCtrl drives the session's receive loop outside any task exchange
+// until stop() reports true. Used at the stream drain barrier, where ctrl
+// replies (checkpoint acks) are expected but no task is in flight to elect
+// a puller. stop is evaluated with s.mu held; a session error (including
+// one raised by routing the ctrl reply itself) is returned.
+func (s *Session) pullCtrl(stop func() bool) error {
+	timeout := s.cfg.recvTimeout
+	if timeout <= 0 {
+		timeout = ctrlPullTimeout
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if stop() {
+			return nil
+		}
+		if s.err != nil {
+			return s.err
+		}
+		if !s.pulling {
+			s.pullOnceLocked(timeout)
 			continue
 		}
 		s.cond.Wait()
@@ -454,6 +510,22 @@ func (s *Session) routeLocked(frame transport.Message, arrived int64) error {
 	}
 	var tagged int64
 	for _, tm := range msgs {
+		if tm.TaskID == ctrlTaskID {
+			// Session-scoped control traffic (window commits, checkpoint
+			// acks): handled inline so ctrl messages keep their frame order
+			// relative to task messages, with the bytes staying in session
+			// overhead — ctrl messages belong to no task.
+			if s.ctrl == nil {
+				s.recvOverhead += arrived - tagged
+				return fmt.Errorf("%w: ctrl message type %d on a session without a ctrl handler",
+					ErrUnexpectedMessage, tm.Type)
+			}
+			if err := s.ctrl(tm); err != nil {
+				s.recvOverhead += arrived - tagged
+				return err
+			}
+			continue
+		}
 		tc, ok := s.tasks[tm.TaskID]
 		if !ok {
 			s.recvOverhead += arrived - tagged
@@ -466,6 +538,28 @@ func (s *Session) routeLocked(frame transport.Message, arrived int64) error {
 	}
 	s.recvOverhead += arrived - tagged
 	return nil
+}
+
+// setCtrl installs the handler for ctrl-tagged messages (TaskID ==
+// ctrlTaskID). The handler runs on the elected puller with s.mu held and
+// must not block or call back into the session; an error it returns is
+// terminal for the session.
+func (s *Session) setCtrl(fn func(taggedMsg) error) {
+	s.mu.Lock()
+	s.ctrl = fn
+	s.mu.Unlock()
+}
+
+// sendCtrl queues one ctrl-tagged message. Its bytes land in the writer's
+// overhead ledger at flush time — ctrl traffic belongs to no task.
+func (s *Session) sendCtrl(typ uint8, payload []byte) error {
+	tm := taggedMsg{TaskID: ctrlTaskID, Type: typ, Payload: payload}
+	size := tm.wireSize()
+	return s.writer.enqueue(tm, func(sent bool) {
+		if sent {
+			s.writer.creditOverhead(size)
+		}
+	})
 }
 
 // register adds a task to the demultiplexer. Task IDs are the wire-level

@@ -106,6 +106,31 @@ type SimConfig struct {
 	// dropped frames into reconnects; 0 selects the default (2s). It must
 	// exceed the worst-case per-task participant compute time.
 	FaultRecvTimeout time.Duration
+	// Stream switches the run to long-horizon streaming mode: tasks are
+	// drawn lazily from a source (memory stays O(window) however large
+	// Tasks is), placement is pinned round-robin for determinism, and —
+	// with Spec.WindowTasks > 0 — every participant carries hash-chained
+	// rolling window commitments verified per link. Requires
+	// PipelineWindow > 0; incompatible with fault injection, Routes,
+	// Blacklist, and the double-check scheme. Broker is supported.
+	Stream bool
+	// CheckpointEvery, in stream mode, splits the run into segments of
+	// that many tasks; each segment ends with a checkpoint barrier where
+	// every participant persists its durable state under CheckpointDir and
+	// the supervisor writes its own progress file. 0 disables periodic
+	// checkpoints (a single segment).
+	CheckpointEvery int
+	// CheckpointDir roots the checkpoint files of a stream run. A run
+	// started over a directory holding a matching supervisor checkpoint
+	// resumes from it instead of starting over.
+	CheckpointDir string
+	// KillAfter, in stream mode, injects a crash: after that many settled
+	// tasks the whole run — supervisor pool, sessions, participants — is
+	// torn down mid-segment and restarted from the last durable
+	// checkpoint. The final report must be byte-identical to an
+	// uninterrupted run's (the checkpoint/restore acceptance criterion).
+	// Requires CheckpointEvery > 0 and CheckpointDir.
+	KillAfter int
 }
 
 // faulty reports whether fault injection is enabled.
@@ -162,6 +187,39 @@ func (c SimConfig) validate() error {
 		}
 		if c.participants() < c.replicaCount() {
 			return fmt.Errorf("%w: double-check needs >= %d participants", ErrBadConfig, c.replicaCount())
+		}
+	}
+	if c.CheckpointEvery < 0 || c.KillAfter < 0 {
+		return fmt.Errorf("%w: negative checkpoint interval or kill point", ErrBadConfig)
+	}
+	if c.Stream {
+		if c.PipelineWindow < 1 {
+			return fmt.Errorf("%w: Stream requires pipelined sessions (PipelineWindow > 0)", ErrBadConfig)
+		}
+		if c.Spec.Kind == SchemeDoubleCheck {
+			return fmt.Errorf("%w: Stream does not support the double-check scheme", ErrBadConfig)
+		}
+		if c.faulty() {
+			return fmt.Errorf("%w: Stream is incompatible with fault injection", ErrBadConfig)
+		}
+		if c.Routes > 0 {
+			return fmt.Errorf("%w: Stream is incompatible with extra Routes", ErrBadConfig)
+		}
+		if c.Blacklist {
+			return fmt.Errorf("%w: Stream is incompatible with Blacklist", ErrBadConfig)
+		}
+		if c.CheckpointEvery > 0 && c.CheckpointDir == "" {
+			return fmt.Errorf("%w: CheckpointEvery requires CheckpointDir", ErrBadConfig)
+		}
+		if c.KillAfter > 0 && (c.CheckpointEvery < 1 || c.CheckpointDir == "") {
+			return fmt.Errorf("%w: KillAfter requires CheckpointEvery and CheckpointDir", ErrBadConfig)
+		}
+	} else {
+		if c.Spec.WindowTasks > 0 {
+			return fmt.Errorf("%w: window commitments (Spec.WindowTasks) require Stream", ErrBadConfig)
+		}
+		if c.CheckpointEvery != 0 || c.CheckpointDir != "" || c.KillAfter != 0 {
+			return fmt.Errorf("%w: checkpoint options require Stream", ErrBadConfig)
 		}
 	}
 	return nil
@@ -250,6 +308,15 @@ type SimReport struct {
 	// BrokerRoutes snapshots the hub's per-worker relay accounting at
 	// shutdown, keyed by participant identity.
 	BrokerRoutes map[string]RouteStats
+	// WindowsSettled and WindowViolations total the rolling-window
+	// commitment verification of a streaming run (Spec.WindowTasks > 0):
+	// windows whose sampled audit paths all verified against the committed
+	// per-task digests, and windows that failed verification. Restarted
+	// runs carry the counts across the restore.
+	WindowsSettled, WindowViolations uint64
+	// WindowsPending counts decided tasks not yet covered by a full window
+	// commitment when the run shut down (the ragged tail of the stream).
+	WindowsPending int
 }
 
 // DetectionRate is CheatersDetected / CheatersTotal (1 when no cheaters).
@@ -511,6 +578,9 @@ func RunSim(cfg SimConfig) (*SimReport, error) {
 		Seed:              int64(cfg.Seed) ^ 0x5c4ed,
 		CrossCheckReports: cfg.CrossCheckReports,
 	}
+	if cfg.Stream {
+		return runStreamSim(cfg, supCfg)
+	}
 
 	var hub *BrokerHub
 	var muxes *muxManager
@@ -638,8 +708,12 @@ func RunSim(cfg SimConfig) (*SimReport, error) {
 // connection through the broker as a multiplexed route on muxes.
 func buildPool(cfg SimConfig, hub *BrokerHub, muxes *muxManager) ([]*simWorker, error) {
 	var workers []*simWorker
+	var popts []ParticipantOption
+	if cfg.CheckpointDir != "" {
+		popts = append(popts, WithCheckpointDir(cfg.CheckpointDir))
+	}
 	add := func(id string, factory ProducerFactory, cheater bool) error {
-		p, err := NewParticipant(id, factory)
+		p, err := NewParticipant(id, factory, popts...)
 		if err != nil {
 			return err
 		}

@@ -1,0 +1,190 @@
+package grid
+
+import (
+	"errors"
+	"os"
+	"reflect"
+	"testing"
+)
+
+func baseStreamConfig(t *testing.T) SimConfig {
+	t.Helper()
+	return SimConfig{
+		Spec:           SchemeSpec{Kind: SchemeCBS, M: 8, ChainIters: 1, WindowTasks: 4, WindowSamples: 2},
+		Workload:       "synthetic",
+		Seed:           7,
+		TaskSize:       64,
+		Tasks:          24,
+		Honest:         2,
+		SemiHonest:     1,
+		HonestyRatio:   0.3,
+		PipelineWindow: 2,
+		Stream:         true,
+	}
+}
+
+// scrubStreamReport zeroes the fields that legitimately vary between a clean
+// run and a kill-and-restart run: byte counters depend on frame coalescing
+// timing, and broker counters cover only the final attempt's hub.
+func scrubStreamReport(r *SimReport) *SimReport {
+	c := *r
+	c.SupervisorBytesSent, c.SupervisorBytesRecv = 0, 0
+	c.BrokerRelayedMsgs, c.BrokerRelayedBytes = 0, 0
+	c.BrokerMuxLinks, c.BrokerRoutesOpened = 0, 0
+	c.BrokerControlMsgs, c.BrokerControlBytes = 0, 0
+	c.BrokerMuxOverheadIngress, c.BrokerMuxOverheadEgress = 0, 0
+	c.BrokerRoutes = nil
+	c.Participants = append([]ParticipantSummary(nil), r.Participants...)
+	for i := range c.Participants {
+		c.Participants[i].BytesSent, c.Participants[i].BytesRecv = 0, 0
+	}
+	return &c
+}
+
+func TestRunSimStreamWindows(t *testing.T) {
+	cfg := baseStreamConfig(t)
+	report, err := RunSim(cfg)
+	if err != nil {
+		t.Fatalf("RunSim: %v", err)
+	}
+	if len(report.TaskVerdicts) != cfg.Tasks {
+		t.Fatalf("got %d verdicts, want %d", len(report.TaskVerdicts), cfg.Tasks)
+	}
+	if report.CheatersDetected != 1 || report.HonestAccused != 0 {
+		t.Fatalf("detected %d cheaters, accused %d honest", report.CheatersDetected, report.HonestAccused)
+	}
+	if report.WindowsSettled == 0 {
+		t.Fatal("no windows settled")
+	}
+	if report.WindowViolations != 0 {
+		t.Fatalf("%d window violations in a faithful-commitment run", report.WindowViolations)
+	}
+	// Every decided task is either inside a settled window or pending.
+	covered := report.WindowsSettled*uint64(cfg.Spec.WindowTasks) + uint64(report.WindowsPending)
+	if covered != uint64(cfg.Tasks) {
+		t.Fatalf("windows cover %d tasks, want %d", covered, cfg.Tasks)
+	}
+}
+
+func TestRunSimCheckpointRestoreMatchesClean(t *testing.T) {
+	for _, broker := range []bool{false, true} {
+		name := "direct"
+		if broker {
+			name = "broker"
+		}
+		t.Run(name, func(t *testing.T) {
+			clean := baseStreamConfig(t)
+			clean.Broker = broker
+			clean.CheckpointEvery = 8
+			clean.CheckpointDir = t.TempDir()
+			cleanReport, err := RunSim(clean)
+			if err != nil {
+				t.Fatalf("clean RunSim: %v", err)
+			}
+
+			killed := clean
+			killed.CheckpointDir = t.TempDir()
+			killed.KillAfter = 13 // mid-segment: restart re-runs tasks 8..12
+			killedReport, err := RunSim(killed)
+			if err != nil {
+				t.Fatalf("killed RunSim: %v", err)
+			}
+
+			if !reflect.DeepEqual(scrubStreamReport(cleanReport), scrubStreamReport(killedReport)) {
+				t.Fatalf("kill-and-restart report diverged from clean run:\nclean:  %+v\nkilled: %+v",
+					scrubStreamReport(cleanReport), scrubStreamReport(killedReport))
+			}
+			if killedReport.WindowsSettled != cleanReport.WindowsSettled {
+				t.Fatalf("windows settled: killed %d, clean %d",
+					killedReport.WindowsSettled, cleanReport.WindowsSettled)
+			}
+		})
+	}
+}
+
+func TestRunSimCheckpointKillAtSegmentBoundary(t *testing.T) {
+	clean := baseStreamConfig(t)
+	clean.CheckpointEvery = 8
+	clean.CheckpointDir = t.TempDir()
+	cleanReport, err := RunSim(clean)
+	if err != nil {
+		t.Fatalf("clean RunSim: %v", err)
+	}
+	killed := clean
+	killed.CheckpointDir = t.TempDir()
+	killed.KillAfter = 16 // exactly a segment boundary: kill after the barrier
+	killedReport, err := RunSim(killed)
+	if err != nil {
+		t.Fatalf("killed RunSim: %v", err)
+	}
+	if !reflect.DeepEqual(scrubStreamReport(cleanReport), scrubStreamReport(killedReport)) {
+		t.Fatal("boundary kill-and-restart report diverged from clean run")
+	}
+}
+
+func TestRunSimStreamResumesFromCheckpointDir(t *testing.T) {
+	cfg := baseStreamConfig(t)
+	cfg.CheckpointEvery = 8
+	cfg.CheckpointDir = t.TempDir()
+	first, err := RunSim(cfg)
+	if err != nil {
+		t.Fatalf("first RunSim: %v", err)
+	}
+	// A second run over the same directory finds the run complete and
+	// reassembles the identical report from durable state alone.
+	second, err := RunSim(cfg)
+	if err != nil {
+		t.Fatalf("second RunSim: %v", err)
+	}
+	if !reflect.DeepEqual(first, second) {
+		t.Fatalf("resumed report differs:\nfirst:  %+v\nsecond: %+v", first, second)
+	}
+}
+
+func TestRunSimStreamRejectsCorruptParticipantCheckpoint(t *testing.T) {
+	cfg := baseStreamConfig(t)
+	cfg.CheckpointEvery = 8
+	cfg.CheckpointDir = t.TempDir()
+	if _, err := RunSim(cfg); err != nil {
+		t.Fatalf("RunSim: %v", err)
+	}
+	path := participantCheckpointPath(cfg.CheckpointDir, "honest-0")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read checkpoint: %v", err)
+	}
+	data[len(data)/2] ^= 0x40
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatalf("write checkpoint: %v", err)
+	}
+	if _, err := RunSim(cfg); !errors.Is(err, ErrCheckpointCorrupt) {
+		t.Fatalf("corrupt checkpoint: got %v, want ErrCheckpointCorrupt", err)
+	}
+}
+
+func TestRunSimStreamValidation(t *testing.T) {
+	cases := map[string]func(*SimConfig){
+		"needs pipeline":         func(c *SimConfig) { c.PipelineWindow = 0 },
+		"no double-check":        func(c *SimConfig) { c.Spec = SchemeSpec{Kind: SchemeDoubleCheck, WindowTasks: 0} },
+		"no faults":              func(c *SimConfig) { c.DropProb = 0.1 },
+		"no routes":              func(c *SimConfig) { c.Broker = true; c.Routes = 3 },
+		"no blacklist":           func(c *SimConfig) { c.Blacklist = true },
+		"checkpoint needs dir":   func(c *SimConfig) { c.CheckpointEvery = 4; c.CheckpointDir = "" },
+		"kill needs checkpoints": func(c *SimConfig) { c.KillAfter = 5; c.CheckpointDir = "" },
+		"windows require stream": func(c *SimConfig) { c.Stream = false },
+		"checkpoints require stream": func(c *SimConfig) {
+			c.Stream = false
+			c.Spec.WindowTasks, c.Spec.WindowSamples = 0, 0
+			c.CheckpointDir = "x"
+		},
+	}
+	for name, mutate := range cases {
+		t.Run(name, func(t *testing.T) {
+			cfg := baseStreamConfig(t)
+			mutate(&cfg)
+			if _, err := RunSim(cfg); !errors.Is(err, ErrBadConfig) {
+				t.Fatalf("got %v, want ErrBadConfig", err)
+			}
+		})
+	}
+}

@@ -29,6 +29,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"uncheatgrid/internal/transport"
 )
@@ -79,6 +80,10 @@ type lease struct {
 	ticket
 	slot  *connSlot
 	state int32
+	// banked marks a lease over a banked replica ticket (see
+	// dispatcher.banked): the worker synthesizes the outcome from the
+	// settled rendezvous instead of running an exchange.
+	banked bool
 }
 
 // connSlot owns the live (connection, session) pair of one participant link
@@ -94,12 +99,43 @@ type connSlot struct {
 	reconnecting bool
 	dead         bool
 	reconnects   int
+
+	// ledger verifies this link's rolling window commits (WithWindowSettle);
+	// ctrlAck latches the participant's checkpoint acknowledgement during a
+	// drain barrier. Both belong to the slot, not the session — they survive
+	// reconnects.
+	ledger  *WindowLedger
+	ctrlAck atomic.Bool
 }
 
 func newConnSlot(conn transport.Conn, sess *Session) *connSlot {
 	sl := &connSlot{conn: conn, sess: sess}
 	sl.cond = sync.NewCond(&sl.mu)
 	return sl
+}
+
+// installCtrl wires the slot's session-scoped ctrl demux onto sess: window
+// commits feed the slot's ledger, checkpoint acks latch the drain barrier.
+// Installed on every session generation the slot owns, so commits keep
+// flowing across reconnects.
+func (sl *connSlot) installCtrl(sess *Session) {
+	sess.setCtrl(func(tm taggedMsg) error {
+		switch tm.Type {
+		case msgWindowCommit:
+			if sl.ledger == nil {
+				return fmt.Errorf("%w: window commit on a stream without window settling", ErrUnexpectedMessage)
+			}
+			return sl.ledger.onCommit(tm.Payload)
+		case msgCheckpointAck:
+			if len(tm.Payload) != 0 {
+				return fmt.Errorf("%w: checkpoint ack carries %d bytes", ErrBadPayload, len(tm.Payload))
+			}
+			sl.ctrlAck.Store(true)
+			return nil
+		default:
+			return fmt.Errorf("%w: ctrl message type %d", ErrUnexpectedMessage, tm.Type)
+		}
+	})
 }
 
 // current returns the live session, its generation, and its connection.
@@ -131,6 +167,20 @@ type dispatcher struct {
 	leases  map[*lease]struct{}
 	retired map[*connSlot]bool
 	dead    map[*connSlot]bool
+	// banked holds replica tickets whose upload already reached the group
+	// rendezvous when their slot died: the upload still votes, the exchange
+	// cannot resume anywhere (the participant's prover state died with it),
+	// and the outcome is synthesized from the group verdict once it settles.
+	banked []ticket
+	// source feeds tickets lazily (RunTaskSource): refillLocked materializes
+	// at most highWater tickets ahead of execution, consuming source at
+	// sourceNext until it reports exhaustion (sourceDone). pinnedRR places
+	// source task i on slot i mod len(allSlots) instead of the shared queue.
+	source     TaskSource
+	sourceNext uint64
+	sourceDone bool
+	highWater  int
+	pinnedRR   bool
 	// slots maps every connection a slot has owned (original and
 	// replacements) back to it, for Retire.
 	slots map[transport.Conn]*connSlot
@@ -252,6 +302,9 @@ func (d *dispatcher) settleOutstanding() {
 			d.abandonAttempt(t.at)
 		}
 	}
+	for _, t := range d.banked {
+		d.abandonAttempt(t.at)
+	}
 }
 
 // fail records the run's first error and cancels everything.
@@ -366,10 +419,21 @@ func (d *dispatcher) restartTicketLocked(t ticket) {
 
 // replaceReplicaLocked moves a replica whose slot died onto a live,
 // non-retired connection that hosts none of its siblings, restarting it
-// from scratch there (the dead participant's protocol state is gone). When
-// no such connection exists the replica is declared lost and the group's
-// comparison degrades to a quorum over the remaining uploads.
+// from scratch there (the dead participant's protocol state is gone). A
+// replica whose upload already reached the rendezvous is not restarted: the
+// banked upload still votes in the group comparison, and re-running the
+// task elsewhere would burn a full execution only to submit a second,
+// ignored upload — the ticket is banked instead and its outcome synthesized
+// from the group verdict once it settles. When no replacement connection
+// exists the replica is declared lost and the group's comparison degrades
+// to a quorum over the remaining uploads.
 func (d *dispatcher) replaceReplicaLocked(t ticket, dead *connSlot) {
+	if t.at != nil && t.at.pt.st.submitted {
+		t.pin = dead
+		t.parked = false
+		d.banked = append(d.banked, t)
+		return
+	}
 	d.abandonAttempt(t.at)
 	grp := t.grp
 	var repl *connSlot
@@ -388,16 +452,20 @@ func (d *dispatcher) replaceReplicaLocked(t ticket, dead *connSlot) {
 	d.pinned[repl] = append(d.pinned[repl], ticket{task: t.task, grp: grp, repIdx: t.repIdx, pin: repl})
 }
 
-// claim blocks until the slot has work: its own pinned resume tickets first,
-// then the shared pending queue. It returns false when the worker should
-// exit — run cancelled, slot retired with no pinned work left, or all work
-// globally drained.
+// claim blocks until the slot has work: banked outcomes ready to settle,
+// its own pinned resume tickets, then the shared pending queue (refilled
+// from the task source when one is set). It returns false when the worker
+// should exit — run cancelled, slot retired with no pinned work left, or
+// all work globally drained.
 func (d *dispatcher) claim(sl *connSlot) (*lease, bool) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	for {
 		if d.cancelled {
 			return nil, false
+		}
+		if l, ok := d.takeBankedLocked(sl); ok {
+			return l, true
 		}
 		if ts := d.pinned[sl]; len(ts) > 0 {
 			// FIFO over the claimable tickets; replicas parked at an
@@ -425,16 +493,85 @@ func (d *dispatcher) claim(sl *connSlot) (*lease, bool) {
 			d.cond.Wait()
 			continue
 		}
+		if refilled := d.refillLocked(); refilled && len(d.pinned[sl]) > 0 {
+			continue // the refill pinned work to this very slot
+		}
 		if len(d.pending) > 0 {
 			t := d.pending[0]
 			d.pending = d.pending[1:]
 			return d.leaseLocked(t, sl), true
 		}
-		if len(d.leases) == 0 && d.pinnedEmptyLocked() {
+		if d.sourceDrainedLocked() && len(d.leases) == 0 && d.pinnedEmptyLocked() && len(d.banked) == 0 {
 			return nil, false
 		}
 		d.cond.Wait()
 	}
+}
+
+// takeBankedLocked claims the first banked replica ticket whose rendezvous
+// has settled. Any slot's worker may settle a banked outcome — no exchange
+// runs, the verdict is read from the rendezvous.
+func (d *dispatcher) takeBankedLocked(sl *connSlot) (*lease, bool) {
+	for i, t := range d.banked {
+		if !t.grp.rdv.ready() {
+			continue
+		}
+		d.banked = append(d.banked[:i], d.banked[i+1:]...)
+		l := d.leaseLocked(t, sl)
+		l.banked = true
+		return l, true
+	}
+	return nil, false
+}
+
+// sourceDrainedLocked reports whether no further tickets can appear from
+// the task source (trivially true without one).
+func (d *dispatcher) sourceDrainedLocked() bool {
+	return d.source == nil || d.sourceDone
+}
+
+// refillLocked tops the scheduler up from the task source: tickets are
+// materialized until highWater of them are outstanding (queued, pinned, or
+// leased), so an unbounded stream holds a bounded working set. Reports
+// whether any ticket was added; waiters are woken so every slot sees the
+// new work.
+func (d *dispatcher) refillLocked() bool {
+	if d.sourceDrainedLocked() {
+		return false
+	}
+	outstanding := len(d.pending) + len(d.leases) + len(d.banked)
+	for _, ts := range d.pinned {
+		outstanding += len(ts)
+	}
+	added := false
+	for outstanding < d.highWater {
+		task, ok := d.source(d.sourceNext)
+		if !ok {
+			d.sourceDone = true
+			break
+		}
+		idx := d.sourceNext
+		d.sourceNext++
+		if d.pinnedRR {
+			// Deterministic placement: task i belongs to slot i mod conns. A
+			// dead slot's share falls back to the shared queue — determinism
+			// is only promised while every link lives.
+			sl := d.allSlots[int(idx)%len(d.allSlots)]
+			if d.dead[sl] {
+				d.pending = append(d.pending, ticket{task: task})
+			} else {
+				d.pinned[sl] = append(d.pinned[sl], ticket{task: task, pin: sl})
+			}
+		} else {
+			d.pending = append(d.pending, ticket{task: task})
+		}
+		outstanding++
+		added = true
+	}
+	if added {
+		d.cond.Broadcast()
+	}
+	return added
 }
 
 func (d *dispatcher) pinnedEmptyLocked() bool {
@@ -601,12 +738,35 @@ func (sl *connSlot) recover(gen int, d *dispatcher, p *SupervisorPool, cfg *stre
 		d.markDead(sl)
 		return false
 	}
+	sl.installCtrl(newSess)
 	sl.conn, sl.sess = newConn, newSess
 	sl.gen++
 	sl.reconnects++
 	sl.cond.Broadcast()
 	sl.mu.Unlock()
 	return true
+}
+
+// settleBanked closes out a banked replica: read the settled group verdict,
+// fold the attempt's accounting into the pool, and report the outcome the
+// dead link's exchange would have produced. A rendezvous error (quorum
+// lost) leaves no verdict to report; the attempt still settles.
+//
+//gridlint:credit a banked replica's bytes reach the pool here, its exchange being unfinishable
+func (p *SupervisorPool) settleBanked(l *lease) (*TaskOutcome, error) {
+	at := l.at
+	v, err := l.grp.rdv.await(l.repIdx)
+	at.settle(p.sup)
+	p.bytesSent.Add(at.bytesSent)
+	p.bytesRecv.Add(at.bytesRecv)
+	if err != nil {
+		return nil, err
+	}
+	pt := at.pt
+	pt.outcome.Verdict = v
+	pt.outcome.BytesSent = at.bytesSent
+	pt.outcome.BytesRecv = at.bytesRecv
+	return pt.outcome, nil
 }
 
 // RunTasksStream verifies tasks over pipelined sessions with work stealing:
@@ -686,20 +846,11 @@ func (p *SupervisorPool) RunTasksStream(ctx context.Context, conns []transport.C
 
 	ctx, cancel := context.WithCancel(ctx)
 	d := newDispatcher(p, &cfg, cancel)
-	slots := make([]*connSlot, len(conns))
-	for i, conn := range conns {
-		sess, err := p.sup.OpenSession(conn, window, WithSessionRecvTimeout(cfg.recvTimeout))
-		if err != nil {
-			for _, sl := range slots[:i] {
-				_ = sl.sess.Close()
-			}
-			cancel()
-			return nil, err
-		}
-		slots[i] = newConnSlot(conn, sess)
-		d.registerConn(conn, slots[i])
+	slots, err := p.openStreamSlots(d, conns, window, &cfg)
+	if err != nil {
+		cancel()
+		return nil, err
 	}
-	d.allSlots = slots
 	if replicated {
 		// Pre-place every group round-robin with a single cursor, skipping
 		// connections already holding a sibling — the same walk the serial
@@ -735,6 +886,87 @@ func (p *SupervisorPool) RunTasksStream(ctx context.Context, conns []transport.C
 		}
 	}
 
+	return p.launchStream(ctx, cancel, d, &cfg, slots, window), nil
+}
+
+// RunTaskSource verifies an unbounded (or very long) task stream over
+// pipelined sessions: tasks are drawn lazily from source under a bounded
+// look-ahead (WithHighWater), so scheduler memory is O(high water +
+// in-flight) regardless of stream length. Everything RunTasksStream
+// documents — revocable claims, quarantine/resume, retirement — applies;
+// the double-check scheme is not supported (replica groups need the full
+// task list for pre-placement; use RunTasksStream).
+//
+// With WithWindowSettle the run carries rolling window commitments, and
+// with WithDrainCheckpoint it ends with a durable checkpoint barrier —
+// together the machinery behind kill-and-restart long-horizon runs.
+func (p *SupervisorPool) RunTaskSource(ctx context.Context, conns []transport.Conn, source TaskSource, window int, opts ...StreamOption) (*TaskStream, error) {
+	if len(conns) == 0 {
+		return nil, fmt.Errorf("%w: no connections", ErrBadConfig)
+	}
+	if source == nil {
+		return nil, fmt.Errorf("%w: nil task source", ErrBadConfig)
+	}
+	cfg := streamConfig{maxReconnects: defaultMaxReconnects}
+	for _, opt := range opts {
+		opt.applyStream(&cfg)
+	}
+	if p.sup.cfg.Spec.Kind == SchemeDoubleCheck || cfg.replicas != 0 {
+		return nil, fmt.Errorf("%w: RunTaskSource does not support replicated double-check; use RunTasksStream", ErrBadConfig)
+	}
+	if cfg.highWater <= 0 {
+		cfg.highWater = 2 * window * len(conns)
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	d := newDispatcher(p, &cfg, cancel)
+	slots, err := p.openStreamSlots(d, conns, window, &cfg)
+	if err != nil {
+		cancel()
+		return nil, err
+	}
+	d.source = source
+	d.sourceNext = cfg.sourceBase
+	d.highWater = cfg.highWater
+	d.pinnedRR = cfg.pinned
+
+	return p.launchStream(ctx, cancel, d, &cfg, slots, window), nil
+}
+
+// openStreamSlots opens one pipelined session per connection and wraps each
+// in a registered connSlot, attaching window ledgers (WithWindowSettle) and
+// the ctrl demux. On error every session already opened is closed.
+func (p *SupervisorPool) openStreamSlots(d *dispatcher, conns []transport.Conn, window int, cfg *streamConfig) ([]*connSlot, error) {
+	if cfg.ledgers != nil && len(cfg.ledgers) != len(conns) {
+		return nil, fmt.Errorf("%w: %d window ledgers for %d connections", ErrBadConfig, len(cfg.ledgers), len(conns))
+	}
+	slots := make([]*connSlot, len(conns))
+	for i, conn := range conns {
+		sess, err := p.sup.OpenSession(conn, window, WithSessionRecvTimeout(cfg.recvTimeout))
+		if err != nil {
+			for _, sl := range slots[:i] {
+				_ = sl.sess.Close()
+			}
+			return nil, err
+		}
+		slots[i] = newConnSlot(conn, sess)
+		if cfg.ledgers != nil {
+			slots[i].ledger = cfg.ledgers[i]
+		}
+		slots[i].installCtrl(sess)
+		d.registerConn(conn, slots[i])
+	}
+	d.allSlots = slots
+	return slots, nil
+}
+
+// launchStream starts the shared machinery of a streaming run: the
+// cancellation watcher, the rendezvous waker, the per-slot exchange
+// workers, and the finisher that drains, optionally checkpoints, closes the
+// sessions, and publishes the terminal error.
+//
+//gridlint:credit teardown folds each surviving session's framing overhead into the pool totals
+func (p *SupervisorPool) launchStream(ctx context.Context, cancel context.CancelFunc, d *dispatcher, cfg *streamConfig, slots []*connSlot, window int) *TaskStream {
 	stream := &TaskStream{
 		outcomes: make(chan StreamedOutcome),
 		done:     make(chan struct{}),
@@ -775,7 +1007,7 @@ func (p *SupervisorPool) RunTasksStream(ctx context.Context, conns []transport.C
 			workers.Add(1)
 			go func() {
 				defer workers.Done()
-				p.streamWorker(ctx, d, sl, &cfg, window, sem, stream)
+				p.streamWorker(ctx, d, sl, cfg, window, sem, stream)
 			}()
 		}
 	}
@@ -786,13 +1018,19 @@ func (p *SupervisorPool) RunTasksStream(ctx context.Context, conns []transport.C
 		close(workersDone)
 	}()
 
-	// Finisher: close the surviving sessions (flushing their writers) and
-	// bank their framing overhead — dead sessions were banked at quarantine
-	// — then publish the terminal error and close the stream.
+	// Finisher: settle stranded work, run the drain checkpoint barrier if
+	// one was requested, close the surviving sessions (flushing their
+	// writers) and bank their framing overhead — dead sessions were banked
+	// at quarantine — then publish the terminal error and close the stream.
 	go func() {
 		<-workersDone
 		d.settleOutstanding()
 		var closeErr error
+		if cfg.doDrainCkpt && d.firstErr() == nil && ctx.Err() == nil {
+			if err := checkpointSlots(slots, cfg.drainCkpt); err != nil {
+				closeErr = fmt.Errorf("grid: drain checkpoint: %w", err)
+			}
+		}
 		for _, sl := range slots {
 			sl.mu.Lock()
 			dead, sess := sl.dead, sl.sess
@@ -818,7 +1056,31 @@ func (p *SupervisorPool) RunTasksStream(ctx context.Context, conns []transport.C
 		close(stream.done)
 	}()
 
-	return stream, nil
+	return stream
+}
+
+// checkpointSlots runs the drain-time checkpoint barrier: each live link is
+// asked to persist its durable state (msgCheckpoint) and the barrier holds
+// until the participant acknowledges. Links are visited serially — the
+// barrier runs once per segment, its cost is a round trip per link.
+func checkpointSlots(slots []*connSlot, seq uint64) error {
+	payload := encodeCheckpoint(checkpointMsg{Seq: seq})
+	for _, sl := range slots {
+		sl.mu.Lock()
+		dead, sess := sl.dead, sl.sess
+		sl.mu.Unlock()
+		if dead {
+			continue
+		}
+		sl.ctrlAck.Store(false)
+		if err := sess.sendCtrl(msgCheckpoint, payload); err != nil {
+			return err
+		}
+		if err := sess.pullCtrl(func() bool { return sl.ctrlAck.Load() }); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // streamWorker is one of a slot's `window` exchange drivers: claim, start
@@ -833,6 +1095,22 @@ func (p *SupervisorPool) streamWorker(ctx context.Context, d *dispatcher, sl *co
 			return
 		}
 		if !d.start(l) {
+			continue
+		}
+		if l.banked {
+			// The dead replica's upload already votes at the rendezvous
+			// (which is ready, or this lease would not exist); synthesize its
+			// outcome without an exchange. The outcome's connection is the
+			// dead link that carried the upload, so per-worker attribution
+			// stays truthful.
+			outcome, err := p.settleBanked(l)
+			if err == nil {
+				select {
+				case stream.outcomes <- StreamedOutcome{Outcome: outcome, Conn: l.pin.currentConn()}:
+				case <-ctx.Done():
+				}
+			}
+			d.complete(l)
 			continue
 		}
 		if l.at == nil {
@@ -850,6 +1128,11 @@ func (p *SupervisorPool) streamWorker(ctx context.Context, d *dispatcher, sl *co
 			}
 			l.at = at
 		}
+		// Bind the attempt to this slot's window ledger (nil without window
+		// settling) so decide() banks the task's stream digest on the link
+		// whose commits will cover it. Re-bound on every claim: a replica
+		// re-placed after a slot death must report to its new link's ledger.
+		l.at.pt.ledger = sl.ledger
 		sess, gen, conn := sl.current()
 
 		select {

@@ -1,0 +1,196 @@
+package grid
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"uncheatgrid/internal/transport"
+)
+
+// syntheticSource builds a lazy task source of `total` fixed-size tasks: no
+// task exists before the scheduler asks for it, which is the whole point of
+// source-driven streaming — O(high water + in-flight) supervisor memory no
+// matter how long the horizon.
+func syntheticSource(total, size uint64) TaskSource {
+	return func(i uint64) (Task, bool) {
+		if i >= total {
+			return Task{}, false
+		}
+		return Task{ID: i, Start: i * size, N: size, Workload: "synthetic", Seed: 7}, true
+	}
+}
+
+// TestRunTaskSourceLongHorizonWindows streams a task horizon an order of
+// magnitude past the old batch sizes through lazily-sourced scheduling with
+// rolling window commitments: every task must be verified and every settled
+// window's commitment must check out, with full coverage across the links.
+func TestRunTaskSourceLongHorizonWindows(t *testing.T) {
+	const total, size = 400, 32
+	spec := SchemeSpec{Kind: SchemeCBS, M: 8, ChainIters: 1, WindowTasks: 8, WindowSamples: 2}
+	conns, shutdown := poolFixture(t, 3, func(int) ProducerFactory { return HonestFactory })
+	defer shutdown()
+
+	pool, err := NewSupervisorPool(SupervisorConfig{Spec: spec, Seed: 9}, 6)
+	if err != nil {
+		t.Fatalf("NewSupervisorPool: %v", err)
+	}
+	ledgers := make([]*WindowLedger, len(conns))
+	for i := range ledgers {
+		if ledgers[i], err = NewWindowLedger(spec); err != nil {
+			t.Fatalf("NewWindowLedger: %v", err)
+		}
+	}
+	stream, err := pool.RunTaskSource(context.Background(), conns, syntheticSource(total, size), 2,
+		WithWindowSettle(ledgers))
+	if err != nil {
+		t.Fatalf("RunTaskSource: %v", err)
+	}
+	count := 0
+	for so := range stream.Outcomes() {
+		count++
+		if !so.Outcome.Verdict.Accepted {
+			t.Errorf("honest task %d rejected: %s", so.Outcome.Task.ID, so.Outcome.Verdict.Reason)
+		}
+	}
+	if err := stream.Err(); err != nil {
+		t.Fatalf("stream error: %v", err)
+	}
+	if count != total {
+		t.Fatalf("streamed %d outcomes, want %d", count, total)
+	}
+	var covered, violations uint64
+	for _, led := range ledgers {
+		stats := led.Stats()
+		covered += stats.Settled*uint64(spec.WindowTasks) + uint64(stats.Pending)
+		violations += stats.Violations
+	}
+	if covered != total {
+		t.Errorf("window ledgers cover %d tasks, want %d", covered, total)
+	}
+	if violations != 0 {
+		t.Errorf("%d window violations in a faithful run", violations)
+	}
+}
+
+// TestRunTaskSourceDrainCheckpointBarrier ends a source-driven run with the
+// drain barrier: after the stream closes cleanly, every participant must
+// hold a durable checkpoint at the barrier's sequence number.
+func TestRunTaskSourceDrainCheckpointBarrier(t *testing.T) {
+	const total, size, participants = 24, 32, 2
+	dir := t.TempDir()
+	spec := SchemeSpec{Kind: SchemeCBS, M: 8, ChainIters: 1, WindowTasks: 4, WindowSamples: 2}
+
+	conns := make([]transport.Conn, participants)
+	serveErrs := make([]chan error, participants)
+	for i := range conns {
+		p, err := NewParticipant(fmt.Sprintf("ckpt-%d", i), HonestFactory, WithCheckpointDir(dir))
+		if err != nil {
+			t.Fatalf("NewParticipant: %v", err)
+		}
+		supConn, partConn := transport.Pipe(transport.WithBuffer(8))
+		conns[i] = supConn
+		serveErrs[i] = make(chan error, 1)
+		go func(ch chan error) { ch <- p.Serve(partConn) }(serveErrs[i])
+	}
+	defer func() {
+		for _, c := range conns {
+			_ = c.Close()
+		}
+		for i, ch := range serveErrs {
+			if err := <-ch; err != nil {
+				t.Errorf("participant %d serve: %v", i, err)
+			}
+		}
+	}()
+
+	pool, err := NewSupervisorPool(SupervisorConfig{Spec: spec, Seed: 9}, 4)
+	if err != nil {
+		t.Fatalf("NewSupervisorPool: %v", err)
+	}
+	ledgers := make([]*WindowLedger, participants)
+	for i := range ledgers {
+		if ledgers[i], err = NewWindowLedger(spec); err != nil {
+			t.Fatalf("NewWindowLedger: %v", err)
+		}
+	}
+	stream, err := pool.RunTaskSource(context.Background(), conns, syntheticSource(total, size), 2,
+		WithWindowSettle(ledgers), WithDrainCheckpoint(total))
+	if err != nil {
+		t.Fatalf("RunTaskSource: %v", err)
+	}
+	count := 0
+	for range stream.Outcomes() {
+		count++
+	}
+	if err := stream.Err(); err != nil {
+		t.Fatalf("stream error: %v", err)
+	}
+	if count != total {
+		t.Fatalf("streamed %d outcomes, want %d", count, total)
+	}
+	for i := 0; i < participants; i++ {
+		restored, err := NewParticipant(fmt.Sprintf("ckpt-%d", i), HonestFactory, WithCheckpointDir(dir))
+		if err != nil {
+			t.Fatalf("NewParticipant: %v", err)
+		}
+		seq, ok, err := restored.RestoreCheckpoint()
+		if err != nil || !ok || seq != total {
+			t.Errorf("participant %d checkpoint = (%d, %v, %v), want (%d, true, nil)", i, seq, ok, err, total)
+		}
+	}
+}
+
+// BenchmarkStreamSourceTasks measures the steady-state per-task cost of a
+// source-driven streaming run with rolling window commitments — the
+// long-horizon hot path. Allocations per op must stay flat as b.N grows:
+// scheduler memory is O(high water + in-flight + window), never O(stream).
+func BenchmarkStreamSourceTasks(b *testing.B) {
+	const participants, size = 4, 32
+	spec := SchemeSpec{Kind: SchemeCBS, M: 8, ChainIters: 1, WindowTasks: 16, WindowSamples: 2}
+
+	conns := make([]transport.Conn, participants)
+	for i := range conns {
+		p, err := NewParticipant(fmt.Sprintf("b%d", i), HonestFactory)
+		if err != nil {
+			b.Fatalf("NewParticipant: %v", err)
+		}
+		supConn, partConn := transport.Pipe(transport.WithBuffer(8))
+		conns[i] = supConn
+		go func() { _ = p.Serve(partConn) }()
+	}
+	defer func() {
+		for _, c := range conns {
+			_ = c.Close()
+		}
+	}()
+
+	pool, err := NewSupervisorPool(SupervisorConfig{Spec: spec, Seed: 9}, participants*2)
+	if err != nil {
+		b.Fatalf("NewSupervisorPool: %v", err)
+	}
+	ledgers := make([]*WindowLedger, participants)
+	for i := range ledgers {
+		if ledgers[i], err = NewWindowLedger(spec); err != nil {
+			b.Fatalf("NewWindowLedger: %v", err)
+		}
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	stream, err := pool.RunTaskSource(context.Background(), conns, syntheticSource(uint64(b.N), size), 4,
+		WithWindowSettle(ledgers))
+	if err != nil {
+		b.Fatalf("RunTaskSource: %v", err)
+	}
+	count := 0
+	for range stream.Outcomes() {
+		count++
+	}
+	if err := stream.Err(); err != nil {
+		b.Fatalf("stream error: %v", err)
+	}
+	if count != b.N {
+		b.Fatalf("streamed %d outcomes, want %d", count, b.N)
+	}
+}

@@ -150,6 +150,12 @@ type preparedTask struct {
 	rdv      *replicaRendezvous
 	repIdx   int
 	parkable bool
+
+	// ledger, when the task rides a window-settling stream, receives the
+	// task's stream digest at decision time; digested makes that exactly
+	// once even when decide re-enters after a replica park.
+	ledger   *WindowLedger
+	digested bool
 }
 
 // prepareTask runs the assignment phase: validate the task, instantiate the

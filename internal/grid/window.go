@@ -1,0 +1,363 @@
+package grid
+
+// Rolling window commitments for long-horizon task streams.
+//
+// A bounded batch ends and takes its accountability with it: every task's
+// commitment was checked while the task was in flight, and nothing binds the
+// participant to the *history* of what it executed. An unbounded stream
+// needs exactly that binding — a worker that served honestly for a million
+// tasks and then starts replaying old roots should be caught without the
+// supervisor retaining a million digests.
+//
+// Both sides therefore reduce every settled task to a fixed-size stream
+// digest (taskID, scheme, and the task's primary payload — commitment root,
+// upload, or hit list). Every WindowTasks settled tasks the participant
+// builds a Merkle tree over the window's digests, absorbs its root into a
+// hash-chain cursor shared with the supervisor (the per-window Eq. 4 of the
+// paper, see hashchain.Cursor), and answers the cursor-derived challenge by
+// sending audit paths for the sampled leaves. The supervisor holds only the
+// digests of tasks not yet covered by a window (O(W + in-flight) memory),
+// verifies each commit against them, and advances its own cursor in
+// lockstep — so the k-th window's challenge depends on every window root up
+// to and including k, and a participant cannot predict it without fixing
+// its entire history first.
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sync"
+
+	"uncheatgrid/internal/hashchain"
+	"uncheatgrid/internal/merkle"
+)
+
+// streamDigestPrefix domain-separates per-task stream digests from every
+// other hash in the protocol.
+const streamDigestPrefix = "uncheatgrid/stream-digest/v1"
+
+// windowCursorPrefix domain-separates the window cursor's shared seed.
+const windowCursorPrefix = "uncheatgrid/window-cursor/v1"
+
+// streamCapacity is the leaf capacity of the full-stream Merkle builder a
+// participant maintains alongside its windows: 2^40 tasks is unreachable in
+// practice, and the builder's frontier stays O(log capacity) regardless.
+const streamCapacity = 1 << 40
+
+// streamDigest reduces one settled task to the fixed-size leaf value of its
+// window commitment. body is the scheme's primary payload reduced by
+// hashResults/hashIndices, or the commitment root directly.
+func streamDigest(taskID uint64, kind SchemeKind, body []byte) []byte {
+	h := sha256.New()
+	h.Write([]byte(streamDigestPrefix))
+	var buf [9]byte
+	binary.LittleEndian.PutUint64(buf[:8], taskID)
+	buf[8] = byte(kind)
+	h.Write(buf[:])
+	h.Write(body)
+	return h.Sum(nil)
+}
+
+// hashResults condenses a full-result upload into one digest. Lengths are
+// folded in so no two distinct uploads share an image by concatenation.
+func hashResults(results [][]byte) []byte {
+	h := sha256.New()
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], uint64(len(results)))
+	h.Write(buf[:n])
+	for _, r := range results {
+		n = binary.PutUvarint(buf[:], uint64(len(r)))
+		h.Write(buf[:n])
+		h.Write(r)
+	}
+	return h.Sum(nil)
+}
+
+// hashIndices condenses a ringer hit list into one digest.
+func hashIndices(indices []uint64) []byte {
+	h := sha256.New()
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], uint64(len(indices)))
+	h.Write(buf[:n])
+	for _, x := range indices {
+		binary.LittleEndian.PutUint64(buf[:8], x)
+		h.Write(buf[:8])
+	}
+	return h.Sum(nil)
+}
+
+// windowCursorSeed derives the shared cursor seed from the scheme spec.
+// Both protocol sides hold the spec (it travels in every assignment), so
+// both start their cursors from the same state; the chains diverge per
+// participant from window 0 on, as each absorbs that participant's roots.
+func windowCursorSeed(spec SchemeSpec) []byte {
+	h := sha256.New()
+	h.Write([]byte(windowCursorPrefix))
+	var buf [17]byte
+	buf[0] = byte(spec.Kind)
+	binary.LittleEndian.PutUint64(buf[1:9], uint64(spec.WindowTasks))
+	binary.LittleEndian.PutUint64(buf[9:17], uint64(spec.WindowSamples))
+	h.Write(buf[:])
+	return h.Sum(nil)
+}
+
+// windowChain builds the hash chain the window cursors run on. One base
+// hash per step: the per-window chain is a retention check, not the Eq. 5
+// cost dial (that stays with the per-task NI-CBS challenges).
+func windowChain() *hashchain.Chain {
+	c, err := hashchain.New(1)
+	if err != nil {
+		panic("grid: hashchain.New(1): " + err.Error()) // 1 iteration is always valid
+	}
+	return c
+}
+
+// recordStreamDigest banks the task's stream digest into the ledger of the
+// connection that carried it, exactly once per attempt, at the decision
+// point — the last moment the supervisor touches the task before sending the
+// verdict. The participant appends its matching digest when the verdict is
+// counted, so by the time a window commit covering this task arrives, the
+// ledger entry is already in place (the commit travels in front of the final
+// task's verdict ack, never ahead of this call).
+func (pt *preparedTask) recordStreamDigest() {
+	if pt.ledger == nil || pt.digested {
+		return
+	}
+	pt.digested = true
+	st := pt.st
+	var body []byte
+	kind := pt.assign.Spec.Kind
+	switch kind {
+	case SchemeCBS, SchemeNICBS:
+		body = st.commitment.Root
+	case SchemeNaive, SchemeDoubleCheck:
+		body = hashResults(st.results)
+	case SchemeRinger:
+		body = hashIndices(st.hits)
+	default:
+		return
+	}
+	id := pt.assign.Task.ID
+	pt.ledger.record(id, streamDigest(id, kind, body))
+}
+
+// participantWindows is a participant's rolling-commitment state: the
+// digests of settled-but-uncommitted tasks, the shared challenge cursor, and
+// a full-stream Merkle builder whose O(log n) frontier binds the entire
+// history into every checkpoint.
+type participantWindows struct {
+	mu      sync.Mutex
+	w, m    int
+	cursor  *hashchain.Cursor
+	commits uint64
+	ids     []uint64
+	digests [][]byte
+	stream  *merkle.StreamBuilder
+}
+
+// newParticipantWindows starts rolling-commitment tracking for spec.
+func newParticipantWindows(spec SchemeSpec) (*participantWindows, error) {
+	cursor, err := windowChain().NewCursor(windowCursorSeed(spec))
+	if err != nil {
+		return nil, err
+	}
+	stream, err := merkle.NewStreamBuilder(streamCapacity)
+	if err != nil {
+		return nil, err
+	}
+	return &participantWindows{
+		w:      spec.WindowTasks,
+		m:      spec.WindowSamples,
+		cursor: cursor,
+		stream: stream,
+	}, nil
+}
+
+// settle appends one counted task and, when the window fills, commits it:
+// build the tree over the window's digests, absorb the root into the cursor,
+// derive the challenge from the advanced state (so it depends on this very
+// root — the pre-commitment argument), and emit the commit with audit paths
+// for the sampled leaves via send. The lock is held across build and send so
+// commit order on the wire matches cursor order.
+func (pw *participantWindows) settle(taskID uint64, digest []byte, send func(typ uint8, payload []byte) error) error {
+	pw.mu.Lock()
+	defer pw.mu.Unlock()
+	if err := pw.stream.Add(digest); err != nil {
+		return fmt.Errorf("grid: window stream: %w", err)
+	}
+	pw.ids = append(pw.ids, taskID)
+	pw.digests = append(pw.digests, digest)
+	if len(pw.ids) < pw.w {
+		return nil
+	}
+
+	tree, err := merkle.Build(pw.digests)
+	if err != nil {
+		return fmt.Errorf("grid: window tree: %w", err)
+	}
+	root := tree.Root()
+	if err := pw.cursor.Advance(root); err != nil {
+		return fmt.Errorf("grid: window cursor: %w", err)
+	}
+	idxs, err := pw.cursor.Indices(pw.m, uint64(pw.w))
+	if err != nil {
+		return fmt.Errorf("grid: window challenge: %w", err)
+	}
+	proofs := make([][]byte, len(idxs))
+	for j, idx := range idxs {
+		proof, err := tree.Prove(int(idx))
+		if err != nil {
+			return fmt.Errorf("grid: window proof: %w", err)
+		}
+		if proofs[j], err = proof.MarshalBinary(); err != nil {
+			return fmt.Errorf("grid: window proof: %w", err)
+		}
+	}
+	msg := windowCommitMsg{
+		Window:  pw.commits,
+		Root:    root,
+		TaskIDs: pw.ids,
+		Proofs:  proofs,
+	}
+	payload := encodeWindowCommit(msg)
+	pw.commits++
+	pw.ids = nil
+	pw.digests = nil
+	return send(msgWindowCommit, payload)
+}
+
+// WindowLedger is the supervisor's per-link verifier of a participant's
+// rolling commitments. It banks the stream digest of every decided task and,
+// on each window commit, checks the sampled audit paths against its own
+// digests before advancing the shared cursor. Verification failures are
+// violations — counted, never terminal — because a cheating window is
+// evidence to report, not a protocol breakdown; only an undecodable payload
+// kills the session. Memory stays O(W + in-flight): digests leave the pend
+// map as windows cover them.
+type WindowLedger struct {
+	mu         sync.Mutex
+	w, m       int
+	cursor     *hashchain.Cursor
+	settled    uint64
+	violations uint64
+	lastReason string
+	pend       map[uint64][]byte
+}
+
+// NewWindowLedger builds the verifier for one participant link.
+func NewWindowLedger(spec SchemeSpec) (*WindowLedger, error) {
+	if spec.WindowTasks < 1 {
+		return nil, fmt.Errorf("%w: window ledger without a window", ErrBadConfig)
+	}
+	cursor, err := windowChain().NewCursor(windowCursorSeed(spec))
+	if err != nil {
+		return nil, err
+	}
+	return &WindowLedger{
+		w:      spec.WindowTasks,
+		m:      spec.WindowSamples,
+		cursor: cursor,
+		pend:   make(map[uint64][]byte),
+	}, nil
+}
+
+// record banks one decided task's expected stream digest.
+func (led *WindowLedger) record(taskID uint64, digest []byte) {
+	led.mu.Lock()
+	led.pend[taskID] = digest
+	led.mu.Unlock()
+}
+
+// onCommit verifies one window commit. The cursor always advances with the
+// received root — an honest participant's cursor did, and staying in
+// lockstep is what lets verification resume after a counted violation.
+func (led *WindowLedger) onCommit(payload []byte) error {
+	m, err := decodeWindowCommit(payload)
+	if err != nil {
+		return err
+	}
+	led.mu.Lock()
+	defer led.mu.Unlock()
+
+	wantWindow := led.cursor.Window()
+	if err := led.cursor.Advance(m.Root); err != nil {
+		return fmt.Errorf("%w: window root: %v", ErrBadPayload, err)
+	}
+	reason := led.verifyLocked(m, wantWindow)
+	// Covered tasks leave the pend map whatever the outcome: their retention
+	// evidence has been spent, and an unbounded stream must not hoard it.
+	for _, id := range m.TaskIDs {
+		delete(led.pend, id)
+	}
+	if reason != "" {
+		led.violations++
+		led.lastReason = reason
+		return nil
+	}
+	led.settled++
+	return nil
+}
+
+// verifyLocked checks one commit against the banked digests and the
+// cursor-derived challenge, returning a violation reason or "".
+func (led *WindowLedger) verifyLocked(m windowCommitMsg, wantWindow uint64) string {
+	if m.Window != wantWindow {
+		return fmt.Sprintf("window %d committed out of order (want %d)", m.Window, wantWindow)
+	}
+	if len(m.TaskIDs) != led.w {
+		return fmt.Sprintf("window %d covers %d tasks, want %d", m.Window, len(m.TaskIDs), led.w)
+	}
+	idxs, err := led.cursor.Indices(led.m, uint64(led.w))
+	if err != nil {
+		return fmt.Sprintf("window %d challenge: %v", m.Window, err)
+	}
+	if len(m.Proofs) != len(idxs) {
+		return fmt.Sprintf("window %d answers %d of %d challenged leaves", m.Window, len(m.Proofs), len(idxs))
+	}
+	for j, idx := range idxs {
+		var proof merkle.Proof
+		if err := proof.UnmarshalBinary(m.Proofs[j]); err != nil {
+			return fmt.Sprintf("window %d proof %d undecodable: %v", m.Window, j, err)
+		}
+		if proof.Index != int(idx) || proof.N != led.w {
+			return fmt.Sprintf("window %d proof %d proves leaf %d/%d, want %d/%d",
+				m.Window, j, proof.Index, proof.N, idx, led.w)
+		}
+		if err := merkle.Verify(m.Root, &proof); err != nil {
+			return fmt.Sprintf("window %d proof %d: %v", m.Window, j, err)
+		}
+		want, ok := led.pend[m.TaskIDs[proof.Index]]
+		if !ok {
+			return fmt.Sprintf("window %d commits task %d the supervisor never decided", m.Window, m.TaskIDs[proof.Index])
+		}
+		if string(proof.Value) != string(want) {
+			return fmt.Sprintf("window %d leaf %d disagrees with the decided digest of task %d",
+				m.Window, idx, m.TaskIDs[proof.Index])
+		}
+	}
+	return ""
+}
+
+// WindowStats summarizes a link's rolling-commitment verification.
+type WindowStats struct {
+	// Settled counts windows whose sampled audit paths all verified.
+	Settled uint64
+	// Violations counts windows that failed verification; LastViolation
+	// explains the most recent one.
+	Violations    uint64
+	LastViolation string
+	// Pending counts decided tasks not yet covered by a window.
+	Pending int
+}
+
+// Stats snapshots the ledger's counters.
+func (led *WindowLedger) Stats() WindowStats {
+	led.mu.Lock()
+	defer led.mu.Unlock()
+	return WindowStats{
+		Settled:       led.settled,
+		Violations:    led.violations,
+		LastViolation: led.lastReason,
+		Pending:       len(led.pend),
+	}
+}

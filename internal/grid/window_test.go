@@ -1,0 +1,184 @@
+package grid
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func windowSpec(w, m int) SchemeSpec {
+	return SchemeSpec{Kind: SchemeCBS, M: 8, ChainIters: 1, WindowTasks: w, WindowSamples: m}
+}
+
+// windowPair builds both protocol sides of one link, sharing a spec.
+func windowPair(t *testing.T, spec SchemeSpec) (*participantWindows, *WindowLedger) {
+	t.Helper()
+	pw, err := newParticipantWindows(spec)
+	if err != nil {
+		t.Fatalf("newParticipantWindows: %v", err)
+	}
+	led, err := NewWindowLedger(spec)
+	if err != nil {
+		t.Fatalf("NewWindowLedger: %v", err)
+	}
+	return pw, led
+}
+
+// settleTask runs one task through both sides: the ledger banks the digest at
+// decision time, then the participant settles it, forwarding any emitted
+// commit into the ledger.
+func settleTask(t *testing.T, pw *participantWindows, led *WindowLedger, id uint64, digest []byte) {
+	t.Helper()
+	led.record(id, digest)
+	err := pw.settle(id, digest, func(typ uint8, payload []byte) error {
+		if typ != msgWindowCommit {
+			t.Fatalf("settle emitted type %d, want msgWindowCommit", typ)
+		}
+		return led.onCommit(payload)
+	})
+	if err != nil {
+		t.Fatalf("settle(%d): %v", id, err)
+	}
+}
+
+func TestWindowCommitRoundTrip(t *testing.T) {
+	spec := windowSpec(4, 2)
+	pw, led := windowPair(t, spec)
+	for id := uint64(0); id < 10; id++ {
+		settleTask(t, pw, led, id, streamDigest(id, spec.Kind, []byte{byte(id)}))
+	}
+	stats := led.Stats()
+	if stats.Settled != 2 || stats.Violations != 0 {
+		t.Fatalf("Stats = %+v, want 2 settled, 0 violations", stats)
+	}
+	if stats.Pending != 2 {
+		t.Fatalf("Pending = %d, want 2 (tasks 8, 9 uncovered)", stats.Pending)
+	}
+}
+
+func TestWindowCommitDetectsDivergedDigest(t *testing.T) {
+	spec := windowSpec(3, 3)
+	pw, led := windowPair(t, spec)
+	// Task 1's committed digest disagrees with what the supervisor decided —
+	// the participant rewriting history after the fact.
+	for id := uint64(0); id < 3; id++ {
+		digest := streamDigest(id, spec.Kind, []byte{byte(id)})
+		led.record(id, digest)
+		if id == 1 {
+			digest = streamDigest(id, spec.Kind, []byte("forged"))
+		}
+		if err := pw.settle(id, digest, func(_ uint8, payload []byte) error {
+			return led.onCommit(payload)
+		}); err != nil {
+			t.Fatalf("settle(%d): %v", id, err)
+		}
+	}
+	stats := led.Stats()
+	if stats.Violations != 1 || stats.Settled != 0 {
+		t.Fatalf("Stats = %+v, want the forged window flagged", stats)
+	}
+	if !strings.Contains(stats.LastViolation, "disagrees") {
+		t.Fatalf("LastViolation = %q", stats.LastViolation)
+	}
+	if stats.Pending != 0 {
+		t.Fatalf("Pending = %d: a violating window must still evict its tasks", stats.Pending)
+	}
+	// Cursors stayed in lockstep: the next window settles cleanly.
+	for id := uint64(3); id < 6; id++ {
+		settleTask(t, pw, led, id, streamDigest(id, spec.Kind, []byte{byte(id)}))
+	}
+	if stats := led.Stats(); stats.Settled != 1 || stats.Violations != 1 {
+		t.Fatalf("after recovery Stats = %+v, want 1 settled, 1 violation", stats)
+	}
+}
+
+func TestWindowCommitDetectsReplayedWindow(t *testing.T) {
+	spec := windowSpec(2, 1)
+	pw, led := windowPair(t, spec)
+	var lastCommit []byte
+	for id := uint64(0); id < 2; id++ {
+		led.record(id, streamDigest(id, spec.Kind, []byte{byte(id)}))
+		if err := pw.settle(id, streamDigest(id, spec.Kind, []byte{byte(id)}), func(_ uint8, payload []byte) error {
+			lastCommit = payload
+			return led.onCommit(payload)
+		}); err != nil {
+			t.Fatalf("settle(%d): %v", id, err)
+		}
+	}
+	if err := led.onCommit(lastCommit); err != nil {
+		t.Fatalf("replayed onCommit: %v", err)
+	}
+	stats := led.Stats()
+	if stats.Violations != 1 {
+		t.Fatalf("Stats = %+v, want the replay counted as a violation", stats)
+	}
+	if !strings.Contains(stats.LastViolation, "out of order") {
+		t.Fatalf("LastViolation = %q", stats.LastViolation)
+	}
+}
+
+func TestWindowCommitRejectsUndecodablePayload(t *testing.T) {
+	_, led := windowPair(t, windowSpec(2, 1))
+	if err := led.onCommit([]byte{0xff}); err == nil {
+		t.Fatal("onCommit accepted garbage")
+	}
+	if stats := led.Stats(); stats.Violations != 0 {
+		t.Fatalf("garbage counted as a violation: %+v", stats)
+	}
+}
+
+func TestWindowCommitUndecidedTaskIsViolation(t *testing.T) {
+	spec := windowSpec(2, 2)
+	pw, led := windowPair(t, spec)
+	// The participant commits task 1 the supervisor never decided.
+	led.record(0, streamDigest(0, spec.Kind, []byte{0}))
+	for id := uint64(0); id < 2; id++ {
+		if err := pw.settle(id, streamDigest(id, spec.Kind, []byte{byte(id)}), func(_ uint8, payload []byte) error {
+			return led.onCommit(payload)
+		}); err != nil {
+			t.Fatalf("settle(%d): %v", id, err)
+		}
+	}
+	stats := led.Stats()
+	if stats.Violations != 1 || !strings.Contains(stats.LastViolation, "never decided") {
+		t.Fatalf("Stats = %+v", stats)
+	}
+}
+
+// TestWindowStateCheckpointRoundTrip kills both sides mid-window and
+// restores them from their serialized state: the next windows must settle as
+// if nothing happened — the property kill-and-restart runs rest on.
+func TestWindowStateCheckpointRoundTrip(t *testing.T) {
+	spec := windowSpec(4, 2)
+	pw, led := windowPair(t, spec)
+	for id := uint64(0); id < 6; id++ { // one full window plus two pending
+		settleTask(t, pw, led, id, streamDigest(id, spec.Kind, []byte{byte(id)}))
+	}
+
+	var buf bytes.Buffer
+	if err := pw.encodeState(&buf); err != nil {
+		t.Fatalf("encodeState: %v", err)
+	}
+	restoredPW, err := decodeParticipantWindows(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("decodeParticipantWindows: %v", err)
+	}
+	restoredLed, err := restoreWindowLedger(spec, led.encodeState())
+	if err != nil {
+		t.Fatalf("restoreWindowLedger: %v", err)
+	}
+
+	for id := uint64(6); id < 12; id++ {
+		settleTask(t, restoredPW, restoredLed, id, streamDigest(id, spec.Kind, []byte{byte(id)}))
+	}
+	stats := restoredLed.Stats()
+	if stats.Settled != 3 || stats.Violations != 0 {
+		t.Fatalf("restored Stats = %+v, want 3 settled windows", stats)
+	}
+}
+
+func TestWindowLedgerRequiresWindow(t *testing.T) {
+	if _, err := NewWindowLedger(SchemeSpec{Kind: SchemeCBS, M: 8}); err == nil {
+		t.Fatal("NewWindowLedger accepted a spec without windows")
+	}
+}

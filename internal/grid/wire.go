@@ -80,7 +80,27 @@ const (
 	// instead of ballooning hub memory or head-of-line-blocking the shared
 	// link. Hub → supervisor on a muxed link.
 	msgCredit
+	// msgWindowCommit carries a participant's rolling commitment for one
+	// settled window of a long-horizon stream: the Merkle root over the
+	// window's per-task digests, the task IDs in commitment order, and the
+	// membership proofs for the hash-chain-derived sample indices. Travels
+	// as a ctrl-tagged batch sub-message (TaskID == ctrlTaskID).
+	// Participant → supervisor.
+	msgWindowCommit
+	// msgCheckpoint orders the participant to write its durable state
+	// (counters, window buffer, chain cursor, stream frontier) to its
+	// checkpoint file. Sent only at a quiesced stream boundary, as a
+	// ctrl-tagged batch sub-message. Supervisor → participant.
+	msgCheckpoint
+	// msgCheckpointAck confirms the checkpoint file hit disk (empty
+	// payload, ctrl-tagged). Participant → supervisor.
+	msgCheckpointAck
 )
+
+// ctrlTaskID is the reserved task ID that tags session-scoped control
+// messages (window commits, checkpoint orders) inside a pipelined batch
+// frame. No real task can use it: task IDs are dense indices far below it.
+const ctrlTaskID = ^uint64(0)
 
 // wireDecoderFor is the wire manifest: every message kind mapped to the
 // function that decodes its payload, "" for kinds whose payload is empty
@@ -91,21 +111,24 @@ const (
 // is total and that every named decoder exists and is fuzzed, so adding a
 // message kind without wiring up (and fuzzing) its decoder fails CI.
 var wireDecoderFor = map[uint8]string{
-	msgAssign:      "decodeAssignment",
-	msgCommit:      "",
-	msgChallenge:   "",
-	msgProofs:      "",
-	msgReports:     "decodeReports",
-	msgResults:     "decodeResults",
-	msgRingerHits:  "decodeIndices",
-	msgVerdict:     "decodeVerdict",
-	msgBatch:       "decodeBatch",
-	msgResultChunk: "decodeChunk",
-	msgResume:      "decodeResume",
-	msgVerdictAck:  "",
-	msgHello:       "decodeHello",
-	msgRouted:      "decodeRouted",
-	msgCredit:      "decodeCredit",
+	msgAssign:        "decodeAssignment",
+	msgCommit:        "",
+	msgChallenge:     "",
+	msgProofs:        "",
+	msgReports:       "decodeReports",
+	msgResults:       "decodeResults",
+	msgRingerHits:    "decodeIndices",
+	msgVerdict:       "decodeVerdict",
+	msgBatch:         "decodeBatch",
+	msgResultChunk:   "decodeChunk",
+	msgResume:        "decodeResume",
+	msgVerdictAck:    "",
+	msgHello:         "decodeHello",
+	msgRouted:        "decodeRouted",
+	msgCredit:        "decodeCredit",
+	msgWindowCommit:  "decodeWindowCommit",
+	msgCheckpoint:    "decodeCheckpoint",
+	msgCheckpointAck: "",
 }
 
 // Hello roles carried in the msgHello payload.
@@ -301,6 +324,115 @@ func decodeCredit(payload []byte) (creditMsg, error) {
 	return m, nil
 }
 
+// Bounds on a window commit's attacker-controlled counts: a window never
+// spans more tasks than one batch frame carries messages, a root is one
+// digest, and the proof count is the per-window sample count m.
+const (
+	maxWindowCommitTasks  = 1 << 16
+	maxWindowCommitProofs = 1 << 12
+	maxWindowRootLen      = 64
+)
+
+// windowCommitMsg is the decoded msgWindowCommit payload: window number,
+// the Merkle root over the window's per-task stream digests, the task IDs
+// whose digests form the leaves (in leaf order), and the marshaled
+// merkle.Proof blobs for the chain-derived sample indices.
+type windowCommitMsg struct {
+	Window  uint64
+	Root    []byte
+	TaskIDs []uint64
+	Proofs  [][]byte
+}
+
+func encodeWindowCommit(m windowCommitMsg) []byte {
+	var buf bytes.Buffer
+	putUvarint(&buf, m.Window)
+	putBytes(&buf, m.Root)
+	putUvarint(&buf, uint64(len(m.TaskIDs)))
+	for _, id := range m.TaskIDs {
+		putUvarint(&buf, id)
+	}
+	putUvarint(&buf, uint64(len(m.Proofs)))
+	for _, p := range m.Proofs {
+		putBytes(&buf, p)
+	}
+	return buf.Bytes()
+}
+
+func decodeWindowCommit(payload []byte) (windowCommitMsg, error) {
+	var m windowCommitMsg
+	r := bytes.NewReader(payload)
+	var err error
+	if m.Window, err = binary.ReadUvarint(r); err != nil {
+		return m, fmt.Errorf("%w: window number: %v", ErrBadPayload, err)
+	}
+	if m.Root, err = getBytes(r); err != nil {
+		return m, fmt.Errorf("%w: window root: %v", ErrBadPayload, err)
+	}
+	if len(m.Root) == 0 || len(m.Root) > maxWindowRootLen {
+		return m, fmt.Errorf("%w: window root of %d bytes", ErrBadPayload, len(m.Root))
+	}
+	count, err := binary.ReadUvarint(r)
+	if err != nil {
+		return m, fmt.Errorf("%w: window task count: %v", ErrBadPayload, err)
+	}
+	if count == 0 || count > maxWindowCommitTasks {
+		return m, fmt.Errorf("%w: %d window tasks", ErrBadPayload, count)
+	}
+	m.TaskIDs = make([]uint64, 0, count)
+	for i := uint64(0); i < count; i++ {
+		id, err := binary.ReadUvarint(r)
+		if err != nil {
+			return m, fmt.Errorf("%w: window task %d: %v", ErrBadPayload, i, err)
+		}
+		m.TaskIDs = append(m.TaskIDs, id)
+	}
+	proofs, err := binary.ReadUvarint(r)
+	if err != nil {
+		return m, fmt.Errorf("%w: window proof count: %v", ErrBadPayload, err)
+	}
+	if proofs > maxWindowCommitProofs {
+		return m, fmt.Errorf("%w: %d window proofs", ErrBadPayload, proofs)
+	}
+	for i := uint64(0); i < proofs; i++ {
+		p, err := getBytes(r)
+		if err != nil {
+			return m, fmt.Errorf("%w: window proof %d: %v", ErrBadPayload, i, err)
+		}
+		m.Proofs = append(m.Proofs, p)
+	}
+	if r.Len() != 0 {
+		return m, fmt.Errorf("%w: %d trailing bytes", ErrBadPayload, r.Len())
+	}
+	return m, nil
+}
+
+// checkpointMsg is the decoded msgCheckpoint payload: the sequence number
+// of the checkpoint being ordered, echoed nowhere (the ack is empty) but
+// kept on the wire so a misrouted or replayed order is detectable.
+type checkpointMsg struct {
+	Seq uint64
+}
+
+func encodeCheckpoint(m checkpointMsg) []byte {
+	var buf bytes.Buffer
+	putUvarint(&buf, m.Seq)
+	return buf.Bytes()
+}
+
+func decodeCheckpoint(payload []byte) (checkpointMsg, error) {
+	var m checkpointMsg
+	r := bytes.NewReader(payload)
+	var err error
+	if m.Seq, err = binary.ReadUvarint(r); err != nil {
+		return m, fmt.Errorf("%w: checkpoint seq: %v", ErrBadPayload, err)
+	}
+	if r.Len() != 0 {
+		return m, fmt.Errorf("%w: %d trailing bytes", ErrBadPayload, r.Len())
+	}
+	return m, nil
+}
+
 // taggedMsg is one task-scoped protocol message inside a pipelined session:
 // an ordinary message kind plus the ID of the task that owns it, so both
 // endpoints can demultiplex interleaved exchanges.
@@ -412,6 +544,8 @@ func encodeAssignment(a assignment) []byte {
 	putUvarint(&buf, uint64(a.Spec.M))
 	putUvarint(&buf, uint64(a.Spec.ChainIters))
 	putUvarint(&buf, uint64(a.Spec.SubtreeHeight))
+	putUvarint(&buf, uint64(a.Spec.WindowTasks))
+	putUvarint(&buf, uint64(a.Spec.WindowSamples))
 	putUvarint(&buf, uint64(len(a.RingerImages)))
 	for _, img := range a.RingerImages {
 		putBytes(&buf, img)
@@ -458,6 +592,22 @@ func decodeAssignment(payload []byte) (assignment, error) {
 		return a, fmt.Errorf("%w: subtree height: %v", ErrBadPayload, err)
 	}
 	a.Spec.SubtreeHeight = int(ell)
+	wt, err := binary.ReadUvarint(r)
+	if err != nil {
+		return a, fmt.Errorf("%w: window tasks: %v", ErrBadPayload, err)
+	}
+	if wt > maxWindowCommitTasks {
+		return a, fmt.Errorf("%w: window of %d tasks", ErrBadPayload, wt)
+	}
+	a.Spec.WindowTasks = int(wt)
+	ws, err := binary.ReadUvarint(r)
+	if err != nil {
+		return a, fmt.Errorf("%w: window samples: %v", ErrBadPayload, err)
+	}
+	if ws > maxWindowCommitProofs {
+		return a, fmt.Errorf("%w: %d window samples", ErrBadPayload, ws)
+	}
+	a.Spec.WindowSamples = int(ws)
 	count, err := binary.ReadUvarint(r)
 	if err != nil {
 		return a, fmt.Errorf("%w: ringer count: %v", ErrBadPayload, err)

@@ -292,6 +292,68 @@ func FuzzDecodeCredit(f *testing.F) {
 	})
 }
 
+// FuzzDecodeWindowCommit covers the rolling-commitment decoder the
+// supervisor applies to ctrl frames from long-horizon participants — the
+// one place a cheating participant can try to forge a settled window.
+func FuzzDecodeWindowCommit(f *testing.F) {
+	f.Add(encodeWindowCommit(windowCommitMsg{
+		Window:  0,
+		Root:    []byte{0xaa, 0xbb, 0xcc, 0xdd},
+		TaskIDs: []uint64{0, 1, 2, 3},
+		Proofs:  [][]byte{{0x01, 0x02}, nil},
+	}))
+	f.Add(encodeWindowCommit(windowCommitMsg{
+		Window:  41,
+		Root:    make([]byte, 32),
+		TaskIDs: []uint64{328, 329},
+	}))
+	f.Add([]byte{})
+	f.Add([]byte{0x00, 0x00})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01})
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		m, err := decodeWindowCommit(payload)
+		if err != nil {
+			return
+		}
+		if len(m.Root) == 0 || len(m.Root) > maxWindowRootLen {
+			t.Fatalf("decode accepted an out-of-range root: %d bytes", len(m.Root))
+		}
+		if len(m.TaskIDs) == 0 || len(m.TaskIDs) > maxWindowCommitTasks {
+			t.Fatalf("decode accepted an out-of-range task count: %d", len(m.TaskIDs))
+		}
+		again, err := decodeWindowCommit(encodeWindowCommit(m))
+		if err != nil {
+			t.Fatalf("re-decode of re-encoded window commit failed: %v", err)
+		}
+		if !reflect.DeepEqual(m, again) {
+			t.Fatalf("round trip changed window commit: %+v != %+v", m, again)
+		}
+	})
+}
+
+// FuzzDecodeCheckpoint covers the checkpoint-order decoder. (The matching
+// ack carries an empty payload, like the verdict ack, so there is no ack
+// codec to fuzz.)
+func FuzzDecodeCheckpoint(f *testing.F) {
+	f.Add(encodeCheckpoint(checkpointMsg{Seq: 0}))
+	f.Add(encodeCheckpoint(checkpointMsg{Seq: 1 << 40}))
+	f.Add([]byte{})
+	f.Add([]byte{0x07, 0x07})
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		m, err := decodeCheckpoint(payload)
+		if err != nil {
+			return
+		}
+		again, err := decodeCheckpoint(encodeCheckpoint(m))
+		if err != nil {
+			t.Fatalf("re-decode of re-encoded checkpoint failed: %v", err)
+		}
+		if m != again {
+			t.Fatalf("round trip changed checkpoint: %+v != %+v", m, again)
+		}
+	})
+}
+
 func FuzzDecodeIndices(f *testing.F) {
 	f.Add(encodeIndices(nil))
 	f.Add(encodeIndices([]uint64{0, 1, 1<<63 - 1}))

@@ -13,13 +13,13 @@ import (
 // static side — each named decoder existing and being fuzzed — is enforced
 // by gridlint's wireexhaustive analyzer.
 func TestWireDecoderManifestTotal(t *testing.T) {
-	for kind := msgAssign; kind <= msgCredit; kind++ {
+	for kind := msgAssign; kind <= msgCheckpointAck; kind++ {
 		if _, ok := wireDecoderFor[kind]; !ok {
 			t.Errorf("wireDecoderFor has no entry for message kind %d", kind)
 		}
 	}
-	if len(wireDecoderFor) != int(msgCredit-msgAssign)+1 {
-		t.Errorf("wireDecoderFor has %d entries, want %d", len(wireDecoderFor), int(msgCredit-msgAssign)+1)
+	if len(wireDecoderFor) != int(msgCheckpointAck-msgAssign)+1 {
+		t.Errorf("wireDecoderFor has %d entries, want %d", len(wireDecoderFor), int(msgCheckpointAck-msgAssign)+1)
 	}
 }
 
@@ -107,6 +107,26 @@ func wireCorpusSeeds() map[string][][]byte {
 			encodeIndices(nil),
 			encodeIndices([]uint64{0, 1, 1<<63 - 1}),
 			{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01},
+		},
+		"FuzzDecodeWindowCommit": {
+			encodeWindowCommit(windowCommitMsg{
+				Window:  0,
+				Root:    []byte{0xaa, 0xbb, 0xcc, 0xdd},
+				TaskIDs: []uint64{0, 1, 2, 3},
+				Proofs:  [][]byte{{0x01, 0x02}, nil},
+			}),
+			encodeWindowCommit(windowCommitMsg{
+				Window:  41,
+				Root:    make([]byte, 32),
+				TaskIDs: []uint64{328, 329},
+			}),
+			{0x00, 0x00},
+			{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01},
+		},
+		"FuzzDecodeCheckpoint": {
+			encodeCheckpoint(checkpointMsg{Seq: 0}),
+			encodeCheckpoint(checkpointMsg{Seq: 1 << 40}),
+			{0x07, 0x07},
 		},
 	}
 }

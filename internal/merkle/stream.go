@@ -60,11 +60,20 @@ type StreamBuilder struct {
 	// aligned power-of-two spans, each consumed by a worker running its own
 	// serial builder; Root merges the shard frontiers. closed records that
 	// the shard inputs have been closed, so a retried finalization can never
-	// close a channel twice.
-	shards   []*streamShard
-	span     int
-	padTable [][]byte
-	closed   bool
+	// close a channel twice. shards[i] owns absolute span firstSpan+i: a
+	// builder restored mid-stream spawns workers only for the spans at or
+	// after its restore point and carries the already-merged spans as the
+	// prefix frontier.
+	shards    []*streamShard
+	span      int
+	firstSpan int
+	prefix    []FrontierEntry
+	padTable  [][]byte
+	closed    bool
+
+	// win tracks per-window roots when WithWindowTracking is enabled, so
+	// WindowRoot can serve sliding-window commitments without the leaves.
+	win *windowTracker
 }
 
 // NewStreamBuilder prepares a builder for exactly n leaves.
@@ -85,12 +94,21 @@ func NewStreamBuilder(n int, opts ...Option) (*StreamBuilder, error) {
 	o := buildOptions(opts)
 	hs := newHashers(o)
 	capacity := nextPow2(n)
+	var b *StreamBuilder
 	if shards := streamShards(o.parallelism, capacity); shards > 1 {
-		b := &StreamBuilder{n: n, cap: capacity, depth: log2(capacity), hs: hs}
-		b.startShards(shards)
-		return b, nil
+		b = &StreamBuilder{n: n, cap: capacity, depth: log2(capacity), hs: hs}
+		b.startShards(shards, 0, nil, 0)
+	} else {
+		b = newSerialStream(n, hs)
 	}
-	return newSerialStream(n, hs), nil
+	if o.window > 0 {
+		win, err := newWindowTracker(o.window, o.windowKeep, hs)
+		if err != nil {
+			return nil, err
+		}
+		b.win = win
+	}
+	return b, nil
 }
 
 // newSerialStream builds the serial engine (fast pending-slot path for
@@ -138,11 +156,14 @@ func (b *StreamBuilder) Add(value []byte) error {
 	if b.added >= b.n {
 		return ErrTooManyLeaves
 	}
+	if b.win != nil {
+		b.win.add(value)
+	}
 	switch {
 	case b.shards != nil:
 		// Leaves arrive in index order, so shards fill strictly left to
 		// right; validation above means shard Adds cannot fail.
-		b.shards[b.added/b.span].ch <- value
+		b.shards[b.added/b.span-b.firstSpan].ch <- value
 	case b.pending != nil:
 		b.pushFast(value)
 	default:
@@ -250,34 +271,59 @@ func (b *StreamBuilder) finalizeFast() []byte {
 
 // streamShard is one worker of a sharded builder: a serial engine over the
 // shard's real leaves, fed over ch, whose root is lifted to span height.
+// flush lets Snapshot quiesce the worker: the worker drains every leaf that
+// was sent before the request (the producer and the snapshotter are the same
+// goroutine, so those sends have all completed) and replies with its engine's
+// frontier.
 type streamShard struct {
-	ch   chan []byte
-	done chan struct{}
-	eng  *StreamBuilder
-	root []byte
-	err  error
+	ch    chan []byte
+	flush chan chan shardState
+	done  chan struct{}
+	eng   *StreamBuilder
+	root  []byte
+	err   error
+}
+
+// shardState is a quiesced shard engine's position, handed back over flush.
+type shardState struct {
+	added    int
+	frontier []FrontierEntry
+	err      error
 }
 
 // startShards switches the builder into sharded mode with the given
 // power-of-two shard count. Shards that contain no real leaf get no worker;
-// their span roots are all-pad digests taken from the pad table.
-func (b *StreamBuilder) startShards(shards int) {
+// their span roots are all-pad digests taken from the pad table. A restore
+// passes firstSpan > 0 plus the partially-filled first span's frontier;
+// spans before firstSpan are carried by the builder's prefix frontier and
+// get no worker.
+func (b *StreamBuilder) startShards(shards, firstSpan int, partial []FrontierEntry, partialAdded int) {
 	b.span = b.cap / shards
 	spanDepth := log2(b.span)
 	b.padTable = b.hs.padTable(spanDepth)
+	b.firstSpan = firstSpan
 	live := (b.n + b.span - 1) / b.span
-	b.shards = make([]*streamShard, live)
-	for s := range b.shards {
+	if live < firstSpan {
+		live = firstSpan
+	}
+	b.shards = make([]*streamShard, live-firstSpan)
+	for i := range b.shards {
+		s := firstSpan + i
 		count := b.n - s*b.span
 		if count > b.span {
 			count = b.span
 		}
-		sh := &streamShard{
-			ch:   make(chan []byte, streamShardBuffer),
-			done: make(chan struct{}),
-			eng:  newSerialStream(count, b.hs),
+		eng := newSerialStream(count, b.hs)
+		if i == 0 && partialAdded > 0 {
+			eng.restoreFrontier(partialAdded, partial)
 		}
-		b.shards[s] = sh
+		sh := &streamShard{
+			ch:    make(chan []byte, streamShardBuffer),
+			flush: make(chan chan shardState),
+			done:  make(chan struct{}),
+			eng:   eng,
+		}
+		b.shards[i] = sh
 		go sh.run(b.padTable, spanDepth)
 	}
 }
@@ -289,11 +335,47 @@ func (b *StreamBuilder) startShards(shards int) {
 // pad leaves individually.
 func (sh *streamShard) run(pads [][]byte, spanDepth int) {
 	defer close(sh.done)
-	for v := range sh.ch {
-		if sh.err == nil {
-			sh.err = sh.eng.Add(v)
+	for {
+		select {
+		case v, ok := <-sh.ch:
+			if !ok {
+				sh.finish(pads, spanDepth)
+				return
+			}
+			if sh.err == nil {
+				sh.err = sh.eng.Add(v)
+			}
+		case req := <-sh.flush:
+			// Drain the buffered backlog first: every leaf destined for this
+			// shard was sent before the flush request, so a non-blocking
+			// sweep observes all of them.
+			for drained := false; !drained; {
+				select {
+				case v, ok := <-sh.ch:
+					if !ok {
+						// Finalize raced the snapshot; disallowed by the
+						// builder (Snapshot errors after Root), so just stop.
+						sh.finish(pads, spanDepth)
+						req <- shardState{err: ErrFinalized}
+						return
+					}
+					if sh.err == nil {
+						sh.err = sh.eng.Add(v)
+					}
+				default:
+					drained = true
+				}
+			}
+			req <- shardState{
+				added:    sh.eng.added,
+				frontier: sh.eng.frontier(),
+				err:      sh.err,
+			}
 		}
 	}
+}
+
+func (sh *streamShard) finish(pads [][]byte, spanDepth int) {
 	if sh.err != nil {
 		return
 	}
@@ -308,9 +390,12 @@ func (sh *streamShard) run(pads [][]byte, spanDepth int) {
 	sh.root = root
 }
 
-// finalizeShards closes the shard inputs, collects the span roots (all-pad
-// spans contribute padAt(spanDepth) directly), and merges the frontier
-// pairwise into the root — the same top-of-heap schedule as the full tree.
+// finalizeShards closes the shard inputs and merges the prefix frontier (a
+// restored builder's already-merged spans), the live span roots, and the
+// all-pad span roots into the commitment. The merge is the binary-counter
+// push at span height — for a fresh builder this performs exactly the
+// pairwise bottom-up combines of the full tree, so roots stay byte-identical
+// to the serial builder's.
 func (b *StreamBuilder) finalizeShards() ([]byte, error) {
 	if !b.closed {
 		b.closed = true
@@ -319,26 +404,40 @@ func (b *StreamBuilder) finalizeShards() ([]byte, error) {
 		}
 	}
 	spanDepth := log2(b.span)
-	roots := make([][]byte, b.cap/b.span)
-	for s := range roots {
-		if s >= len(b.shards) {
-			roots[s] = b.padTable[spanDepth]
-			continue
-		}
-		sh := b.shards[s]
-		<-sh.done
-		if sh.err != nil {
-			// Unreachable: Add validates before routing to a shard.
-			return nil, fmt.Errorf("merkle: internal error: shard %d: %w", s, sh.err)
-		}
-		roots[s] = sh.root
-	}
-	for m := len(roots); m > 1; m /= 2 {
-		for i := 0; i < m; i += 2 {
-			roots[i/2] = b.hs.combine(roots[i], roots[i+1])
+	var stack [][]byte
+	var levels []int
+	push := func(v []byte, level int) {
+		stack = append(stack, v)
+		levels = append(levels, level)
+		for len(stack) >= 2 && levels[len(levels)-1] == levels[len(levels)-2] {
+			top := len(stack) - 1
+			merged := b.hs.combine(stack[top-1], stack[top])
+			lvl := levels[top] + 1
+			stack = append(stack[:top-1], merged)
+			levels = append(levels[:top-1], lvl)
 		}
 	}
-	return roots[0], nil
+	for _, e := range b.prefix {
+		push(e.Digest, e.Level)
+	}
+	totalSpans := b.cap / b.span
+	for s := b.firstSpan; s < totalSpans; s++ {
+		root := b.padTable[spanDepth]
+		if i := s - b.firstSpan; i < len(b.shards) {
+			sh := b.shards[i]
+			<-sh.done
+			if sh.err != nil {
+				// Unreachable: Add validates before routing to a shard.
+				return nil, fmt.Errorf("merkle: internal error: shard %d: %w", s, sh.err)
+			}
+			root = sh.root
+		}
+		push(root, spanDepth)
+	}
+	if len(stack) != 1 {
+		return nil, fmt.Errorf("merkle: internal error: %d pending subtrees after shard merge", len(stack))
+	}
+	return stack[0], nil
 }
 
 // push places a subtree root of the given height on the stack and merges

@@ -57,6 +57,8 @@ type Hasher func() hash.Hash
 type options struct {
 	hasher      Hasher
 	parallelism int
+	window      int
+	windowKeep  int
 }
 
 // Option customizes tree construction and proof verification. The same
@@ -97,6 +99,20 @@ func (o parallelismOption) apply(opts *options) { opts.parallelism = o.p }
 // unchanged. NewStreamBuilder and NewPartial interpret the same option with
 // their own clamping rules — see their docs.
 func WithParallelism(p int) Option { return parallelismOption{p: p} }
+
+type windowTrackingOption struct{ w, keep int }
+
+func (o windowTrackingOption) apply(opts *options) {
+	opts.window = o.w
+	opts.windowKeep = o.keep
+}
+
+// WithWindowTracking makes a StreamBuilder additionally maintain standalone
+// Merkle roots over consecutive w-leaf windows of the stream, retaining the
+// most recent keep of them (keep <= 0 retains all), so WindowRoot can serve
+// sliding-window commitments without holding any leaves. w must be a power
+// of two. Build, BuildFunc, and NewPartial ignore the option.
+func WithWindowTracking(w, keep int) Option { return windowTrackingOption{w: w, keep: keep} }
 
 func buildOptions(opts []Option) options {
 	o := options{hasher: sha256.New}

@@ -257,6 +257,16 @@ type (
 	StreamedOutcome = grid.StreamedOutcome
 	// StreamOption configures streaming pooled runs.
 	StreamOption = grid.StreamOption
+	// TaskSource feeds a streaming run one task at a time, consulted lazily
+	// under bounded look-ahead — a generator-backed source can describe runs
+	// far larger than memory (SupervisorPool.RunTaskSource).
+	TaskSource = grid.TaskSource
+	// WindowLedger verifies one participant link's rolling hash-chained
+	// window commitments during a streaming run.
+	WindowLedger = grid.WindowLedger
+	// WindowStats summarizes a window ledger: settled windows, violations,
+	// and tasks still pending in the open window.
+	WindowStats = grid.WindowStats
 	// SessionOption configures pipelined sessions.
 	SessionOption = grid.SessionOption
 	// Participant is a grid worker.
@@ -272,6 +282,11 @@ type (
 	BrokerHub = grid.BrokerHub
 	// BrokerOption configures NewBrokerHub.
 	BrokerOption = grid.BrokerOption
+	// MuxOption configures OpenMux.
+	MuxOption = grid.MuxOption
+	// LinkOption configures both endpoints of a multiplexed hub link (it is
+	// accepted by NewBrokerHub and OpenMux).
+	LinkOption = grid.LinkOption
 	// BrokerRouteStats is one worker's cumulative relay accounting.
 	BrokerRouteStats = grid.RouteStats
 	// BrokerRouteDirectionStats covers one relay direction's traffic.
@@ -329,6 +344,9 @@ var (
 	// WithBrokerBindTimeout bounds how long a supervisor link waits for its
 	// worker to register.
 	WithBrokerBindTimeout = grid.WithBindTimeout
+	// WithRouteCreditWindow sets the per-route credit window of a
+	// multiplexed hub link; pass the same value to NewBrokerHub and OpenMux.
+	WithRouteCreditWindow = grid.WithRouteCreditWindow
 	// RunSim executes a population simulation.
 	RunSim = grid.RunSim
 	// ParseScheme maps a scheme name to its kind.
@@ -365,7 +383,40 @@ var (
 	WithStreamWorkerIdentity = grid.WithWorkerIdentity
 	// WithSessionRecvTimeout arms one session's receive watchdog.
 	WithSessionRecvTimeout = grid.WithSessionRecvTimeout
+	// SliceTaskSource adapts a fixed task slice to the TaskSource interface.
+	SliceTaskSource = grid.SliceTaskSource
+	// NewWindowLedger builds a supervisor-side ledger for one link's rolling
+	// window commitments; pass the ledgers to WithStreamWindowSettle.
+	NewWindowLedger = grid.NewWindowLedger
+	// WithStreamWindowSettle arms rolling window commitments on a streaming
+	// run: participants commit each settled window of task digests to a
+	// hash chain, and the per-link ledgers verify every commit with sampled
+	// membership proofs.
+	WithStreamWindowSettle = grid.WithWindowSettle
+	// WithStreamHighWater bounds how many tickets a source-driven run
+	// materializes ahead of execution (default 2×window×connections).
+	WithStreamHighWater = grid.WithHighWater
+	// WithStreamPinnedPlacement places source task i on connection i mod n
+	// instead of work stealing, making placement deterministic.
+	WithStreamPinnedPlacement = grid.WithPinnedPlacement
+	// WithStreamSourceBase starts the task source's index walk at base
+	// instead of 0, so a restored run consults the same absolute indices —
+	// and under pinned placement lands tasks on the same connections — as
+	// the unsegmented run it resumes.
+	WithStreamSourceBase = grid.WithSourceBase
+	// WithStreamDrainCheckpoint ends a source-driven run with a durable
+	// checkpoint barrier: after draining, every live participant persists
+	// its session state at the given sequence number and acknowledges.
+	WithStreamDrainCheckpoint = grid.WithDrainCheckpoint
+	// WithParticipantCheckpointDir gives a participant a directory for
+	// durable checkpoint files; required for checkpoint barriers and
+	// RestoreCheckpoint.
+	WithParticipantCheckpointDir = grid.WithCheckpointDir
 )
+
+// ErrCheckpointCorrupt reports a checkpoint file that failed structural or
+// checksum validation on restore.
+var ErrCheckpointCorrupt = grid.ErrCheckpointCorrupt
 
 // ErrConnQuarantined marks a transport fault that left the task's protocol
 // state resumable on a replacement connection.
