@@ -827,6 +827,7 @@ func BenchmarkBroker1kRoutes(b *testing.B) {
 		b.Run(mode.name, func(b *testing.B) {
 			var relayed int64
 			var goroutinesPerRoute float64
+			var creditWindowBytes float64
 			for i := 0; i < b.N; i++ {
 				base := runtime.NumGoroutine()
 				hub := NewBrokerHub()
@@ -930,6 +931,12 @@ func BenchmarkBroker1kRoutes(b *testing.B) {
 						b.Fatal(err)
 					}
 				}
+				if mode.muxed {
+					// Adaptive credit sizing is the hub's memory bound at this
+					// fan-out: the live per-route windows sum far below the
+					// static routes x 256 KiB ceiling of fixed windows.
+					creditWindowBytes += float64(hub.CreditWindowBytes())
+				}
 				for _, c := range conns {
 					_ = c.Close()
 				}
@@ -951,6 +958,9 @@ func BenchmarkBroker1kRoutes(b *testing.B) {
 			b.ReportMetric(goroutinesPerRoute/float64(b.N), "goroutines/route")
 			b.ReportMetric(float64(relayed)/b.Elapsed().Seconds(), "frames-relayed/s")
 			b.ReportMetric(float64(b.N*routes)/b.Elapsed().Seconds(), "tasks/s")
+			if mode.muxed {
+				b.ReportMetric(creditWindowBytes/float64(b.N*routes), "credit-window-B/route")
+			}
 		})
 	}
 }

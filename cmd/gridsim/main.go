@@ -64,6 +64,7 @@ func run(w io.Writer, args []string) error {
 		checkEvery = fs.Int("checkevery", 0, "tasks per durable checkpoint segment (needs -stream and -checkpoint)")
 		checkDir   = fs.String("checkpoint", "", "directory for durable supervisor/participant checkpoints")
 		killAfter  = fs.Int("killafter", 0, "inject a crash after this many settled tasks and restart from the last checkpoint (needs -checkevery)")
+		killTarget = fs.String("killtarget", "", "what the -killafter crash takes down: supervisor (default, whole attempt) or participant (pool restored via its checkpoints while the supervisor survives)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -121,6 +122,7 @@ func run(w io.Writer, args []string) error {
 		CheckpointEvery:   *checkEvery,
 		CheckpointDir:     *checkDir,
 		KillAfter:         *killAfter,
+		KillTarget:        *killTarget,
 	})
 	if err != nil {
 		return err
@@ -150,9 +152,10 @@ func printReport(w io.Writer, report *grid.SimReport) {
 		fmt.Fprintf(w, "broker: relayed=%d frames (%d B)\n",
 			report.BrokerRelayedMsgs, report.BrokerRelayedBytes)
 		if report.BrokerMuxLinks > 0 {
-			fmt.Fprintf(w, "broker mux: links=%d routes=%d control=%d frames (%d B) envelope-overhead in=%dB out=%dB\n",
+			fmt.Fprintf(w, "broker mux: links=%d routes=%d control out=%d frames (%d B) in=%d frames (%d B) envelope-overhead in=%dB out=%dB\n",
 				report.BrokerMuxLinks, report.BrokerRoutesOpened,
 				report.BrokerControlMsgs, report.BrokerControlBytes,
+				report.BrokerControlInMsgs, report.BrokerControlInBytes,
 				report.BrokerMuxOverheadIngress, report.BrokerMuxOverheadEgress)
 		}
 		if len(report.BrokerRoutes) > 0 {

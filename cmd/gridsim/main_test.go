@@ -178,6 +178,34 @@ func TestRunReplicatedPipelinedFaultySimulation(t *testing.T) {
 	}
 }
 
+func TestRunStreamKillTargetParticipant(t *testing.T) {
+	// -killtarget participant crashes the pool mid-segment; the surviving
+	// supervisor restores it from the durable checkpoints and the run still
+	// settles every task and window with the cheater detected.
+	args := []string{
+		"-scheme", "cbs", "-tasks", "12", "-tasksize", "128",
+		"-honest", "1", "-semihonest", "1", "-m", "20", "-pipeline", "2",
+		"-stream", "-windowtasks", "4", "-windowsamples", "2",
+		"-checkevery", "4", "-checkpoint", t.TempDir(),
+		"-killafter", "6", "-killtarget", "participant",
+	}
+	out := runGridsim(t, args...)
+	if !strings.Contains(out, "tasks=12") {
+		t.Errorf("participant-crash stream run lost tasks:\n%s", out)
+	}
+	if !strings.Contains(out, "detection=1/1") {
+		t.Errorf("cheater not detected across the participant crash:\n%s", out)
+	}
+	// Windows are per participant link: 6 tasks each under WindowTasks=4
+	// settles one window per link, matching the uninterrupted run.
+	if !strings.Contains(out, "windows: settled=2 violations=0") {
+		t.Errorf("window accounting diverged across the participant crash:\n%s", out)
+	}
+	if err := run(&bytes.Buffer{}, []string{"-killtarget", "hub"}); err == nil {
+		t.Error("unknown -killtarget accepted")
+	}
+}
+
 func TestRunMuxedRoutesSimulation(t *testing.T) {
 	// -routes widens the supervisor fan-out beyond one-per-participant;
 	// all routes are multiplexed over one physical supervisor link, so the

@@ -106,25 +106,44 @@ type LinkOption interface {
 
 type routeCreditWindowOption int64
 
+func (o routeCreditWindowOption) value() (int64, bool) {
+	if o <= 0 {
+		return 0, false
+	}
+	// The wire decoders reject grants and windows above maxCreditGrant, so
+	// a ceiling beyond it could never be granted anyway.
+	if o > maxCreditGrant {
+		return maxCreditGrant, true
+	}
+	return int64(o), true
+}
+
 func (o routeCreditWindowOption) applyBroker(c *brokerConfig) {
-	if o > 0 {
-		c.creditWindow = int64(o)
+	if v, ok := o.value(); ok {
+		c.creditWindow = v
 	}
 }
 
 func (o routeCreditWindowOption) applyMux(c *muxConfig) {
-	if o > 0 {
-		c.creditWindow = int64(o)
+	if v, ok := o.value(); ok {
+		c.creditWindow = v
 	}
 }
 
-// WithRouteCreditWindow sets the per-route credit window of a multiplexed
-// link, in dedicated-link-equivalent frame bytes (default 256 KiB): the
-// supervisor may have this many unacknowledged bytes queued at the hub per
-// route before its sender must wait for a credit grant, so one slow worker
-// bounds its own route's hub memory instead of the whole link's. Both
-// endpoints must use the same window — pass the option to NewBrokerHub and
-// to every OpenMux on that hub. Values below 1 select the default.
+// WithRouteCreditWindow sets the per-route credit window CEILING of a
+// multiplexed link, in dedicated-link-equivalent frame bytes (default
+// 256 KiB). Flow control is credit-based in both directions: each
+// receiver extends byte credit per route, the sender stops when its
+// balance runs dry, and the receiver grants more as the route's consumer
+// drains. The window itself is adaptive — it starts at the
+// minRouteCreditWindowBytes floor (32 KiB, or the ceiling if smaller),
+// grows with the route's observed drain rate up to this ceiling, and
+// decays toward the floor when the route idles — so a slow or idle route
+// bounds its own receiver memory near the floor instead of the whole
+// link's, and a 1k-route hub holds far less than routes × ceiling. Both
+// endpoints must use the same ceiling — pass the option to NewBrokerHub
+// and to every OpenMux on that hub — because each side computes the
+// other's initial credit from it. Values below 1 select the default.
 func WithRouteCreditWindow(n int64) LinkOption { return routeCreditWindowOption(n) }
 
 // RouteDirectionStats counts one direction of a worker's relayed traffic.
@@ -164,6 +183,7 @@ type RouteDirectionStats struct {
 //	muxed endpoint bytes received at the hub ==
 //	    MuxHelloBytes + Σ SupervisorHelloBytes + Σ ToWorker ingress
 //	    + MuxOverheadIngressBytes + OrphanedBytes + MuxCorruptBytes
+//	    + ControlIngressBytes
 //	muxed endpoint bytes sent by the hub ==
 //	    Σ ToSupervisor egress + MuxOverheadEgressBytes + ControlBytes
 type RouteStats struct {
@@ -181,6 +201,20 @@ type RouteStats struct {
 	// ToWorker covers supervisor→participant relaying, ToSupervisor the
 	// reverse direction.
 	ToWorker, ToSupervisor RouteDirectionStats
+	// ToWorkerGrantedBytes totals the credit the hub granted back to the
+	// supervisor for this worker's ToWorker direction on muxed links;
+	// ToWorkerWindowBytes is the adaptive window target the latest grant
+	// advertised. The grant ledger reconciles per live route as
+	// initial window + granted == ToWorker ingress + outstanding.
+	ToWorkerGrantedBytes, ToWorkerWindowBytes int64
+	// ToSupervisorGrantedBytes totals the credit supervisors granted the
+	// hub for this worker's ToSupervisor direction;
+	// ToSupervisorWindowBytes is the peer's latest advertised window, and
+	// ToSupervisorStalls counts the times a route was parked out of the
+	// shared writer's ready ring for lack of supervisor credit — each park
+	// is a slow consumer isolated instead of a link stalled.
+	ToSupervisorGrantedBytes, ToSupervisorWindowBytes int64
+	ToSupervisorStalls                                int64
 }
 
 // dirCounters is the mutable form of RouteDirectionStats.
@@ -209,6 +243,14 @@ type workerCounters struct {
 	supervisorHelloBytes atomic.Int64
 	toWorker             dirCounters
 	toSupervisor         dirCounters
+	// Credit flow-control ledgers, muxed links only: cumulative grant
+	// bytes per direction, latest advertised window per direction (gauges),
+	// and ready-ring parks for lack of supervisor credit.
+	toWorkerGranted atomic.Int64
+	toWorkerWindow  atomic.Int64
+	toSupGranted    atomic.Int64
+	toSupWindow     atomic.Int64
+	toSupStalls     atomic.Int64
 }
 
 // BrokerHub is the session-aware GRACE broker: an identity-routed relay
@@ -244,6 +286,11 @@ type BrokerHub struct {
 	// links: credit grants and close notices. Never part of RelayedBytes.
 	ctrlMsgs  atomic.Int64
 	ctrlBytes atomic.Int64
+	// ctrlMsgsIn/ctrlBytesIn are the ingress mirror: supervisor-originated
+	// credit grants arriving on muxed links (the hub→supervisor direction's
+	// flow control). Never part of any route's relayed traffic.
+	ctrlMsgsIn  atomic.Int64
+	ctrlBytesIn atomic.Int64
 	// muxOverheadIn/muxOverheadOut are signed envelope ledgers: physical
 	// frame bytes minus the inner frame bytes they carried. Egress overhead
 	// goes negative when cross-worker coalescing saves more in per-frame
@@ -351,6 +398,42 @@ func (h *BrokerHub) ControlMessages() int64 { return h.ctrlMsgs.Load() }
 // traffic is never part of RelayedBytes.
 func (h *BrokerHub) ControlBytes() int64 { return h.ctrlBytes.Load() }
 
+// ControlIngressMessages reports supervisor-originated control frames
+// (credit grants) received on muxed links.
+func (h *BrokerHub) ControlIngressMessages() int64 { return h.ctrlMsgsIn.Load() }
+
+// ControlIngressBytes reports the physical bytes of received control
+// frames; part of the muxed-link ingress identity, never of any route's
+// relayed traffic.
+func (h *BrokerHub) ControlIngressBytes() int64 { return h.ctrlBytesIn.Load() }
+
+// CreditWindowBytes sums every live muxed route's current adaptive
+// toWorker window — the hub's worst-case queued-byte exposure to
+// supervisor traffic. With adaptive sizing this sits near
+// routes × minRouteCreditWindowBytes for mostly-idle fan-out, far below
+// the static routes × WithRouteCreditWindow bound.
+func (h *BrokerHub) CreditWindowBytes() int64 {
+	h.mu.Lock()
+	links := make([]*supLink, 0, len(h.links))
+	for l := range h.links {
+		links = append(links, l)
+	}
+	h.mu.Unlock()
+	var sum int64
+	for _, l := range links {
+		l.mu.Lock()
+		if l.muxed {
+			for _, r := range l.routes {
+				if r.state != routeDead {
+					sum += r.toWorkerCredit.win
+				}
+			}
+		}
+		l.mu.Unlock()
+	}
+	return sum
+}
+
 // MuxOverheadIngressBytes reports the signed difference between physical
 // bytes received on muxed links and the inner-frame plus handshake bytes
 // they carried.
@@ -395,12 +478,17 @@ func (h *BrokerHub) WorkerStats(worker string) (RouteStats, bool) {
 		return RouteStats{}, false
 	}
 	st := RouteStats{
-		Worker:               worker,
-		Binds:                wc.binds.Load(),
-		WorkerHelloBytes:     wc.workerHelloBytes.Load(),
-		SupervisorHelloBytes: wc.supervisorHelloBytes.Load(),
-		ToWorker:             wc.toWorker.snapshot(),
-		ToSupervisor:         wc.toSupervisor.snapshot(),
+		Worker:                   worker,
+		Binds:                    wc.binds.Load(),
+		WorkerHelloBytes:         wc.workerHelloBytes.Load(),
+		SupervisorHelloBytes:     wc.supervisorHelloBytes.Load(),
+		ToWorker:                 wc.toWorker.snapshot(),
+		ToSupervisor:             wc.toSupervisor.snapshot(),
+		ToWorkerGrantedBytes:     wc.toWorkerGranted.Load(),
+		ToWorkerWindowBytes:      wc.toWorkerWindow.Load(),
+		ToSupervisorGrantedBytes: wc.toSupGranted.Load(),
+		ToSupervisorWindowBytes:  wc.toSupWindow.Load(),
+		ToSupervisorStalls:       wc.toSupStalls.Load(),
 	}
 	st.CorruptFrames = st.ToWorker.CorruptFrames + st.ToSupervisor.CorruptFrames
 	st.CorruptBytes = st.ToWorker.CorruptBytes + st.ToSupervisor.CorruptBytes
@@ -746,9 +834,19 @@ type hubRoute struct {
 	// is still alive, sent after toSup drains.
 	noticeDue  bool
 	noticeSent bool
-	// creditDebt accumulates drained toWorker bytes not yet granted back;
-	// flushed as a msgCredit once it reaches half the window.
-	creditDebt int64
+	// toWorkerCredit is the receiver-side ledger of the supervisor→worker
+	// direction on a muxed link: the hub extends credit to the supervisor
+	// and grants more as the worker-side writer drains toWorker, sizing
+	// the window adaptively from the observed drain rate.
+	toWorkerCredit creditLedger
+	// supCredit is the hub's send budget on the worker→supervisor
+	// direction, granted by the SupervisorMux as the route's consumer
+	// drains its inbox; supWindow mirrors the peer's advertised window.
+	supCredit int64
+	supWindow int64
+	// supStalled marks the route parked out of the ready ring for lack of
+	// supervisor credit; re-entered when the next grant arrives.
+	supStalled bool
 	// loops counts the route's live worker-side goroutines; the last one to
 	// exit removes the route from the link's maps.
 	loops int
@@ -782,9 +880,18 @@ func (h *BrokerHub) attachSupervisorLink(conn transport.Conn, worker string, wc 
 }
 
 // newRouteLocked builds a pending route (callers insert it into l.routes).
+// On a muxed link both credit directions start at the adaptive floor: the
+// hub extends initialCreditWindow to the supervisor (toWorkerCredit) and
+// assumes the mux extended the same to it (supCredit) — which holds
+// because both endpoints must be configured with the same ceiling.
 func (l *supLink) newRouteLocked(id uint64, worker string, wc *workerCounters) *hubRoute {
 	r := &hubRoute{link: l, id: id, worker: worker, wc: wc, state: routePending}
 	r.wcond = sync.NewCond(&l.mu)
+	if l.muxed {
+		r.toWorkerCredit = newCreditLedger(l.hub.cfg.creditWindow)
+		r.supCredit = initialCreditWindow(l.hub.cfg.creditWindow)
+		r.supWindow = r.supCredit
+	}
 	return r
 }
 
@@ -1180,9 +1287,9 @@ func (l *supLink) readLoop() {
 				return
 			}
 		case msgCredit:
-			// The hub grants credits; it never receives them.
-			l.fail()
-			return
+			if !l.applyRouteGrant(msg, arrived) {
+				return
+			}
 		default:
 			// Raw data frames are not valid on a muxed link.
 			l.fail()
@@ -1214,6 +1321,54 @@ func (l *supLink) putToWorkerBlocking(r *hubRoute, msg transport.Message) bool {
 	return true
 }
 
+// applyRouteGrant ingests a supervisor→hub credit grant on a muxed link:
+// the mux returns credit as a route's consumer drains its inbox, and the
+// hub spends it in gatherEnvelopeLocked. A stalled route re-enters the
+// ready ring here. Reports false when the grant was malformed or
+// overflowing and the link failed.
+//
+//gridlint:credit control ingress and per-route grant ledgers are only observable at the link reader
+func (l *supLink) applyRouteGrant(msg transport.Message, arrived int64) bool {
+	h := l.hub
+	c, err := decodeCredit(msg.Payload)
+	if err != nil {
+		h.muxOverheadIn.Add(arrived)
+		l.fail()
+		return false
+	}
+	h.ctrlMsgsIn.Add(1)
+	h.ctrlBytesIn.Add(arrived)
+	l.mu.Lock()
+	r := l.routes[c.Route]
+	if r == nil || r.state == routeDead {
+		// Grants race close notices; a grant for a finished route is stale,
+		// not hostile.
+		l.mu.Unlock()
+		return true
+	}
+	r.supCredit += int64(c.Bytes)
+	r.supWindow = int64(c.Window)
+	if r.supCredit > maxCreditGrant {
+		// More credit than any honest window can extend: the peer is
+		// inflating the hub's send budget, likely probing for overflow.
+		l.mu.Unlock()
+		l.fail()
+		return false
+	}
+	if r.wc != nil {
+		r.wc.toSupGranted.Add(int64(c.Bytes))
+		r.wc.toSupWindow.Store(int64(c.Window))
+	}
+	if r.supStalled {
+		r.supStalled = false
+		if !r.toSup.empty() {
+			l.enqueueReadyLocked(r)
+		}
+	}
+	l.mu.Unlock()
+	return true
+}
+
 // ingestEnvelope distributes a mux envelope's entries onto route queues.
 // Reports false when the envelope was malformed and the link failed.
 //
@@ -1240,7 +1395,7 @@ func (l *supLink) ingestEnvelope(msg transport.Message, arrived int64) bool {
 			h.orphanBytes.Add(size)
 			continue
 		}
-		if r.toWorker.bytes > h.cfg.creditWindow+int64(transport.MaxFrameBytes) {
+		if !r.toWorkerCredit.arrive(size) {
 			// The peer is ignoring the credit protocol; that is a link-level
 			// violation (the shared reader must never block on one route).
 			l.mu.Unlock()
@@ -1491,17 +1646,33 @@ func (l *supLink) legacyFinishedLocked(r *hubRoute) bool {
 }
 
 // gatherEnvelopeLocked packs units from the ready routes, round-robin, into
-// one envelope up to the batch target.
+// one envelope up to the batch target. A route out of supervisor credit is
+// parked out of the ready ring instead of blocking the gather — the shared
+// writer keeps draining its siblings, and applyRouteGrant re-enqueues the
+// route when its consumer catches up. The credit check precedes the pop
+// and the debit follows it, so a route may overshoot its grant by at most
+// one unit — the slack the mux's ledger tolerates by design.
+//
+//gridlint:credit stall parks and per-route send budgets live in the gather loop
 func (l *supLink) gatherEnvelopeLocked() ([]routedEntry, []routeEgress) {
 	var entries []routedEntry
 	var acct []routeEgress
 	var total int64
 	for len(l.ready) > 0 && total < batchTargetBytes && len(entries) < maxRoutedEntries {
 		r := l.ready[0]
+		if r.supCredit <= 0 {
+			l.dequeueReadyLocked(r)
+			r.supStalled = true
+			if r.wc != nil {
+				r.wc.toSupStalls.Add(1)
+			}
+			continue
+		}
 		unit, ok, _ := l.popUnitLocked(r)
 		if !ok {
 			continue
 		}
+		r.supCredit -= unit.FrameSize()
 		entries = append(entries, routedEntry{Route: r.id, Type: unit.Type, Payload: unit.Payload})
 		acct = append(acct, routeEgress{r: r, inner: unit.FrameSize()})
 		total += unit.FrameSize()
@@ -1700,17 +1871,21 @@ func (r *hubRoute) workerWriteLoop() {
 			out = l.coalesceToWorkerLocked(r, first)
 			popped += before - r.toWorker.bytes
 		}
-		grant := int64(0)
 		if l.muxed {
-			r.creditDebt += popped
-			if r.creditDebt >= h.cfg.creditWindow/2 && !l.failed && !l.stopWriter && !r.toWorker.closed {
-				grant = r.creditDebt
-				r.creditDebt = 0
-				l.ctrl = append(l.ctrl, transport.Message{
-					Type:    msgCredit,
-					Payload: encodeCredit(creditMsg{Route: r.id, Bytes: uint64(grant)}),
-				})
-				l.cond.Broadcast()
+			r.toWorkerCredit.drain(popped)
+			if !l.failed && !l.stopWriter && !r.toWorker.closed {
+				if grant := r.toWorkerCredit.grantDue(r.toWorker.bytes); grant > 0 {
+					win := r.toWorkerCredit.win
+					if r.wc != nil {
+						r.wc.toWorkerGranted.Add(grant)
+						r.wc.toWorkerWindow.Store(win)
+					}
+					l.ctrl = append(l.ctrl, transport.Message{
+						Type:    msgCredit,
+						Payload: encodeCredit(creditMsg{Route: r.id, Bytes: uint64(grant), Window: uint64(win)}),
+					})
+					l.cond.Broadcast()
+				}
 			}
 		}
 		r.wcond.Broadcast() // capacity waiters (dedicated-link reader)

@@ -47,7 +47,7 @@ func serveTestWorker(t *testing.T, hub *BrokerHub, name string, factory Producer
 }
 
 // waitBinds polls until the worker has been bound n times.
-func waitBinds(t *testing.T, hub *BrokerHub, worker string, n int64) {
+func waitBinds(t testing.TB, hub *BrokerHub, worker string, n int64) {
 	t.Helper()
 	deadline := time.Now().Add(5 * time.Second)
 	for {
@@ -262,6 +262,7 @@ func TestMuxAccountingReconcilesExactly(t *testing.T) {
 	}
 
 	var supHello, toWorkerIn, toSupEgress int64
+	var toWorkerGranted, toSupGranted int64
 	for i := 0; i < nw; i++ {
 		name := fmt.Sprintf("w-%d", i)
 		st, ok := hub.WorkerStats(name)
@@ -271,6 +272,8 @@ func TestMuxAccountingReconcilesExactly(t *testing.T) {
 		supHello += st.SupervisorHelloBytes
 		toWorkerIn += st.ToWorker.IngressBytes
 		toSupEgress += st.ToSupervisor.EgressBytes
+		toWorkerGranted += st.ToWorkerGrantedBytes
+		toSupGranted += st.ToSupervisorGrantedBytes
 		// Per-route exactness: the virtual endpoints and the hub agree to
 		// the byte even though every frame crossed a shared envelope.
 		if got := routes[i].Stats().BytesSent(); got != st.ToWorker.IngressBytes {
@@ -279,15 +282,41 @@ func TestMuxAccountingReconcilesExactly(t *testing.T) {
 		if got := routes[i].Stats().BytesRecv(); got != st.ToSupervisor.EgressBytes {
 			t.Errorf("%s: route received %dB, hub ToSupervisor egress %dB", name, got, st.ToSupervisor.EgressBytes)
 		}
+		// The advertised windows stay inside the documented adaptive band.
+		ceiling := int64(128)
+		for dir, win := range map[string]int64{"toWorker": st.ToWorkerWindowBytes, "toSupervisor": st.ToSupervisorWindowBytes} {
+			if win != 0 && (win < initialCreditWindow(ceiling) || win > ceiling) {
+				t.Errorf("%s: %s window %dB outside [%d, %d]", name, dir, win, initialCreditWindow(ceiling), ceiling)
+			}
+		}
 	}
 	if hub.ControlBytes() == 0 {
 		t.Error("no credit grants flowed under a 128-byte window; the flow-control path went unexercised")
 	}
+	if hub.ControlIngressBytes() == 0 {
+		t.Error("no supervisor→hub credit grants flowed; the bidirectional flow-control path went unexercised")
+	}
+	// Grant ledgers obey conservation endpoint-to-endpoint: neither side
+	// ever receives credit (or control frames) the other did not send.
+	// Teardown can strand a final queued grant in flight, so the receive
+	// side is bounded by — not equal to — the grant side.
+	if got := m.CreditReceivedBytes(); got == 0 || got > toWorkerGranted {
+		t.Errorf("hub granted %dB toWorker credit, mux received %dB", toWorkerGranted, got)
+	}
+	if sent := m.CreditGrantedBytes(); toSupGranted == 0 || toSupGranted > sent {
+		t.Errorf("mux granted %dB toSup credit, hub received %dB", sent, toSupGranted)
+	}
+	if got, sent := hub.ControlIngressMessages(), m.GrantFrames(); got == 0 || got > sent {
+		t.Errorf("hub saw %d control frames in, mux sent %d", got, sent)
+	}
+	if got, sent := hub.ControlIngressBytes(), m.GrantWireBytes(); got == 0 || got > sent {
+		t.Errorf("hub counted %dB control ingress, mux sent %dB of grant frames", got, sent)
+	}
 	muxHello := transport.Message{Type: msgHello, Payload: encodeHello(helloMsg{Role: helloRoleMux, Worker: "supervisor"})}.FrameSize()
 	physRecv := hubUp.Stats().BytesRecv()
-	if want := muxHello + supHello + toWorkerIn + hub.MuxOverheadIngressBytes() + hub.OrphanedBytes() + hub.MuxCorruptBytes(); physRecv != want {
-		t.Errorf("physical ingress %dB does not decompose: hellos %d+%d, inner %d, overhead %d, orphans %d, corrupt %d",
-			physRecv, muxHello, supHello, toWorkerIn, hub.MuxOverheadIngressBytes(), hub.OrphanedBytes(), hub.MuxCorruptBytes())
+	if want := muxHello + supHello + toWorkerIn + hub.MuxOverheadIngressBytes() + hub.OrphanedBytes() + hub.MuxCorruptBytes() + hub.ControlIngressBytes(); physRecv != want {
+		t.Errorf("physical ingress %dB does not decompose: hellos %d+%d, inner %d, overhead %d, orphans %d, corrupt %d, control-in %d",
+			physRecv, muxHello, supHello, toWorkerIn, hub.MuxOverheadIngressBytes(), hub.OrphanedBytes(), hub.MuxCorruptBytes(), hub.ControlIngressBytes())
 	}
 	physSent := hubUp.Stats().BytesSent()
 	if want := toSupEgress + hub.MuxOverheadEgressBytes() + hub.ControlBytes(); physSent != want {

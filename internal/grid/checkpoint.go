@@ -334,6 +334,32 @@ func (led *WindowLedger) encodeState() []byte {
 	return buf.Bytes()
 }
 
+// Snapshot serializes the ledger — hash-chain cursor, settled/violation
+// counters, and the pending digests of the open window — for
+// RestoreWindowLedger, wrapped in the self-verifying checkpoint envelope
+// (magic, version, CRC) so the bytes are durable-ready as written. Safe to
+// call at any time (it locks the ledger), but a snapshot taken mid-window
+// only round-trips verdict-identically when the participant side is
+// restored to the same barrier; take it at a quiesced checkpoint boundary,
+// as RunSim's kill drills do.
+func (led *WindowLedger) Snapshot() []byte {
+	return encodeCheckpointFile(led.encodeState())
+}
+
+// RestoreWindowLedger rebuilds a ledger from a Snapshot taken under the
+// same spec, so library users — not just RunSim — can restart a streaming
+// run with rolling-commitment continuity: the restored ledger expects
+// exactly the next window the participant's restored committer will send.
+// A corrupt or truncated snapshot surfaces as ErrCheckpointCorrupt — the
+// envelope CRC covers every byte.
+func RestoreWindowLedger(spec SchemeSpec, snap []byte) (*WindowLedger, error) {
+	payload, err := parseCheckpointFile(snap)
+	if err != nil {
+		return nil, err
+	}
+	return restoreWindowLedger(spec, payload)
+}
+
 // restoreWindowLedger rebuilds a ledger for spec from encodeState output.
 func restoreWindowLedger(spec SchemeSpec, data []byte) (*WindowLedger, error) {
 	bad := func(field string, err error) error {

@@ -1,0 +1,154 @@
+package grid
+
+// Adaptive per-route credit windows for the muxed supervisor↔hub path.
+//
+// Both directions of a muxed link run the same receiver-driven protocol:
+// the receiver extends byte credit to the sender, the sender charges every
+// routed inner frame against its balance and stops when it runs dry, and
+// the receiver grants fresh credit as its consumer drains the queue. The
+// window — how much credit the receiver keeps outstanding — is not static:
+// each route sizes it from an EWMA of its observed drain rate, clamped to
+// [minRouteCreditWindowBytes, WithRouteCreditWindow]. Busy routes grow
+// toward the ceiling; idle routes decay toward the floor simply by having
+// grants withheld (credit already extended is never revoked), so a
+// 1k-route hub exposes Σ windows ≪ routes × ceiling of queued-byte memory.
+
+import (
+	"time"
+
+	"uncheatgrid/internal/transport"
+)
+
+// minRouteCreditWindowBytes is the adaptive window floor, and every
+// route's initial window: large enough that a route ramping from idle can
+// keep a few frames in flight, small enough that idle routes are nearly
+// free. A ceiling below the floor (WithRouteCreditWindow smaller than
+// 32 KiB) wins — the window is then pinned to the ceiling.
+const minRouteCreditWindowBytes int64 = 32 << 10
+
+// creditDrainHorizon is how much drain time one window is sized to cover:
+// window = drain-rate × horizon, so a route draining D bytes/s is granted
+// enough credit to keep its sender busy for ~25ms between grants.
+const creditDrainHorizon = 25 * time.Millisecond
+
+// creditEWMAAlpha weights the newest drain-rate observation when updating
+// the EWMA at grant time.
+const creditEWMAAlpha = 0.5
+
+// creditSlackBytes is how far past its extended credit a sender may
+// overshoot before the receiver classifies it as a link violation. One
+// maximum frame of slack is inherent to the protocol: the sender checks
+// its balance before sending and debits after, so a positive balance of
+// one byte still permits one full frame. A variable so violation tests
+// can tighten it without pushing 64 MiB through a pipe.
+var creditSlackBytes = int64(transport.MaxFrameBytes)
+
+// initialCreditWindow is the window every route starts at: the floor,
+// pinned to the ceiling when the ceiling is smaller. Both endpoints of a
+// muxed link compute initial credit this way, which is why they must be
+// configured with the same ceiling.
+func initialCreditWindow(ceiling int64) int64 {
+	if ceiling < minRouteCreditWindowBytes {
+		return ceiling
+	}
+	return minRouteCreditWindowBytes
+}
+
+// creditLedger is the receiver side of one route direction's flow control.
+// It tracks how much credit is outstanding (extended to the sender and not
+// yet consumed by an arrival), observes the drain rate, and decides when
+// and how much to grant. Not self-locking: every method must be called
+// under the owning route's mutex.
+type creditLedger struct {
+	// win is the current adaptive window target; ceiling its clamp.
+	win     int64
+	ceiling int64
+	// outstanding is credit extended to the sender that no arrival has
+	// consumed yet. It goes negative transiently — the sender may overshoot
+	// its balance by one frame — but beyond creditSlackBytes negative the
+	// sender is ignoring credit and the link is violating.
+	outstanding int64
+	// granted accumulates every grant's bytes (stats identity: initial
+	// window + granted − arrivals == outstanding).
+	granted int64
+	// drainedSince and lastRate feed the EWMA: bytes drained since the
+	// last rate sample, and when that sample was taken.
+	drainedSince int64
+	lastRate     time.Time
+	// rate is the EWMA drain-rate estimate in bytes/second.
+	rate float64
+}
+
+func newCreditLedger(ceiling int64) creditLedger {
+	win := initialCreditWindow(ceiling)
+	return creditLedger{
+		win:         win,
+		ceiling:     ceiling,
+		outstanding: win,
+		lastRate:    time.Now(),
+	}
+}
+
+// arrive charges one inner frame against the credit the ledger has
+// extended. It reports false when the sender has overshot its credit by
+// more than the protocol-inherent slack — a credit-ignoring peer, which
+// the caller must treat as a link violation.
+func (c *creditLedger) arrive(size int64) bool {
+	c.outstanding -= size
+	return c.outstanding >= -creditSlackBytes
+}
+
+// drain records that the route's consumer drained size queued bytes.
+func (c *creditLedger) drain(size int64) {
+	c.drainedSince += size
+}
+
+// grantDue decides whether a grant is owed given the route's current queue
+// occupancy, resizes the window from the drain EWMA when one is, and
+// returns the grant size (0 when nothing is due). The invariant a grant
+// restores is outstanding + queued == win: the sender can always fill the
+// window, never more. Granting only at drain time is deadlock-free — credit
+// is consumed only by arrivals, arrivals are drained by the consumer, and
+// a full drain always re-opens the window (grantable = win − outstanding
+// ≥ win − 0 > 0 via the starvation guard below).
+func (c *creditLedger) grantDue(queued int64) int64 {
+	grantable := c.win - queued - c.outstanding
+	// Batch grants into half-window chunks; the starvation guard covers the
+	// fully-drained sender whose deficit never reaches half of a window.
+	if grantable < c.win/2 && !(queued == 0 && c.outstanding <= 0 && grantable > 0) {
+		return 0
+	}
+	c.resizeLocked()
+	grantable = c.win - queued - c.outstanding
+	if grantable <= 0 {
+		return 0
+	}
+	c.outstanding += grantable
+	c.granted += grantable
+	return grantable
+}
+
+// resizeLocked folds the drain observed since the last grant into the rate
+// EWMA and retargets the window to rate × horizon, clamped to the
+// [floor, ceiling] band. Called only at grant time, so idle routes — which
+// never grant — simply keep their last (small) window.
+func (c *creditLedger) resizeLocked() {
+	now := time.Now()
+	dt := now.Sub(c.lastRate).Seconds()
+	if dt <= 0 {
+		return
+	}
+	inst := float64(c.drainedSince) / dt
+	c.rate = creditEWMAAlpha*inst + (1-creditEWMAAlpha)*c.rate
+	c.drainedSince = 0
+	c.lastRate = now
+	target := int64(c.rate * creditDrainHorizon.Seconds())
+	floor := initialCreditWindow(c.ceiling)
+	if target < floor {
+		target = floor
+	}
+	if target > c.ceiling {
+		target = c.ceiling
+	}
+	c.win = target
+}

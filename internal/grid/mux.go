@@ -15,13 +15,21 @@ package grid
 //	  session B ──┤ one phys link  ├── route B ── worker B
 //	  session C ──┘   (msgRouted)  └── route C ── worker C
 //
-// Flow control is credit-based and per route: a route starts with a
-// window of send budget (WithRouteCreditWindow, denominated in
-// dedicated-link frame sizes), spends it as it sends, and is replenished
-// by msgCredit grants the
-// hub issues as the worker-side writer drains the route's queue. A route
-// that outruns its slow worker blocks in Send while every other route keeps
-// flowing — backpressure never idles the shared link.
+// Flow control is credit-based, per route, and symmetric. Sending: a
+// route starts with a floor of send budget (the adaptive window's initial
+// value, denominated in dedicated-link frame sizes), spends it as it
+// sends, and is replenished by msgCredit grants the hub issues as the
+// worker-side writer drains the route's queue — a route that outruns its
+// slow worker blocks in Send while every other route keeps flowing.
+// Receiving: the mux extends the same kind of credit to the hub per
+// route, charges every delivered inner frame against it, and grants more
+// as the route's consumer drains its inbox — so a route whose consumer
+// stalls caps its own inbox at one adaptive window while the shared
+// reader keeps delivering to its siblings, and the hub parks (not blocks)
+// the starved route. Grants are written by a dedicated grant-writer
+// goroutine so a consumer draining its inbox never contends with data
+// senders for the physical link. Backpressure never idles the shared link
+// in either direction.
 //
 // Route conns keep honest endpoint counters via Stats().CreditSend/Recv,
 // denominated in the frame sizes their traffic would have cost on a
@@ -71,14 +79,29 @@ type SupervisorMux struct {
 	nextID  uint64
 	closed  bool
 	linkErr error
+	// pendingGrants queues credit grants for the grant-writer goroutine;
+	// grantStop tells it to exit once the queue is flushed or the link is
+	// down. Guarded by mu, woken via grantCond.
+	pendingGrants []creditMsg
+	grantStop     bool
+	grantCond     *sync.Cond
 
 	// orphanFrames/orphanBytes count inner frames that arrived for a route
 	// this endpoint no longer has (closed locally before the hub learned);
 	// bytes are dedicated-link-equivalent frame sizes.
 	orphanFrames atomic.Int64
 	orphanBytes  atomic.Int64
+	// Grant ledgers for the hub→supervisor direction: control frames sent
+	// and their physical bytes, the credit bytes they granted, and — from
+	// the sending side — the credit bytes the hub granted this endpoint.
+	// They reconcile against the hub's per-route grant counters exactly.
+	grantFrames    atomic.Int64
+	grantWireBytes atomic.Int64
+	creditGranted  atomic.Int64
+	creditReceived atomic.Int64
 
 	readerDone chan struct{}
+	grantsDone chan struct{}
 }
 
 // OpenMux attaches conn to a BrokerHub as a multiplexed supervisor link and
@@ -104,8 +127,11 @@ func OpenMux(conn transport.Conn, label string, opts ...MuxOption) (*SupervisorM
 		creditWindow: cfg.creditWindow,
 		routes:       make(map[uint64]*muxRouteConn),
 		readerDone:   make(chan struct{}),
+		grantsDone:   make(chan struct{}),
 	}
+	m.grantCond = sync.NewCond(&m.mu)
 	go m.readLoop()
+	go m.grantLoop()
 	return m, nil
 }
 
@@ -119,6 +145,22 @@ func (m *SupervisorMux) OrphanedFrames() int64 { return m.orphanFrames.Load() }
 // OrphanedBytes reports the dedicated-link-equivalent bytes of orphaned
 // inner frames.
 func (m *SupervisorMux) OrphanedBytes() int64 { return m.orphanBytes.Load() }
+
+// GrantFrames reports how many credit-grant control frames this endpoint
+// wrote to the link, and GrantWireBytes their physical frame bytes; the
+// hub counts the same frames as ControlIngress.
+func (m *SupervisorMux) GrantFrames() int64 { return m.grantFrames.Load() }
+
+// GrantWireBytes reports the physical bytes of sent grant frames.
+func (m *SupervisorMux) GrantWireBytes() int64 { return m.grantWireBytes.Load() }
+
+// CreditGrantedBytes reports the credit this endpoint granted the hub for
+// the worker→supervisor direction, summed over routes.
+func (m *SupervisorMux) CreditGrantedBytes() int64 { return m.creditGranted.Load() }
+
+// CreditReceivedBytes reports the credit the hub granted this endpoint for
+// the supervisor→worker direction, summed over routes.
+func (m *SupervisorMux) CreditReceivedBytes() int64 { return m.creditReceived.Load() }
 
 // OpenRoutes reports how many routes are currently open on the mux.
 func (m *SupervisorMux) OpenRoutes() int {
@@ -162,7 +204,16 @@ func (m *SupervisorMux) OpenRoute(worker string) (transport.Conn, error) {
 	}
 	id := m.nextID
 	m.nextID++
-	r := &muxRouteConn{mux: m, id: id, worker: worker, credit: m.creditWindow}
+	// Send credit starts at the adaptive floor — the hub extends the same
+	// initial window from the shared ceiling — and the receive ledger
+	// mirrors what this endpoint extends to the hub.
+	r := &muxRouteConn{
+		mux:    m,
+		id:     id,
+		worker: worker,
+		credit: initialCreditWindow(m.creditWindow),
+		led:    newCreditLedger(m.creditWindow),
+	}
 	r.cond = sync.NewCond(&r.mu)
 	m.routes[id] = r
 	m.mu.Unlock()
@@ -226,7 +277,20 @@ func (m *SupervisorMux) readLoop() {
 			transport.RecyclePayload(msg.Payload)
 			for _, e := range entries {
 				r := m.route(e.Route)
-				if r == nil || !r.deliver(transport.Message{Type: e.Type, Payload: e.Payload}) {
+				if r == nil {
+					m.orphanFrames.Add(1)
+					m.orphanBytes.Add(e.innerFrameSize())
+					continue
+				}
+				ok, violation := r.deliver(transport.Message{Type: e.Type, Payload: e.Payload})
+				if violation {
+					// The hub is ignoring this endpoint's credit grants — a
+					// link-level protocol violation, exactly as the hub
+					// classifies a credit-ignoring supervisor.
+					m.fail(fmt.Errorf("%w: route %d overran its receive credit", transport.ErrClosed, e.Route))
+					return
+				}
+				if !ok {
 					m.orphanFrames.Add(1)
 					m.orphanBytes.Add(e.innerFrameSize())
 				}
@@ -238,7 +302,11 @@ func (m *SupervisorMux) readLoop() {
 				return
 			}
 			if r := m.route(c.Route); r != nil {
-				r.grant(int64(c.Bytes))
+				if !r.grant(int64(c.Bytes), int64(c.Window)) {
+					m.fail(fmt.Errorf("%w: route %d send credit overflow", transport.ErrClosed, c.Route))
+					return
+				}
+				m.creditReceived.Add(int64(c.Bytes))
 			}
 		case msgHello:
 			hello, err := decodeHello(msg.Payload)
@@ -263,6 +331,9 @@ func (m *SupervisorMux) fail(err error) {
 	if m.linkErr == nil {
 		m.linkErr = err
 	}
+	m.grantStop = true
+	m.pendingGrants = nil
+	m.grantCond.Broadcast()
 	routes := make([]*muxRouteConn, 0, len(m.routes))
 	for _, r := range m.routes {
 		routes = append(routes, r)
@@ -275,18 +346,67 @@ func (m *SupervisorMux) fail(err error) {
 }
 
 // Close tears down the mux: the physical link closes, every open route
-// observes a dead connection, and Close blocks until the reader has exited
-// so the mux holds no goroutines afterwards.
+// observes a dead connection, and Close blocks until the reader and the
+// grant writer have exited so the mux holds no goroutines afterwards.
 func (m *SupervisorMux) Close() error {
 	m.mu.Lock()
 	already := m.closed
 	m.closed = true
+	m.grantStop = true
+	m.pendingGrants = nil
+	m.grantCond.Broadcast()
 	m.mu.Unlock()
 	if !already {
 		_ = m.conn.Close()
 	}
 	<-m.readerDone
+	<-m.grantsDone
 	return nil
+}
+
+// queueGrant hands one credit grant to the grant-writer goroutine. Called
+// by routes after releasing their own mutex — route mutexes are leaves
+// under m.mu, never the reverse.
+func (m *SupervisorMux) queueGrant(g creditMsg) {
+	m.mu.Lock()
+	if m.grantStop || m.closed || m.linkErr != nil {
+		m.mu.Unlock()
+		return
+	}
+	m.pendingGrants = append(m.pendingGrants, g)
+	m.grantCond.Broadcast()
+	m.mu.Unlock()
+}
+
+// grantLoop is the mux's second and last goroutine: it writes queued
+// credit grants to the shared link, so a route consumer draining its inbox
+// never blocks on the physical send itself — symmetric to the hub's
+// writeLoop carrying grants in its ctrl queue.
+//
+//gridlint:credit grant egress is only observable where the control frame is written
+func (m *SupervisorMux) grantLoop() {
+	defer close(m.grantsDone)
+	for {
+		m.mu.Lock()
+		for len(m.pendingGrants) == 0 && !m.grantStop {
+			m.grantCond.Wait()
+		}
+		if len(m.pendingGrants) == 0 {
+			m.mu.Unlock()
+			return
+		}
+		g := m.pendingGrants[0]
+		m.pendingGrants = m.pendingGrants[1:]
+		m.mu.Unlock()
+		out := transport.Message{Type: msgCredit, Payload: encodeCredit(g)}
+		if err := m.sendFrame(out); err != nil {
+			m.fail(err)
+			return
+		}
+		m.grantFrames.Add(1)
+		m.grantWireBytes.Add(out.FrameSize())
+		m.creditGranted.Add(int64(g.Bytes))
+	}
 }
 
 // muxRouteConn is one route's supervisor endpoint: a transport.Conn whose
@@ -303,6 +423,14 @@ type muxRouteConn struct {
 	cond   *sync.Cond
 	inbox  []transport.Message
 	credit int64
+	// hubWindow mirrors the hub's advertised adaptive window for this
+	// route's send direction (stats only).
+	hubWindow int64
+	// led is the receive side: the credit this endpoint has extended to
+	// the hub for the route's inbox, and the adaptive window sizing it.
+	// queued tracks inbox occupancy in dedicated-link frame sizes.
+	led    creditLedger
+	queued int64
 	closed bool // Close called locally
 	// remote is set by the hub's close notice: the worker side of the route
 	// is finished. Recv drains the inbox then reports io.EOF, mirroring a
@@ -351,9 +479,14 @@ func (r *muxRouteConn) Send(m transport.Message) error {
 // Recv implements transport.Conn: inbox frames first, then the route's
 // terminal condition — ErrClosed after a local Close, the link error after
 // a link failure, io.EOF once the hub announced the worker side finished.
+// Each drain feeds the receive ledger; when a grant falls due it is handed
+// to the mux's grant writer (after releasing the route mutex — the grant
+// queue lives under m.mu, which is never taken under r.mu). Grants ride
+// the link as control frames, not route traffic: they never touch the
+// route's Stats, so per-route endpoint counters keep reconciling with the
+// hub's RouteStats.
 func (r *muxRouteConn) Recv() (transport.Message, error) {
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	for {
 		if len(r.inbox) > 0 {
 			m := r.inbox[0]
@@ -362,15 +495,32 @@ func (r *muxRouteConn) Recv() (transport.Message, error) {
 			if len(r.inbox) == 0 {
 				r.inbox = nil
 			}
-			r.stats.CreditRecv(m.FrameSize())
+			size := m.FrameSize()
+			r.queued -= size
+			r.led.drain(size)
+			var grant creditMsg
+			if !r.closed && !r.remote && r.linkErr == nil {
+				if g := r.led.grantDue(r.queued); g > 0 {
+					grant = creditMsg{Route: r.id, Bytes: uint64(g), Window: uint64(r.led.win)}
+				}
+			}
+			r.mu.Unlock()
+			r.stats.CreditRecv(size)
+			if grant.Bytes > 0 {
+				r.mux.queueGrant(grant)
+			}
 			return m, nil
 		}
 		switch {
 		case r.closed:
+			r.mu.Unlock()
 			return transport.Message{}, transport.ErrClosed
 		case r.linkErr != nil:
-			return transport.Message{}, r.linkErr
+			err := r.linkErr
+			r.mu.Unlock()
+			return transport.Message{}, err
 		case r.remote:
+			r.mu.Unlock()
 			return transport.Message{}, io.EOF
 		}
 		r.cond.Wait()
@@ -400,25 +550,36 @@ func (r *muxRouteConn) Close() error {
 	return nil
 }
 
-// deliver appends one inner frame to the inbox; false means the route is
-// closed and the frame is the caller's orphan to count.
-func (r *muxRouteConn) deliver(m transport.Message) bool {
+// deliver appends one inner frame to the inbox, charging it against the
+// credit this endpoint extended. ok=false means the route is closed and
+// the frame is the caller's orphan to count; violation=true means the hub
+// overran the route's credit beyond the one-frame slack — the caller must
+// kill the link.
+func (r *muxRouteConn) deliver(m transport.Message) (ok, violation bool) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if r.closed {
-		return false
+		return false, false
 	}
+	if !r.led.arrive(m.FrameSize()) {
+		return false, true
+	}
+	r.queued += m.FrameSize()
 	r.inbox = append(r.inbox, m)
 	r.cond.Broadcast()
-	return true
+	return true, false
 }
 
-// grant adds a hub credit grant to the send budget.
-func (r *muxRouteConn) grant(n int64) {
+// grant adds a hub credit grant to the send budget and records the hub's
+// advertised window. False means the balance overflowed past any honest
+// window — a link violation the caller must act on.
+func (r *muxRouteConn) grant(n, window int64) bool {
 	r.mu.Lock()
+	defer r.mu.Unlock()
 	r.credit += n
+	r.hubWindow = window
 	r.cond.Broadcast()
-	r.mu.Unlock()
+	return r.credit <= maxCreditGrant
 }
 
 // remoteClosed records the hub's close notice for the route.

@@ -1,0 +1,115 @@
+package grid
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"uncheatgrid/internal/transport"
+)
+
+// BenchmarkMuxSlowRoute pins the head-of-line isolation the bidirectional
+// credit protocol buys on the worker→supervisor leg: 64 workers flood
+// frames toward their routes on ONE shared physical link, and in the
+// one-stalled variant route 0's supervisor-side consumer never drains its
+// inbox. With hub→supervisor credits the hub simply parks the stalled
+// route once its grant is spent — the 63 fast routes' aggregate throughput
+// must stay within 10% of the all-drained baseline. Before this protocol
+// the mux reader blocked on the full inbox and delivery to every sibling
+// route froze (the "reader-blocking collapse" recorded in BENCHMARKS.md).
+// One benchmark op is one drained fast-route frame.
+func BenchmarkMuxSlowRoute(b *testing.B) {
+	const routes = 64
+	const payload = 4 << 10
+	for _, stall := range []bool{false, true} {
+		name := "all-drained"
+		if stall {
+			name = "one-stalled"
+		}
+		b.Run(name, func(b *testing.B) {
+			hub := NewBrokerHub()
+			workerConns := make([]transport.Conn, routes)
+			for j := range workerConns {
+				down, wc := transport.Pipe(transport.WithBuffer(8))
+				if err := HelloWorker(wc, fmt.Sprintf("w-%d", j)); err != nil {
+					b.Fatalf("HelloWorker: %v", err)
+				}
+				if err := hub.Attach(down); err != nil {
+					b.Fatalf("Attach worker: %v", err)
+				}
+				workerConns[j] = wc
+			}
+			sc, hubUp := transport.Pipe(transport.WithBuffer(8))
+			m, err := OpenMux(sc, "bench-sup")
+			if err != nil {
+				b.Fatalf("OpenMux: %v", err)
+			}
+			if err := hub.Attach(hubUp); err != nil {
+				b.Fatalf("Attach mux link: %v", err)
+			}
+			conns := make([]transport.Conn, routes)
+			for j := range conns {
+				if conns[j], err = m.OpenRoute(fmt.Sprintf("w-%d", j)); err != nil {
+					b.Fatalf("OpenRoute(w-%d): %v", j, err)
+				}
+			}
+			for j := 0; j < routes; j++ {
+				waitBinds(b, hub, fmt.Sprintf("w-%d", j), 1)
+			}
+
+			// Every worker floods frames upward until its link dies at
+			// teardown. The stalled route's pusher wedges early — worker
+			// pipe buffer plus the hub's bounded toSup queue plus the spent
+			// credit grant — and that is the point: bounded memory, parked
+			// route, fast siblings unaffected.
+			var pushers sync.WaitGroup
+			for _, wc := range workerConns {
+				pushers.Add(1)
+				go func(c transport.Conn) {
+					defer pushers.Done()
+					msg := transport.Message{Type: msgResultChunk, Payload: make([]byte, payload)}
+					for c.Send(msg) == nil {
+					}
+				}(wc)
+			}
+
+			first := 0
+			if stall {
+				first = 1 // route 0's inbox is never drained
+			}
+			target := int64(b.N)
+			var drained atomic.Int64
+			done := make(chan struct{})
+			var once sync.Once
+			var consumers sync.WaitGroup
+			for j := first; j < routes; j++ {
+				consumers.Add(1)
+				go func(c transport.Conn) {
+					defer consumers.Done()
+					for {
+						if _, err := c.Recv(); err != nil {
+							return
+						}
+						if drained.Add(1) == target {
+							once.Do(func() { close(done) })
+						}
+					}
+				}(conns[j])
+			}
+
+			b.ResetTimer()
+			b.SetBytes(payload)
+			<-done
+			b.StopTimer()
+
+			for _, wc := range workerConns {
+				_ = wc.Close()
+			}
+			pushers.Wait()
+			_ = m.Close()
+			consumers.Wait()
+			_ = hub.Close()
+		})
+	}
+}

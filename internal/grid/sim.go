@@ -131,7 +131,26 @@ type SimConfig struct {
 	// uninterrupted run's (the checkpoint/restore acceptance criterion).
 	// Requires CheckpointEvery > 0 and CheckpointDir.
 	KillAfter int
+	// KillTarget selects the KillAfter crash's victim.
+	// KillTargetSupervisor (or empty) is the classic drill: the whole
+	// attempt dies and restarts from the checkpoint files.
+	// KillTargetParticipant crashes the participant pool mid-segment while
+	// the supervisor survives: participants are rebuilt from their durable
+	// checkpoints via RestoreCheckpoint, the supervisor rolls its window
+	// ledgers back to the matching barrier from in-memory Snapshot copies,
+	// and the aborted segment re-runs. Verdicts and window accounting must
+	// match an uninterrupted run's either way; only the supervisor's eval
+	// counter differs under a participant crash, because the surviving
+	// supervisor honestly pays for re-verifying the aborted segment.
+	// Requires KillAfter.
+	KillTarget string
 }
+
+// KillTarget values for SimConfig: which side the kill drill takes down.
+const (
+	KillTargetSupervisor  = "supervisor"
+	KillTargetParticipant = "participant"
+)
 
 // faulty reports whether fault injection is enabled.
 func (c SimConfig) faulty() bool { return c.DropProb > 0 || c.GarbleProb > 0 }
@@ -191,6 +210,14 @@ func (c SimConfig) validate() error {
 	}
 	if c.CheckpointEvery < 0 || c.KillAfter < 0 {
 		return fmt.Errorf("%w: negative checkpoint interval or kill point", ErrBadConfig)
+	}
+	switch c.KillTarget {
+	case "", KillTargetSupervisor, KillTargetParticipant:
+	default:
+		return fmt.Errorf("%w: unknown KillTarget %q", ErrBadConfig, c.KillTarget)
+	}
+	if c.KillTarget != "" && c.KillAfter == 0 {
+		return fmt.Errorf("%w: KillTarget requires KillAfter", ErrBadConfig)
 	}
 	if c.Stream {
 		if c.PipelineWindow < 1 {
@@ -299,11 +326,14 @@ type SimReport struct {
 	// them. A clean brokered run shows every route sharing one link; a
 	// faulty run adds one link per quarantine-and-redial.
 	BrokerMuxLinks, BrokerRoutesOpened int64
-	// BrokerControlMsgs/Bytes total the hub's mux control traffic (credit
-	// grants and route-close notices); BrokerMuxOverheadIngress/Egress are
-	// the signed envelope-framing ledgers. None of these bytes appear in
+	// BrokerControlMsgs/Bytes total the hub's outgoing mux control traffic
+	// (credit grants and route-close notices); BrokerControlInMsgs/Bytes
+	// the incoming mirror (supervisor credit grants — the hub→supervisor
+	// flow-control loop); BrokerMuxOverheadIngress/Egress are the signed
+	// envelope-framing ledgers. None of these bytes appear in
 	// BrokerRelayedBytes or any RouteStats direction.
 	BrokerControlMsgs, BrokerControlBytes             int64
+	BrokerControlInMsgs, BrokerControlInBytes         int64
 	BrokerMuxOverheadIngress, BrokerMuxOverheadEgress int64
 	// BrokerRoutes snapshots the hub's per-worker relay accounting at
 	// shutdown, keyed by participant identity.
@@ -528,6 +558,22 @@ func (w *simWorker) dialBrokered(cfg SimConfig) transport.Conn {
 	return sup
 }
 
+// crash abruptly severs every connection the worker holds, both ends, the
+// way a process death would: serve loops exit with transport errors rather
+// than a clean EOF, and any in-flight exchange is lost. The worker's durable
+// checkpoint files are untouched — that is what a restarted participant
+// recovers from.
+func (w *simWorker) crash() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for _, c := range w.partConns {
+		_ = c.Close()
+	}
+	for _, c := range w.supConns {
+		_ = c.Close()
+	}
+}
+
 // supConn returns the first (and in fault-free runs, only) supervisor-side
 // endpoint.
 func (w *simWorker) supConn() transport.Conn {
@@ -657,6 +703,8 @@ func RunSim(cfg SimConfig) (*SimReport, error) {
 		report.BrokerRoutesOpened = hub.RoutesOpened()
 		report.BrokerControlMsgs = hub.ControlMessages()
 		report.BrokerControlBytes = hub.ControlBytes()
+		report.BrokerControlInMsgs = hub.ControlIngressMessages()
+		report.BrokerControlInBytes = hub.ControlIngressBytes()
 		report.BrokerMuxOverheadIngress = hub.MuxOverheadIngressBytes()
 		report.BrokerMuxOverheadEgress = hub.MuxOverheadEgressBytes()
 		names := hub.Workers()

@@ -232,6 +232,27 @@ func runStreamSim(cfg SimConfig, supCfg SupervisorConfig) (*SimReport, error) {
 	}
 }
 
+// restorePool restores every participant from its durable checkpoint and
+// holds the pool to one consistent sequence: a file from a different point
+// in time than the coordinator's would desynchronize the window cursors.
+func restorePool(workers []*simWorker, seq uint64) error {
+	for _, w := range workers {
+		got, ok, err := w.participant.RestoreCheckpoint()
+		if err != nil {
+			return err
+		}
+		if !ok && seq != 0 {
+			return fmt.Errorf("%w: supervisor checkpoint at seq %d but participant %s has none",
+				ErrCheckpointCorrupt, seq, w.participant.ID())
+		}
+		if ok && got != seq {
+			return fmt.Errorf("%w: participant %s checkpoint at seq %d, supervisor at %d",
+				ErrCheckpointCorrupt, w.participant.ID(), got, seq)
+		}
+	}
+	return nil
+}
+
 // runStreamAttempt executes one attempt: restore, run segments, and either
 // finish (killed == false, report set) or die at the kill point
 // (killed == true) leaving only the checkpoint files behind.
@@ -276,19 +297,8 @@ func runStreamAttempt(cfg SimConfig, supCfg SupervisorConfig, killAfter int) (re
 	// Restore every participant and hold the pool to one consistent
 	// sequence: a file from a different point in time than the
 	// coordinator's would desynchronize the window cursors.
-	for _, w := range workers {
-		seq, ok, rerr := w.participant.RestoreCheckpoint()
-		if rerr != nil {
-			return fail(rerr)
-		}
-		if !ok && st.seq != 0 {
-			return fail(fmt.Errorf("%w: supervisor checkpoint at seq %d but participant %s has none",
-				ErrCheckpointCorrupt, st.seq, w.participant.ID()))
-		}
-		if ok && seq != st.seq {
-			return fail(fmt.Errorf("%w: participant %s checkpoint at seq %d, supervisor at %d",
-				ErrCheckpointCorrupt, w.participant.ID(), seq, st.seq))
-		}
+	if rerr := restorePool(workers, st.seq); rerr != nil {
+		return fail(rerr)
 	}
 
 	pool, err := NewSupervisorPool(supCfg, cfg.participants()*cfg.PipelineWindow)
@@ -323,6 +333,54 @@ func runStreamAttempt(cfg SimConfig, supCfg SupervisorConfig, killAfter int) (re
 	}
 	settled := st.nextTask
 	firstSegment := true
+
+	// A participant-crash drill keeps the supervisor alive across the kill,
+	// so the attempt must be able to roll its OWN window ledgers back to the
+	// last durable barrier: snapshot them (via the exported codec) whenever
+	// st.seq advances, and restore from the copies on recovery.
+	participantKill := cfg.KillTarget == KillTargetParticipant && killAfter > 0
+	var ledgerSnaps [][]byte
+	snapLedgers := func() {
+		if !participantKill || st.ledgers == nil {
+			return
+		}
+		ledgerSnaps = make([][]byte, len(st.ledgers))
+		for i, led := range st.ledgers {
+			ledgerSnaps[i] = led.Snapshot()
+		}
+	}
+	snapLedgers()
+	// recoverParticipants rebuilds the participant pool from its durable
+	// checkpoint files after a crash. The aborted segment left every
+	// participant's in-memory commitment chain ahead of the barrier, so the
+	// whole pool rolls back together — exactly like a deployment restarting
+	// its worker processes — while the surviving supervisor only rewinds its
+	// ledgers. Byte counters rebase onto the checkpointed totals (the dead
+	// pool's partial-segment traffic died with it); the eval base is NOT
+	// rebased, because the supervisor genuinely re-pays verification of the
+	// re-run tasks.
+	recoverParticipants := func() error {
+		_ = shutdownPool(workers) // serve errors from the crash are the point
+		var rerr error
+		if workers, rerr = buildPool(cfg, hub, muxes); rerr != nil {
+			workers = nil
+			return rerr
+		}
+		if rerr := restorePool(workers, st.seq); rerr != nil {
+			return rerr
+		}
+		for i := range st.ledgers {
+			led, rerr := RestoreWindowLedger(cfg.Spec, ledgerSnaps[i])
+			if rerr != nil {
+				return rerr
+			}
+			st.ledgers[i] = led
+		}
+		partSentBase = append(partSentBase[:0], st.partSent...)
+		partRecvBase = append(partRecvBase[:0], st.partRecv...)
+		supSentBase, supRecvBase = st.supSent, st.supRecv
+		return nil
+	}
 
 	for st.nextTask < total {
 		from := st.nextTask
@@ -386,14 +444,29 @@ func runStreamAttempt(cfg SimConfig, supCfg SupervisorConfig, killAfter int) (re
 			// checkpoint below instead.
 			if killAfter > 0 && settled >= killAfter && settled < to && !killed {
 				killed = true
+				if participantKill {
+					// The victim dies first, abruptly; the cancel then reaps
+					// the segment the dead participant can no longer finish.
+					workers[0].crash()
+				}
 				cancel()
 			}
 		}
 		streamErr := stream.Err()
 		cancel()
 		if killed {
-			_ = cleanup() // serve errors from the abrupt teardown are the point
-			return nil, true, nil
+			if !participantKill {
+				_ = cleanup() // serve errors from the abrupt teardown are the point
+				return nil, true, nil
+			}
+			if rerr := recoverParticipants(); rerr != nil {
+				return fail(rerr)
+			}
+			killed = false
+			killAfter = 0
+			settled = st.nextTask
+			firstSegment = true
+			continue
 		}
 		if streamErr != nil {
 			return fail(streamErr)
@@ -409,8 +482,20 @@ func runStreamAttempt(cfg SimConfig, supCfg SupervisorConfig, killAfter int) (re
 			if err := st.save(cfg); err != nil {
 				return fail(err)
 			}
+			snapLedgers()
 		}
 		if killAfter > 0 && settled >= killAfter {
+			if participantKill {
+				// A kill point on a segment boundary fires after the barrier:
+				// the pool dies freshly checkpointed and restarts from it.
+				workers[0].crash()
+				if rerr := recoverParticipants(); rerr != nil {
+					return fail(rerr)
+				}
+				killAfter = 0
+				firstSegment = true
+				continue
+			}
 			_ = cleanup()
 			return nil, true, nil
 		}
@@ -433,6 +518,8 @@ func runStreamAttempt(cfg SimConfig, supCfg SupervisorConfig, killAfter int) (re
 		report.BrokerRoutesOpened = hub.RoutesOpened()
 		report.BrokerControlMsgs = hub.ControlMessages()
 		report.BrokerControlBytes = hub.ControlBytes()
+		report.BrokerControlInMsgs = hub.ControlIngressMessages()
+		report.BrokerControlInBytes = hub.ControlIngressBytes()
 		report.BrokerMuxOverheadIngress = hub.MuxOverheadIngressBytes()
 		report.BrokerMuxOverheadEgress = hub.MuxOverheadEgressBytes()
 	}

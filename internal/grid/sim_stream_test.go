@@ -32,6 +32,7 @@ func scrubStreamReport(r *SimReport) *SimReport {
 	c.BrokerRelayedMsgs, c.BrokerRelayedBytes = 0, 0
 	c.BrokerMuxLinks, c.BrokerRoutesOpened = 0, 0
 	c.BrokerControlMsgs, c.BrokerControlBytes = 0, 0
+	c.BrokerControlInMsgs, c.BrokerControlInBytes = 0, 0
 	c.BrokerMuxOverheadIngress, c.BrokerMuxOverheadEgress = 0, 0
 	c.BrokerRoutes = nil
 	c.Participants = append([]ParticipantSummary(nil), r.Participants...)
@@ -99,6 +100,71 @@ func TestRunSimCheckpointRestoreMatchesClean(t *testing.T) {
 					killedReport.WindowsSettled, cleanReport.WindowsSettled)
 			}
 		})
+	}
+}
+
+func TestRunSimParticipantCrashRestoreMatchesClean(t *testing.T) {
+	for _, broker := range []bool{false, true} {
+		name := "direct"
+		if broker {
+			name = "broker"
+		}
+		t.Run(name, func(t *testing.T) {
+			clean := baseStreamConfig(t)
+			clean.Broker = broker
+			clean.CheckpointEvery = 8
+			clean.CheckpointDir = t.TempDir()
+			cleanReport, err := RunSim(clean)
+			if err != nil {
+				t.Fatalf("clean RunSim: %v", err)
+			}
+
+			killed := clean
+			killed.CheckpointDir = t.TempDir()
+			killed.KillAfter = 13 // mid-segment: restored pool re-runs tasks 8..12
+			killed.KillTarget = KillTargetParticipant
+			killedReport, err := RunSim(killed)
+			if err != nil {
+				t.Fatalf("killed RunSim: %v", err)
+			}
+
+			// The supervisor survives a participant crash and honestly pays
+			// for re-verifying the aborted segment, so its eval counter may
+			// exceed the clean run's; everything else — verdicts, reports,
+			// window accounting, participant totals — must match exactly.
+			if killedReport.SupervisorEvals < cleanReport.SupervisorEvals {
+				t.Fatalf("crashed run verified less than clean: %d < %d evals",
+					killedReport.SupervisorEvals, cleanReport.SupervisorEvals)
+			}
+			cs, ks := scrubStreamReport(cleanReport), scrubStreamReport(killedReport)
+			cs.SupervisorEvals, ks.SupervisorEvals = 0, 0
+			if !reflect.DeepEqual(cs, ks) {
+				t.Fatalf("participant crash-and-restore report diverged from clean run:\nclean:  %+v\ncrashed: %+v", cs, ks)
+			}
+		})
+	}
+}
+
+func TestRunSimParticipantCrashAtSegmentBoundary(t *testing.T) {
+	clean := baseStreamConfig(t)
+	clean.CheckpointEvery = 8
+	clean.CheckpointDir = t.TempDir()
+	cleanReport, err := RunSim(clean)
+	if err != nil {
+		t.Fatalf("clean RunSim: %v", err)
+	}
+	killed := clean
+	killed.CheckpointDir = t.TempDir()
+	killed.KillAfter = 16 // exactly a boundary: the pool dies freshly checkpointed
+	killed.KillTarget = KillTargetParticipant
+	killedReport, err := RunSim(killed)
+	if err != nil {
+		t.Fatalf("killed RunSim: %v", err)
+	}
+	cs, ks := scrubStreamReport(cleanReport), scrubStreamReport(killedReport)
+	cs.SupervisorEvals, ks.SupervisorEvals = 0, 0
+	if !reflect.DeepEqual(cs, ks) {
+		t.Fatal("boundary participant crash-and-restore report diverged from clean run")
 	}
 }
 
@@ -171,6 +237,13 @@ func TestRunSimStreamValidation(t *testing.T) {
 		"no blacklist":           func(c *SimConfig) { c.Blacklist = true },
 		"checkpoint needs dir":   func(c *SimConfig) { c.CheckpointEvery = 4; c.CheckpointDir = "" },
 		"kill needs checkpoints": func(c *SimConfig) { c.KillAfter = 5; c.CheckpointDir = "" },
+		"unknown kill target": func(c *SimConfig) {
+			c.KillAfter = 5
+			c.CheckpointEvery = 4
+			c.CheckpointDir = "x"
+			c.KillTarget = "hub"
+		},
+		"kill target needs kill": func(c *SimConfig) { c.KillTarget = KillTargetParticipant },
 		"windows require stream": func(c *SimConfig) { c.Stream = false },
 		"checkpoints require stream": func(c *SimConfig) {
 			c.Stream = false

@@ -75,10 +75,14 @@ const (
 	// Either direction on a muxed link.
 	msgRouted
 	// msgCredit grants receive-window bytes back to a route's sender: the
-	// hub returns credit as a route's queued frames drain toward the
-	// worker, so one slow worker exerts backpressure on its own route
-	// instead of ballooning hub memory or head-of-line-blocking the shared
-	// link. Hub → supervisor on a muxed link.
+	// receiver returns credit as a route's queued frames drain toward its
+	// consumer, so one slow consumer exerts backpressure on its own route
+	// instead of ballooning receiver memory or head-of-line-blocking the
+	// shared link. Flows in both directions of a muxed link — hub →
+	// supervisor as the worker-side writer drains a route's toWorker queue,
+	// and supervisor → hub as the route consumer drains its inbox. Each
+	// grant also advertises the granter's current adaptive window so the
+	// peer can surface it in stats.
 	msgCredit
 	// msgWindowCommit carries a participant's rolling commitment for one
 	// settled window of a long-horizon stream: the Merkle root over the
@@ -292,16 +296,21 @@ func decodeRouted(payload []byte) ([]routedEntry, error) {
 const maxCreditGrant = 1 << 40
 
 // creditMsg is the decoded msgCredit payload: Bytes of receive window
-// granted back to route Route's sender.
+// granted back to route Route's sender, plus the granter's current
+// adaptive Window target. Window is advisory — the receiver of the grant
+// surfaces it in stats but never spends it — yet it is still validated,
+// because it crosses the trust boundary like every other field.
 type creditMsg struct {
-	Route uint64
-	Bytes uint64
+	Route  uint64
+	Bytes  uint64
+	Window uint64
 }
 
 func encodeCredit(m creditMsg) []byte {
 	var buf bytes.Buffer
 	putUvarint(&buf, m.Route)
 	putUvarint(&buf, m.Bytes)
+	putUvarint(&buf, m.Window)
 	return buf.Bytes()
 }
 
@@ -317,6 +326,12 @@ func decodeCredit(payload []byte) (creditMsg, error) {
 	}
 	if m.Bytes == 0 || m.Bytes > maxCreditGrant {
 		return m, fmt.Errorf("%w: credit grant of %d bytes", ErrBadPayload, m.Bytes)
+	}
+	if m.Window, err = binary.ReadUvarint(r); err != nil {
+		return m, fmt.Errorf("%w: credit window: %v", ErrBadPayload, err)
+	}
+	if m.Window == 0 || m.Window > maxCreditGrant {
+		return m, fmt.Errorf("%w: credit window of %d bytes", ErrBadPayload, m.Window)
 	}
 	if r.Len() != 0 {
 		return m, fmt.Errorf("%w: %d trailing bytes", ErrBadPayload, r.Len())

@@ -266,13 +266,17 @@ func FuzzDecodeRouted(f *testing.F) {
 	})
 }
 
-// FuzzDecodeCredit covers the flow-control grant the supervisor mux decodes
-// from the hub.
+// FuzzDecodeCredit covers the flow-control grant both muxed-link endpoints
+// decode: hub→supervisor for toWorker credit and supervisor→hub for toSup
+// credit, each carrying the granter's advertised adaptive window.
 func FuzzDecodeCredit(f *testing.F) {
-	f.Add(encodeCredit(creditMsg{Route: 0, Bytes: 1}))
-	f.Add(encodeCredit(creditMsg{Route: 999, Bytes: 256 << 10}))
+	f.Add(encodeCredit(creditMsg{Route: 0, Bytes: 1, Window: 1}))
+	f.Add(encodeCredit(creditMsg{Route: 999, Bytes: 256 << 10, Window: 256 << 10}))
+	f.Add(encodeCredit(creditMsg{Route: 3, Bytes: 32 << 10, Window: maxCreditGrant}))
 	f.Add([]byte{})
 	f.Add([]byte{0x00})
+	f.Add([]byte{0x00, 0x01})
+	f.Add([]byte{0x00, 0x01, 0x00})
 	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01, 0x00})
 	f.Fuzz(func(t *testing.T, payload []byte) {
 		m, err := decodeCredit(payload)
@@ -281,6 +285,9 @@ func FuzzDecodeCredit(f *testing.F) {
 		}
 		if m.Bytes == 0 || m.Bytes > maxCreditGrant {
 			t.Fatalf("decode accepted an out-of-range grant: %+v", m)
+		}
+		if m.Window == 0 || m.Window > maxCreditGrant {
+			t.Fatalf("decode accepted an out-of-range window: %+v", m)
 		}
 		again, err := decodeCredit(encodeCredit(m))
 		if err != nil {

@@ -91,9 +91,11 @@ func wireCorpusSeeds() map[string][][]byte {
 			{0x01, 0x00, 0x07, 0xff, 0xff, 0xff, 0x0f},
 		},
 		"FuzzDecodeCredit": {
-			encodeCredit(creditMsg{Route: 0, Bytes: 1}),
-			encodeCredit(creditMsg{Route: 999, Bytes: 256 << 10}),
+			encodeCredit(creditMsg{Route: 0, Bytes: 1, Window: 1}),
+			encodeCredit(creditMsg{Route: 999, Bytes: 256 << 10, Window: 256 << 10}),
+			encodeCredit(creditMsg{Route: 3, Bytes: 32 << 10, Window: maxCreditGrant}),
 			{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01, 0x00},
+			{0x00, 0x01, 0x00},
 		},
 		"FuzzDecodeBatch": {
 			encodeBatch(nil),

@@ -388,6 +388,10 @@ var (
 	// NewWindowLedger builds a supervisor-side ledger for one link's rolling
 	// window commitments; pass the ledgers to WithStreamWindowSettle.
 	NewWindowLedger = grid.NewWindowLedger
+	// RestoreWindowLedger rebuilds a ledger from WindowLedger.Snapshot
+	// output, resuming rolling-commitment verification after a supervisor
+	// restart without losing hash-chain continuity.
+	RestoreWindowLedger = grid.RestoreWindowLedger
 	// WithStreamWindowSettle arms rolling window commitments on a streaming
 	// run: participants commit each settled window of task digests to a
 	// hash chain, and the per-link ledgers verify every commit with sampled
